@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark prints the table/series its figure or claim requires, so
+running ``pytest benchmarks/ --benchmark-only -s`` regenerates the
+paper's artefacts; the timing half of each benchmark exercises the hot
+path through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import pytest
+
+
+def print_table(title: str, header: Iterable[str], rows) -> None:
+    """Render one experiment table to stdout."""
+    header = list(header)
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(header)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print()
+    print(f"== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture
+def table_printer():
+    return print_table

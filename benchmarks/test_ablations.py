@@ -1,0 +1,285 @@
+"""Design-choice ablations promised by DESIGN.md §5.
+
+* P-Grid replication factor — routing robustness vs. storage overhead;
+* EigenTrust pre-trusted set size — collusion resistance;
+* PeerTrust credibility source — PSM vs. TVM under badmouthing;
+* Sen & Sajja witness budget — accuracy vs. #witnesses at a fixed liar
+  fraction.
+
+(The CF similarity ablation lives in C8; the decay ablation is C4; the
+threshold-placement ablation is part of F4.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.records import Feedback
+from repro.common.randomness import SeedSequenceFactory
+from repro.models.eigentrust import EigenTrustModel
+from repro.models.peertrust import CredibilityMeasure, PeerTrustModel
+from repro.p2p.pgrid import PGrid
+from repro.robustness.majority import (
+    MajorityOpinion,
+    majority_correct_probability,
+)
+
+from benchmarks.conftest import print_table
+
+
+# ---------------------------------------------------------------------------
+# P-Grid replication factor
+# ---------------------------------------------------------------------------
+
+def pgrid_survival_rate(replication: int, failure_fraction: float,
+                        n_peers: int = 64, n_keys: int = 30,
+                        n_seeds: int = 3) -> float:
+    """Mean fraction of keys still retrievable after random failures.
+
+    Routing redundancy (refs per level) is held generous and constant
+    so the sweep isolates the *storage replication* effect.
+    """
+    total = 0.0
+    for seed in range(n_seeds):
+        seeds = SeedSequenceFactory(
+            seed * 10000 + replication * 100 + int(failure_fraction * 100)
+        )
+        rng = seeds.rng("failures")
+        peers = [f"peer-{i:03d}" for i in range(n_peers)]
+        grid = PGrid(peers, replication=replication, refs_per_level=4,
+                     rng=seeds.rng("grid"))
+        for k in range(n_keys):
+            grid.insert(peers[0], f"key-{k}", Feedback(
+                rater=peers[0], target=f"key-{k}", time=0.0, rating=0.5,
+            ))
+        n_failed = int(failure_fraction * n_peers)
+        failed = set(
+            peers[int(i)] for i in rng.choice(n_peers, size=n_failed,
+                                              replace=False)
+        )
+        for pid in failed:
+            grid.peer(pid).online = False
+        alive = [p for p in peers if p not in failed]
+        retrieved = 0
+        for k in range(n_keys):
+            origin = alive[k % len(alive)]
+            try:
+                found, _ = grid.lookup(origin, f"key-{k}", f"key-{k}")
+            except Exception:
+                continue
+            if found:
+                retrieved += 1
+        total += retrieved / n_keys
+    return total / n_seeds
+
+
+class TestPGridReplicationAblation:
+    FAILURES = [0.0, 0.2, 0.4]
+
+    @pytest.fixture(scope="class")
+    def survival(self):
+        return {
+            r: {f: pgrid_survival_rate(r, f) for f in self.FAILURES}
+            for r in [1, 2, 4]
+        }
+
+    def test_no_failures_everything_survives(self, survival):
+        for r in survival:
+            assert survival[r][0.0] == 1.0
+
+    def test_replication_buys_failure_tolerance(self, survival):
+        assert survival[4][0.4] >= survival[1][0.4]
+        assert survival[4][0.4] > 0.6
+        assert survival[2][0.2] > 0.7
+
+    def test_report(self, survival):
+        rows = [
+            [r] + [f"{survival[r][f]:.2f}" for f in self.FAILURES]
+            for r in sorted(survival)
+        ]
+        print_table(
+            "Ablation: P-Grid key survival vs replication factor "
+            "(64 peers, 30 keys)",
+            ["replication"] + [f"{f:.0%} failed" for f in self.FAILURES],
+            rows,
+        )
+
+
+# ---------------------------------------------------------------------------
+# EigenTrust pre-trusted set size
+# ---------------------------------------------------------------------------
+
+def eigentrust_ring_mass(n_pretrusted: int, seed: int = 0) -> float:
+    """Trust mass a self-praising ring captures."""
+    seeds = SeedSequenceFactory(seed)
+    rng = seeds.rng("tx")
+    honest = [f"h{i}" for i in range(12)]
+    ring = [f"ring{i}" for i in range(4)]
+    model = EigenTrustModel(
+        pre_trusted=honest[:n_pretrusted] if n_pretrusted else [],
+        alpha=0.2 if n_pretrusted else 0.0,
+    )
+    t = 0.0
+    for a in honest:
+        for b in honest:
+            if a != b and rng.random() < 0.5:
+                model.record(Feedback(rater=a, target=b, time=t,
+                                      rating=0.9))
+                t += 1.0
+    for a in ring:
+        for b in ring:
+            if a != b:
+                for _ in range(10):
+                    model.record(Feedback(rater=a, target=b, time=t,
+                                          rating=1.0))
+                    t += 1.0
+    trust = model.compute()
+    return sum(trust.get(r, 0.0) for r in ring)
+
+
+class TestEigenTrustPretrustAblation:
+    SIZES = [0, 1, 3, 6]
+
+    @pytest.fixture(scope="class")
+    def ring_mass(self):
+        return {n: eigentrust_ring_mass(n) for n in self.SIZES}
+
+    def test_no_pretrust_ring_prospers(self, ring_mass):
+        assert ring_mass[0] > 0.2
+
+    def test_any_pretrust_starves_the_ring(self, ring_mass):
+        for n in self.SIZES[1:]:
+            assert ring_mass[n] < 0.02, n
+
+    def test_report(self, ring_mass):
+        rows = [[n, f"{mass:.3f}"] for n, mass in ring_mass.items()]
+        print_table(
+            "Ablation: collusion-ring trust mass vs |pre-trusted| "
+            "(12 honest + 4-peer ring)",
+            ["pre-trusted peers", "ring trust mass"],
+            rows,
+        )
+
+
+# ---------------------------------------------------------------------------
+# PeerTrust credibility source
+# ---------------------------------------------------------------------------
+
+def peertrust_error(measure: CredibilityMeasure) -> float:
+    """|estimate - truth| for a badmouthed peer (truth 0.9, 30% liars).
+
+    beta=0 drops the community-context reward so the comparison
+    isolates the credibility measure itself.
+    """
+    model = PeerTrustModel(credibility=measure, alpha=1.0, beta=0.0)
+    for subject, quality in [("s1", 0.9), ("s2", 0.2), ("s3", 0.7)]:
+        for r in ["h1", "h2", "h3", "h4", "h5", "h6", "h7"]:
+            model.record(Feedback(rater=r, target=subject, time=0.0,
+                                  rating=quality))
+        for liar in ["l1", "l2", "l3"]:
+            model.record(Feedback(rater=liar, target=subject, time=0.0,
+                                  rating=1.0 - quality))
+    for r in ["h1", "h2", "h3", "h4", "h5", "h6", "h7"]:
+        model.record(Feedback(rater=r, target="victim", time=1.0,
+                              rating=0.9))
+    for liar in ["l1", "l2", "l3"]:
+        model.record(Feedback(rater=liar, target="victim", time=1.0,
+                              rating=0.05))
+    return abs(model.score("victim", perspective="h1") - 0.9)
+
+
+class TestPeerTrustCredibilityAblation:
+    def test_both_measures_beat_nothing(self):
+        naive = abs((7 * 0.9 + 3 * 0.05) / 10 - 0.9)
+        psm = peertrust_error(CredibilityMeasure.PSM)
+        tvm = peertrust_error(CredibilityMeasure.TVM)
+        assert psm < naive
+        assert tvm < naive + 0.05
+
+    def test_psm_is_the_stronger_defense(self):
+        # Xiong & Liu's own finding: similarity credibility beats
+        # trust-value credibility against collusive raters.
+        assert peertrust_error(CredibilityMeasure.PSM) <= peertrust_error(
+            CredibilityMeasure.TVM
+        ) + 0.02
+
+    def test_report(self):
+        rows = [
+            ["PSM (similarity)",
+             f"{peertrust_error(CredibilityMeasure.PSM):.3f}"],
+            ["TVM (trust value)",
+             f"{peertrust_error(CredibilityMeasure.TVM):.3f}"],
+        ]
+        print_table(
+            "Ablation: PeerTrust credibility measure, |error| under 30% "
+            "badmouthing",
+            ["credibility source", "error"],
+            rows,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Sen & Sajja witness budget
+# ---------------------------------------------------------------------------
+
+class TestWitnessBudgetAblation:
+    BUDGETS = [1, 3, 7, 15, 31]
+    LIAR_FRACTION = 0.3
+
+    def empirical_accuracy(self, budget: int, trials: int = 200) -> float:
+        seeds = SeedSequenceFactory(budget)
+        rng = seeds.rng("draws")
+        correct = 0
+        mo = MajorityOpinion(max_witnesses=budget)
+        for trial in range(trials):
+            feedbacks = []
+            for w in range(budget):
+                lies = rng.random() < self.LIAR_FRACTION
+                feedbacks.append(Feedback(
+                    rater=f"w{w}", target="svc", time=float(w),
+                    rating=0.1 if lies else 0.9,
+                ))
+            verdict = mo.verdict(feedbacks)
+            if verdict is True:
+                correct += 1
+        return correct / trials
+
+    @pytest.fixture(scope="class")
+    def accuracy(self):
+        return {
+            n: {
+                "empirical": self.empirical_accuracy(n),
+                "analytic": majority_correct_probability(
+                    n, self.LIAR_FRACTION
+                ),
+            }
+            for n in self.BUDGETS
+        }
+
+    def test_empirical_matches_analytic(self, accuracy):
+        for n, row in accuracy.items():
+            assert row["empirical"] == pytest.approx(
+                row["analytic"], abs=0.1
+            ), n
+
+    def test_accuracy_grows_with_budget(self, accuracy):
+        values = [accuracy[n]["analytic"] for n in self.BUDGETS]
+        assert values == sorted(values)
+
+    def test_report(self, accuracy):
+        rows = [
+            [n, f"{accuracy[n]['empirical']:.3f}",
+             f"{accuracy[n]['analytic']:.3f}"]
+            for n in self.BUDGETS
+        ]
+        print_table(
+            f"Ablation: majority-verdict accuracy vs witness budget "
+            f"(liar fraction {self.LIAR_FRACTION})",
+            ["witnesses", "empirical", "analytic"],
+            rows,
+        )
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bench_pgrid_survival(benchmark):
+    benchmark(lambda: pgrid_survival_rate(2, 0.2, n_peers=32, n_keys=10))

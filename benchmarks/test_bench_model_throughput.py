@@ -1,0 +1,118 @@
+"""Micro-benchmarks: per-mechanism record/score throughput.
+
+Times the two hot operations of every registered mechanism — ingesting
+one feedback record and answering one score query — on a pre-warmed
+store of 1,000 records, plus the expensive batch operations (EigenTrust
+/ PageRank power iteration).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.records import Feedback
+from repro.core.registry import default_registry
+from repro.models.eigentrust import EigenTrustModel
+from repro.models.pagerank import PageRankModel
+
+REGISTRY = default_registry(rng_seed=0)
+
+#: A representative subset across the typology; the full registry would
+#: make the timing run tediously long without adding information.
+TIMED = [
+    "beta", "ebay", "sporas", "histos", "amazon", "epinions",
+    "collaborative_filtering", "yu_singh", "peertrust",
+    "maximilien_singh", "liu_ngu_zeng", "vu_aberer", "wang_vassileva",
+]
+
+
+def warm_stream(n=1000):
+    return [
+        Feedback(
+            rater=f"r{i % 20}",
+            target=f"svc-{i % 10}",
+            time=float(i),
+            rating=((i * 7) % 100) / 100.0,
+            facet_ratings={"response_time": ((i * 3) % 100) / 100.0},
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return warm_stream()
+
+
+@pytest.mark.benchmark(group="throughput-record")
+@pytest.mark.parametrize("name", TIMED)
+def test_bench_record(benchmark, name, stream):
+    model = REGISTRY.create(name)
+    model.record_many(stream)
+    extra = Feedback(rater="r0", target="svc-0", time=9999.0, rating=0.7)
+    benchmark(lambda: model.record(extra))
+
+
+@pytest.mark.benchmark(group="throughput-score")
+@pytest.mark.parametrize("name", TIMED)
+def test_bench_score(benchmark, name, stream):
+    model = REGISTRY.create(name)
+    model.record_many(stream)
+    benchmark(lambda: model.score("svc-0", perspective="r0", now=1000.0))
+
+
+@pytest.mark.benchmark(group="power-iteration")
+def test_bench_eigentrust_compute(benchmark, stream):
+    model = EigenTrustModel(pre_trusted=["r0"])
+    model.record_many(stream)
+
+    def compute():
+        model._trust = None  # force a full recomputation
+        return model.compute()
+
+    benchmark(compute)
+
+
+@pytest.mark.benchmark(group="power-iteration")
+def test_bench_eigentrust_compute_dense(benchmark, stream):
+    model = EigenTrustModel(pre_trusted=["r0"])
+    model.record_many(stream)
+
+    def compute():
+        model._trust = None
+        return model.compute_dense()
+
+    benchmark(compute)
+
+
+@pytest.mark.benchmark(group="power-iteration")
+def test_bench_pagerank_compute(benchmark, stream):
+    model = PageRankModel()
+    model.record_many(stream)
+    benchmark(model.compute)
+
+
+@pytest.mark.benchmark(group="scale")
+def test_bench_large_world_round(benchmark):
+    """One full selection round at laptop scale: 100 services, 200
+    consumers."""
+    from repro.core.scenarios import DirectSelectionScenario
+    from repro.core.selection import EpsilonGreedyPolicy
+    from repro.experiments.workloads import make_world
+    from repro.models.beta import BetaReputation
+
+    world = make_world(
+        n_providers=50, services_per_provider=2, n_consumers=200, seed=0,
+    )
+    scenario = DirectSelectionScenario(
+        services=world.services,
+        consumers=world.consumers,
+        model=BetaReputation(),
+        taxonomy=world.taxonomy,
+        policy=EpsilonGreedyPolicy(0.1, rng=world.seeds.rng("policy")),
+        rng=world.seeds.rng("invoke"),
+    )
+    from repro.core.scenarios import ScenarioResult
+
+    result = ScenarioResult(rounds=1, selections=0, optimal_selections=0)
+    benchmark(lambda: scenario.run_round(result))

@@ -1,0 +1,207 @@
+"""C6 — §4: "mechanisms in centralized systems are less complex and
+easier to implement … but … this server-centric framework will suffer a
+single point of failure."
+
+Three deployments of the same reputation workload:
+
+* **central** — one QoS registry collects every report and serves every
+  query;
+* **eigentrust-dht** — distributed EigenTrust with score managers over
+  a Chord DHT;
+* **pgrid** — Vu-style QoS registries over a P-Grid.
+
+Measured: messages per operation, load concentration (max/mean received
+messages), storage balance, and what happens to each when the most
+loaded node fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.common.errors import RegistryError
+from repro.common.randomness import SeedSequenceFactory
+from repro.common.records import Feedback
+from repro.models.eigentrust import DistributedEigenTrust, EigenTrustModel
+from repro.models.vu_aberer import VuAbererModel
+from repro.p2p.dht import ChordDHT
+from repro.p2p.pgrid import PGrid
+from repro.registry.qos_registry import CentralQoSRegistry
+from repro.sim.network import Network
+
+from benchmarks.conftest import print_table
+
+N_PEERS = 32
+N_SERVICES = 8
+REPORTS_PER_PEER = 6
+
+
+def workload(seed=0):
+    """(rater, service, rating) triples: every peer reports on a few
+    services."""
+    rng = SeedSequenceFactory(seed).rng("workload")
+    peers = [f"peer-{i:03d}" for i in range(N_PEERS)]
+    services = [f"svc-{i}" for i in range(N_SERVICES)]
+    quality = {s: 0.2 + 0.6 * i / (N_SERVICES - 1)
+               for i, s in enumerate(services)}
+    entries = []
+    t = 0.0
+    for peer in peers:
+        picks = rng.choice(N_SERVICES, size=REPORTS_PER_PEER, replace=True)
+        for index in picks:
+            service = services[int(index)]
+            rating = min(1.0, max(
+                0.0, quality[service] + float(rng.normal(0, 0.05))
+            ))
+            entries.append((peer, service, rating, t))
+            t += 1.0
+    return peers, services, entries
+
+
+@dataclass
+class DeploymentReport:
+    name: str
+    messages: int
+    load_imbalance: float
+    survives_top_node_failure: bool
+
+
+def run_central():
+    peers, services, entries = workload()
+    net = Network(rng=0)
+    registry = CentralQoSRegistry(network=net)
+    for rater, service, rating, t in entries:
+        registry.report(Feedback(rater=rater, target=service, time=t,
+                                 rating=rating))
+    for peer in peers:
+        for service in services:
+            registry.query(peer, service)
+    imbalance = net.stats.load_imbalance()
+    messages = net.stats.total_messages
+    # Fail the hub: every subsequent query fails.
+    registry.fail()
+    survives = True
+    try:
+        registry.query(peers[0], services[0])
+    except RegistryError:
+        survives = False
+    return DeploymentReport("central", messages, imbalance, survives)
+
+
+def run_eigentrust_dht():
+    # EigenTrust models *peer* trust (person-agent in the typology), so
+    # its workload is peer-to-peer ratings of the same volume.
+    peers, _, _ = workload()
+    rng = SeedSequenceFactory(1).rng("p2p-ratings")
+    net = Network(rng=0)
+    model = EigenTrustModel(pre_trusted=[peers[0]])
+    t = 0.0
+    for peer in peers:
+        picks = rng.choice(N_PEERS, size=REPORTS_PER_PEER, replace=True)
+        for index in picks:
+            target = peers[int(index)]
+            if target == peer:
+                continue
+            quality = 0.2 + 0.6 * int(index) / (N_PEERS - 1)
+            model.record(Feedback(
+                rater=peer, target=target, time=t,
+                rating=min(1.0, max(0.0, quality + float(rng.normal(0, 0.05)))),
+            ))
+            t += 1.0
+    dht = ChordDHT(peers, bits=16, network=net)
+    distributed = DistributedEigenTrust(model, dht)
+    distributed.run(rounds=5)
+    imbalance = net.stats.load_imbalance()
+    messages = net.stats.total_messages
+    # Fail the most loaded node: lookups reroute to successors.
+    top = max(net.stats.received_by, key=net.stats.received_by.get)
+    dht.set_online(top, False)
+    origin = next(p for p in peers if p != top)
+    survives = True
+    try:
+        dht.get(origin, f"trust:{peers[1]}")
+    except Exception:
+        survives = False
+    return DeploymentReport("eigentrust-dht", messages, imbalance, survives)
+
+
+def run_pgrid():
+    peers, services, entries = workload()
+    net = Network(rng=0)
+    grid = PGrid(peers, replication=2, network=net, rng=0)
+    model = VuAbererModel()
+    for rater, service, rating, t in entries:
+        fb = Feedback(rater=rater, target=service, time=t, rating=rating)
+        model.publish_report(grid, rater, fb)
+    for peer in peers:
+        for service in services:
+            grid.lookup(peer, service, service)
+    imbalance = net.stats.load_imbalance()
+    messages = net.stats.total_messages
+    # Fail the most loaded registry peer: replicas take over.
+    top = max(net.stats.received_by, key=net.stats.received_by.get)
+    grid.peer(top).online = False
+    origin = next(
+        p.peer_id for p in grid.peers() if p.online and p.peer_id != top
+    )
+    survives = True
+    try:
+        grid.lookup(origin, services[0], services[0])
+    except Exception:
+        survives = False
+    return DeploymentReport("pgrid", messages, imbalance, survives)
+
+
+class TestCentralVsDecentral:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return {
+            r.name: r for r in [run_central(), run_eigentrust_dht(),
+                                run_pgrid()]
+        }
+
+    def test_central_is_cheapest(self, reports):
+        # "Less complex and easier to implement" shows up as messages:
+        # one hop per operation vs O(log N) routing.
+        assert reports["central"].messages < reports["pgrid"].messages
+        assert reports["central"].messages < reports["eigentrust-dht"].messages
+
+    def test_central_concentrates_load(self, reports):
+        assert reports["central"].load_imbalance > 10
+        assert reports["pgrid"].load_imbalance < reports["central"].load_imbalance
+        assert (
+            reports["eigentrust-dht"].load_imbalance
+            < reports["central"].load_imbalance
+        )
+
+    def test_single_point_of_failure(self, reports):
+        assert not reports["central"].survives_top_node_failure
+        assert reports["pgrid"].survives_top_node_failure
+        assert reports["eigentrust-dht"].survives_top_node_failure
+
+    def test_report(self, reports):
+        rows = [
+            [
+                r.name,
+                r.messages,
+                f"{r.load_imbalance:.1f}",
+                "yes" if r.survives_top_node_failure else "NO",
+            ]
+            for r in reports.values()
+        ]
+        print_table(
+            f"C6: deployments compared ({N_PEERS} peers, {N_SERVICES} "
+            f"services, {REPORTS_PER_PEER} reports/peer + full query sweep)",
+            ["deployment", "messages", "load max/mean",
+             "survives hub failure"],
+            rows,
+        )
+
+
+@pytest.mark.benchmark(group="c6")
+@pytest.mark.parametrize("runner", [run_central, run_pgrid],
+                         ids=["central", "pgrid"])
+def test_bench_deployment(benchmark, runner):
+    benchmark(runner)

@@ -1,0 +1,180 @@
+"""C4 — §3: trust is *dynamic* — "new experiences are more important
+than old ones since old experiences may become obsolete".
+
+A good service degrades mid-run.  Facet trust with three decay
+policies (none / exponential / sliding window) drives selection; the
+post-shift regret shows that forgetting is what lets a mechanism track
+the regime change, and the pre-shift accuracy shows the cost decay pays
+in stability while nothing is changing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import pytest
+
+from repro.common.ids import EntityId
+from repro.common.randomness import SeedSequenceFactory
+from repro.core.decay import (
+    DecayPolicy,
+    ExponentialDecay,
+    NoDecay,
+    SlidingWindow,
+)
+from repro.core.facets import FacetTrust
+from repro.core.selection import EpsilonGreedyPolicy
+from repro.experiments.workloads import make_consumers
+from repro.models.base import ReputationModel
+from repro.services.description import ServiceDescription
+from repro.services.invocation import InvocationEngine
+from repro.services.provider import DegradingBehavior, Service
+from repro.services.qos import DEFAULT_METRICS, QoSProfile
+
+from benchmarks.conftest import print_table
+
+ROUNDS = 80
+SHIFT_AT = 40.0
+
+POLICIES = {
+    "no_decay": lambda: NoDecay(),
+    "exponential(hl=10)": lambda: ExponentialDecay(half_life=10.0),
+    "window(20)": lambda: SlidingWindow(window=20.0),
+}
+
+
+class FacetTrustModel(ReputationModel):
+    """Adapter: FacetTrust as a ReputationModel with pluggable decay."""
+
+    name = "facet_trust"
+
+    def __init__(self, decay: DecayPolicy) -> None:
+        self.trust = FacetTrust(decay=decay)
+
+    def record(self, feedback) -> None:
+        self.trust.observe_feedback(feedback)
+
+    def score(self, target: EntityId, perspective=None,
+              now: Optional[float] = None) -> float:
+        return self.trust.overall(target, now=now)
+
+
+def build_services():
+    """'fallen-star' starts excellent and collapses at SHIFT_AT;
+    'steady' is solidly good throughout."""
+    fallen = Service(
+        description=ServiceDescription(
+            service="fallen-star", provider="p0", category="compute"
+        ),
+        profile=QoSProfile(
+            quality={m.name: 0.9 for m in DEFAULT_METRICS}, noise=0.03
+        ),
+        behavior=DegradingBehavior(drop=0.5, onset=SHIFT_AT),
+    )
+    steady = Service(
+        description=ServiceDescription(
+            service="steady", provider="p1", category="compute"
+        ),
+        profile=QoSProfile(
+            quality={m.name: 0.7 for m in DEFAULT_METRICS}, noise=0.03
+        ),
+    )
+    return [fallen, steady]
+
+
+@dataclass
+class DecayOutcome:
+    pre_shift_accuracy: float
+    post_shift_accuracy: float
+    recovery_round: float  # first post-shift round mostly on 'steady'
+
+
+def run_policy(decay: DecayPolicy, seed: int = 0) -> DecayOutcome:
+    seeds = SeedSequenceFactory(seed)
+    services = build_services()
+    by_id = {s.service_id: s for s in services}
+    consumers = make_consumers(10, DEFAULT_METRICS, seeds)
+    engine = InvocationEngine(DEFAULT_METRICS, rng=seeds.rng("invoke"))
+    model = FacetTrustModel(decay)
+    policy = EpsilonGreedyPolicy(0.1, rng=seeds.rng("policy"))
+    pre_hits = pre_total = post_hits = post_total = 0
+    recovery = float("inf")
+    for t in range(ROUNDS):
+        time = float(t)
+        correct_now = "fallen-star" if time < SHIFT_AT else "steady"
+        round_hits = 0
+        for consumer in consumers:
+            chosen = policy.choose(
+                model.rank(list(by_id), consumer.consumer_id, now=time)
+            )
+            hit = chosen == correct_now
+            round_hits += hit
+            if time < SHIFT_AT:
+                pre_hits += hit
+                pre_total += 1
+            else:
+                post_hits += hit
+                post_total += 1
+            interaction = engine.invoke(consumer, by_id[chosen], time)
+            model.record(consumer.rate(interaction, DEFAULT_METRICS))
+        if (
+            time >= SHIFT_AT
+            and round_hits > len(consumers) / 2
+            and recovery == float("inf")
+        ):
+            recovery = time - SHIFT_AT
+    return DecayOutcome(
+        pre_shift_accuracy=pre_hits / pre_total,
+        post_shift_accuracy=post_hits / post_total,
+        recovery_round=recovery,
+    )
+
+
+class TestDecayClaim:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return {name: run_policy(make()) for name, make in POLICIES.items()}
+
+    def test_no_decay_tracks_the_shift_worst(self, outcomes):
+        no_decay = outcomes["no_decay"]
+        for name in ["exponential(hl=10)", "window(20)"]:
+            decaying = outcomes[name]
+            assert (
+                decaying.post_shift_accuracy
+                > no_decay.post_shift_accuracy + 0.2
+            ), name
+            assert decaying.recovery_round < no_decay.recovery_round, name
+
+    def test_decaying_policies_recover(self, outcomes):
+        for name in ["exponential(hl=10)", "window(20)"]:
+            assert outcomes[name].post_shift_accuracy > 0.5, name
+            assert outcomes[name].recovery_round < 15, name
+
+    def test_all_policies_fine_before_the_shift(self, outcomes):
+        for name, outcome in outcomes.items():
+            assert outcome.pre_shift_accuracy > 0.7, name
+
+    def test_report(self, outcomes):
+        rows = [
+            [
+                name,
+                f"{o.pre_shift_accuracy:.3f}",
+                f"{o.post_shift_accuracy:.3f}",
+                ("never" if o.recovery_round == float("inf")
+                 else f"{o.recovery_round:.0f}"),
+            ]
+            for name, o in outcomes.items()
+        ]
+        print_table(
+            f"C4: decay policies across a quality collapse at t={SHIFT_AT:.0f} "
+            f"({ROUNDS} rounds)",
+            ["policy", "pre-shift acc", "post-shift acc",
+             "rounds to recover"],
+            rows,
+        )
+
+
+@pytest.mark.benchmark(group="c4")
+def test_bench_decay_run(benchmark):
+    benchmark(lambda: run_policy(ExponentialDecay(half_life=10.0), seed=1))

@@ -1,0 +1,88 @@
+"""C1 — §2: "A provider may exaggerate its capability … a consumer is
+vulnerable to inaccurate QoS information."
+
+Sweep the exaggeration magnitude of the *worse half* of providers and
+compare claim-based selection against feedback-based selection.  The
+claim-based path degrades monotonically toward "always pick the biggest
+liar", while feedback-based selection is untouched by the claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.activities import run_activities_comparison
+
+from benchmarks.conftest import print_table
+
+SWEEP = [0.0, 0.1, 0.2, 0.3, 0.4]
+SEEDS = [0, 1, 2]
+ROUNDS = 20
+
+
+def sweep_results():
+    results = {}
+    for exaggeration in SWEEP:
+        advertised_regret = 0.0
+        feedback_regret = 0.0
+        for seed in SEEDS:
+            reports = {
+                r.name: r
+                for r in run_activities_comparison(
+                    rounds=ROUNDS, seed=seed, exaggeration=exaggeration,
+                    approaches=["advertised", "feedback"],
+                )
+            }
+            advertised_regret += reports["advertised"].mean_regret
+            feedback_regret += reports["feedback"].mean_regret
+        results[exaggeration] = (
+            advertised_regret / len(SEEDS),
+            feedback_regret / len(SEEDS),
+        )
+    return results
+
+
+@pytest.fixture(scope="module")
+def results():
+    return sweep_results()
+
+
+class TestExaggerationClaim:
+    def test_claims_degrade_with_exaggeration(self, results):
+        regrets = [results[e][0] for e in SWEEP]
+        # Heavy exaggeration must be much worse than honesty.
+        assert regrets[-1] > regrets[0] + 0.05
+
+    def test_feedback_immune_to_exaggeration(self, results):
+        feedback = [results[e][1] for e in SWEEP]
+        assert max(feedback) - min(feedback) < 0.05
+
+    def test_crossover_at_moderate_exaggeration(self, results):
+        # Mild exaggeration barely reorders the claims, so the (free)
+        # advertised path can still win; from 0.2 upward feedback
+        # dominates — the crossover the paper's warning implies.
+        for exaggeration in [e for e in SWEEP if e >= 0.2]:
+            advertised, feedback = results[exaggeration]
+            assert feedback < advertised, exaggeration
+
+    def test_report(self, results):
+        rows = [
+            [f"{e:.1f}", f"{results[e][0]:.4f}", f"{results[e][1]:.4f}"]
+            for e in SWEEP
+        ]
+        print_table(
+            "C1: regret vs provider exaggeration "
+            f"(mean of {len(SEEDS)} seeds, {ROUNDS} rounds)",
+            ["exaggeration", "advertised-QoS regret", "feedback regret"],
+            rows,
+        )
+
+
+@pytest.mark.benchmark(group="c1")
+def test_bench_exaggeration_point(benchmark):
+    benchmark(
+        lambda: run_activities_comparison(
+            rounds=5, seed=0, exaggeration=0.3,
+            approaches=["advertised", "feedback"],
+        )
+    )

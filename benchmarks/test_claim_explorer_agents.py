@@ -1,0 +1,161 @@
+"""C3 — §2 / Maximilien & Singh [19]: explorer agents give services
+with a negative reputation "a chance to be selected when they improve
+their service quality".
+
+A service earns a bad reputation, then genuinely improves.  Without
+explorer agents, consumers never revisit it (its score stays low and
+greedy selection starves it of the feedback that would prove the
+improvement).  With explorer agents probing negatively-reputed
+services, the improvement is detected and the service is rehabilitated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.common.randomness import SeedSequenceFactory
+from repro.core.selection import GreedyPolicy
+from repro.experiments.workloads import make_consumers
+from repro.models.beta import BetaReputation
+from repro.services.description import ServiceDescription
+from repro.services.invocation import InvocationEngine
+from repro.services.monitoring import ExplorerAgentPool
+from repro.services.provider import ImprovingBehavior, Service
+from repro.services.qos import DEFAULT_METRICS, QoSProfile
+
+from benchmarks.conftest import print_table
+
+ROUNDS = 60
+IMPROVEMENT_START = 15.0
+
+
+def build_services():
+    """A steady mediocre incumbent and an improving challenger.
+
+    The challenger starts 0.5 below its (excellent) base quality and
+    recovers between t=15 and t=35.
+    """
+    incumbent = Service(
+        description=ServiceDescription(
+            service="incumbent", provider="p0", category="compute"
+        ),
+        profile=QoSProfile(
+            quality={m.name: 0.6 for m in DEFAULT_METRICS}, noise=0.03
+        ),
+    )
+    challenger = Service(
+        description=ServiceDescription(
+            service="challenger", provider="p1", category="compute"
+        ),
+        profile=QoSProfile(
+            quality={m.name: 0.9 for m in DEFAULT_METRICS}, noise=0.03
+        ),
+        behavior=ImprovingBehavior(
+            initial_deficit=0.5, ramp_duration=20.0,
+            start_time=IMPROVEMENT_START,
+        ),
+    )
+    return [incumbent, challenger]
+
+
+@dataclass
+class RunResult:
+    rehabilitation_round: float  # first round the challenger wins again
+    challenger_share_tail: float
+    explorer_probes: int
+
+
+def run(with_explorers: bool, seed: int = 0) -> RunResult:
+    seeds = SeedSequenceFactory(seed)
+    services = build_services()
+    by_id = {s.service_id: s for s in services}
+    consumers = make_consumers(10, DEFAULT_METRICS, seeds)
+    engine = InvocationEngine(DEFAULT_METRICS, rng=seeds.rng("invoke"))
+    model = BetaReputation(lam=0.95)
+    pool = None
+    if with_explorers:
+        pool = ExplorerAgentPool(
+            InvocationEngine(DEFAULT_METRICS, rng=seeds.rng("probe")),
+            feedback_sink=model.record,
+            reputation_threshold=0.5,  # below neutral = negative
+            probes_per_round=2,
+            rng=seeds.rng("pool"),
+        )
+    policy = GreedyPolicy()
+    rehabilitation = float("inf")
+    tail_challenger = 0
+    tail_total = 0
+    for t in range(ROUNDS):
+        time = float(t)
+        challenger_picks = 0
+        for consumer in consumers:
+            ranking = model.rank(list(by_id), consumer.consumer_id,
+                                 now=time)
+            chosen = policy.choose(ranking)
+            if chosen == "challenger":
+                challenger_picks += 1
+            interaction = engine.invoke(consumer, by_id[chosen], time)
+            model.record(consumer.rate(interaction, DEFAULT_METRICS))
+        if pool is not None:
+            reputations = {sid: model.score(sid) for sid in by_id}
+            pool.explore(services, reputations, time)
+        if (
+            time > IMPROVEMENT_START + 20
+            and challenger_picks > len(consumers) / 2
+            and rehabilitation == float("inf")
+        ):
+            rehabilitation = time
+        if t >= ROUNDS - 15:
+            tail_challenger += challenger_picks
+            tail_total += len(consumers)
+    return RunResult(
+        rehabilitation_round=rehabilitation,
+        challenger_share_tail=tail_challenger / tail_total,
+        explorer_probes=pool.probe_count if pool else 0,
+    )
+
+
+class TestExplorerAgents:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return {
+            "without": run(with_explorers=False),
+            "with": run(with_explorers=True),
+        }
+
+    def test_without_explorers_service_stays_buried(self, outcomes):
+        assert outcomes["without"].challenger_share_tail < 0.3
+
+    def test_with_explorers_service_rehabilitated(self, outcomes):
+        assert outcomes["with"].challenger_share_tail > 0.7
+        assert outcomes["with"].rehabilitation_round < ROUNDS
+
+    def test_explorers_probe_only_while_negative(self, outcomes):
+        # Far fewer probes than rounds x services: probing stops once
+        # reputation recovers.
+        assert 0 < outcomes["with"].explorer_probes < ROUNDS * 2 * 2
+
+    def test_report(self, outcomes):
+        rows = [
+            [
+                name,
+                ("never" if r.rehabilitation_round == float("inf")
+                 else f"{r.rehabilitation_round:.0f}"),
+                f"{r.challenger_share_tail:.2f}",
+                r.explorer_probes,
+            ]
+            for name, r in outcomes.items()
+        ]
+        print_table(
+            "C3: improving service with vs without explorer agents "
+            f"({ROUNDS} rounds; improvement starts at t={IMPROVEMENT_START:.0f})",
+            ["explorers", "rehabilitated at", "tail share", "probes"],
+            rows,
+        )
+
+
+@pytest.mark.benchmark(group="c3")
+def test_bench_explorer_round(benchmark):
+    benchmark(lambda: run(with_explorers=True, seed=1))

@@ -1,0 +1,151 @@
+"""C2 — §2: sensors are "very costly since each web service needs a
+sensor … only suitable for a small system", and consumer feedback
+"allows capturing QoS information directly from consumers that can not
+be obtained by a central monitor".
+
+Two experiments:
+
+1. Cost scaling — total cost of the sensor approach vs. the feedback
+   approach as the number of services grows (the crossover the paper's
+   argument implies: sensor cost grows with services, feedback cost
+   with consumers).
+2. The subjective-facet blind spot — when two services differ *only*
+   in a subjective facet (accuracy), monitors cannot separate them but
+   consumer feedback can.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.randomness import SeedSequenceFactory
+from repro.experiments.activities import run_activities_comparison
+from repro.experiments.workloads import make_consumers
+from repro.models.beta import BetaReputation
+from repro.services.description import ServiceDescription
+from repro.services.invocation import InvocationEngine
+from repro.services.monitoring import SensorDeployment
+from repro.services.provider import Service
+from repro.services.qos import DEFAULT_METRICS, QoSProfile
+
+from benchmarks.conftest import print_table
+
+SIZES = [2, 5, 10, 20, 40]
+ROUNDS = 15
+
+
+def cost_at_size(n_services: int, seed: int = 0):
+    reports = {
+        r.name: r
+        for r in run_activities_comparison(
+            n_providers=n_services, services_per_provider=1,
+            n_consumers=15, rounds=ROUNDS, seed=seed,
+            approaches=["sensors", "feedback"],
+        )
+    }
+    return reports["sensors"], reports["feedback"]
+
+
+def build_subjective_twins():
+    """Two services identical on observables, different on accuracy."""
+    base = {m.name: 0.7 for m in DEFAULT_METRICS}
+    accurate = dict(base, accuracy=0.9)
+    sloppy = dict(base, accuracy=0.3)
+    services = []
+    for sid, quality in [("accurate-svc", accurate), ("sloppy-svc", sloppy)]:
+        services.append(
+            Service(
+                description=ServiceDescription(
+                    service=sid, provider="p0", category="lookup"
+                ),
+                profile=QoSProfile(quality=quality, noise=0.02),
+            )
+        )
+    return services
+
+
+class TestMonitoringCostScaling:
+    @pytest.fixture(scope="class")
+    def scaling(self):
+        return {n: cost_at_size(n) for n in SIZES}
+
+    def test_sensor_cost_grows_with_services(self, scaling):
+        costs = [scaling[n][0].total_cost for n in SIZES]
+        assert costs == sorted(costs)
+        assert costs[-1] > costs[0] * 10
+
+    def test_feedback_cost_flat_in_services(self, scaling):
+        costs = [scaling[n][1].total_cost for n in SIZES]
+        assert max(costs) - min(costs) < 1.0
+
+    def test_crossover_feedback_cheaper_at_scale(self, scaling):
+        sensors, feedback = scaling[SIZES[-1]]
+        assert feedback.total_cost < sensors.total_cost / 10
+
+    def test_report(self, scaling):
+        # Regret rather than strict-argmax accuracy: with 40 near-tied
+        # services the argmax is noise, while quality left on the table
+        # is the robust measure.
+        rows = [
+            [
+                n,
+                f"{scaling[n][0].total_cost:.1f}",
+                f"{scaling[n][0].mean_regret:.4f}",
+                f"{scaling[n][1].total_cost:.1f}",
+                f"{scaling[n][1].mean_regret:.4f}",
+            ]
+            for n in SIZES
+        ]
+        print_table(
+            "C2: cost & regret vs number of services "
+            f"({ROUNDS} rounds, 15 consumers)",
+            ["services", "sensor cost", "sensor regret",
+             "feedback cost", "feedback regret"],
+            rows,
+        )
+
+
+class TestSubjectiveBlindSpot:
+    def test_monitor_cannot_separate_subjective_twins(self):
+        services = build_subjective_twins()
+        seeds = SeedSequenceFactory(5)
+        engine = InvocationEngine(DEFAULT_METRICS, rng=seeds.rng("probe"))
+        sensors = SensorDeployment(engine)
+        for svc in services:
+            sensors.deploy(svc)
+        for t in range(30):
+            sensors.probe_all(services, float(t))
+        accurate = sensors.report_for("accurate-svc").overall()
+        sloppy = sensors.report_for("sloppy-svc").overall()
+        # Observable metrics are identical: the monitor sees no gap.
+        assert abs(accurate - sloppy) < 0.03
+
+    def test_feedback_separates_subjective_twins(self):
+        services = build_subjective_twins()
+        seeds = SeedSequenceFactory(5)
+        engine = InvocationEngine(DEFAULT_METRICS, rng=seeds.rng("invoke"))
+        consumers = make_consumers(10, DEFAULT_METRICS, seeds)
+        model = BetaReputation()
+        for t in range(15):
+            for consumer in consumers:
+                for svc in services:
+                    interaction = engine.invoke(consumer, svc, float(t))
+                    model.record(consumer.rate(interaction, DEFAULT_METRICS))
+        gap = model.score("accurate-svc") - model.score("sloppy-svc")
+        assert gap > 0.05
+        print()
+        print("== C2b: subjective facet blind spot ==")
+        print(f"monitor gap:  ~0 (cannot observe 'accuracy')")
+        print(f"feedback gap: {gap:.3f} (consumers experience it)")
+
+
+@pytest.mark.benchmark(group="c2")
+def test_bench_sensor_deployment(benchmark):
+    services = build_subjective_twins()
+    seeds = SeedSequenceFactory(0)
+    engine = InvocationEngine(DEFAULT_METRICS, rng=seeds.rng("probe"))
+    sensors = SensorDeployment(engine)
+    for svc in services:
+        sensors.deploy(svc)
+
+    benchmark(lambda: sensors.probe_all(services, 0.0))

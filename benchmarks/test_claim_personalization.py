@@ -1,0 +1,171 @@
+"""C8 — §4/§5: global vs personalized.
+
+"For some kinds of web services … personalization is not important, so
+a global reputation system is sufficient.  However, if the selection
+includes subjective factors … personalized reputation systems are
+required."
+
+The market: two *tailored* services (each excellent for one taste
+segment and poor for the other, via the subjective ``accuracy`` facet)
+and one *compromise* service that is decent for everyone.  Sweeping the
+taste divergence d:
+
+* at d = 0 the tailored services have no edge — the global mean is
+  sufficient (the paper's weather-forecast case);
+* past the crossover (compromise quality < matched tailored quality)
+  a global mechanism still averages the two segments' conflicting
+  ratings and keeps recommending the compromise, while personalized
+  mechanisms (collaborative filtering) route each segment to its
+  tailored service.
+
+Karta's Pearson-vs-cosine comparison rides along as the CF ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.core.scenarios import DirectSelectionScenario
+from repro.core.selection import EpsilonGreedyPolicy
+from repro.common.randomness import SeedSequenceFactory
+from repro.experiments.workloads import make_consumers
+from repro.models.beta import BetaReputation
+from repro.models.collaborative import (
+    CollaborativeFilteringModel,
+    Similarity,
+)
+from repro.services.consumer import PreferenceProfile
+from repro.services.description import ServiceDescription
+from repro.services.provider import Service
+from repro.services.qos import DEFAULT_METRICS, QoSProfile
+
+from benchmarks.conftest import print_table
+
+DIVERGENCES = [0.0, 0.1, 0.2, 0.3, 0.45]
+ROUNDS = 40
+SEEDS = [0, 1, 2]
+
+MODELS = {
+    "global_mean": lambda: BetaReputation(),
+    "cf_pearson": lambda: CollaborativeFilteringModel(
+        similarity=Similarity.PEARSON, min_overlap=2,
+        significance_threshold=3,
+    ),
+    "cf_cosine": lambda: CollaborativeFilteringModel(
+        similarity=Similarity.COSINE, min_overlap=2,
+        significance_threshold=3,
+    ),
+}
+
+
+def build_services(divergence: float):
+    """Two segment-tailored services + one compromise service."""
+
+    def svc(sid, base, accuracy_base, offsets):
+        quality = {m.name: base for m in DEFAULT_METRICS}
+        quality["accuracy"] = accuracy_base
+        return Service(
+            description=ServiceDescription(
+                service=sid, provider=f"prov-{sid}", category="search"
+            ),
+            profile=QoSProfile(
+                quality=quality,
+                noise=0.03,
+                segment_offsets={"accuracy": offsets},
+            ),
+        )
+
+    return [
+        svc("tailored-a", 0.5, 0.5, {0: +divergence, 1: -divergence}),
+        svc("tailored-b", 0.5, 0.5, {0: -divergence, 1: +divergence}),
+        svc("compromise", 0.58, 0.58, {}),
+    ]
+
+
+def run_point(model_name: str, divergence: float, seed: int) -> float:
+    seeds = SeedSequenceFactory(seed)
+    services = build_services(divergence)
+    consumers = make_consumers(16, DEFAULT_METRICS, seeds, n_segments=2)
+    # The subjective facet carries half the preference weight.
+    for consumer in consumers:
+        weights = {m: 1.0 for m in DEFAULT_METRICS.names()}
+        weights["accuracy"] = 5.0
+        consumer.preferences = PreferenceProfile(
+            weights, segment=consumer.segment
+        )
+    scenario = DirectSelectionScenario(
+        services=services,
+        consumers=consumers,
+        model=MODELS[model_name](),
+        taxonomy=DEFAULT_METRICS,
+        policy=EpsilonGreedyPolicy(0.15, rng=seeds.rng("policy")),
+        rng=seeds.rng("invoke"),
+    )
+    return scenario.run(ROUNDS).mean_regret
+
+
+def sweep() -> Dict[float, Dict[str, float]]:
+    table: Dict[float, Dict[str, float]] = {}
+    for divergence in DIVERGENCES:
+        table[divergence] = {
+            name: sum(
+                run_point(name, divergence, seed) for seed in SEEDS
+            ) / len(SEEDS)
+            for name in MODELS
+        }
+    return table
+
+
+class TestPersonalization:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return sweep()
+
+    def test_homogeneous_world_global_is_sufficient(self, results):
+        row = results[0.0]
+        assert row["global_mean"] <= row["cf_pearson"] + 0.02
+
+    def test_heterogeneous_world_personalization_wins(self, results):
+        row = results[DIVERGENCES[-1]]
+        assert row["cf_pearson"] < row["global_mean"] - 0.03
+        assert row["cf_cosine"] < row["global_mean"] - 0.03
+
+    def test_global_degrades_with_divergence(self, results):
+        global_regrets = [results[d]["global_mean"] for d in DIVERGENCES]
+        assert global_regrets[-1] > global_regrets[0] + 0.05
+
+    def test_cf_stays_flat_with_divergence(self, results):
+        cf_regrets = [results[d]["cf_pearson"] for d in DIVERGENCES]
+        assert max(cf_regrets) - min(cf_regrets) < 0.08
+
+    def test_karta_similarity_choice_is_secondary(self, results):
+        # Karta's finding: which similarity you pick matters much less
+        # than personalizing at all.
+        row = results[DIVERGENCES[-1]]
+        similarity_gap = abs(row["cf_pearson"] - row["cf_cosine"])
+        personalization_gain = row["global_mean"] - min(
+            row["cf_pearson"], row["cf_cosine"]
+        )
+        assert similarity_gap < personalization_gain
+
+    def test_report(self, results):
+        rows = [
+            [f"{d:.2f}"] + [
+                f"{results[d][name]:.4f}" for name in MODELS
+            ]
+            for d in DIVERGENCES
+        ]
+        print_table(
+            "C8: mean regret vs taste divergence "
+            f"(2 segments, tailored+compromise market, {ROUNDS} rounds, "
+            f"mean of {len(SEEDS)} seeds)",
+            ["divergence"] + list(MODELS),
+            rows,
+        )
+
+
+@pytest.mark.benchmark(group="c8")
+def test_bench_cf_selection_round(benchmark):
+    benchmark(lambda: run_point("cf_pearson", 0.3, 0))

@@ -1,0 +1,137 @@
+"""C9 — §4: the Vu et al. approach "is much more complicated … and
+involves a lot of communication and calculation because of the use of
+the complicated P-Grid structure".
+
+Message/hop accounting for the three query substrates as the network
+grows: a central registry (constant ~2 messages per query), P-Grid
+prefix routing (O(log N)), and unstructured flooding (O(N) to reach
+everything).  The shape the paper implies: central < P-Grid <<
+flooding, with P-Grid's premium being the price of decentralization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.common.records import Feedback
+from repro.p2p.pgrid import PGrid
+from repro.p2p.unstructured import UnstructuredOverlay
+from repro.registry.qos_registry import CentralQoSRegistry
+
+from benchmarks.conftest import print_table
+
+SIZES = [16, 32, 64, 128, 256]
+QUERIES = 40
+
+
+def fb(rater, target):
+    return Feedback(rater=rater, target=target, time=0.0, rating=0.8)
+
+
+def peer_ids(n):
+    return [f"peer-{i:04d}" for i in range(n)]
+
+
+def central_cost(n: int) -> float:
+    registry = CentralQoSRegistry()
+    peers = peer_ids(n)
+    registry.report(fb(peers[0], "svc"))
+    # 1 query + 1 response message per lookup, regardless of N.
+    return 2.0
+
+
+def pgrid_cost(n: int) -> float:
+    peers = peer_ids(n)
+    grid = PGrid(peers, replication=2, rng=0)
+    grid.insert(peers[0], "svc", fb(peers[0], "svc"))
+    total = 0
+    for i in range(QUERIES):
+        origin = peers[(i * 7) % n]
+        _, messages = grid.lookup(origin, "svc", "svc")
+        total += messages
+    return total / QUERIES
+
+
+def flooding_cost(n: int) -> float:
+    overlay = UnstructuredOverlay(degree=4, rng=0)
+    peers = peer_ids(n)
+    for pid in peers:
+        overlay.join(pid)
+    overlay.deposit(peers[n // 2], fb(peers[n // 2], "svc"))
+    total = 0
+    for i in range(QUERIES):
+        origin = peers[(i * 7) % n]
+        _, messages = overlay.poll_opinions(origin, "svc", ttl=n)
+        total += messages
+    return total / QUERIES
+
+
+class TestPGridOverhead:
+    @pytest.fixture(scope="class")
+    def costs(self) -> Dict[int, Dict[str, float]]:
+        return {
+            n: {
+                "central": central_cost(n),
+                "pgrid": pgrid_cost(n),
+                "flooding": flooding_cost(n),
+            }
+            for n in SIZES
+        }
+
+    def test_central_is_constant(self, costs):
+        values = [costs[n]["central"] for n in SIZES]
+        assert max(values) == min(values) == 2.0
+
+    def test_pgrid_grows_logarithmically(self, costs):
+        small = costs[SIZES[0]]["pgrid"]
+        large = costs[SIZES[-1]]["pgrid"]
+        # 16 -> 256 peers is 16x; log2 cost should grow by ~+4 hops,
+        # nowhere near 16x.
+        assert large > small
+        assert large < small * 4
+
+    def test_flooding_grows_linearly(self, costs):
+        small = costs[SIZES[0]]["flooding"]
+        large = costs[SIZES[-1]]["flooding"]
+        assert large > small * 8  # ~16x nodes -> ~16x messages
+
+    def test_ordering_matches_paper(self, costs):
+        for n in SIZES:
+            assert (
+                costs[n]["central"]
+                < costs[n]["pgrid"]
+                < costs[n]["flooding"]
+            ), n
+
+    def test_report(self, costs):
+        rows = [
+            [
+                n,
+                f"{costs[n]['central']:.1f}",
+                f"{costs[n]['pgrid']:.1f}",
+                f"{costs[n]['flooding']:.1f}",
+            ]
+            for n in SIZES
+        ]
+        print_table(
+            f"C9: messages per reputation query vs network size "
+            f"(mean of {QUERIES} queries)",
+            ["peers", "central", "pgrid", "flooding"],
+            rows,
+        )
+
+
+@pytest.mark.benchmark(group="c9")
+@pytest.mark.parametrize("n", [64, 256])
+def test_bench_pgrid_lookup(benchmark, n):
+    peers = peer_ids(n)
+    grid = PGrid(peers, replication=2, rng=0)
+    grid.insert(peers[0], "svc", fb(peers[0], "svc"))
+    benchmark(lambda: grid.lookup(peers[1], "svc", "svc"))
+
+
+@pytest.mark.benchmark(group="c9")
+def test_bench_pgrid_construction(benchmark):
+    benchmark(lambda: PGrid(peer_ids(256), replication=2, rng=0))

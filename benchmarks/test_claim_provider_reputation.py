@@ -1,0 +1,198 @@
+"""C7 — §4/§5: "for the service for which the trust and reputation has
+not been established, e.g. a new service …, the trust and reputation of
+the service provider, accumulated by the provider from providing other
+services, can be used for the selection."
+
+The decisive setting: a provider with an excellent track record in one
+category (weather) enters a *new* category (flights) where it has no
+service reputation at all — and so does a provider with a terrible
+track record.  The incumbent flight service is mediocre.
+
+With service-only reputation and greedy (non-exploring) consumers, both
+newcomers score the 0.5 prior, below the known incumbent: the excellent
+newcomer is never tried and consumers are stuck with mediocrity.  With
+provider-reputation backoff, the good provider's newcomer inherits its
+provider's standing, outranks the incumbent, gets tried, and takes
+over — while the bad provider's newcomer stays (correctly) untried.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import pytest
+
+from repro.common.ids import EntityId
+from repro.common.randomness import SeedSequenceFactory
+from repro.core.selection import GreedyPolicy
+from repro.experiments.workloads import make_consumers
+from repro.models.base import ReputationModel
+from repro.models.beta import BetaReputation
+from repro.models.provider_backoff import ProviderBackoffModel
+from repro.services.description import ServiceDescription
+from repro.services.invocation import InvocationEngine
+from repro.services.provider import Provider, Service
+from repro.services.qos import DEFAULT_METRICS, QoSProfile
+
+from benchmarks.conftest import print_table
+
+WARMUP_ROUNDS = 20
+COLD_ROUNDS = 30
+
+
+def make_service(sid, provider: Provider, category, quality) -> Service:
+    svc = Service(
+        description=ServiceDescription(
+            service=sid, provider=provider.provider_id, category=category
+        ),
+        profile=QoSProfile(
+            quality={m.name: quality for m in DEFAULT_METRICS}, noise=0.04
+        ),
+    )
+    provider.add_service(svc)
+    return svc
+
+
+@dataclass
+class ColdStartResult:
+    good_newcomer_initial: float
+    bad_newcomer_initial: float
+    cold_regret: float
+    good_newcomer_share: float
+    bad_newcomer_share: float
+
+
+def run(use_provider_reputation: bool, seed: int = 0) -> ColdStartResult:
+    seeds = SeedSequenceFactory(seed)
+    good = Provider("good-corp", quality_tendency=0.8)
+    bad = Provider("cheap-inc", quality_tendency=0.3)
+    okay = Provider("okay-llc", quality_tendency=0.55)
+    provider_of: Dict[EntityId, EntityId] = {}
+    weather = []
+    for provider, quality in [(good, 0.8), (bad, 0.3)]:
+        for j in range(2):
+            sid = f"{provider.provider_id}-weather{j}"
+            weather.append(make_service(sid, provider, "weather", quality))
+            provider_of[sid] = provider.provider_id
+    incumbent = make_service("okay-llc-flight", okay, "flights", 0.55)
+    provider_of[incumbent.service_id] = okay.provider_id
+
+    consumers = make_consumers(10, DEFAULT_METRICS, seeds)
+    engine = InvocationEngine(DEFAULT_METRICS, rng=seeds.rng("invoke"))
+    model: ReputationModel = (
+        ProviderBackoffModel(provider_of)
+        if use_provider_reputation
+        else BetaReputation()
+    )
+    policy = GreedyPolicy()
+
+    def run_category(services, rounds, start):
+        by_id = {s.service_id: s for s in services}
+        regrets = []
+        picks = {sid: 0 for sid in by_id}
+        for t in range(rounds):
+            time = float(start + t)
+            for consumer in consumers:
+                chosen = policy.choose(
+                    model.rank(sorted(by_id), consumer.consumer_id,
+                               now=time)
+                )
+                picks[chosen] += 1
+                truth = {
+                    sid: svc.true_overall(time, consumer.preferences.weights)
+                    for sid, svc in by_id.items()
+                }
+                regrets.append(max(truth.values()) - truth[chosen])
+                interaction = engine.invoke(consumer, by_id[chosen], time)
+                model.record(consumer.rate(interaction, DEFAULT_METRICS))
+        return regrets, picks
+
+    # Warm-up: weather selections build provider track records, and the
+    # incumbent flight service builds its own reputation.
+    run_category(weather, WARMUP_ROUNDS, 0)
+    run_category([incumbent], WARMUP_ROUNDS, 0)
+
+    # Both providers enter the flights category.
+    good_new = make_service("good-corp-flight", good, "flights", 0.9)
+    bad_new = make_service("cheap-inc-flight", bad, "flights", 0.25)
+    provider_of[good_new.service_id] = good.provider_id
+    provider_of[bad_new.service_id] = bad.provider_id
+    flights = [incumbent, good_new, bad_new]
+    good_initial = model.score(good_new.service_id)
+    bad_initial = model.score(bad_new.service_id)
+    regrets, picks = run_category(flights, COLD_ROUNDS, WARMUP_ROUNDS)
+    total = sum(picks.values())
+    return ColdStartResult(
+        good_newcomer_initial=good_initial,
+        bad_newcomer_initial=bad_initial,
+        cold_regret=sum(regrets) / len(regrets),
+        good_newcomer_share=picks[good_new.service_id] / total,
+        bad_newcomer_share=picks[bad_new.service_id] / total,
+    )
+
+
+class TestProviderReputation:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return {
+            "service_only": run(use_provider_reputation=False),
+            "with_provider": run(use_provider_reputation=True),
+        }
+
+    def test_provider_reputation_discriminates_newcomers(self, outcomes):
+        with_provider = outcomes["with_provider"]
+        assert with_provider.good_newcomer_initial > 0.7
+        # Greedy consumers abandon the bad provider quickly, so its
+        # reputation rests on few ratings and stays Laplace-pulled
+        # toward 0.5 — but clearly below the good provider's.
+        assert with_provider.bad_newcomer_initial < 0.45
+        assert (
+            with_provider.good_newcomer_initial
+            > with_provider.bad_newcomer_initial + 0.25
+        )
+        service_only = outcomes["service_only"]
+        assert service_only.good_newcomer_initial == pytest.approx(0.5)
+        assert service_only.bad_newcomer_initial == pytest.approx(0.5)
+
+    def test_without_provider_reputation_newcomer_never_tried(self, outcomes):
+        # Greedy consumers stick with the known incumbent; the best
+        # service in the market is starved of its first chance.
+        assert outcomes["service_only"].good_newcomer_share < 0.05
+
+    def test_with_provider_reputation_newcomer_adopted(self, outcomes):
+        assert outcomes["with_provider"].good_newcomer_share > 0.7
+        # And the bad provider's newcomer is (correctly) avoided.
+        assert outcomes["with_provider"].bad_newcomer_share < 0.05
+
+    def test_cold_start_regret_reduced(self, outcomes):
+        assert (
+            outcomes["with_provider"].cold_regret
+            < outcomes["service_only"].cold_regret / 2
+        )
+
+    def test_report(self, outcomes):
+        rows = [
+            [
+                name,
+                f"{o.good_newcomer_initial:.3f}",
+                f"{o.bad_newcomer_initial:.3f}",
+                f"{o.cold_regret:.4f}",
+                f"{o.good_newcomer_share:.3f}",
+                f"{o.bad_newcomer_share:.3f}",
+            ]
+            for name, o in outcomes.items()
+        ]
+        print_table(
+            "C7: entering a new category with vs without provider "
+            f"reputation ({WARMUP_ROUNDS} warm-up + {COLD_ROUNDS} rounds, "
+            "greedy consumers)",
+            ["mode", "good-new init", "bad-new init", "cold regret",
+             "good-new share", "bad-new share"],
+            rows,
+        )
+
+
+@pytest.mark.benchmark(group="c7")
+def test_bench_cold_start(benchmark):
+    benchmark(lambda: run(use_provider_reputation=True, seed=1))

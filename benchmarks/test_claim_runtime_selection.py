@@ -1,0 +1,139 @@
+"""C12 — §3.1 Q1: when should a trust and reputation mechanism be used?
+
+"The major way currently used is selecting a service manually at design
+time … but this task becomes very tedious … The alternative way is to
+do the selection automatically at run time by the system."
+
+We price the difference in a *dynamic* market: the initially-best
+service degrades mid-run and an initially-mediocre one improves.
+
+* **design-time** selection: the developer examines the market once
+  (perfect information at t=0!), hard-codes the winner, never revisits;
+* **run-time** selection: the automatic reputation loop re-selects
+  every invocation.
+
+Design-time selection is optimal exactly until the world changes, then
+pays the full drift forever — the regret gap is the value of automatic
+run-time selection, and it grows with market volatility.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.randomness import SeedSequenceFactory
+from repro.core.selection import EpsilonGreedyPolicy
+from repro.experiments.workloads import make_consumers
+from repro.models.beta import BetaReputation
+from repro.services.description import ServiceDescription
+from repro.services.invocation import InvocationEngine
+from repro.services.provider import (
+    DegradingBehavior,
+    ImprovingBehavior,
+    Service,
+)
+from repro.services.qos import DEFAULT_METRICS, QoSProfile
+
+from benchmarks.conftest import print_table
+
+ROUNDS = 80
+SHIFT_AT = 30.0
+
+
+def build_market():
+    """'early-star' is best at t=0 but degrades; 'late-bloomer' starts
+    mediocre and improves; 'steady' never changes."""
+    def svc(sid, quality, behavior=None):
+        return Service(
+            description=ServiceDescription(
+                service=sid, provider=f"p-{sid}", category="compute"
+            ),
+            profile=QoSProfile(
+                quality={m.name: quality for m in DEFAULT_METRICS},
+                noise=0.03,
+            ),
+            behavior=behavior,
+        ) if behavior else Service(
+            description=ServiceDescription(
+                service=sid, provider=f"p-{sid}", category="compute"
+            ),
+            profile=QoSProfile(
+                quality={m.name: quality for m in DEFAULT_METRICS},
+                noise=0.03,
+            ),
+        )
+
+    return [
+        svc("early-star", 0.85,
+            DegradingBehavior(drop=0.5, onset=SHIFT_AT)),
+        svc("late-bloomer", 0.9,
+            ImprovingBehavior(initial_deficit=0.45, ramp_duration=20.0,
+                              start_time=SHIFT_AT)),
+        svc("steady", 0.6),
+    ]
+
+
+def run(mode: str, seed: int = 0) -> float:
+    """Mean regret of *mode* ('design_time' or 'run_time')."""
+    seeds = SeedSequenceFactory(seed)
+    services = build_market()
+    by_id = {s.service_id: s for s in services}
+    consumers = make_consumers(10, DEFAULT_METRICS, seeds)
+    engine = InvocationEngine(DEFAULT_METRICS, rng=seeds.rng("invoke"))
+    model = BetaReputation(lam=0.95)
+    policy = EpsilonGreedyPolicy(0.1, rng=seeds.rng("policy"))
+    # Design-time choice: the true best at t=0 (perfect information —
+    # the developer did their homework).
+    frozen_choice = max(
+        by_id, key=lambda sid: by_id[sid].true_overall(0.0)
+    )
+    regrets = []
+    for t in range(ROUNDS):
+        time = float(t)
+        for consumer in consumers:
+            if mode == "design_time":
+                chosen = frozen_choice
+            else:
+                chosen = policy.choose(
+                    model.rank(sorted(by_id), consumer.consumer_id,
+                               now=time)
+                )
+            truth = {
+                sid: svc.true_overall(time, consumer.preferences.weights)
+                for sid, svc in by_id.items()
+            }
+            regrets.append(max(truth.values()) - truth[chosen])
+            interaction = engine.invoke(consumer, by_id[chosen], time)
+            model.record(consumer.rate(interaction, DEFAULT_METRICS))
+    return sum(regrets) / len(regrets)
+
+
+class TestRuntimeSelection:
+    @pytest.fixture(scope="class")
+    def regrets(self):
+        return {
+            "design_time": run("design_time"),
+            "run_time": run("run_time"),
+        }
+
+    def test_design_time_pays_for_market_drift(self, regrets):
+        # The frozen choice degrades at t=30 and is wrong forever after.
+        assert regrets["design_time"] > 0.2
+
+    def test_run_time_tracks_the_market(self, regrets):
+        assert regrets["run_time"] < regrets["design_time"] / 2
+
+    def test_report(self, regrets):
+        rows = [[mode, f"{value:.4f}"] for mode, value in regrets.items()]
+        print_table(
+            "C12: mean regret, design-time (one perfect choice at t=0) "
+            f"vs run-time automatic selection ({ROUNDS} rounds, quality "
+            f"shift at t={SHIFT_AT:.0f})",
+            ["selection mode", "mean regret"],
+            rows,
+        )
+
+
+@pytest.mark.benchmark(group="c12")
+def test_bench_runtime_selection(benchmark):
+    benchmark(lambda: run("run_time", seed=1))

@@ -1,0 +1,170 @@
+"""C13 — §4: "the information stored in the UDDI server may become
+outdated in a dynamic networking environment where a service may fail
+or become unreachable."
+
+Service churn: services die mid-run but remain published (the registry
+does not know).  A consumer selecting on the registry's advertised
+claims keeps invoking corpses; a reputation mechanism sees the failures
+in the feedback stream (failed invocations rate 0) and routes around
+them within a few rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import pytest
+
+from repro.common.mathutils import safe_mean
+from repro.common.randomness import SeedSequenceFactory
+from repro.core.selection import EpsilonGreedyPolicy
+from repro.experiments.workloads import make_consumers
+from repro.models.beta import BetaReputation
+from repro.services.description import ServiceDescription
+from repro.services.invocation import InvocationEngine
+from repro.services.provider import Service
+from repro.services.qos import DEFAULT_METRICS, QoSProfile
+
+from benchmarks.conftest import print_table
+
+ROUNDS = 50
+DEATH_AT = 20.0
+
+
+def build_services():
+    """Three services; the best one dies (success rate -> 0) at t=20."""
+
+    class DeathBehavior:
+        def __init__(self, death_time: float) -> None:
+            self.death_time = death_time
+
+        def profile_at(self, base: QoSProfile, time: float) -> QoSProfile:
+            if time < self.death_time:
+                return base
+            return QoSProfile(
+                quality=dict(base.quality),
+                noise=base.noise,
+                segment_offsets={
+                    m: dict(o) for m, o in base.segment_offsets.items()
+                },
+                success_rate=0.0,
+            )
+
+    def svc(sid, quality, behavior=None):
+        kwargs = dict(
+            description=ServiceDescription(
+                service=sid, provider=f"p-{sid}", category="compute"
+            ),
+            profile=QoSProfile(
+                quality={m.name: quality for m in DEFAULT_METRICS},
+                noise=0.03,
+            ),
+        )
+        if behavior:
+            kwargs["behavior"] = behavior
+        return Service(**kwargs)
+
+    return [
+        svc("doomed-best", 0.9, DeathBehavior(DEATH_AT)),
+        svc("survivor", 0.7),
+        svc("mediocre", 0.45),
+    ]
+
+
+@dataclass
+class ChurnResult:
+    dead_invocations_after_death: int
+    success_rate_after_death: float
+    rounds_to_abandon: float
+
+
+def run(mode: str, seed: int = 0) -> ChurnResult:
+    seeds = SeedSequenceFactory(seed)
+    services = build_services()
+    by_id = {s.service_id: s for s in services}
+    consumers = make_consumers(10, DEFAULT_METRICS, seeds)
+    engine = InvocationEngine(DEFAULT_METRICS, rng=seeds.rng("invoke"))
+    model = BetaReputation(lam=0.9)
+    policy = EpsilonGreedyPolicy(0.1, rng=seeds.rng("policy"))
+    # The registry's static view: claims fixed at t=0 truth.
+    claims = {sid: svc.true_overall(0.0) for sid, svc in by_id.items()}
+    dead_picks = 0
+    successes = 0
+    invocations_after_death = 0
+    abandon_round = float("inf")
+    for t in range(ROUNDS):
+        time = float(t)
+        doomed_picks_this_round = 0
+        for consumer in consumers:
+            if mode == "advertised":
+                chosen = max(claims, key=lambda s: (claims[s], s))
+            else:
+                chosen = policy.choose(
+                    model.rank(sorted(by_id), consumer.consumer_id,
+                               now=time)
+                )
+            interaction = engine.invoke(consumer, by_id[chosen], time)
+            if mode == "feedback":
+                model.record(consumer.rate(interaction, DEFAULT_METRICS))
+            if time >= DEATH_AT:
+                invocations_after_death += 1
+                successes += interaction.success
+                if chosen == "doomed-best":
+                    dead_picks += 1
+                    doomed_picks_this_round += 1
+        if (
+            time >= DEATH_AT
+            and doomed_picks_this_round <= 1
+            and abandon_round == float("inf")
+        ):
+            abandon_round = time - DEATH_AT
+    return ChurnResult(
+        dead_invocations_after_death=dead_picks,
+        success_rate_after_death=successes / invocations_after_death,
+        rounds_to_abandon=abandon_round,
+    )
+
+
+class TestStaleRegistry:
+    @pytest.fixture(scope="class")
+    def outcomes(self) -> Dict[str, ChurnResult]:
+        return {
+            "advertised": run("advertised"),
+            "feedback": run("feedback"),
+        }
+
+    def test_advertised_keeps_invoking_the_corpse(self, outcomes):
+        advertised = outcomes["advertised"]
+        # Claims never update: every post-death selection is the corpse.
+        assert advertised.success_rate_after_death < 0.05
+        assert advertised.rounds_to_abandon == float("inf")
+
+    def test_feedback_routes_around_the_failure(self, outcomes):
+        feedback = outcomes["feedback"]
+        assert feedback.rounds_to_abandon < 5
+        assert feedback.success_rate_after_death > 0.85
+
+    def test_report(self, outcomes):
+        rows = [
+            [
+                mode,
+                r.dead_invocations_after_death,
+                f"{r.success_rate_after_death:.3f}",
+                ("never" if r.rounds_to_abandon == float("inf")
+                 else f"{r.rounds_to_abandon:.0f}"),
+            ]
+            for mode, r in outcomes.items()
+        ]
+        print_table(
+            "C13: stale registry under service death at "
+            f"t={DEATH_AT:.0f} ({ROUNDS} rounds)",
+            ["information source", "corpse invocations",
+             "post-death success rate", "rounds to abandon"],
+            rows,
+        )
+
+
+@pytest.mark.benchmark(group="c13")
+def test_bench_churn_run(benchmark):
+    benchmark(lambda: run("feedback", seed=1))

@@ -1,0 +1,171 @@
+"""C10 — §3: "Trust can be transitive … Alice trusts her doctor and her
+doctor trusts an eye specialist.  Then Alice can trust the eye
+specialist."
+
+How far does transitivity usefully stretch?  Referral chains of
+increasing length connect an asker to a witness with perfect knowledge
+of the target; we measure how well the asker's derived trust matches
+the witness's knowledge:
+
+* Histos propagates the *value* along weighted paths — accurate while
+  every link is strong, decaying with link quality;
+* Yu & Singh discount *testimony mass* per hop — longer chains converge
+  to maximal uncertainty (0.5), which is the conservative behaviour
+  their belief model is designed for;
+* Jøsang's subjective logic (the paper's [10], see
+  :mod:`repro.trustnet`) makes the uncertainty explicit: the derived
+  opinion's expectation decays like Yu-Singh's, and its uncertainty
+  component *grows* monotonically with chain length.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.common.records import Feedback
+from repro.models.histos import HistosModel
+from repro.models.yu_singh import YuSinghModel
+from repro.trustnet import Opinion, TrustNetwork
+
+from benchmarks.conftest import print_table
+
+CHAIN_LENGTHS = [1, 2, 3, 4, 5]
+TARGET_QUALITY = 0.9
+LINK_TRUST = 0.9
+
+
+def build_chain(length: int):
+    """alice -> w1 -> w2 ... -> w_length; the last witness knows the
+    target."""
+    links: List[Feedback] = []
+    nodes = ["alice"] + [f"w{i}" for i in range(1, length + 1)]
+    t = 0.0
+    for a, b in zip(nodes, nodes[1:]):
+        links.append(Feedback(rater=a, target=b, time=t, rating=LINK_TRUST))
+        t += 1.0
+    witness = nodes[-1]
+    for k in range(5):
+        links.append(
+            Feedback(rater=witness, target="specialist", time=t,
+                     rating=TARGET_QUALITY)
+        )
+        t += 1.0
+    return links, witness
+
+
+def histos_estimate(length: int) -> float:
+    model = HistosModel(max_depth=length + 1)
+    links, _ = build_chain(length)
+    model.record_many(links)
+    return model.score("specialist", perspective="alice")
+
+
+def yu_singh_estimate(length: int) -> float:
+    model = YuSinghModel(referral_discount=0.8)
+    links, witness = build_chain(length)
+    model.record_many(links)
+    own = (0.0, 0.0, 1.0)
+    testimony = model.testimony_from(witness, "specialist",
+                                     chain_length=length)
+    combined = model.combine_testimonies(own, [testimony])
+    return model.degree_of_trust(combined)
+
+
+def subjective_logic_estimate(length: int):
+    """(expectation, uncertainty) of the TNA-SL derived opinion."""
+    net = TrustNetwork(max_depth=length + 1)
+    nodes = ["alice"] + [f"w{i}" for i in range(1, length + 1)]
+    link = Opinion.from_rating(LINK_TRUST, confidence=0.9)
+    for a, b in zip(nodes, nodes[1:]):
+        net.add_referral_trust(a, b, link)
+    net.add_functional_trust(
+        nodes[-1], "specialist", Opinion.from_evidence(9, 1)
+    )
+    derived = net.derived_trust("alice", "specialist")
+    return derived.expectation, derived.uncertainty
+
+
+class TestTransitivity:
+    @pytest.fixture(scope="class")
+    def estimates(self) -> Dict[int, Dict[str, float]]:
+        table = {}
+        for length in CHAIN_LENGTHS:
+            expectation, uncertainty = subjective_logic_estimate(length)
+            table[length] = {
+                "histos": histos_estimate(length),
+                "yu_singh": yu_singh_estimate(length),
+                "sl_expectation": expectation,
+                "sl_uncertainty": uncertainty,
+            }
+        return table
+
+    def test_one_hop_transitivity_works(self, estimates):
+        # The paper's doctor -> specialist example.
+        assert estimates[1]["histos"] == pytest.approx(TARGET_QUALITY)
+        assert estimates[1]["yu_singh"] > 0.8
+
+    def test_histos_estimate_is_path_stable(self, estimates):
+        # Value propagation: a chain of strong links transmits the
+        # witness's value essentially unchanged.
+        for length in CHAIN_LENGTHS:
+            assert estimates[length]["histos"] == pytest.approx(
+                TARGET_QUALITY, abs=0.01
+            )
+
+    def test_yu_singh_confidence_decays_toward_uncertainty(self, estimates):
+        values = [estimates[length]["yu_singh"] for length in CHAIN_LENGTHS]
+        # Monotonically approaching the maximal-uncertainty value 0.5
+        # from above: longer chains, weaker commitment.
+        deltas = [abs(v - 0.5) for v in values]
+        assert deltas == sorted(deltas, reverse=True)
+        assert values[-1] < values[0]
+
+    def test_subjective_logic_uncertainty_grows_with_chain(self, estimates):
+        uncertainties = [
+            estimates[length]["sl_uncertainty"] for length in CHAIN_LENGTHS
+        ]
+        assert uncertainties == sorted(uncertainties)
+        expectations = [
+            estimates[length]["sl_expectation"] for length in CHAIN_LENGTHS
+        ]
+        # Expectation decays toward the base rate 0.5 from above.
+        assert expectations == sorted(expectations, reverse=True)
+        assert expectations[0] > 0.7
+
+    def test_broken_link_stops_histos_propagation(self):
+        model = HistosModel()
+        links, _ = build_chain(3)
+        model.record_many(links)
+        # Alice revokes trust in her first contact.
+        model.record(Feedback(rater="alice", target="w1", time=99.0,
+                              rating=0.0))
+        assert model.score("specialist", perspective="alice") == 0.5
+
+    def test_report(self, estimates):
+        rows = [
+            [
+                length,
+                f"{estimates[length]['histos']:.3f}",
+                f"{estimates[length]['yu_singh']:.3f}",
+                f"{estimates[length]['sl_expectation']:.3f}",
+                f"{estimates[length]['sl_uncertainty']:.3f}",
+            ]
+            for length in CHAIN_LENGTHS
+        ]
+        print_table(
+            "C10: derived trust in the specialist vs referral chain "
+            f"length (true quality {TARGET_QUALITY}, link trust "
+            f"{LINK_TRUST})",
+            ["chain length", "histos", "yu_singh", "SL E(x)", "SL u"],
+            rows,
+        )
+
+
+@pytest.mark.benchmark(group="c10")
+def test_bench_histos_deep_chain(benchmark):
+    model = HistosModel(max_depth=6)
+    links, _ = build_chain(5)
+    model.record_many(links)
+    benchmark(lambda: model.score("specialist", perspective="alice"))

@@ -1,0 +1,208 @@
+"""C5 — §3.1 Q3: detecting dishonest feedback.
+
+Sweep the liar fraction for the two classic attacks (badmouthing a good
+service, ballot-stuffing a bad one) and compare the estimate each
+defense produces for the attacked service:
+
+* no defense (plain mean),
+* Dellarocas cluster filtering,
+* Sen & Sajja majority opinion,
+* Zhang & Cohen advisor credibility,
+* PeerTrust's PSM credibility (the surveyed mechanism with a built-in
+  defense).
+
+The paper's qualitative expectation: defenses hold up to substantial
+liar minorities and all collapse once liars reach a majority.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import pytest
+
+from repro.common.mathutils import safe_mean
+from repro.common.randomness import SeedSequenceFactory
+from repro.common.records import Feedback
+from repro.models.peertrust import PeerTrustModel
+from repro.robustness.cluster_filtering import ClusterFilter, FilterMode
+from repro.robustness.majority import MajorityOpinion, required_witnesses
+from repro.robustness.zhang_cohen import ZhangCohenDefense
+
+from benchmarks.conftest import print_table
+
+LIAR_FRACTIONS = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7]
+N_RATERS = 30
+REPORTS_EACH = 4
+TRUE_GOOD = 0.85
+TRUE_BAD = 0.2
+
+
+def build_feedback(
+    liar_fraction: float, attack: str, seed: int = 0
+) -> List[Feedback]:
+    """Ratings about 'victim' (good, badmouthed) or 'crony' (bad,
+    stuffed), plus calibration ratings on two reference services that
+    everyone rates honestly except the liars, who invert everywhere."""
+    rng = SeedSequenceFactory(seed).rng("ratings")
+    n_liars = int(round(liar_fraction * N_RATERS))
+    feedbacks: List[Feedback] = []
+    target, truth, lie = (
+        ("victim", TRUE_GOOD, 0.05)
+        if attack == "badmouth"
+        else ("crony", TRUE_BAD, 0.95)
+    )
+    for i in range(N_RATERS):
+        rater = f"r{i:02d}"
+        is_liar = i < n_liars
+        for k in range(REPORTS_EACH):
+            time = float(k * N_RATERS + i)
+            noise = float(rng.normal(0, 0.03))
+            honest_value = min(1.0, max(0.0, truth + noise))
+            rating = lie if is_liar else honest_value
+            feedbacks.append(
+                Feedback(rater=rater, target=target, time=time,
+                         rating=rating)
+            )
+            # Reference ratings (liars lie here too -- consistent
+            # manipulation, which is what similarity defenses exploit).
+            for ref, ref_truth in [("ref-good", 0.8), ("ref-bad", 0.25)]:
+                honest_ref = min(1.0, max(0.0, ref_truth + float(rng.normal(0, 0.03))))
+                ref_rating = (1.0 - ref_truth) if is_liar else honest_ref
+                feedbacks.append(
+                    Feedback(rater=rater, target=ref, time=time,
+                             rating=min(1.0, max(0.0, ref_rating)))
+                )
+    return feedbacks
+
+
+def no_defense(feedbacks: List[Feedback], target: str, judge: str) -> float:
+    return safe_mean(
+        [fb.rating for fb in feedbacks if fb.target == target], 0.5
+    )
+
+
+def cluster_defense(feedbacks, target, judge) -> float:
+    relevant = [fb for fb in feedbacks if fb.target == target]
+    return ClusterFilter(mode=FilterMode.BOTH).filtered_mean(relevant)
+
+
+def majority_defense(feedbacks, target, judge) -> float:
+    relevant = [fb for fb in feedbacks if fb.target == target]
+    return MajorityOpinion().score(relevant)
+
+
+def zhang_cohen_defense(feedbacks, target, judge) -> float:
+    defense = ZhangCohenDefense(window=1000.0, agreement_tolerance=0.2)
+    for fb in feedbacks:
+        if fb.rater == judge:
+            defense.record_own(fb)
+        else:
+            defense.record_advice(fb)
+    return defense.robust_score(judge, target)
+
+
+def peertrust_defense(feedbacks, target, judge) -> float:
+    model = PeerTrustModel(window=10 ** 6)
+    model.record_many(feedbacks)
+    return model.score(target, perspective=judge)
+
+
+DEFENSES: Dict[str, Callable] = {
+    "none": no_defense,
+    "cluster_filter": cluster_defense,
+    "majority": majority_defense,
+    "zhang_cohen": zhang_cohen_defense,
+    "peertrust_psm": peertrust_defense,
+}
+
+#: The honest rater whose perspective personalized defenses adopt
+#: (always in the honest suffix of the population).
+JUDGE = f"r{N_RATERS - 1:02d}"
+
+
+def run_sweep(attack: str):
+    truth = TRUE_GOOD if attack == "badmouth" else TRUE_BAD
+    target = "victim" if attack == "badmouth" else "crony"
+    table = {}
+    for fraction in LIAR_FRACTIONS:
+        feedbacks = build_feedback(fraction, attack)
+        table[fraction] = {
+            name: abs(defense(feedbacks, target, JUDGE) - truth)
+            for name, defense in DEFENSES.items()
+        }
+    return table
+
+
+class TestUnfairRatings:
+    @pytest.fixture(scope="class")
+    def badmouth(self):
+        return run_sweep("badmouth")
+
+    @pytest.fixture(scope="class")
+    def stuffing(self):
+        return run_sweep("stuffing")
+
+    def test_defenses_hold_at_30_percent_liars(self, badmouth, stuffing):
+        # Majority voting is binary, so its best-case error equals the
+        # quantization gap |1.0 - truth| = 0.15 / |0.0 - truth| = 0.2;
+        # "holding" means staying at that floor.
+        for table in (badmouth, stuffing):
+            errors = table[0.3]
+            for name in ["cluster_filter", "zhang_cohen"]:
+                assert errors[name] < errors["none"], name
+                assert errors[name] < 0.15, name
+            # PeerTrust's PSM down-weights rather than excludes liars:
+            # graceful degradation, not elimination.
+            assert errors["peertrust_psm"] < errors["none"]
+            assert errors["peertrust_psm"] < 0.2
+            assert errors["majority"] <= 0.2 + 1e-9
+
+    def test_no_defense_degrades_linearly(self, badmouth):
+        errors = [badmouth[f]["none"] for f in LIAR_FRACTIONS]
+        assert errors == sorted(errors)
+        assert errors[-1] > 0.4
+
+    def test_majority_collapses_past_half(self, badmouth):
+        # Sen & Sajja's own bound: no honest majority, no guarantee.
+        # Below 0.5 the verdict is right (error = quantization floor);
+        # above 0.5 the verdict flips (error ~= |0.0 - 0.85|).
+        assert badmouth[0.6]["majority"] > 0.5
+        assert badmouth[0.4]["majority"] <= 0.15 + 1e-9
+
+    def test_personalized_defense_survives_longest(self, badmouth):
+        # Zhang-Cohen anchors on first-hand experience, so even at 60%
+        # liars the judge's estimate stays close to the truth.
+        assert badmouth[0.6]["zhang_cohen"] < 0.2
+
+    def test_sen_sajja_witness_bound_is_consistent(self):
+        # The analytical bound: witnesses needed explodes near 0.5.
+        n_10 = required_witnesses(0.1, 0.95)
+        n_30 = required_witnesses(0.3, 0.95)
+        n_45 = required_witnesses(0.45, 0.95)
+        assert n_10 < n_30 < n_45
+        assert required_witnesses(0.5, 0.95) is None
+
+    def test_report(self, badmouth, stuffing):
+        for attack, table in [("badmouthing", badmouth),
+                              ("ballot-stuffing", stuffing)]:
+            rows = [
+                [f"{fraction:.1f}"] + [
+                    f"{table[fraction][name]:.3f}" for name in DEFENSES
+                ]
+                for fraction in LIAR_FRACTIONS
+            ]
+            print_table(
+                f"C5: |estimate - truth| under {attack} "
+                f"({N_RATERS} raters x {REPORTS_EACH} reports)",
+                ["liars"] + list(DEFENSES),
+                rows,
+            )
+
+
+@pytest.mark.benchmark(group="c5")
+def test_bench_cluster_filter(benchmark):
+    feedbacks = build_feedback(0.3, "badmouth")
+    relevant = [fb for fb in feedbacks if fb.target == "victim"]
+    cf = ClusterFilter(mode=FilterMode.BOTH)
+    benchmark(lambda: cf.filtered_mean(relevant))

@@ -1,0 +1,130 @@
+"""C11 — §3.1 Q3, identity attacks: whitewashing and Sybil floods.
+
+Two attacks the surveyed systems were *designed around*:
+
+* **Whitewashing** — an entity with a ruined record re-enters under a
+  fresh identity.  Mean-style reputations hand newcomers the neutral
+  prior (a big upgrade over a bad record); Sporas starts everyone at
+  the floor, so identity switching gains nothing — Zacharia's design
+  goal, measured here as the "whitewash gain".
+* **Sybil flood** — one attacker mints many rater identities to stuff
+  a target's ballot.  XRep's vote clustering collapses same-locality
+  identities to ~one vote; EigenTrust's pre-trusted peers deny the
+  Sybil clique trust mass entirely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.records import Feedback
+from repro.models.beta import BetaReputation
+from repro.models.ebay import EbayModel
+from repro.models.eigentrust import EigenTrustModel
+from repro.models.sporas import SporasModel
+from repro.models.xrep import XRepModel
+from repro.robustness.attacks import AttackPlan
+
+from benchmarks.conftest import print_table
+
+
+def whitewash_gain(model) -> float:
+    """Score(fresh identity) - score(ruined identity)."""
+    for i in range(20):
+        model.record(Feedback(rater=f"c{i}", target="cheat",
+                              time=float(i), rating=0.05))
+    return model.score("cheat-reborn") - model.score("cheat")
+
+
+class TestWhitewashing:
+    def test_mean_style_models_reward_whitewashing(self):
+        assert whitewash_gain(BetaReputation()) > 0.3
+        assert whitewash_gain(EbayModel()) > 0.3
+
+    def test_sporas_floor_start_defeats_whitewashing(self):
+        assert whitewash_gain(SporasModel()) <= 0.05
+
+    def test_report(self):
+        rows = []
+        for factory in [BetaReputation, EbayModel, SporasModel]:
+            rows.append([factory.name, f"{whitewash_gain(factory()):+.3f}"])
+        print_table(
+            "C11a: whitewash gain (fresh identity score - ruined "
+            "identity score; 20 negative ratings)",
+            ["mechanism", "whitewash gain"],
+            rows,
+        )
+
+
+def sybil_stuffed_scores(n_sybils: int):
+    """(undefended score, cluster-defended score) of a bad service
+    stuffed by *n_sybils* fake identities from one locality."""
+    defended = XRepModel(cluster_weight=0.0)
+    naive = XRepModel(cluster_weight=1.0)
+    plan = AttackPlan(sybil_count=n_sybils)
+    sybils = plan.mint_sybils()
+    for model in (defended, naive):
+        for i in range(6):
+            model.record(Feedback(rater=f"honest{i}", target="junk",
+                                  time=float(i), rating=0.1))
+        for sybil in sybils:
+            model.assign_cluster(sybil, "attacker-subnet")
+            model.record(Feedback(rater=sybil, target="junk",
+                                  time=100.0, rating=1.0))
+    return naive.score("junk"), defended.score("junk")
+
+
+class TestSybilFlood:
+    def test_undefended_score_inflates_with_sybils(self):
+        small_naive, _ = sybil_stuffed_scores(5)
+        large_naive, _ = sybil_stuffed_scores(50)
+        assert large_naive > small_naive
+        assert large_naive > 0.8
+
+    def test_cluster_defense_caps_sybil_influence(self):
+        _, defended_small = sybil_stuffed_scores(5)
+        _, defended_large = sybil_stuffed_scores(50)
+        # 10x the fake identities buys almost nothing.
+        assert defended_large - defended_small < 0.05
+        assert defended_large < 0.35
+
+    def test_eigentrust_pretrusted_denies_sybil_clique(self):
+        honest = [f"h{i}" for i in range(6)]
+        sybils = [f"sybil{i}" for i in range(20)]
+        model = EigenTrustModel(pre_trusted=honest[:2], alpha=0.25)
+        t = 0.0
+        for a in honest:
+            for b in honest:
+                if a != b:
+                    model.record(Feedback(rater=a, target=b, time=t,
+                                          rating=0.9))
+                    t += 1.0
+        # The clique rates itself and its master enthusiastically.
+        for a in sybils:
+            for b in sybils[:5] + ["master"]:
+                if a != b:
+                    model.record(Feedback(rater=a, target=b, time=t,
+                                          rating=1.0))
+                    t += 1.0
+        trust = model.compute()
+        clique_mass = sum(trust.get(s, 0.0) for s in sybils)
+        clique_mass += trust.get("master", 0.0)
+        assert clique_mass < 0.05
+        assert sum(trust[h] for h in honest) > 0.9
+
+    def test_report(self):
+        rows = []
+        for n in [0, 5, 20, 50]:
+            naive, defended = sybil_stuffed_scores(n)
+            rows.append([n, f"{naive:.3f}", f"{defended:.3f}"])
+        print_table(
+            "C11b: ballot-stuffed score of a bad service (truth ~0.1) "
+            "vs Sybil count (6 honest raters)",
+            ["sybils", "no clustering", "XRep clustering"],
+            rows,
+        )
+
+
+@pytest.mark.benchmark(group="c11")
+def test_bench_sybil_scoring(benchmark):
+    benchmark(lambda: sybil_stuffed_scores(50))

@@ -1,0 +1,222 @@
+"""F1 — Figure 1: the two web service usage scenarios.
+
+Reproduces the figure as an experiment: direct selection (A) is driven
+by the web service's own QoS; mediated selection (B) by the general
+service behind the intermediary.  The table shows that the same
+reputation mechanism learns the right target in both scenarios, and
+that in B the intermediary's own QoS barely matters (we make all
+intermediaries' web QoS identical and the mechanism still separates
+them by their general services).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.randomness import SeedSequenceFactory
+from repro.core.scenarios import (
+    DirectSelectionScenario,
+    MediatedSelectionScenario,
+)
+from repro.core.selection import EpsilonGreedyPolicy
+from repro.experiments.workloads import make_consumers, make_world
+from repro.models.beta import BetaReputation
+from repro.services.description import ServiceDescription
+from repro.services.general import GeneralService, IntermediaryService
+from repro.services.provider import Service
+from repro.services.qos import DEFAULT_METRICS, QoSProfile
+
+from benchmarks.conftest import print_table
+
+ROUNDS = 40
+SEEDS = [0, 1, 2]
+
+
+def run_direct(seed: int):
+    world = make_world(
+        n_providers=5, services_per_provider=1, n_consumers=12,
+        seed=seed, quality_spread=0.3,
+    )
+    scenario = DirectSelectionScenario(
+        services=world.services,
+        consumers=world.consumers,
+        model=BetaReputation(),
+        taxonomy=world.taxonomy,
+        policy=EpsilonGreedyPolicy(0.1, rng=world.seeds.rng("policy")),
+        rng=world.seeds.rng("invoke"),
+    )
+    return scenario.run(ROUNDS)
+
+
+def build_mediated(seed: int, intermediary_weight: float = 0.2):
+    seeds = SeedSequenceFactory(seed)
+    intermediaries = []
+    for i in range(4):
+        svc = Service(
+            description=ServiceDescription(
+                service=f"booker-{i}", provider=f"prov-{i}",
+                category="flight_booking",
+            ),
+            # Identical web-service QoS across intermediaries.
+            profile=QoSProfile(
+                quality={m.name: 0.7 for m in DEFAULT_METRICS}, noise=0.02
+            ),
+        )
+        general_quality = 0.25 + 0.17 * i
+        catalog = [
+            GeneralService(
+                general_id=f"flight-{i}-{j}",
+                domain="flight",
+                quality={
+                    "comfort": general_quality,
+                    "punctuality": general_quality,
+                },
+                noise=0.03,
+            )
+            for j in range(3)
+        ]
+        intermediaries.append(
+            IntermediaryService(
+                svc, catalog, intermediary_weight=intermediary_weight,
+                rng=seeds.rng(f"inter-{i}"),
+            )
+        )
+    consumers = make_consumers(12, DEFAULT_METRICS, seeds)
+    return MediatedSelectionScenario(
+        intermediaries=intermediaries,
+        consumers=consumers,
+        model=BetaReputation(),
+        taxonomy=DEFAULT_METRICS,
+        policy=EpsilonGreedyPolicy(0.1, rng=seeds.rng("policy")),
+        rng=seeds.rng("invoke"),
+    )
+
+
+def build_conflict_market(seed: int, intermediary_weight: float):
+    """Web QoS and general-service quality deliberately anti-correlated.
+
+    booker-0 has the best *web service* but brokers the worst flights;
+    booker-3 the reverse.  Which one consumers should (and do) converge
+    on depends on the intermediary weight — the paper's claim is that
+    in practice that weight is small, so the general service decides.
+    """
+    seeds = SeedSequenceFactory(seed)
+    intermediaries = []
+    for i in range(4):
+        web_quality = 0.9 - 0.2 * i       # 0.9 .. 0.3
+        general_quality = 0.3 + 0.2 * i   # 0.3 .. 0.9
+        svc = Service(
+            description=ServiceDescription(
+                service=f"booker-{i}", provider=f"prov-{i}",
+                category="flight_booking",
+            ),
+            profile=QoSProfile(
+                quality={m.name: web_quality for m in DEFAULT_METRICS},
+                noise=0.02,
+            ),
+        )
+        catalog = [
+            GeneralService(
+                general_id=f"flight-{i}-{j}",
+                domain="flight",
+                quality={"comfort": general_quality,
+                         "punctuality": general_quality},
+                noise=0.03,
+            )
+            for j in range(2)
+        ]
+        intermediaries.append(
+            IntermediaryService(
+                svc, catalog, intermediary_weight=intermediary_weight,
+                rng=seeds.rng(f"inter-{i}"),
+            )
+        )
+    consumers = make_consumers(12, DEFAULT_METRICS, seeds)
+    return MediatedSelectionScenario(
+        intermediaries=intermediaries,
+        consumers=consumers,
+        model=BetaReputation(),
+        taxonomy=DEFAULT_METRICS,
+        policy=EpsilonGreedyPolicy(0.1, rng=seeds.rng("policy")),
+        rng=seeds.rng("invoke"),
+    )
+
+
+class TestIntermediaryWeightAblation:
+    """How small does the intermediary's part have to be?"""
+
+    WEIGHTS = [0.1, 0.5, 0.9]
+
+    @pytest.fixture(scope="class")
+    def winners(self):
+        table = {}
+        for w in self.WEIGHTS:
+            scenario = build_conflict_market(seed=5, intermediary_weight=w)
+            result = scenario.run(ROUNDS)
+            table[w] = max(
+                result.selection_counts, key=result.selection_counts.get
+            )
+        return table
+
+    def test_small_weight_general_service_decides(self, winners):
+        # The paper's regime: intermediary QoS "only plays a small
+        # part" -> best flights win despite the worst web service.
+        assert winners[0.1] == "booker-3"
+
+    def test_large_weight_web_service_decides(self, winners):
+        assert winners[0.9] == "booker-0"
+
+    def test_report(self, winners):
+        print_table(
+            "Figure 1B ablation: most-selected intermediary vs "
+            "intermediary weight (web QoS anti-correlated with flight "
+            "quality)",
+            ["intermediary weight", "winner"],
+            [[f"{w:.1f}", winners[w]] for w in self.WEIGHTS],
+        )
+
+
+class TestFigure1:
+    def test_direct_scenario_learns_service_quality(self):
+        tails = [run_direct(seed).tail_accuracy(0.25) for seed in SEEDS]
+        assert sum(tails) / len(tails) > 0.5
+
+    def test_mediated_scenario_learns_general_service_quality(self):
+        tails = []
+        for seed in SEEDS:
+            scenario = build_mediated(seed)
+            result = scenario.run(ROUNDS)
+            tails.append(result.tail_accuracy(0.25))
+        assert sum(tails) / len(tails) > 0.5
+
+    def test_report(self):
+        rows = []
+        for seed in SEEDS:
+            direct = run_direct(seed)
+            mediated = build_mediated(seed).run(ROUNDS)
+            rows.append([
+                seed,
+                f"{direct.accuracy:.3f}",
+                f"{direct.tail_accuracy(0.25):.3f}",
+                f"{direct.mean_regret:.4f}",
+                f"{mediated.accuracy:.3f}",
+                f"{mediated.tail_accuracy(0.25):.3f}",
+                f"{mediated.mean_regret:.4f}",
+            ])
+        print_table(
+            "Figure 1: direct (A) vs mediated (B) selection "
+            "(beta reputation, 40 rounds)",
+            ["seed", "A acc", "A tail", "A regret",
+             "B acc", "B tail", "B regret"],
+            rows,
+        )
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_bench_direct_scenario(benchmark):
+    benchmark(lambda: run_direct(0))
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_bench_mediated_scenario(benchmark):
+    benchmark(lambda: build_mediated(0).run(10))

@@ -1,0 +1,106 @@
+"""F2 — Figure 2: the activities model, priced.
+
+Runs all five Figure-2 information paths (provider-advertised QoS, SLA
+with third-party supervision, per-service sensors, central-node
+probing, consumer feedback) on a common workload and reports selection
+quality and cost.  The paper's qualitative claims checked here:
+
+* advertised QoS is unreliable when providers exaggerate;
+* sensors/central probing are accurate but costly / centrally loaded;
+* consumer feedback is nearly free, reasonably accurate, and the only
+  path that captures subjective facets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.activities import (
+    SENSOR_COST,
+    run_activities_comparison,
+)
+
+from benchmarks.conftest import print_table
+
+SEEDS = [0, 1, 2, 3, 4]
+ROUNDS = 25
+
+
+def averaged_reports():
+    sums = {}
+    for seed in SEEDS:
+        for report in run_activities_comparison(rounds=ROUNDS, seed=seed):
+            entry = sums.setdefault(
+                report.name,
+                {"accuracy": 0.0, "regret": 0.0, "setup": 0.0,
+                 "running": 0.0, "central": 0, "messages": 0},
+            )
+            entry["accuracy"] += report.accuracy / len(SEEDS)
+            entry["regret"] += report.mean_regret / len(SEEDS)
+            entry["setup"] += report.setup_cost / len(SEEDS)
+            entry["running"] += report.running_cost / len(SEEDS)
+            entry["central"] += report.central_probe_load // len(SEEDS)
+            entry["messages"] += report.messages // len(SEEDS)
+    return sums
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return averaged_reports()
+
+    def test_advertised_qos_is_unreliable(self, reports):
+        # Exaggerating providers make claim-based selection collapse.
+        assert reports["advertised"]["regret"] > 2 * reports["feedback"]["regret"]
+
+    def test_monitoring_is_accurate_but_costly(self, reports):
+        assert reports["sensors"]["accuracy"] > reports["feedback"]["accuracy"]
+        assert reports["sensors"]["setup"] >= 10 * SENSOR_COST  # 10 services
+        assert reports["feedback"]["setup"] == 0.0
+
+    def test_central_monitor_concentrates_load(self, reports):
+        assert reports["central_monitor"]["central"] > 0
+        assert reports["feedback"]["central"] == 0
+
+    def test_sla_beats_raw_claims(self, reports):
+        assert reports["sla"]["regret"] < reports["advertised"]["regret"]
+        assert reports["sla"]["setup"] > 0  # negotiation is not free
+
+    def test_feedback_is_cheapest_informative_path(self, reports):
+        informative = {
+            name: r for name, r in reports.items() if name != "advertised"
+        }
+        cheapest = min(
+            informative,
+            key=lambda n: informative[n]["setup"] + informative[n]["running"],
+        )
+        assert cheapest == "feedback"
+
+    def test_report(self, reports):
+        rows = [
+            [
+                name,
+                f"{r['accuracy']:.3f}",
+                f"{r['regret']:.4f}",
+                f"{r['setup']:.1f}",
+                f"{r['running']:.2f}",
+                r["central"],
+                r["messages"],
+            ]
+            for name, r in reports.items()
+        ]
+        print_table(
+            "Figure 2: selection-information paths "
+            f"(5 providers x 2 services, 20 consumers, {ROUNDS} rounds, "
+            f"mean of {len(SEEDS)} seeds)",
+            ["approach", "accuracy", "regret", "setup$", "running$",
+             "central-probes", "messages"],
+            rows,
+        )
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_bench_activities_comparison(benchmark):
+    benchmark(
+        lambda: run_activities_comparison(rounds=5, seed=0)
+    )

@@ -1,0 +1,173 @@
+"""F4 — Figure 4: the typology tree, rebuilt and exercised.
+
+Three artefacts:
+
+1. The classification tree itself, derived from the model registry and
+   asserted equal to the paper's Figure 4 leaf-for-leaf.
+2. A head-to-head run of *every* implemented mechanism on one common
+   selection workload — one row per Figure 4 leaf with its
+   3-criterion classification and its measured quality, which is the
+   comparison the survey motivates but (being a survey) never ran.
+3. A threshold-placement ablation: the run exposes a structural split —
+   mechanisms with *graded* scores track quality directly, while
+   mechanisms that threshold ratings into good/bad (eBay-style
+   counters, EigenTrust, XRep, Wang-Vassileva) saturate when every
+   candidate sits above the threshold, and recover once the threshold
+   is placed near the discrimination boundary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import default_registry
+from repro.core.selection import EpsilonGreedyPolicy
+from repro.core.typology import PAPER_FIGURE_4, classification_tree
+from repro.experiments.harness import run_selection_experiment
+from repro.experiments.workloads import make_world
+from repro.models import (
+    SporasModel,
+    WangVassilevaModel,
+    XRepModel,
+)
+
+from benchmarks.conftest import print_table
+
+REGISTRY = default_registry(rng_seed=0)
+ROUNDS = 50
+SEED = 11
+
+#: Mechanisms whose score is a graded function of rating magnitude.
+GRADED = {
+    "amazon", "beta", "collaborative_filtering",
+    "collaborative_filtering_cosine", "day", "day_naive_bayes", "ebay",
+    "eigentrust", "epinions", "histos", "liu_ngu_zeng",
+    "maximilien_singh", "peertrust", "subjective_logic", "vu_aberer",
+    "yolum_singh", "yu_singh",
+}
+#: Mechanisms that threshold/count and so saturate on uniformly-good
+#: candidate sets, or (Sporas) start every entity at the floor.
+SATURATING = {
+    "aberer_despotovic", "pagerank", "social_network", "sporas",
+    "wang_vassileva", "xrep",
+}
+
+
+def run_model(model, rounds=ROUNDS, seed=SEED):
+    world = make_world(
+        n_providers=5, services_per_provider=1, n_consumers=12,
+        seed=seed, quality_spread=0.3,
+    )
+    policy = EpsilonGreedyPolicy(0.2, rng=world.seeds.rng("policy"))
+    return run_selection_experiment(model, world, rounds=rounds,
+                                    policy=policy)
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return {
+        name: run_model(REGISTRY.create(name)) for name in REGISTRY.names()
+    }
+
+
+class TestFigure4Tree:
+    def test_tree_matches_paper(self):
+        derived = REGISTRY.figure4_tree()
+        paper = classification_tree(PAPER_FIGURE_4)
+        assert set(derived.leaves) == set(paper.leaves)
+        for branch, systems in paper.leaves.items():
+            assert sorted(derived.leaves[branch]) == sorted(systems)
+
+    def test_tier_partition_covers_registry(self):
+        assert GRADED | SATURATING == set(REGISTRY.names())
+        assert not GRADED & SATURATING
+
+    def test_render_tree(self):
+        print()
+        print("== Figure 4: trust and reputation system classification ==")
+        for line in REGISTRY.figure4_tree().render():
+            print(line)
+
+
+class TestTypologyShootout:
+    def test_graded_mechanisms_converge(self, outcomes):
+        for name in GRADED:
+            assert outcomes[name].tail_accuracy > 0.5, name
+
+    def test_saturating_mechanisms_still_rank_sensibly(self, outcomes):
+        # Even when selection accuracy collapses, the final scores'
+        # *ordering* correlates with the truth.
+        for name in SATURATING:
+            rho = outcomes[name].ranking["spearman"]
+            assert rho is not None and rho > 0.3, name
+
+    def test_graded_tier_dominates_on_regret(self, outcomes):
+        graded_regret = max(outcomes[n].mean_regret for n in GRADED)
+        saturating_regret = max(
+            outcomes[n].mean_regret for n in SATURATING
+        )
+        assert graded_regret < saturating_regret
+
+    def test_report(self, outcomes):
+        rows = []
+        for name in REGISTRY.names():
+            info = REGISTRY.get(name)
+            outcome = outcomes[name]
+            arch, subject, scope = info.typology.branch()
+            rho = outcome.ranking["spearman"]
+            rows.append([
+                name,
+                arch[:7],
+                subject[:8],
+                scope[:8],
+                "graded" if name in GRADED else "saturating",
+                f"{outcome.accuracy:.3f}",
+                f"{outcome.tail_accuracy:.3f}",
+                f"{outcome.mean_regret:.4f}",
+                f"{rho:.2f}" if rho is not None else "n/a",
+            ])
+        print_table(
+            f"Figure 4 shoot-out: every mechanism, common workload "
+            f"(5 services, 12 consumers, {ROUNDS} rounds, seed {SEED})",
+            ["mechanism", "arch", "subject", "scope", "tier",
+             "acc", "tail", "regret", "spearman"],
+            rows,
+        )
+
+
+class TestThresholdAblation:
+    """Saturation is a threshold-placement problem, not a design flaw."""
+
+    CASES = [
+        ("wang_vassileva", lambda: WangVassilevaModel(),
+         lambda: WangVassilevaModel(satisfaction_threshold=0.7)),
+        ("xrep", lambda: XRepModel(),
+         lambda: XRepModel(positive_threshold=0.7)),
+        ("sporas", lambda: SporasModel(),
+         lambda: SporasModel(theta=3.0)),
+    ]
+
+    def test_tuning_recovers_accuracy(self):
+        rows = []
+        for name, default_factory, tuned_factory in self.CASES:
+            default = run_model(default_factory())
+            tuned = run_model(tuned_factory())
+            rows.append([
+                name,
+                f"{default.tail_accuracy:.3f}",
+                f"{tuned.tail_accuracy:.3f}",
+            ])
+            assert tuned.tail_accuracy > default.tail_accuracy + 0.3, name
+            assert tuned.tail_accuracy > 0.5, name
+        print_table(
+            "Threshold-placement ablation (tail accuracy)",
+            ["mechanism", "default params", "tuned threshold"],
+            rows,
+        )
+
+
+@pytest.mark.benchmark(group="fig4")
+@pytest.mark.parametrize("name", ["ebay", "eigentrust", "peertrust",
+                                  "collaborative_filtering"])
+def test_bench_mechanism(benchmark, name):
+    benchmark(lambda: run_model(REGISTRY.create(name), rounds=10))

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: reputation-driven selection among redundant services.
+
+The paper's core scenario (Figure 1A): several providers publish
+weather-report services of varying quality; consumers select through a
+reputation mechanism, invoke, rate, report — and the community
+converges on the good services.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import make_world, run_selection_experiment
+from repro.core.selection import EpsilonGreedyPolicy
+from repro.models import BetaReputation, EbayModel, PeerTrustModel
+
+
+def main() -> None:
+    print("Building a world: 5 providers x 2 services, 20 consumers\n")
+    for model_factory in [BetaReputation, EbayModel, PeerTrustModel]:
+        # A fresh (identically-seeded) world per mechanism keeps the
+        # comparison apples-to-apples.
+        world = make_world(
+            n_providers=5,
+            services_per_provider=2,
+            n_consumers=20,
+            seed=42,
+            quality_spread=0.3,
+        )
+        model = model_factory()
+        outcome = run_selection_experiment(
+            model,
+            world,
+            rounds=30,
+            policy=EpsilonGreedyPolicy(0.15, rng=world.seeds.rng("policy")),
+        )
+        print(f"mechanism: {model.name}")
+        print(f"  selection accuracy : {outcome.accuracy:.3f}")
+        print(f"  final-rounds acc.  : {outcome.tail_accuracy:.3f}")
+        print(f"  mean regret        : {outcome.mean_regret:.4f}")
+        print(f"  score/truth rank-corr: {outcome.ranking['spearman']:.3f}")
+        best_svc = max(outcome.final_scores, key=outcome.final_scores.get)
+        true_best = world.best_service()
+        print(f"  top-scored service : {best_svc} "
+              f"(ground-truth best: {true_best})")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Mediated selection (Figure 1B): booking flights through web services.
+
+A consumer uses a flight-booking web service (the *intermediary*) to
+obtain a flight (the *general service*).  All booking sites have
+near-identical web-service QoS; what differs is the quality of the
+airlines they broker.  The paper's point: in this scenario the
+selection is "mainly decided by the general service properties" — and a
+reputation mechanism fed with consumers' end-to-end experience learns
+exactly that.
+
+Run:  python examples/travel_booking.py
+"""
+
+from repro.common.randomness import SeedSequenceFactory
+from repro.core.scenarios import MediatedSelectionScenario
+from repro.core.selection import EpsilonGreedyPolicy
+from repro.experiments.workloads import make_consumers
+from repro.models import BetaReputation
+from repro.services import (
+    DEFAULT_METRICS,
+    GeneralService,
+    IntermediaryService,
+    Service,
+    ServiceDescription,
+)
+from repro.services.qos import QoSProfile
+
+BOOKING_SITES = {
+    "budget-bookings": 0.35,   # brokers cut-rate airlines
+    "fly-okay": 0.55,
+    "skyline-travel": 0.75,
+    "first-class-air": 0.92,   # brokers the best airlines
+}
+
+
+def build_intermediaries(seeds):
+    intermediaries = []
+    for index, (name, airline_quality) in enumerate(BOOKING_SITES.items()):
+        web_service = Service(
+            description=ServiceDescription(
+                service=name,
+                provider=f"{name}-inc",
+                category="flight_booking",
+            ),
+            # Every site has the same, decent web-service QoS.
+            profile=QoSProfile(
+                quality={m.name: 0.7 for m in DEFAULT_METRICS},
+                noise=0.02,
+            ),
+        )
+        catalog = [
+            GeneralService(
+                general_id=f"{name}-flight-{j}",
+                domain="flight",
+                quality={
+                    "comfort": airline_quality,
+                    "punctuality": airline_quality,
+                    "baggage_handling": airline_quality,
+                },
+                noise=0.04,
+            )
+            for j in range(3)
+        ]
+        intermediaries.append(
+            IntermediaryService(
+                web_service, catalog,
+                intermediary_weight=0.2,  # web QoS is the small part
+                rng=seeds.rng(f"intermediary-{index}"),
+            )
+        )
+    return intermediaries
+
+
+def main() -> None:
+    seeds = SeedSequenceFactory(7)
+    intermediaries = build_intermediaries(seeds)
+    consumers = make_consumers(15, DEFAULT_METRICS, seeds)
+    scenario = MediatedSelectionScenario(
+        intermediaries=intermediaries,
+        consumers=consumers,
+        model=BetaReputation(),
+        taxonomy=DEFAULT_METRICS,
+        policy=EpsilonGreedyPolicy(0.12, rng=seeds.rng("policy")),
+        rng=seeds.rng("invoke"),
+    )
+    result = scenario.run(50)
+    print("Booking-site selection after 50 rounds "
+          f"({result.selections} bookings):\n")
+    print(f"{'site':20s} {'airlines':>9s} {'times chosen':>13s} "
+          f"{'final score':>12s}")
+    for name, airline_quality in BOOKING_SITES.items():
+        picks = result.selection_counts.get(name, 0)
+        score = scenario.model.score(name)
+        print(f"{name:20s} {airline_quality:9.2f} {picks:13d} "
+              f"{score:12.3f}")
+    print()
+    print(f"selection accuracy : {result.accuracy:.3f}")
+    print(f"final-rounds acc.  : {result.tail_accuracy(0.25):.3f}")
+    print(f"mean regret        : {result.mean_regret:.4f}")
+    print("\nAll sites have identical web-service QoS -- the mechanism "
+          "separated them\npurely by the quality of the flights they "
+          "broker, as the paper predicts.")
+
+
+if __name__ == "__main__":
+    main()

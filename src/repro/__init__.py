@@ -1,0 +1,65 @@
+"""repro — trust and reputation mechanisms for web service selection.
+
+A library-scale reproduction of Wang & Vassileva, *"A Review on Trust
+and Reputation for Web Service Selection"* (ICDCS Workshops 2007): every
+system the survey classifies in its Figure 4 typology is implemented on
+a common interface, together with the web-service simulation substrate
+(QoS ontology, providers, consumers, SLAs, monitoring, UDDI and QoS
+registries, P2P overlays) needed to run them head-to-head.
+
+Quickstart::
+
+    from repro import make_world, run_selection_experiment
+    from repro.models import EbayModel
+
+    world = make_world(n_providers=5, n_consumers=20, seed=42)
+    outcome = run_selection_experiment(EbayModel(), world, rounds=30)
+    print(outcome.accuracy, outcome.mean_regret)
+
+Subpackages:
+
+* :mod:`repro.core` — typology (Figure 4), facet trust, selection engine
+* :mod:`repro.models` — the ~20 surveyed mechanisms
+* :mod:`repro.services` — the simulated web-service world (Figures 1-3)
+* :mod:`repro.registry` — UDDI + central QoS registry
+* :mod:`repro.p2p` — unstructured overlay, P-Grid, Chord DHT, referrals
+* :mod:`repro.robustness` — attacks and unfair-rating defenses
+* :mod:`repro.experiments` — workload generators, metrics, harness
+"""
+
+from repro.common import Feedback, Interaction, RatingScale
+from repro.core import (
+    SelectionEngine,
+    Typology,
+    classification_tree,
+    default_registry,
+)
+from repro.core.scenarios import (
+    DirectSelectionScenario,
+    MediatedSelectionScenario,
+)
+from repro.experiments import (
+    World,
+    make_world,
+    run_selection_experiment,
+)
+from repro.models import ReputationModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DirectSelectionScenario",
+    "Feedback",
+    "Interaction",
+    "MediatedSelectionScenario",
+    "RatingScale",
+    "ReputationModel",
+    "SelectionEngine",
+    "Typology",
+    "World",
+    "__version__",
+    "classification_tree",
+    "default_registry",
+    "make_world",
+    "run_selection_experiment",
+]

@@ -1,0 +1,156 @@
+"""Core data records exchanged between subsystems.
+
+Two record types flow through every reputation mechanism in the library:
+
+* :class:`Interaction` — the *objective* outcome of one service
+  invocation, as observed by the consumer (per-QoS-metric measurements
+  plus a success flag).
+* :class:`Feedback` — the *subjective* report a consumer files about a
+  target (a service or a provider): an overall rating plus optional
+  per-facet ratings.
+
+Keeping these small and immutable makes them safe to share between the
+central registry, P2P overlays, and defense filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.common.ids import EntityId
+
+
+@dataclass(frozen=True)
+class RatingScale:
+    """A closed rating interval with a neutral midpoint.
+
+    The library default is ``[0, 1]`` with midpoint 0.5; eBay-style models
+    internally map to {-1, 0, +1}.
+    """
+
+    low: float = 0.0
+    high: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.low >= self.high:
+            raise ValueError("rating scale low must be < high")
+
+    @property
+    def midpoint(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def to_unit(self, value: float) -> float:
+        """Map *value* on this scale to ``[0, 1]``."""
+        return (value - self.low) / (self.high - self.low)
+
+    def from_unit(self, value: float) -> float:
+        """Map a ``[0, 1]`` value onto this scale."""
+        return self.low + value * (self.high - self.low)
+
+
+#: The library-wide default rating scale.
+UNIT_SCALE = RatingScale(0.0, 1.0)
+
+
+@dataclass(frozen=True)
+class Interaction:
+    """Objective outcome of a single service invocation.
+
+    Attributes:
+        consumer: id of the invoking consumer.
+        service: id of the invoked service.
+        provider: id of the service's provider.
+        time: simulation time of the invocation.
+        success: whether the invocation delivered a usable result.
+        observations: measured QoS values keyed by metric name (e.g.
+            ``{"response_time": 0.42, "accuracy": 0.97}``).  Values are
+            raw measurements in each metric's natural unit.
+    """
+
+    consumer: EntityId
+    service: EntityId
+    provider: EntityId
+    time: float
+    success: bool
+    observations: Mapping[str, float] = field(default_factory=dict)
+
+    def observation(self, metric: str, default: float = 0.0) -> float:
+        return self.observations.get(metric, default)
+
+
+@dataclass(frozen=True)
+class Feedback:
+    """Subjective report filed by a rater about a target.
+
+    Attributes:
+        rater: id of the consumer filing the report.
+        target: id of the rated entity (a service or a provider).
+        time: simulation time at which the report was filed.
+        rating: overall rating on ``[0, 1]`` (dishonest raters may lie).
+        facet_ratings: optional per-QoS-facet ratings on ``[0, 1]``.
+        interaction: the objective interaction backing this report, when
+            available (defenses such as Vu et al.'s monitor comparison
+            need it; pure rating systems ignore it).
+    """
+
+    rater: EntityId
+    target: EntityId
+    time: float
+    rating: float
+    facet_ratings: Mapping[str, float] = field(default_factory=dict)
+    interaction: Optional[Interaction] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rating <= 1.0:
+            raise ValueError(f"rating must be in [0, 1], got {self.rating}")
+        for facet, value in self.facet_ratings.items():
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"facet rating {facet!r} must be in [0, 1], got {value}"
+                )
+
+    def facet(self, name: str, default: Optional[float] = None) -> float:
+        """Rating for one facet, falling back to the overall rating."""
+        if default is None:
+            default = self.rating
+        return self.facet_ratings.get(name, default)
+
+    def with_rating(self, rating: float) -> "Feedback":
+        """Copy of this feedback with a different overall rating."""
+        return Feedback(
+            rater=self.rater,
+            target=self.target,
+            time=self.time,
+            rating=rating,
+            facet_ratings=dict(self.facet_ratings),
+            interaction=self.interaction,
+        )
+
+
+def positive(feedback: Feedback, threshold: float = 0.5) -> bool:
+    """True when *feedback* counts as a positive report."""
+    return feedback.rating > threshold
+
+
+def ratings_by_rater(
+    feedbacks: "list[Feedback]",
+) -> Dict[EntityId, Dict[EntityId, float]]:
+    """Pivot a feedback list into ``{rater: {target: latest rating}}``.
+
+    When a rater rated the same target several times the *latest* (by
+    time, then input order) rating wins — the shape collaborative
+    filtering and cluster filtering both consume.
+    """
+    table: Dict[EntityId, Dict[EntityId, float]] = {}
+    latest_time: Dict[tuple, float] = {}
+    for fb in feedbacks:
+        key = (fb.rater, fb.target)
+        if key in latest_time and fb.time < latest_time[key]:
+            continue
+        latest_time[key] = fb.time
+        table.setdefault(fb.rater, {})[fb.target] = fb.rating
+    return table

@@ -1,0 +1,66 @@
+"""Time-decay policies.
+
+Section 3: trust and reputation are *dynamic* — "new experiences are
+more important than old ones since old experiences may become obsolete".
+A :class:`DecayPolicy` turns an observation's age into a weight; models
+that aggregate rating histories take one as a parameter, and the decay
+ablation (C4) swaps policies on an otherwise identical model.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.common.errors import ConfigurationError
+from repro.common.mathutils import exponential_decay
+
+
+class DecayPolicy(abc.ABC):
+    """Maps observation age (now - time filed) to a weight in [0, 1]."""
+
+    @abc.abstractmethod
+    def weight(self, age: float) -> float:
+        """Weight for an observation *age* time units old."""
+
+    def __call__(self, age: float) -> float:
+        return self.weight(age)
+
+
+class NoDecay(DecayPolicy):
+    """Every observation counts fully, forever."""
+
+    def weight(self, age: float) -> float:
+        return 1.0
+
+    def __repr__(self) -> str:
+        return "NoDecay()"
+
+
+class ExponentialDecay(DecayPolicy):
+    """Smooth forgetting with a half-life."""
+
+    def __init__(self, half_life: float = 50.0) -> None:
+        if half_life <= 0:
+            raise ConfigurationError("half_life must be positive")
+        self.half_life = half_life
+
+    def weight(self, age: float) -> float:
+        return exponential_decay(age, self.half_life)
+
+    def __repr__(self) -> str:
+        return f"ExponentialDecay(half_life={self.half_life!r})"
+
+
+class SlidingWindow(DecayPolicy):
+    """Hard cutoff: observations older than *window* are ignored."""
+
+    def __init__(self, window: float = 100.0) -> None:
+        if window <= 0:
+            raise ConfigurationError("window must be positive")
+        self.window = window
+
+    def weight(self, age: float) -> float:
+        return 1.0 if age <= self.window else 0.0
+
+    def __repr__(self) -> str:
+        return f"SlidingWindow(window={self.window!r})"

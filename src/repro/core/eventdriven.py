@@ -1,0 +1,152 @@
+"""Event-driven selection scenario on the discrete-event kernel.
+
+The round-based runners in :mod:`repro.core.scenarios` advance all
+consumers in lock-step.  Real service ecosystems are asynchronous:
+consumers invoke on their own schedules and feedback reaches the
+registry after a delay — during which other consumers select on *stale*
+reputation.  :class:`EventDrivenScenario` models exactly that on
+:class:`~repro.sim.kernel.Simulator`:
+
+* each consumer issues invocations as a Poisson process
+  (exponential inter-arrival times, per-consumer ``arrival_rate``);
+* the resulting feedback is filed ``feedback_delay`` time units after
+  the invocation (report latency);
+* selections between invocation and filing see the old scores.
+
+Metrics match :class:`~repro.core.scenarios.ScenarioResult` semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import EntityId
+from repro.common.mathutils import safe_mean
+from repro.common.randomness import RngLike, make_rng
+from repro.core.selection import GreedyPolicy, SelectionPolicy
+from repro.models.base import ReputationModel
+from repro.services.consumer import Consumer
+from repro.services.invocation import InvocationEngine
+from repro.services.provider import Service
+from repro.services.qos import QoSTaxonomy
+from repro.sim.kernel import Simulator
+
+
+@dataclass
+class EventDrivenResult:
+    """Outcome of an asynchronous run."""
+
+    horizon: float
+    selections: int = 0
+    optimal_selections: int = 0
+    regrets: List[float] = field(default_factory=list)
+    selection_counts: Dict[EntityId, int] = field(default_factory=dict)
+    feedback_filed: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        if self.selections == 0:
+            return 0.0
+        return self.optimal_selections / self.selections
+
+    @property
+    def mean_regret(self) -> float:
+        return safe_mean(self.regrets)
+
+
+class EventDrivenScenario:
+    """Asynchronous select-invoke-rate driven by the event kernel."""
+
+    def __init__(
+        self,
+        services: "list[Service]",
+        consumers: "list[Consumer]",
+        model: ReputationModel,
+        taxonomy: QoSTaxonomy,
+        policy: Optional[SelectionPolicy] = None,
+        arrival_rate: float = 1.0,
+        feedback_delay: float = 0.1,
+        optimality_tolerance: float = 0.02,
+        rng: RngLike = None,
+    ) -> None:
+        if not services:
+            raise ConfigurationError("scenario needs services")
+        if not consumers:
+            raise ConfigurationError("scenario needs consumers")
+        if arrival_rate <= 0:
+            raise ConfigurationError("arrival_rate must be positive")
+        if feedback_delay < 0:
+            raise ConfigurationError("feedback_delay must be >= 0")
+        self.services = {s.service_id: s for s in services}
+        self.consumers = consumers
+        self.model = model
+        self.taxonomy = taxonomy
+        self.policy = policy or GreedyPolicy()
+        self.arrival_rate = arrival_rate
+        self.feedback_delay = feedback_delay
+        self.optimality_tolerance = optimality_tolerance
+        self._rng = make_rng(rng)
+        self.simulator = Simulator()
+        self.invoker = InvocationEngine(taxonomy, rng=self._rng)
+
+    def _next_arrival(self) -> float:
+        return float(self._rng.exponential(1.0 / self.arrival_rate))
+
+    def _handle_arrival(
+        self, consumer: Consumer, result: EventDrivenResult, horizon: float
+    ) -> None:
+        now = self.simulator.now
+        ranking = self.model.rank(
+            sorted(self.services), consumer.consumer_id, now=now
+        )
+        chosen = self.policy.choose(ranking)
+        truth = {
+            sid: svc.true_overall(
+                now, consumer.preferences.weights, consumer.segment
+            )
+            for sid, svc in self.services.items()
+        }
+        best = max(truth.values())
+        regret = best - truth[chosen]
+        result.selections += 1
+        result.selection_counts[chosen] = (
+            result.selection_counts.get(chosen, 0) + 1
+        )
+        if regret <= self.optimality_tolerance:
+            result.optimal_selections += 1
+        result.regrets.append(regret)
+        interaction = self.invoker.invoke(
+            consumer, self.services[chosen], now
+        )
+
+        def file_feedback() -> None:
+            feedback = consumer.rate(interaction, self.taxonomy)
+            self.model.record(feedback)
+            result.feedback_filed += 1
+
+        self.simulator.schedule_in(self.feedback_delay, file_feedback)
+        next_time = now + self._next_arrival()
+        if next_time <= horizon:
+            self.simulator.schedule(
+                next_time,
+                lambda: self._handle_arrival(consumer, result, horizon),
+            )
+
+    def run(self, horizon: float) -> EventDrivenResult:
+        """Run until simulation time *horizon*."""
+        if horizon <= 0:
+            raise ConfigurationError("horizon must be positive")
+        result = EventDrivenResult(horizon=horizon)
+        for consumer in self.consumers:
+            first = self._next_arrival()
+            if first <= horizon:
+                self.simulator.schedule(
+                    first,
+                    lambda c=consumer: self._handle_arrival(
+                        c, result, horizon
+                    ),
+                )
+        self.simulator.run(until=horizon + self.feedback_delay)
+        return result

@@ -1,0 +1,174 @@
+"""Multi-faceted, context-specific, dynamic trust (Section 3).
+
+The paper names three shared characteristics of trust and reputation:
+
+* **context-specific** — John may be trusted as a doctor but not as a
+  mechanic; here a *context* string partitions all evidence,
+* **multi-faceted** — within one context, trust develops per QoS aspect
+  and the overall value is a preference-weighted combination, and
+* **dynamic** — trust grows/decays with experience and with time.
+
+:class:`FacetTrust` implements all three on a Beta-evidence substrate:
+evidence is accumulated per ``(context, target, facet)`` with a decay
+policy applied at query time, and :func:`combine_facets` folds facet
+scores under a preference profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import EntityId
+from repro.common.records import Feedback
+from repro.core.decay import DecayPolicy, NoDecay
+
+#: The context used when callers don't partition evidence.
+DEFAULT_CONTEXT = "default"
+
+
+def combine_facets(
+    facet_scores: Mapping[str, float],
+    weights: Optional[Mapping[str, float]] = None,
+    default: float = 0.5,
+) -> float:
+    """Preference-weighted combination of per-facet trust values.
+
+    Facets absent from *weights* (or with non-positive weight) are
+    ignored; when nothing overlaps, the unweighted mean is used; an
+    empty *facet_scores* yields *default*.
+    """
+    if not facet_scores:
+        return default
+    if weights:
+        common = {
+            f: w for f, w in weights.items() if f in facet_scores and w > 0
+        }
+        total = sum(common.values())
+        if total > 0:
+            return sum(facet_scores[f] * w for f, w in common.items()) / total
+    return sum(facet_scores.values()) / len(facet_scores)
+
+
+@dataclass
+class _Observation:
+    time: float
+    value: float
+
+
+@dataclass
+class _FacetEvidence:
+    observations: List[_Observation] = field(default_factory=list)
+
+    def add(self, time: float, value: float) -> None:
+        self.observations.append(_Observation(time, value))
+
+    def expectation(
+        self, decay: DecayPolicy, now: Optional[float]
+    ) -> Tuple[float, float]:
+        """(trust expectation, evidence mass) under *decay* at *now*."""
+        alpha = 0.0
+        beta = 0.0
+        for obs in self.observations:
+            weight = 1.0 if now is None else decay(max(0.0, now - obs.time))
+            alpha += weight * obs.value
+            beta += weight * (1.0 - obs.value)
+        mass = alpha + beta
+        expectation = (alpha + 1.0) / (mass + 2.0)
+        return expectation, mass
+
+
+class FacetTrust:
+    """Per-context, per-facet trust with time decay.
+
+    Args:
+        decay: policy applied to observation ages at query time.
+    """
+
+    def __init__(self, decay: Optional[DecayPolicy] = None) -> None:
+        self.decay = decay or NoDecay()
+        #: context -> target -> facet -> evidence
+        self._evidence: Dict[
+            str, Dict[EntityId, Dict[str, _FacetEvidence]]
+        ] = {}
+
+    def observe(
+        self,
+        target: EntityId,
+        facet: str,
+        value: float,
+        time: float = 0.0,
+        context: str = DEFAULT_CONTEXT,
+    ) -> None:
+        """Record one experienced quality *value* in ``[0, 1]``."""
+        if not 0.0 <= value <= 1.0:
+            raise ConfigurationError("facet value must be in [0, 1]")
+        self._evidence.setdefault(context, {}).setdefault(
+            target, {}
+        ).setdefault(facet, _FacetEvidence()).add(time, value)
+
+    def observe_feedback(
+        self, feedback: Feedback, context: str = DEFAULT_CONTEXT
+    ) -> None:
+        """Ingest a feedback record (facets, falling back to overall)."""
+        facets = feedback.facet_ratings or {"overall": feedback.rating}
+        for facet, value in facets.items():
+            self.observe(
+                feedback.target, facet, value, feedback.time, context
+            )
+
+    def facet(
+        self,
+        target: EntityId,
+        facet: str,
+        now: Optional[float] = None,
+        context: str = DEFAULT_CONTEXT,
+    ) -> float:
+        """Trust in one facet of *target* (0.5 without evidence)."""
+        evidence = (
+            self._evidence.get(context, {}).get(target, {}).get(facet)
+        )
+        if evidence is None:
+            return 0.5
+        expectation, _ = evidence.expectation(self.decay, now)
+        return expectation
+
+    def facets(
+        self,
+        target: EntityId,
+        now: Optional[float] = None,
+        context: str = DEFAULT_CONTEXT,
+    ) -> Dict[str, float]:
+        """All facet trust values known for *target* in *context*."""
+        return {
+            facet: self.facet(target, facet, now, context)
+            for facet in self._evidence.get(context, {}).get(target, {})
+        }
+
+    def overall(
+        self,
+        target: EntityId,
+        weights: Optional[Mapping[str, float]] = None,
+        now: Optional[float] = None,
+        context: str = DEFAULT_CONTEXT,
+    ) -> float:
+        """Preference-weighted overall trust in *target*."""
+        return combine_facets(self.facets(target, now, context), weights)
+
+    def confidence(
+        self,
+        target: EntityId,
+        now: Optional[float] = None,
+        context: str = DEFAULT_CONTEXT,
+    ) -> float:
+        """Decayed evidence mass mapped to ``[0, 1)``."""
+        facet_evidence = self._evidence.get(context, {}).get(target, {})
+        mass = 0.0
+        for evidence in facet_evidence.values():
+            _, facet_mass = evidence.expectation(self.decay, now)
+            mass += facet_mass
+        return mass / (mass + 2.0)
+
+    def contexts(self) -> List[str]:
+        return sorted(self._evidence)

@@ -1,0 +1,172 @@
+"""Model registry: names → constructors + typology + citation.
+
+The registry is what makes Figure 4 a *derived* artefact: every
+implemented mechanism registers its classification, and
+:meth:`ModelRegistry.figure4_tree` rebuilds the paper's tree from the
+registrations.  Tests assert the rebuilt tree matches
+:data:`repro.core.typology.PAPER_FIGURE_4` leaf for leaf.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import ConfigurationError, UnknownEntityError
+from repro.core.typology import Typology, TypologyTree, classification_tree
+from repro.models.base import ReputationModel
+
+ModelFactory = Callable[[], ReputationModel]
+
+
+@dataclass(frozen=True)
+class ModelInfo:
+    """Registry entry for one mechanism."""
+
+    name: str
+    factory: ModelFactory
+    typology: Typology
+    paper_ref: str
+    label: str
+    #: whether the paper's Figure 4 lists this system as a leaf
+    in_figure_4: bool = True
+
+
+class ModelRegistry:
+    """Name-indexed collection of reputation mechanisms."""
+
+    def __init__(self) -> None:
+        self._models: Dict[str, ModelInfo] = {}
+
+    def register(self, info: ModelInfo) -> None:
+        if info.name in self._models:
+            raise ConfigurationError(f"duplicate model name: {info.name!r}")
+        self._models[info.name] = info
+
+    def get(self, name: str) -> ModelInfo:
+        try:
+            return self._models[name]
+        except KeyError:
+            raise UnknownEntityError(f"unknown model: {name!r}") from None
+
+    def create(self, name: str) -> ReputationModel:
+        return self.get(name).factory()
+
+    def names(self) -> List[str]:
+        return sorted(self._models)
+
+    def infos(self) -> List[ModelInfo]:
+        return [self._models[name] for name in self.names()]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._models
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def figure4_tree(self) -> TypologyTree:
+        """The paper's Figure 4, rebuilt from the registered systems."""
+        systems = {
+            info.name: info.typology
+            for info in self._models.values()
+            if info.in_figure_4
+        }
+        return classification_tree(systems)
+
+
+def default_registry(rng_seed: Optional[int] = None) -> ModelRegistry:
+    """All implemented mechanisms with default parameters.
+
+    Args:
+        rng_seed: seed for models needing randomness (referral wiring).
+    """
+    # Imports are local so that importing repro.core doesn't pull the
+    # whole model zoo until a registry is actually built.
+    from repro.models.aberer import AbererDespotovicModel
+    from repro.models.amazon import AmazonModel
+    from repro.models.beta import BetaReputation
+    from repro.models.collaborative import (
+        CollaborativeFilteringModel,
+        Similarity,
+    )
+    from repro.models.day import DayExpertSystem, DayNaiveBayes
+    from repro.models.ebay import EbayModel
+    from repro.models.eigentrust import EigenTrustModel
+    from repro.models.epinions import EpinionsModel
+    from repro.models.histos import HistosModel
+    from repro.models.liu_ngu_zeng import LiuNguZengModel
+    from repro.models.maximilien_singh import MaximilienSinghModel
+    from repro.models.pagerank import PageRankModel
+    from repro.models.peertrust import PeerTrustModel
+    from repro.models.socialnetwork import SocialNetworkModel
+    from repro.models.sporas import SporasModel
+    from repro.models.subjective_logic import SubjectiveLogicModel
+    from repro.models.vu_aberer import VuAbererModel
+    from repro.models.wang_vassileva import WangVassilevaModel
+    from repro.models.xrep import XRepModel
+    from repro.models.yolum_singh import YolumSinghModel
+    from repro.models.yu_singh import YuSinghModel
+
+    registry = ModelRegistry()
+    entries = [
+        (EbayModel, "eBay feedback forum", True),
+        (SporasModel, "Sporas", True),
+        (HistosModel, "Histos", True),
+        (PageRankModel, "Google PageRank", True),
+        (AmazonModel, "Amazon reviews", True),
+        (EpinionsModel, "Epinions web of trust", True),
+        (CollaborativeFilteringModel, "Collaborative filtering", True),
+        (YuSinghModel, "Yu & Singh belief model", True),
+        (WangVassilevaModel, "Wang & Vassileva Bayesian trust", True),
+        (XRepModel, "Damiani et al. XRep", True),
+        (SocialNetworkModel, "Social-network topology", True),
+        (AbererDespotovicModel, "Aberer & Despotovic complaints", True),
+        (PeerTrustModel, "PeerTrust", True),
+        (EigenTrustModel, "EigenTrust", True),
+        (MaximilienSinghModel, "Maximilien & Singh", True),
+        (LiuNguZengModel, "Liu, Ngu & Zeng", True),
+        (DayExpertSystem, "Day expert system", True),
+        (VuAbererModel, "Vu, Hauswirth & Aberer", True),
+        # Extras not drawn as Figure 4 leaves:
+        (BetaReputation, "Beta reputation baseline", False),
+        (DayNaiveBayes, "Day naive Bayes", False),
+        (SubjectiveLogicModel, "Subjective logic (Jøsang)", False),
+    ]
+    for cls, label, in_fig4 in entries:
+        assert cls.typology is not None
+        registry.register(
+            ModelInfo(
+                name=cls.name,
+                factory=cls,
+                typology=cls.typology,
+                paper_ref=cls.paper_ref,
+                label=label,
+                in_figure_4=in_fig4,
+            )
+        )
+    # Yolum & Singh needs a seeded referral network for reproducibility.
+    yolum = YolumSinghModel
+    registry.register(
+        ModelInfo(
+            name=yolum.name,
+            factory=lambda: YolumSinghModel(rng=rng_seed),
+            typology=yolum.typology,
+            paper_ref=yolum.paper_ref,
+            label="Yolum & Singh referral network",
+            in_figure_4=True,
+        )
+    )
+    # Karta's variant: CF with cosine (vector) similarity.
+    registry.register(
+        ModelInfo(
+            name="collaborative_filtering_cosine",
+            factory=lambda: CollaborativeFilteringModel(
+                similarity=Similarity.COSINE
+            ),
+            typology=CollaborativeFilteringModel.typology,
+            paper_ref="[13]",
+            label="Collaborative filtering (vector similarity)",
+            in_figure_4=False,
+        )
+    )
+    return registry

@@ -1,0 +1,141 @@
+"""The selection engine: discovery + reputation + choice.
+
+Ties the pieces together the way Figure 2 describes: discover candidate
+services from a :class:`~repro.registry.uddi.UDDIRegistry` by category,
+score them with any :class:`~repro.models.base.ReputationModel` (from
+the asking consumer's perspective when the model is personalized), and
+pick via a :class:`SelectionPolicy`.
+
+Pure reputation-greedy selection starves unexplored services of the
+chance to earn reputation; the exploration policies (ε-greedy, softmax)
+are the standard remedies and are what the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import List, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import EntityId
+from repro.common.randomness import RngLike, make_rng
+from repro.models.base import ReputationModel, ScoredTarget
+from repro.registry.uddi import UDDIRegistry
+
+
+class SelectionPolicy(abc.ABC):
+    """Chooses one candidate from a scored ranking."""
+
+    @abc.abstractmethod
+    def choose(self, ranking: Sequence[ScoredTarget]) -> EntityId:
+        """Pick one target from a non-empty, best-first ranking."""
+
+
+class GreedyPolicy(SelectionPolicy):
+    """Always the top-scored candidate (deterministic)."""
+
+    def choose(self, ranking: Sequence[ScoredTarget]) -> EntityId:
+        if not ranking:
+            raise ConfigurationError("empty ranking")
+        return ranking[0].target
+
+
+class EpsilonGreedyPolicy(SelectionPolicy):
+    """Top candidate with probability 1-ε, uniform otherwise.
+
+    Candidates tied at the top score are chosen among uniformly —
+    deterministic lexicographic tie-breaking would systematically
+    starve every tied candidate but one of the chance to earn evidence.
+    """
+
+    def __init__(self, epsilon: float = 0.1, rng: RngLike = None) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise ConfigurationError("epsilon must be in [0, 1]")
+        self.epsilon = epsilon
+        self._rng = make_rng(rng)
+
+    def choose(self, ranking: Sequence[ScoredTarget]) -> EntityId:
+        if not ranking:
+            raise ConfigurationError("empty ranking")
+        if len(ranking) > 1 and self._rng.random() < self.epsilon:
+            index = int(self._rng.integers(0, len(ranking)))
+            return ranking[index].target
+        top_score = ranking[0].score
+        tied = [st for st in ranking if st.score >= top_score - 1e-12]
+        if len(tied) == 1:
+            return tied[0].target
+        index = int(self._rng.integers(0, len(tied)))
+        return tied[index].target
+
+
+class SoftmaxPolicy(SelectionPolicy):
+    """Boltzmann exploration: P(i) ∝ exp(score_i / temperature)."""
+
+    def __init__(self, temperature: float = 0.1, rng: RngLike = None) -> None:
+        if temperature <= 0:
+            raise ConfigurationError("temperature must be positive")
+        self.temperature = temperature
+        self._rng = make_rng(rng)
+
+    def choose(self, ranking: Sequence[ScoredTarget]) -> EntityId:
+        if not ranking:
+            raise ConfigurationError("empty ranking")
+        peak = max(st.score for st in ranking)
+        weights = [
+            math.exp((st.score - peak) / self.temperature) for st in ranking
+        ]
+        total = sum(weights)
+        draw = float(self._rng.random()) * total
+        cumulative = 0.0
+        for st, weight in zip(ranking, weights):
+            cumulative += weight
+            if draw <= cumulative:
+                return st.target
+        return ranking[-1].target
+
+
+class SelectionEngine:
+    """Automatic run-time web service selection (the paper's Q1).
+
+    Args:
+        registry: functional discovery (UDDI analogue).
+        model: reputation mechanism scoring the candidates.
+        policy: how the ranking becomes a choice.
+    """
+
+    def __init__(
+        self,
+        registry: UDDIRegistry,
+        model: ReputationModel,
+        policy: Optional[SelectionPolicy] = None,
+    ) -> None:
+        self.registry = registry
+        self.model = model
+        self.policy = policy or GreedyPolicy()
+        self.selections_made = 0
+
+    def candidates(self, category: str) -> List[EntityId]:
+        """Service ids matching *category* in the registry."""
+        return [d.service for d in self.registry.search(category)]
+
+    def rank(
+        self,
+        category: str,
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> List[ScoredTarget]:
+        return self.model.rank(self.candidates(category), perspective, now)
+
+    def select(
+        self,
+        category: str,
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> Optional[EntityId]:
+        """Choose a service for *category*; None when none published."""
+        ranking = self.rank(category, perspective, now)
+        if not ranking:
+            return None
+        self.selections_made += 1
+        return self.policy.choose(ranking)

@@ -1,0 +1,178 @@
+"""The paper's typology — Section 4 and Figure 4.
+
+Three criteria classify every trust and reputation system:
+
+* :class:`Architecture` — **centralized** (one node manages all
+  reputations) vs. **decentralized** (members cooperate to manage them).
+* :class:`Subject` — **person/agent** systems model the reputation of
+  people or their agents; **resource** systems model products/services
+  (even when they track raters too, that serves the resource scores).
+* :class:`Scope` — **global** reputation is one public value per entity;
+  **personalized** reputation differs per asking member.
+
+:func:`classification_tree` rebuilds the Figure 4 three-level hierarchy
+from any collection of classified systems, so the paper's figure is a
+*derived artefact* of the model registry rather than a hand-maintained
+table.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+
+class Architecture(enum.Enum):
+    CENTRALIZED = "centralized"
+    DECENTRALIZED = "decentralized"
+
+
+class Subject(enum.Enum):
+    PERSON_AGENT = "person_agent"
+    RESOURCE = "resource"
+    #: Some systems (Vu et al.) model both service resources and the
+    #: agents rating them as first-class reputation subjects.
+    PERSON_AGENT_AND_RESOURCE = "person_agent_and_resource"
+
+
+class Scope(enum.Enum):
+    GLOBAL = "global"
+    PERSONALIZED = "personalized"
+
+
+@dataclass(frozen=True)
+class Typology:
+    """One system's position in the three-criterion classification."""
+
+    architecture: Architecture
+    subject: Subject
+    scope: Scope
+
+    def branch(self) -> Tuple[str, str, str]:
+        """The path from the tree root to this system's leaf bucket."""
+        return (
+            self.architecture.value,
+            self.subject.value,
+            self.scope.value,
+        )
+
+    def __str__(self) -> str:
+        return "/".join(self.branch())
+
+
+@dataclass
+class TypologyTree:
+    """The Figure 4 hierarchy: criteria levels down to system leaves."""
+
+    #: branch path -> system names in that leaf bucket
+    leaves: Dict[Tuple[str, str, str], List[str]] = field(default_factory=dict)
+
+    def add(self, name: str, typology: Typology) -> None:
+        self.leaves.setdefault(typology.branch(), []).append(name)
+
+    def systems_at(
+        self, architecture: Architecture, subject: Subject, scope: Scope
+    ) -> List[str]:
+        return list(
+            self.leaves.get(
+                (architecture.value, subject.value, scope.value), ()
+            )
+        )
+
+    def branches(self) -> List[Tuple[str, str, str]]:
+        return sorted(self.leaves)
+
+    def render(self) -> List[str]:
+        """Indented text rendering in the Figure 4 shape."""
+        lines: List[str] = ["Trust and Reputation System"]
+        for arch in Architecture:
+            arch_branches = [
+                b for b in self.branches() if b[0] == arch.value
+            ]
+            if not arch_branches:
+                continue
+            lines.append(f"  {arch.value}")
+            for subject in Subject:
+                subj_branches = [
+                    b for b in arch_branches if b[1] == subject.value
+                ]
+                if not subj_branches:
+                    continue
+                lines.append(f"    {subject.value}")
+                for scope in Scope:
+                    key = (arch.value, subject.value, scope.value)
+                    systems = self.leaves.get(key)
+                    if not systems:
+                        continue
+                    lines.append(f"      {scope.value}")
+                    for name in systems:
+                        lines.append(f"        - {name}")
+        return lines
+
+
+def classification_tree(
+    systems: Mapping[str, Typology],
+) -> TypologyTree:
+    """Build the Figure 4 tree for named, classified systems."""
+    tree = TypologyTree()
+    for name in sorted(systems):
+        tree.add(name, systems[name])
+    return tree
+
+
+#: The paper's own placement of each surveyed system (Figure 4), used by
+#: tests to verify that the registry-derived tree matches the paper.
+PAPER_FIGURE_4: Dict[str, Typology] = {
+    "ebay": Typology(Architecture.CENTRALIZED, Subject.PERSON_AGENT, Scope.GLOBAL),
+    "sporas": Typology(Architecture.CENTRALIZED, Subject.PERSON_AGENT, Scope.GLOBAL),
+    "histos": Typology(
+        Architecture.CENTRALIZED, Subject.PERSON_AGENT, Scope.PERSONALIZED
+    ),
+    "pagerank": Typology(Architecture.CENTRALIZED, Subject.RESOURCE, Scope.GLOBAL),
+    "amazon": Typology(Architecture.CENTRALIZED, Subject.RESOURCE, Scope.GLOBAL),
+    "epinions": Typology(
+        Architecture.CENTRALIZED, Subject.RESOURCE, Scope.PERSONALIZED
+    ),
+    "collaborative_filtering": Typology(
+        Architecture.CENTRALIZED, Subject.RESOURCE, Scope.PERSONALIZED
+    ),
+    "maximilien_singh": Typology(
+        Architecture.CENTRALIZED, Subject.RESOURCE, Scope.PERSONALIZED
+    ),
+    "liu_ngu_zeng": Typology(
+        Architecture.CENTRALIZED, Subject.RESOURCE, Scope.PERSONALIZED
+    ),
+    "day": Typology(
+        Architecture.CENTRALIZED, Subject.RESOURCE, Scope.PERSONALIZED
+    ),
+    "yu_singh": Typology(
+        Architecture.DECENTRALIZED, Subject.PERSON_AGENT, Scope.PERSONALIZED
+    ),
+    "yolum_singh": Typology(
+        Architecture.DECENTRALIZED, Subject.PERSON_AGENT, Scope.PERSONALIZED
+    ),
+    "wang_vassileva": Typology(
+        Architecture.DECENTRALIZED, Subject.PERSON_AGENT, Scope.PERSONALIZED
+    ),
+    "xrep": Typology(
+        Architecture.DECENTRALIZED, Subject.RESOURCE, Scope.GLOBAL
+    ),
+    "social_network": Typology(
+        Architecture.DECENTRALIZED, Subject.PERSON_AGENT, Scope.GLOBAL
+    ),
+    "aberer_despotovic": Typology(
+        Architecture.DECENTRALIZED, Subject.PERSON_AGENT, Scope.GLOBAL
+    ),
+    "peertrust": Typology(
+        Architecture.DECENTRALIZED, Subject.PERSON_AGENT, Scope.GLOBAL
+    ),
+    "eigentrust": Typology(
+        Architecture.DECENTRALIZED, Subject.PERSON_AGENT, Scope.GLOBAL
+    ),
+    "vu_aberer": Typology(
+        Architecture.DECENTRALIZED,
+        Subject.PERSON_AGENT_AND_RESOURCE,
+        Scope.PERSONALIZED,
+    ),
+}

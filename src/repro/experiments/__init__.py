@@ -1,0 +1,38 @@
+"""Experiment harness: workload generators, metrics, shared drivers.
+
+Benchmarks under ``benchmarks/`` are thin: they call into this package
+to build a world, run a mechanism on it, and print the rows/series each
+figure or claim requires.  Examples reuse the same pieces.
+"""
+
+from repro.experiments.workloads import (
+    World,
+    make_consumers,
+    make_world,
+    uniform_preferences,
+)
+from repro.experiments.metrics import (
+    kendall_tau,
+    ranking_quality,
+    score_mae,
+    spearman_rho,
+    top_k_precision,
+)
+from repro.experiments.harness import (
+    SelectionOutcome,
+    run_selection_experiment,
+)
+
+__all__ = [
+    "SelectionOutcome",
+    "World",
+    "kendall_tau",
+    "make_consumers",
+    "make_world",
+    "ranking_quality",
+    "run_selection_experiment",
+    "score_mae",
+    "spearman_rho",
+    "top_k_precision",
+    "uniform_preferences",
+]

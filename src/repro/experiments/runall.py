@@ -1,0 +1,70 @@
+"""Regenerate every figure/claim table from the command line.
+
+``python -m repro.experiments.runall`` delegates to the benchmark suite
+with table printing on and timing off — the one-command path to all of
+EXPERIMENTS.md's numbers.  Individual experiments can be selected by
+their id: ``python -m repro.experiments.runall F4 C5``.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+#: Experiment id -> benchmark file.
+EXPERIMENTS = {
+    "F1": "test_fig1_scenarios.py",
+    "F2": "test_fig2_activities.py",
+    "F3": "test_fig3_qos_facets.py",
+    "F4": "test_fig4_typology.py",
+    "C1": "test_claim_exaggeration.py",
+    "C2": "test_claim_monitoring_cost.py",
+    "C3": "test_claim_explorer_agents.py",
+    "C4": "test_claim_decay.py",
+    "C5": "test_claim_unfair_ratings.py",
+    "C6": "test_claim_central_vs_decentral.py",
+    "C7": "test_claim_provider_reputation.py",
+    "C8": "test_claim_personalization.py",
+    "C9": "test_claim_pgrid_overhead.py",
+    "C10": "test_claim_transitivity.py",
+    "C11": "test_claim_whitewash_sybil.py",
+    "C12": "test_claim_runtime_selection.py",
+    "C13": "test_claim_stale_registry.py",
+    "ABL": "test_ablations.py",
+}
+
+
+def benchmark_dir() -> Path:
+    """The benchmarks directory relative to the repository root."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        candidate = parent / "benchmarks"
+        if candidate.is_dir():
+            return candidate
+    raise FileNotFoundError("benchmarks directory not found")
+
+
+def main(argv: "list[str]") -> int:
+    requested = [arg.upper() for arg in argv] or list(EXPERIMENTS)
+    unknown = [r for r in requested if r not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}")
+        print(f"available: {', '.join(EXPERIMENTS)}")
+        return 2
+    bench = benchmark_dir()
+    targets = [str(bench / EXPERIMENTS[r]) for r in requested]
+    command = [
+        sys.executable, "-m", "pytest", *targets,
+        "-q", "-s", "--benchmark-disable",
+    ]
+    return subprocess.call(command)
+
+
+def console_main() -> int:
+    """Entry point for the ``repro-experiments`` console script."""
+    return main(sys.argv[1:])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

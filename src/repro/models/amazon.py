@@ -1,0 +1,105 @@
+"""Amazon-style review aggregation — centralized / resource / global.
+
+A product page's standing is the mean star rating, with two published
+refinements reproduced here: reviews with more *helpful votes* count
+more, and recent reviews count more than stale ones.  Ratings on
+``[0, 1]`` map to the 1-5 star scale for display.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import EntityId
+from repro.common.records import Feedback
+from repro.core.decay import DecayPolicy, ExponentialDecay
+from repro.core.typology import Architecture, Scope, Subject, Typology
+from repro.models.base import ReputationModel
+
+
+@dataclass
+class _Review:
+    rater: EntityId
+    time: float
+    rating: float
+    helpful_votes: int = 0
+
+
+class AmazonModel(ReputationModel):
+    """Helpfulness- and recency-weighted mean rating.
+
+    Args:
+        decay: recency weighting of reviews (default: half-life 200).
+        helpfulness_weight: extra weight per helpful vote; a review's
+            weight is ``1 + helpfulness_weight * votes``.
+    """
+
+    name = "amazon"
+    typology = Typology(
+        Architecture.CENTRALIZED, Subject.RESOURCE, Scope.GLOBAL
+    )
+    paper_ref = "[2]"
+
+    def __init__(
+        self,
+        decay: Optional[DecayPolicy] = None,
+        helpfulness_weight: float = 0.25,
+    ) -> None:
+        if helpfulness_weight < 0:
+            raise ConfigurationError("helpfulness_weight must be >= 0")
+        self.decay = decay or ExponentialDecay(half_life=200.0)
+        self.helpfulness_weight = helpfulness_weight
+        self._reviews: Dict[EntityId, List[_Review]] = {}
+
+    def record(self, feedback: Feedback) -> None:
+        self._reviews.setdefault(feedback.target, []).append(
+            _Review(
+                rater=feedback.rater,
+                time=feedback.time,
+                rating=feedback.rating,
+            )
+        )
+
+    def vote_helpful(
+        self, target: EntityId, rater: EntityId, votes: int = 1
+    ) -> None:
+        """Add helpful votes to *rater*'s reviews of *target*."""
+        if votes < 0:
+            raise ConfigurationError("votes must be >= 0")
+        for review in self._reviews.get(target, ()):
+            if review.rater == rater:
+                review.helpful_votes += votes
+
+    def review_count(self, target: EntityId) -> int:
+        return len(self._reviews.get(target, ()))
+
+    def star_rating(
+        self, target: EntityId, now: Optional[float] = None
+    ) -> Optional[float]:
+        """Display rating on the 1-5 star scale; None without reviews."""
+        if not self._reviews.get(target):
+            return None
+        return 1.0 + 4.0 * self.score(target, now=now)
+
+    def score(
+        self,
+        target: EntityId,
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> float:
+        reviews = self._reviews.get(target)
+        if not reviews:
+            return 0.5
+        total = 0.0
+        weight_sum = 0.0
+        for review in reviews:
+            weight = 1.0 + self.helpfulness_weight * review.helpful_votes
+            if now is not None:
+                weight *= self.decay(max(0.0, now - review.time))
+            total += weight * review.rating
+            weight_sum += weight
+        if weight_sum <= 0:
+            return 0.5
+        return total / weight_sum

@@ -1,0 +1,95 @@
+"""The common interface every surveyed system implements.
+
+A :class:`ReputationModel` consumes :class:`~repro.common.records.Feedback`
+through :meth:`record` and answers score queries through :meth:`score`.
+Personalized systems use the *perspective* argument (whose opinion is
+being asked); global systems ignore it.  Scores are always on ``[0, 1]``
+so models are directly comparable in the typology benchmark.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, List, Optional
+
+from repro.common.ids import EntityId
+from repro.common.records import Feedback
+
+if TYPE_CHECKING:  # imported lazily to avoid a core <-> models cycle
+    from repro.core.typology import Typology
+
+
+@dataclass(frozen=True)
+class ScoredTarget:
+    """One ranked candidate."""
+
+    target: EntityId
+    score: float
+
+
+class ReputationModel(abc.ABC):
+    """Base class for trust and reputation mechanisms.
+
+    Class attributes:
+        name: registry key (snake_case).
+        typology: the system's Figure 4 classification.
+        paper_ref: citation bracket from the survey's reference list.
+    """
+
+    name: str = "abstract"
+    typology: Optional["Typology"] = None
+    paper_ref: str = ""
+
+    @abc.abstractmethod
+    def record(self, feedback: Feedback) -> None:
+        """Ingest one feedback report."""
+
+    @abc.abstractmethod
+    def score(
+        self,
+        target: EntityId,
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> float:
+        """Reputation/trust of *target* on ``[0, 1]``.
+
+        Args:
+            target: the entity being scored.
+            perspective: the asking member, for personalized systems.
+            now: current simulation time, for decay-aware systems.
+
+        Entities without any evidence score the model's prior (usually
+        0.5 — maximal uncertainty).
+        """
+
+    def record_many(self, feedbacks: Iterable[Feedback]) -> None:
+        for fb in feedbacks:
+            self.record(fb)
+
+    def rank(
+        self,
+        candidates: Iterable[EntityId],
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> List[ScoredTarget]:
+        """Candidates sorted best-first (ties broken by id for
+        determinism)."""
+        scored = [
+            ScoredTarget(target=c, score=self.score(c, perspective, now))
+            for c in candidates
+        ]
+        scored.sort(key=lambda st: (-st.score, st.target))
+        return scored
+
+    def best(
+        self,
+        candidates: Iterable[EntityId],
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> Optional[EntityId]:
+        ranking = self.rank(candidates, perspective, now)
+        return ranking[0].target if ranking else None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

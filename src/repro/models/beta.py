@@ -1,0 +1,79 @@
+"""Beta-distribution reputation (Jøsang & Ismail's baseline family).
+
+Not a Figure 4 leaf itself, but the primitive several surveyed systems
+reduce to and the "simple global mechanism" the paper's Section 5 says
+suffices for services that need no personalization (currency converters,
+weather forecasts).  Evidence is accumulated as pseudo-counts
+``(alpha, beta)``; the score is the expected value of the Beta posterior.
+
+A *forgetting factor* ``lam`` (Jøsang's longevity) discounts old
+evidence multiplicatively on every update, giving the model the
+"dynamic" characteristic of Section 3 without storing histories.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import EntityId
+from repro.common.records import Feedback
+from repro.core.typology import Architecture, Scope, Subject, Typology
+from repro.models.base import ReputationModel
+
+
+class BetaReputation(ReputationModel):
+    """Beta reputation with multiplicative forgetting.
+
+    Args:
+        prior_alpha / prior_beta: pseudo-counts of the uniform prior.
+        lam: forgetting factor in ``(0, 1]``; 1.0 never forgets.
+    """
+
+    name = "beta"
+    typology = Typology(
+        Architecture.CENTRALIZED, Subject.RESOURCE, Scope.GLOBAL
+    )
+    paper_ref = "[11] (survey baseline)"
+
+    def __init__(
+        self,
+        prior_alpha: float = 1.0,
+        prior_beta: float = 1.0,
+        lam: float = 1.0,
+    ) -> None:
+        if prior_alpha <= 0 or prior_beta <= 0:
+            raise ConfigurationError("priors must be positive")
+        if not 0.0 < lam <= 1.0:
+            raise ConfigurationError("lam must be in (0, 1]")
+        self.prior_alpha = prior_alpha
+        self.prior_beta = prior_beta
+        self.lam = lam
+        self._evidence: Dict[EntityId, Tuple[float, float]] = {}
+
+    def record(self, feedback: Feedback) -> None:
+        alpha, beta = self._evidence.get(feedback.target, (0.0, 0.0))
+        alpha = self.lam * alpha + feedback.rating
+        beta = self.lam * beta + (1.0 - feedback.rating)
+        self._evidence[feedback.target] = (alpha, beta)
+
+    def score(
+        self,
+        target: EntityId,
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> float:
+        alpha, beta = self._evidence.get(target, (0.0, 0.0))
+        a = alpha + self.prior_alpha
+        b = beta + self.prior_beta
+        return a / (a + b)
+
+    def evidence(self, target: EntityId) -> Tuple[float, float]:
+        """Raw accumulated (positive, negative) evidence mass."""
+        return self._evidence.get(target, (0.0, 0.0))
+
+    def confidence(self, target: EntityId) -> float:
+        """Evidence mass mapped to ``[0, 1)``: n / (n + 2)."""
+        alpha, beta = self._evidence.get(target, (0.0, 0.0))
+        n = alpha + beta
+        return n / (n + 2.0)

@@ -1,0 +1,114 @@
+"""eBay's feedback forum — centralized / person-agent / global.
+
+The canonical "simple and effective" global mechanism (paper Sections 4
+and 5).  Buyers leave +1 / 0 / −1 feedback; the site shows a cumulative
+feedback *score* (sum), a *positive percentage*, and recent-window
+breakdowns.  :meth:`score` returns the Laplace-smoothed positive
+fraction so the model is comparable to others on ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import EntityId
+from repro.common.records import Feedback
+from repro.core.typology import Architecture, Scope, Subject, Typology
+from repro.models.base import ReputationModel
+
+
+@dataclass(frozen=True)
+class _Entry:
+    time: float
+    sign: int  # +1, 0, -1
+
+
+@dataclass(frozen=True)
+class FeedbackSummary:
+    """What an eBay member page shows."""
+
+    score: int
+    positives: int
+    neutrals: int
+    negatives: int
+
+    @property
+    def positive_percentage(self) -> float:
+        judged = self.positives + self.negatives
+        if judged == 0:
+            return 100.0
+        return 100.0 * self.positives / judged
+
+
+class EbayModel(ReputationModel):
+    """eBay feedback: signed counts with recent-window views.
+
+    Ratings on ``[0, 1]`` are ternarized: above ``positive_threshold``
+    counts +1, below ``negative_threshold`` counts −1, else neutral.
+    """
+
+    name = "ebay"
+    typology = Typology(
+        Architecture.CENTRALIZED, Subject.PERSON_AGENT, Scope.GLOBAL
+    )
+    paper_ref = "[7]"
+
+    def __init__(
+        self,
+        positive_threshold: float = 2.0 / 3.0,
+        negative_threshold: float = 1.0 / 3.0,
+    ) -> None:
+        if not 0.0 <= negative_threshold < positive_threshold <= 1.0:
+            raise ConfigurationError(
+                "need 0 <= negative_threshold < positive_threshold <= 1"
+            )
+        self.positive_threshold = positive_threshold
+        self.negative_threshold = negative_threshold
+        self._entries: Dict[EntityId, List[_Entry]] = {}
+
+    def _sign(self, rating: float) -> int:
+        if rating > self.positive_threshold:
+            return 1
+        if rating < self.negative_threshold:
+            return -1
+        return 0
+
+    def record(self, feedback: Feedback) -> None:
+        self._entries.setdefault(feedback.target, []).append(
+            _Entry(time=feedback.time, sign=self._sign(feedback.rating))
+        )
+
+    def summary(
+        self,
+        target: EntityId,
+        window: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> FeedbackSummary:
+        """The member-page numbers, optionally restricted to a recent
+        window (eBay's 1/6/12-month columns)."""
+        entries = self._entries.get(target, [])
+        if window is not None:
+            if now is None:
+                raise ConfigurationError("window requires now")
+            entries = [e for e in entries if now - e.time <= window]
+        positives = sum(1 for e in entries if e.sign > 0)
+        negatives = sum(1 for e in entries if e.sign < 0)
+        neutrals = len(entries) - positives - negatives
+        return FeedbackSummary(
+            score=positives - negatives,
+            positives=positives,
+            neutrals=neutrals,
+            negatives=negatives,
+        )
+
+    def score(
+        self,
+        target: EntityId,
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> float:
+        s = self.summary(target)
+        # Laplace smoothing: no evidence scores 0.5.
+        return (s.positives + 1.0) / (s.positives + s.negatives + 2.0)

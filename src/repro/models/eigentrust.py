@@ -1,0 +1,324 @@
+"""EigenTrust (Kamvar, Schlosser & Garcia-Molina) — decentralized /
+person-agent / global.
+
+Local trust: peer *i*'s satisfaction balance with *j*,
+``s_ij = sat(i,j) − unsat(i,j)``, clipped at zero and normalized into a
+row-stochastic matrix *C*.  Global trust is the stationary vector of
+
+.. math::  t^{(k+1)} = (1 - a)\\, C^T t^{(k)} + a\\, p
+
+where *p* is the distribution over **pre-trusted peers** and *a* the
+blend weight — the ingredient that makes EigenTrust resistant to
+collusion rings (malicious cliques inflate each other but receive no
+mass from the pre-trusted set).
+
+Two deployments:
+
+* :class:`EigenTrustModel` — the matrix iteration, run centrally.
+* :class:`DistributedEigenTrust` — the secure distributed variant:
+  each peer's trust value is computed by *score managers* located via a
+  :class:`~repro.p2p.dht.ChordDHT`, with DHT messages counted so the
+  overhead experiment can price decentralization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import EntityId
+from repro.common.records import Feedback
+from repro.core.typology import Architecture, Scope, Subject, Typology
+from repro.models.base import ReputationModel
+from repro.p2p.dht import ChordDHT
+
+
+class EigenTrustModel(ReputationModel):
+    """EigenTrust power iteration over local trust values.
+
+    Args:
+        pre_trusted: ids of the pre-trusted peer set P (may be empty,
+            in which case *p* is uniform over all known peers — the
+            non-robust baseline variant).
+        alpha: weight of the pre-trusted distribution (their *a*).
+        positive_threshold: ratings above this count as satisfactory.
+        tol / max_iter: iteration controls.
+    """
+
+    name = "eigentrust"
+    typology = Typology(
+        Architecture.DECENTRALIZED, Subject.PERSON_AGENT, Scope.GLOBAL
+    )
+    paper_ref = "[11, 12]"
+
+    def __init__(
+        self,
+        pre_trusted: Optional[Iterable[EntityId]] = None,
+        alpha: float = 0.1,
+        positive_threshold: float = 0.5,
+        tol: float = 1e-10,
+        max_iter: int = 200,
+    ) -> None:
+        if not 0.0 <= alpha <= 1.0:
+            raise ConfigurationError("alpha must be in [0, 1]")
+        self.pre_trusted: Set[EntityId] = set(pre_trusted or ())
+        self.alpha = alpha
+        self.positive_threshold = positive_threshold
+        self.tol = tol
+        self.max_iter = max_iter
+        #: (rater, target) -> (sat, unsat) counts
+        self._counts: Dict[Tuple[EntityId, EntityId], Tuple[int, int]] = {}
+        self._peers: Set[EntityId] = set(self.pre_trusted)
+        self._trust: Optional[Dict[EntityId, float]] = None
+        self.iterations_last_run = 0
+
+    def record(self, feedback: Feedback) -> None:
+        key = (feedback.rater, feedback.target)
+        sat, unsat = self._counts.get(key, (0, 0))
+        if feedback.rating > self.positive_threshold:
+            sat += 1
+        else:
+            unsat += 1
+        self._counts[key] = (sat, unsat)
+        self._peers.update(key)
+        self._trust = None
+
+    def local_trust(self, rater: EntityId, target: EntityId) -> float:
+        """Normalized c_ij (row-normalized clipped satisfaction balance)."""
+        row = self._local_row(rater)
+        return row.get(target, 0.0)
+
+    def _local_row(self, rater: EntityId) -> Dict[EntityId, float]:
+        raw: Dict[EntityId, float] = {}
+        for (i, j), (sat, unsat) in self._counts.items():
+            if i != rater:
+                continue
+            raw[j] = max(sat - unsat, 0)
+        total = sum(raw.values())
+        if total <= 0:
+            # No positive experience: trust the pre-trusted set (their
+            # fallback for undefined rows).
+            if self.pre_trusted:
+                share = 1.0 / len(self.pre_trusted)
+                return {p: share for p in self.pre_trusted}
+            n = len(self._peers)
+            return {p: 1.0 / n for p in self._peers} if n else {}
+        return {j: v / total for j, v in raw.items()}
+
+    def _prior(self) -> Dict[EntityId, float]:
+        if self.pre_trusted:
+            share = 1.0 / len(self.pre_trusted)
+            return {p: share for p in self.pre_trusted}
+        n = len(self._peers)
+        return {p: 1.0 / n for p in self._peers} if n else {}
+
+    def compute(self) -> Dict[EntityId, float]:
+        """Run the damped power iteration; returns global trust (sums to 1)."""
+        peers = sorted(self._peers)
+        if not peers:
+            self._trust = {}
+            return {}
+        prior = self._prior()
+        rows = {p: self._local_row(p) for p in peers}
+        trust = dict(prior) if prior else {p: 1.0 / len(peers) for p in peers}
+        for p in peers:
+            trust.setdefault(p, 0.0)
+        for iteration in range(self.max_iter):
+            nxt = {p: self.alpha * prior.get(p, 0.0) for p in peers}
+            for i in peers:
+                ti = trust.get(i, 0.0)
+                if ti <= 0:
+                    continue
+                for j, c_ij in rows[i].items():
+                    if j not in nxt:
+                        continue
+                    nxt[j] += (1.0 - self.alpha) * c_ij * ti
+            delta = sum(abs(nxt[p] - trust.get(p, 0.0)) for p in peers)
+            trust = nxt
+            if delta < self.tol:
+                self.iterations_last_run = iteration + 1
+                break
+        else:
+            self.iterations_last_run = self.max_iter
+        total = sum(trust.values())
+        if total > 0:
+            trust = {p: v / total for p, v in trust.items()}
+        self._trust = trust
+        return dict(trust)
+
+    def compute_dense(self) -> Dict[EntityId, float]:
+        """Numpy-vectorized power iteration; same fixed point as
+        :meth:`compute`, markedly faster for hundreds of peers."""
+        peers = sorted(self._peers)
+        n = len(peers)
+        if n == 0:
+            self._trust = {}
+            return {}
+        index = {p: i for i, p in enumerate(peers)}
+        prior_map = self._prior()
+        prior = np.zeros(n)
+        for p, v in prior_map.items():
+            prior[index[p]] = v
+        matrix = np.zeros((n, n))
+        for i, p in enumerate(peers):
+            for j, c_ij in self._local_row(p).items():
+                if j in index:
+                    matrix[i, index[j]] = c_ij
+        trust = prior.copy() if prior.sum() > 0 else np.full(n, 1.0 / n)
+        for iteration in range(self.max_iter):
+            nxt = self.alpha * prior + (1.0 - self.alpha) * (
+                matrix.T @ trust
+            )
+            delta = float(np.abs(nxt - trust).sum())
+            trust = nxt
+            if delta < self.tol:
+                self.iterations_last_run = iteration + 1
+                break
+        else:
+            self.iterations_last_run = self.max_iter
+        total = float(trust.sum())
+        if total > 0:
+            trust = trust / total
+        self._trust = {p: float(trust[index[p]]) for p in peers}
+        return dict(self._trust)
+
+    def global_trust(self, target: EntityId) -> float:
+        if self._trust is None:
+            self.compute()
+        assert self._trust is not None
+        return self._trust.get(target, 0.0)
+
+    def score(
+        self,
+        target: EntityId,
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> float:
+        if self._trust is None:
+            self.compute()
+        assert self._trust is not None
+        if not self._trust:
+            return 0.5
+        top = max(self._trust.values())
+        if top <= 0:
+            return 0.5
+        return self._trust.get(target, 0.0) / top
+
+
+class DistributedEigenTrust:
+    """Distributed EigenTrust over a Chord DHT.
+
+    Each peer *i*'s trust value is maintained by score managers owning
+    keys ``trust:i:<replica>``.  One round has every peer report its
+    weighted local-trust contributions to the relevant score managers
+    (DHT puts), and managers aggregate (DHT gets) — all message costs
+    land in the DHT's network accounting.
+
+    Args:
+        n_managers: redundant score managers per peer (Kamvar's secure
+            variant).  With several managers, :meth:`query_trust` takes
+            the *median* of their answers, so a single compromised
+            manager cannot move a peer's reported trust.
+    """
+
+    def __init__(
+        self,
+        model: EigenTrustModel,
+        dht: ChordDHT,
+        n_managers: int = 1,
+    ) -> None:
+        if n_managers < 1:
+            raise ConfigurationError("n_managers must be >= 1")
+        self.model = model
+        self.dht = dht
+        self.n_managers = n_managers
+        self.rounds_run = 0
+        self.messages_used = 0
+        self._last_trust: Dict[EntityId, float] = {}
+
+    def manager_keys(self, peer: EntityId) -> "list[str]":
+        """The DHT keys of *peer*'s score managers."""
+        if self.n_managers == 1:
+            return [f"trust:{peer}"]
+        return [f"trust:{peer}:{i}" for i in range(self.n_managers)]
+
+    def run(self, rounds: int = 10) -> Dict[EntityId, float]:
+        """Run *rounds* distributed iterations; returns global trust.
+
+        The arithmetic matches :meth:`EigenTrustModel.compute` (same
+        fixed point); what differs is *where* values live and the
+        message cost, which this method meters through the DHT.
+        """
+        peers = sorted(self.model._peers)
+        if not peers:
+            return {}
+        # Clear any manager mailboxes left by a previous run (the final
+        # published values would otherwise pollute round one).
+        for j in peers:
+            for key in self.manager_keys(j):
+                owner = self.dht.responsible_node(key)
+                self.dht.node(owner).store.pop(key, None)
+        prior = self.model._prior()
+        rows = {p: self.model._local_row(p) for p in peers}
+        trust = dict(prior) if prior else {p: 1.0 / len(peers) for p in peers}
+        for p in peers:
+            trust.setdefault(p, 0.0)
+        for _ in range(rounds):
+            # Phase 1: each peer i sends c_ij * t_i to j's score
+            # managers (all replicas).
+            for i in peers:
+                ti = trust.get(i, 0.0)
+                for j, c_ij in rows[i].items():
+                    if j not in trust:
+                        continue
+                    for key in self.manager_keys(j):
+                        hops = self.dht.put(i, key, c_ij * ti)
+                        self.messages_used += hops
+            # Phase 2: each peer's managers aggregate and damp; the
+            # peer adopts the median of its managers' answers.
+            nxt: Dict[EntityId, float] = {}
+            for j in peers:
+                answers = []
+                for key in self.manager_keys(j):
+                    contributions, hops = self.dht.get(j, key)
+                    self.messages_used += hops
+                    incoming = sum(contributions)
+                    answers.append(
+                        self.model.alpha * prior.get(j, 0.0)
+                        + (1.0 - self.model.alpha) * incoming
+                    )
+                    owner = self.dht.responsible_node(key)
+                    self.dht.node(owner).store[key] = []
+                answers.sort()
+                nxt[j] = answers[len(answers) // 2]
+            total = sum(nxt.values())
+            if total > 0:
+                nxt = {p: v / total for p, v in nxt.items()}
+            trust = nxt
+            self.rounds_run += 1
+        # Publish the final values so query_trust can fetch them.
+        for j, value in trust.items():
+            for key in self.manager_keys(j):
+                hops = self.dht.put(j, key, value)
+                self.messages_used += hops
+        self._last_trust = dict(trust)
+        return trust
+
+    def query_trust(self, origin: EntityId, peer: EntityId) -> float:
+        """Fetch *peer*'s trust from its managers; median of answers.
+
+        A single lying manager (tampered store) cannot move the result
+        when ``n_managers >= 3``.
+        """
+        answers = []
+        for key in self.manager_keys(peer):
+            values, hops = self.dht.get(origin, key)
+            self.messages_used += hops
+            if values:
+                answers.append(values[-1])
+        if not answers:
+            return self._last_trust.get(peer, 0.0)
+        answers.sort()
+        return answers[len(answers) // 2]

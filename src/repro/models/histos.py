@@ -1,0 +1,115 @@
+"""Histos (Zacharia, Moukas & Maes) — centralized / person-agent /
+personalized.
+
+Where Sporas keeps one global value, Histos answers "what does *this*
+user think of that one?" by walking the directed rating graph rooted at
+the asking user.  The personalized reputation of ``x`` for root ``u``:
+
+* the direct rating ``u -> x`` when it exists, else
+* the recursive weighted mean over ``u``'s rated acquaintances ``y``:
+  weight = ``u``'s (recursive) trust in ``y``, value = trust of ``y`` in
+  ``x`` — evaluated breadth-first to a depth bound, ignoring cycles.
+
+Only the *latest* rating per (rater, target) edge counts, matching the
+"most recent experience dominates" reading in the original paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import EntityId
+from repro.common.records import Feedback
+from repro.core.typology import Architecture, Scope, Subject, Typology
+from repro.models.base import ReputationModel
+
+
+class HistosModel(ReputationModel):
+    """Personalized reputation over the rating graph.
+
+    Args:
+        max_depth: longest referral chain considered.
+        prior: score when no path from the perspective reaches the target.
+    """
+
+    name = "histos"
+    typology = Typology(
+        Architecture.CENTRALIZED, Subject.PERSON_AGENT, Scope.PERSONALIZED
+    )
+    paper_ref = "[37]"
+
+    def __init__(self, max_depth: int = 4, prior: float = 0.5) -> None:
+        if max_depth < 1:
+            raise ConfigurationError("max_depth must be >= 1")
+        if not 0.0 <= prior <= 1.0:
+            raise ConfigurationError("prior must be in [0, 1]")
+        self.max_depth = max_depth
+        self.prior = prior
+        #: rater -> target -> (time, rating); latest rating wins
+        self._edges: Dict[EntityId, Dict[EntityId, tuple]] = {}
+
+    def record(self, feedback: Feedback) -> None:
+        outgoing = self._edges.setdefault(feedback.rater, {})
+        existing = outgoing.get(feedback.target)
+        if existing is None or feedback.time >= existing[0]:
+            outgoing[feedback.target] = (feedback.time, feedback.rating)
+
+    def direct_rating(
+        self, rater: EntityId, target: EntityId
+    ) -> Optional[float]:
+        entry = self._edges.get(rater, {}).get(target)
+        return entry[1] if entry else None
+
+    def _trust(
+        self,
+        root: EntityId,
+        target: EntityId,
+        depth: int,
+        visited: Set[EntityId],
+    ) -> Optional[float]:
+        direct = self.direct_rating(root, target)
+        if direct is not None:
+            return direct
+        if depth <= 0:
+            return None
+        total_weight = 0.0
+        total = 0.0
+        for neighbor, (_, weight) in self._edges.get(root, {}).items():
+            if neighbor in visited or neighbor == target:
+                continue
+            if weight <= 0:
+                continue  # distrusted acquaintances carry no referrals
+            downstream = self._trust(
+                neighbor, target, depth - 1, visited | {neighbor}
+            )
+            if downstream is None:
+                continue
+            total += weight * downstream
+            total_weight += weight
+        if total_weight <= 0:
+            return None
+        return total / total_weight
+
+    def score(
+        self,
+        target: EntityId,
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> float:
+        if perspective is None:
+            # No root given: fall back to the global mean of incoming
+            # latest ratings (what a new, unconnected user would see).
+            incoming = [
+                entry[1]
+                for edges in self._edges.values()
+                for tgt, entry in edges.items()
+                if tgt == target
+            ]
+            if not incoming:
+                return self.prior
+            return sum(incoming) / len(incoming)
+        value = self._trust(
+            perspective, target, self.max_depth, {perspective}
+        )
+        return self.prior if value is None else value

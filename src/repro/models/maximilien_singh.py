@@ -1,0 +1,181 @@
+"""Maximilien & Singh's agent-based service reputation — centralized /
+resource / personalized.
+
+Their conceptual model: reputation attaches to each **QoS facet** of a
+service (the ontology's quality attributes), with an aggregate computed
+against the *consumer's* preferences — so the same evidence yields
+different selection scores for consumers who weigh facets differently.
+Provider *advertisements* participate too: a facet's effective value
+blends community reputation with the provider's claim, with the claim's
+weight shrinking as evidence accumulates (and a persistent mismatch
+between claims and reputation damping the provider's say further).
+
+Explorer agents (their multiagent paper) integrate via
+:class:`~repro.services.monitoring.ExplorerAgentPool`, which files
+feedback straight into this model's :meth:`record`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import EntityId
+from repro.common.mathutils import safe_mean
+from repro.common.records import Feedback
+from repro.core.decay import DecayPolicy, ExponentialDecay
+from repro.core.typology import Architecture, Scope, Subject, Typology
+from repro.models.base import ReputationModel
+
+
+@dataclass
+class _FacetHistory:
+    times: list = field(default_factory=list)
+    ratings: list = field(default_factory=list)
+
+    def add(self, time: float, rating: float) -> None:
+        self.times.append(time)
+        self.ratings.append(rating)
+
+    def weighted_mean(
+        self, decay: DecayPolicy, now: Optional[float]
+    ) -> Optional[float]:
+        if not self.ratings:
+            return None
+        if now is None:
+            return safe_mean(self.ratings)
+        total = 0.0
+        weight_sum = 0.0
+        for t, r in zip(self.times, self.ratings):
+            w = decay(max(0.0, now - t))
+            total += w * r
+            weight_sum += w
+        if weight_sum <= 0:
+            return safe_mean(self.ratings)
+        return total / weight_sum
+
+    def __len__(self) -> int:
+        return len(self.ratings)
+
+
+class MaximilienSinghModel(ReputationModel):
+    """Per-facet reputation with advertisement blending.
+
+    Args:
+        decay: recency weighting of facet ratings.
+        claim_evidence_scale: evidence count at which the provider's
+            claim has lost half its weight in the blend.
+    """
+
+    name = "maximilien_singh"
+    typology = Typology(
+        Architecture.CENTRALIZED, Subject.RESOURCE, Scope.PERSONALIZED
+    )
+    paper_ref = "[18-21]"
+
+    def __init__(
+        self,
+        decay: Optional[DecayPolicy] = None,
+        claim_evidence_scale: float = 5.0,
+    ) -> None:
+        if claim_evidence_scale <= 0:
+            raise ConfigurationError("claim_evidence_scale must be positive")
+        self.decay = decay or ExponentialDecay(half_life=100.0)
+        self.claim_evidence_scale = claim_evidence_scale
+        #: service -> facet -> history
+        self._facets: Dict[EntityId, Dict[str, _FacetHistory]] = {}
+        self._overall: Dict[EntityId, _FacetHistory] = {}
+        #: service -> facet -> provider claim
+        self._claims: Dict[EntityId, Dict[str, float]] = {}
+        #: consumer -> facet preference weights
+        self._preferences: Dict[EntityId, Dict[str, float]] = {}
+
+    # -- ontology inputs ------------------------------------------------
+    def register_advertisement(
+        self, service: EntityId, claims: Mapping[str, float]
+    ) -> None:
+        """Store the provider's per-facet QoS claims."""
+        for facet, value in claims.items():
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"claim for {facet!r} must be in [0, 1]"
+                )
+        self._claims[service] = dict(claims)
+
+    def set_preferences(
+        self, consumer: EntityId, weights: Mapping[str, float]
+    ) -> None:
+        """A consumer expresses facet importance via the ontology."""
+        self._preferences[consumer] = dict(weights)
+
+    # -- evidence ------------------------------------------------------------
+    def record(self, feedback: Feedback) -> None:
+        self._overall.setdefault(feedback.target, _FacetHistory()).add(
+            feedback.time, feedback.rating
+        )
+        facets = self._facets.setdefault(feedback.target, {})
+        for facet, rating in feedback.facet_ratings.items():
+            facets.setdefault(facet, _FacetHistory()).add(
+                feedback.time, rating
+            )
+
+    # -- queries --------------------------------------------------------------
+    def facet_reputation(
+        self, service: EntityId, facet: str, now: Optional[float] = None
+    ) -> float:
+        """Community + claim blend for one facet of *service*."""
+        history = self._facets.get(service, {}).get(facet)
+        claim = self._claims.get(service, {}).get(facet)
+        community = (
+            history.weighted_mean(self.decay, now) if history else None
+        )
+        evidence = len(history) if history else 0
+        if community is None and claim is None:
+            return 0.5
+        if community is None:
+            assert claim is not None
+            return claim
+        if claim is None:
+            return community
+        claim_weight = self.claim_evidence_scale / (
+            self.claim_evidence_scale + evidence
+        )
+        # Providers whose claims diverge from observed reality lose say.
+        mismatch = abs(claim - community)
+        claim_weight *= max(0.0, 1.0 - mismatch)
+        return claim_weight * claim + (1.0 - claim_weight) * community
+
+    def score(
+        self,
+        target: EntityId,
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> float:
+        weights = (
+            self._preferences.get(perspective) if perspective else None
+        )
+        facets = set(self._facets.get(target, {})) | set(
+            self._claims.get(target, {})
+        )
+        if not facets:
+            history = self._overall.get(target)
+            if history is None:
+                return 0.5
+            value = history.weighted_mean(self.decay, now)
+            return 0.5 if value is None else value
+        if weights:
+            total = 0.0
+            weight_sum = 0.0
+            for facet in sorted(facets):
+                w = weights.get(facet, 0.0)
+                if w <= 0:
+                    continue
+                total += w * self.facet_reputation(target, facet, now)
+                weight_sum += w
+            if weight_sum > 0:
+                return total / weight_sum
+        return safe_mean(
+            (self.facet_reputation(target, f, now) for f in sorted(facets)),
+            default=0.5,
+        )

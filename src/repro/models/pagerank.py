@@ -1,0 +1,133 @@
+"""PageRank (Page, Brin, Motwani & Winograd) — centralized / resource /
+global.
+
+The survey places Google in the centralized-resource-global leaf: a
+resource's standing derives from who endorses it.  Here the endorsement
+graph is built from feedback — a positive rating creates (or refreshes)
+an edge ``rater -> target`` — and reputation is the stationary
+distribution of the damped random walk, computed by power iteration
+from scratch (no networkx).
+
+Scores are normalized by the maximum rank so they land on ``[0, 1]``
+like every other model; :meth:`raw_rank` exposes the probability mass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import EntityId
+from repro.common.records import Feedback
+from repro.core.typology import Architecture, Scope, Subject, Typology
+from repro.models.base import ReputationModel
+
+
+class PageRankModel(ReputationModel):
+    """PageRank over the positive-endorsement graph.
+
+    Args:
+        damping: probability of following an edge (0.85 in the paper).
+        positive_threshold: ratings above this create an endorsement edge.
+        tol / max_iter: power-iteration convergence controls.
+    """
+
+    name = "pagerank"
+    typology = Typology(
+        Architecture.CENTRALIZED, Subject.RESOURCE, Scope.GLOBAL
+    )
+    paper_ref = "[23]"
+
+    def __init__(
+        self,
+        damping: float = 0.85,
+        positive_threshold: float = 0.5,
+        tol: float = 1e-10,
+        max_iter: int = 200,
+    ) -> None:
+        if not 0.0 < damping < 1.0:
+            raise ConfigurationError("damping must be in (0, 1)")
+        if max_iter < 1:
+            raise ConfigurationError("max_iter must be >= 1")
+        self.damping = damping
+        self.positive_threshold = positive_threshold
+        self.tol = tol
+        self.max_iter = max_iter
+        self._out: Dict[EntityId, Set[EntityId]] = {}
+        self._nodes: Set[EntityId] = set()
+        self._ranks: Optional[Dict[EntityId, float]] = None
+        self.iterations_last_run = 0
+
+    def add_edge(self, source: EntityId, target: EntityId) -> None:
+        """Add an endorsement edge directly (citation-graph use)."""
+        if source == target:
+            return
+        self._out.setdefault(source, set()).add(target)
+        self._nodes.add(source)
+        self._nodes.add(target)
+        self._ranks = None
+
+    def record(self, feedback: Feedback) -> None:
+        self._nodes.add(feedback.rater)
+        self._nodes.add(feedback.target)
+        if feedback.rating > self.positive_threshold:
+            self.add_edge(feedback.rater, feedback.target)
+        else:
+            self._ranks = None
+
+    def compute(self) -> Dict[EntityId, float]:
+        """Run power iteration; returns rank per node (sums to 1)."""
+        nodes = sorted(self._nodes)
+        n = len(nodes)
+        if n == 0:
+            self._ranks = {}
+            return {}
+        index = {node: i for i, node in enumerate(nodes)}
+        rank = [1.0 / n] * n
+        out_degree = [len(self._out.get(node, ())) for node in nodes]
+        for iteration in range(self.max_iter):
+            nxt = [(1.0 - self.damping) / n] * n
+            dangling_mass = sum(
+                rank[i] for i in range(n) if out_degree[i] == 0
+            )
+            spread = self.damping * dangling_mass / n
+            for i in range(n):
+                nxt[i] += spread
+            for node, targets in self._out.items():
+                i = index[node]
+                if not targets:
+                    continue
+                share = self.damping * rank[i] / len(targets)
+                for tgt in targets:
+                    nxt[index[tgt]] += share
+            delta = sum(abs(a - b) for a, b in zip(rank, nxt))
+            rank = nxt
+            if delta < self.tol:
+                self.iterations_last_run = iteration + 1
+                break
+        else:
+            self.iterations_last_run = self.max_iter
+        self._ranks = {node: rank[index[node]] for node in nodes}
+        return dict(self._ranks)
+
+    def raw_rank(self, target: EntityId) -> float:
+        if self._ranks is None:
+            self.compute()
+        assert self._ranks is not None
+        return self._ranks.get(target, 0.0)
+
+    def score(
+        self,
+        target: EntityId,
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> float:
+        if self._ranks is None:
+            self.compute()
+        assert self._ranks is not None
+        if not self._ranks:
+            return 0.5
+        top = max(self._ranks.values())
+        if top <= 0:
+            return 0.5
+        return self._ranks.get(target, 0.0) / top

@@ -1,0 +1,208 @@
+"""PeerTrust (Xiong & Liu) — decentralized / person-agent / global.
+
+The general trust metric (their eq. 3):
+
+.. math::
+
+    T(u) = \\alpha \\cdot
+           \\frac{\\sum_i S(u,i) \\cdot Cr(p(u,i)) \\cdot TF(u,i)}
+                {\\sum_i Cr(p(u,i)) \\cdot TF(u,i)}
+           + \\beta \\cdot CF(u)
+
+with five factors: per-transaction **satisfaction** S, **credibility**
+Cr of the rater, **transaction context** TF (e.g. transaction size),
+an additive **community context** CF (e.g. rewarding peers who file
+feedback), and the weights α, β.
+
+Both published credibility measures are implemented:
+
+* **PSM** — peer-feedback similarity: Cr(v) from the similarity of v's
+  rating vector to the evaluator's over commonly-rated peers (robust to
+  collusion: colluders' skewed vectors diverge from honest ones);
+* **TVM** — trust-value: Cr(v) is v's own (recursively damped) trust.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import EntityId
+from repro.common.records import Feedback
+from repro.core.typology import Architecture, Scope, Subject, Typology
+from repro.models.base import ReputationModel
+
+
+class CredibilityMeasure(enum.Enum):
+    PSM = "feedback_similarity"
+    TVM = "trust_value"
+
+
+@dataclass(frozen=True)
+class _Transaction:
+    rater: EntityId
+    satisfaction: float
+    context: float
+    time: float
+
+
+class PeerTrustModel(ReputationModel):
+    """PeerTrust's five-factor metric.
+
+    Args:
+        credibility: PSM (default, collusion-resistant) or TVM.
+        alpha / beta: weights of the satisfaction term and the community
+            context term (alpha + beta should be 1).
+        window: number of most recent transactions evaluated.
+        tvm_depth: recursion damping for the TVM measure.
+    """
+
+    name = "peertrust"
+    typology = Typology(
+        Architecture.DECENTRALIZED, Subject.PERSON_AGENT, Scope.GLOBAL
+    )
+    paper_ref = "[33]"
+
+    def __init__(
+        self,
+        credibility: CredibilityMeasure = CredibilityMeasure.PSM,
+        alpha: float = 0.9,
+        beta: float = 0.1,
+        window: int = 50,
+        tvm_depth: int = 2,
+    ) -> None:
+        if alpha < 0 or beta < 0 or alpha + beta <= 0:
+            raise ConfigurationError("alpha/beta must be non-negative, sum > 0")
+        if window < 1:
+            raise ConfigurationError("window must be >= 1")
+        if tvm_depth < 0:
+            raise ConfigurationError("tvm_depth must be >= 0")
+        self.credibility = credibility
+        self.alpha = alpha
+        self.beta = beta
+        self.window = window
+        self.tvm_depth = tvm_depth
+        self._transactions: Dict[EntityId, List[_Transaction]] = {}
+        #: rater -> subject -> mean satisfaction filed (for PSM)
+        self._filed: Dict[EntityId, Dict[EntityId, List[float]]] = {}
+        self._feedback_filed_count: Dict[EntityId, int] = {}
+
+    # -- evidence ----------------------------------------------------------
+    def record(self, feedback: Feedback) -> None:
+        context = 1.0
+        if feedback.interaction is not None:
+            # Transaction context: successful, observation-rich
+            # interactions weigh more than thin ones.
+            context = 0.5 + 0.5 * min(
+                1.0, len(feedback.interaction.observations) / 3.0
+            )
+        self._transactions.setdefault(feedback.target, []).append(
+            _Transaction(
+                rater=feedback.rater,
+                satisfaction=feedback.rating,
+                context=context,
+                time=feedback.time,
+            )
+        )
+        self._filed.setdefault(feedback.rater, {}).setdefault(
+            feedback.target, []
+        ).append(feedback.rating)
+        self._feedback_filed_count[feedback.rater] = (
+            self._feedback_filed_count.get(feedback.rater, 0) + 1
+        )
+
+    # -- credibility -----------------------------------------------------------
+    def feedback_similarity(
+        self, evaluator: Optional[EntityId], rater: EntityId
+    ) -> float:
+        """PSM: root-mean-square similarity of filed ratings.
+
+        Compared against *evaluator*'s vector when it shares rated
+        subjects with *rater*; otherwise against the community mean
+        vector (Xiong & Liu's fallback for sparse overlap).
+        """
+        rater_vector = {
+            subject: sum(vals) / len(vals)
+            for subject, vals in self._filed.get(rater, {}).items()
+        }
+        if not rater_vector:
+            return 0.5
+        reference: Dict[EntityId, float] = {}
+        if evaluator is not None and evaluator != rater:
+            reference = {
+                subject: sum(vals) / len(vals)
+                for subject, vals in self._filed.get(evaluator, {}).items()
+            }
+        common = sorted(set(rater_vector) & set(reference))
+        if not common:
+            # Community mean fallback.
+            reference = {}
+            for filed in self._filed.values():
+                for subject, vals in filed.items():
+                    reference.setdefault(subject, []).append(
+                        sum(vals) / len(vals)
+                    )
+            reference = {
+                s: sum(vs) / len(vs) for s, vs in reference.items()
+            }
+            common = sorted(set(rater_vector) & set(reference))
+            if not common:
+                return 0.5
+        squared = sum(
+            (rater_vector[s] - reference[s]) ** 2 for s in common
+        ) / len(common)
+        return 1.0 - math.sqrt(squared)
+
+    def _credibility(
+        self,
+        evaluator: Optional[EntityId],
+        rater: EntityId,
+        depth: int,
+    ) -> float:
+        if self.credibility is CredibilityMeasure.PSM:
+            return max(0.0, self.feedback_similarity(evaluator, rater))
+        if depth <= 0:
+            return 0.5
+        return self._trust(rater, evaluator, depth - 1)
+
+    # -- the metric ----------------------------------------------------------------
+    def community_context(self, peer: EntityId) -> float:
+        """CF: reward for contributing feedback (saturating)."""
+        filed = self._feedback_filed_count.get(peer, 0)
+        return filed / (filed + 5.0)
+
+    def _trust(
+        self,
+        target: EntityId,
+        perspective: Optional[EntityId],
+        depth: int,
+    ) -> float:
+        transactions = self._transactions.get(target, [])
+        recent = sorted(transactions, key=lambda t: t.time)[-self.window:]
+        if not recent:
+            base = 0.5
+        else:
+            numerator = 0.0
+            denominator = 0.0
+            for tx in recent:
+                cr = self._credibility(perspective, tx.rater, depth)
+                weight = cr * tx.context
+                numerator += tx.satisfaction * weight
+                denominator += weight
+            base = numerator / denominator if denominator > 0 else 0.5
+        total = self.alpha + self.beta
+        value = (
+            self.alpha * base + self.beta * self.community_context(target)
+        ) / total
+        return min(1.0, max(0.0, value))
+
+    def score(
+        self,
+        target: EntityId,
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> float:
+        return self._trust(target, perspective, self.tvm_depth)

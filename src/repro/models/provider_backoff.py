@@ -1,0 +1,92 @@
+"""Provider-level reputation backoff — the survey's research direction 2.
+
+"Building trust and reputation for web service providers … has been
+neglected in current trust and reputation approaches for web services.
+… for the service for which the trust and reputation has not been
+established, the trust and reputation of the service provider …
+can be used for the selection."
+
+:class:`ProviderBackoffModel` wraps any per-entity evidence model: a
+service's score blends its own evidence with its provider's aggregated
+standing, the provider's share shrinking as the service accumulates
+evidence of its own.  With zero service evidence the score *is* the
+provider's reputation — which is what lets brand-new services from
+reputable providers be tried at all (benchmark C7).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.common.ids import EntityId
+from repro.common.records import Feedback
+from repro.core.typology import Architecture, Scope, Subject, Typology
+from repro.models.base import ReputationModel
+from repro.models.beta import BetaReputation
+
+
+class ProviderBackoffModel(ReputationModel):
+    """Service reputation backed off to provider reputation.
+
+    Args:
+        provider_of: mapping from service id to provider id; services
+            absent from the mapping are scored on their own evidence
+            only.  The mapping may grow after construction (new
+            services registering) — it is read live.
+        service_model / provider_model: the evidence substrates
+            (default: fresh :class:`BetaReputation` instances).
+    """
+
+    name = "provider_backoff"
+    typology = Typology(
+        Architecture.CENTRALIZED, Subject.RESOURCE, Scope.GLOBAL
+    )
+    paper_ref = "Section 5, research direction 2"
+
+    def __init__(
+        self,
+        provider_of: Mapping[EntityId, EntityId],
+        service_model: Optional[BetaReputation] = None,
+        provider_model: Optional[BetaReputation] = None,
+    ) -> None:
+        self.provider_of: Mapping[EntityId, EntityId] = provider_of
+        self.service_model = service_model or BetaReputation()
+        self.provider_model = provider_model or BetaReputation()
+
+    def register_service(
+        self, service: EntityId, provider: EntityId
+    ) -> None:
+        """Attach *service* to *provider* (for mutable mappings)."""
+        if isinstance(self.provider_of, dict):
+            self.provider_of[service] = provider
+
+    def record(self, feedback: Feedback) -> None:
+        self.service_model.record(feedback)
+        provider = self.provider_of.get(feedback.target)
+        if provider is not None:
+            self.provider_model.record(
+                Feedback(
+                    rater=feedback.rater,
+                    target=provider,
+                    time=feedback.time,
+                    rating=feedback.rating,
+                )
+            )
+
+    def provider_reputation(self, provider: EntityId) -> float:
+        return self.provider_model.score(provider)
+
+    def score(
+        self,
+        target: EntityId,
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> float:
+        own = self.service_model.score(target, perspective, now)
+        provider = self.provider_of.get(target)
+        if provider is None:
+            return own
+        confidence = self.service_model.confidence(target)
+        provider_score = self.provider_model.score(provider,
+                                                   perspective, now)
+        return confidence * own + (1.0 - confidence) * provider_score

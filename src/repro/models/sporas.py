@@ -1,0 +1,114 @@
+"""Sporas (Zacharia, Moukas & Maes) — centralized / person-agent / global.
+
+Reputation evolves recursively with each new rating:
+
+.. math::
+
+    R_{i+1} = R_i + \\frac{1}{\\theta} \\cdot \\Phi(R_i) \\cdot
+              R^{other}_{i+1} \\cdot (W_{i+1} - E_{i+1})
+
+where :math:`E = R_i / D` is the expected rating, :math:`W` the received
+rating, :math:`R^{other}` the (normalized) reputation of the rater, and
+:math:`\\Phi(R) = 1 - 1/(1 + e^{-(R - D)/\\sigma})` the damping that
+slows changes for very reputable users.  Reputation lives in
+``[0, D]``; new users start at 0 (so identity-switching cannot help —
+the design goal Zacharia emphasizes).
+
+A *reliability deviation* (RD) tracks rating volatility via an
+exponentially-weighted squared prediction error.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import EntityId
+from repro.common.records import Feedback
+from repro.core.typology import Architecture, Scope, Subject, Typology
+from repro.models.base import ReputationModel
+
+
+class SporasModel(ReputationModel):
+    """Sporas recursive reputation.
+
+    Args:
+        d: maximum reputation (Zacharia uses 3000).
+        theta: effective number of ratings remembered (>1).
+        sigma: damping slope of :math:`\\Phi`.
+        rd_memory: EWMA factor for the reliability deviation.
+    """
+
+    name = "sporas"
+    typology = Typology(
+        Architecture.CENTRALIZED, Subject.PERSON_AGENT, Scope.GLOBAL
+    )
+    paper_ref = "[37]"
+
+    def __init__(
+        self,
+        d: float = 3000.0,
+        theta: float = 10.0,
+        sigma: Optional[float] = None,
+        rd_memory: float = 0.9,
+    ) -> None:
+        if d <= 0:
+            raise ConfigurationError("d must be positive")
+        if theta <= 1:
+            raise ConfigurationError("theta must be > 1")
+        if not 0.0 < rd_memory < 1.0:
+            raise ConfigurationError("rd_memory must be in (0, 1)")
+        self.d = d
+        self.theta = theta
+        self.sigma = sigma if sigma is not None else d / 10.0
+        if self.sigma <= 0:
+            raise ConfigurationError("sigma must be positive")
+        self.rd_memory = rd_memory
+        self._reputation: Dict[EntityId, float] = {}
+        self._rd: Dict[EntityId, float] = {}
+        self._count: Dict[EntityId, int] = {}
+
+    def _phi(self, reputation: float) -> float:
+        return 1.0 - 1.0 / (1.0 + math.exp(-(reputation - self.d) / self.sigma))
+
+    def record(self, feedback: Feedback) -> None:
+        target = feedback.target
+        current = self._reputation.get(target, 0.0)
+        rater_rep = self._reputation.get(feedback.rater, 0.0)
+        # Rater weight: at least a newcomer's influence, normalized to
+        # [newcomer_floor, 1].  Zacharia multiplies by R_other/D; a pure
+        # zero would let fresh raters have no effect at bootstrap, so a
+        # small floor keeps the system live.
+        rater_weight = max(rater_rep / self.d, 0.1)
+        expected = current / self.d
+        w = feedback.rating  # already on [0, 1]
+        updated = current + (1.0 / self.theta) * self._phi(current) * (
+            rater_weight * self.d
+        ) * (w - expected)
+        updated = max(0.0, min(self.d, updated))
+        self._reputation[target] = updated
+        # Reliability deviation: EWMA of squared prediction error.
+        error = (w - expected) ** 2
+        prev_rd = self._rd.get(target, 0.25)
+        self._rd[target] = self.rd_memory * prev_rd + (1 - self.rd_memory) * error
+        self._count[target] = self._count.get(target, 0) + 1
+
+    def reputation(self, target: EntityId) -> float:
+        """Raw Sporas reputation on ``[0, D]``."""
+        return self._reputation.get(target, 0.0)
+
+    def reliability_deviation(self, target: EntityId) -> float:
+        """Volatility of *target*'s ratings (lower = more reliable)."""
+        return math.sqrt(self._rd.get(target, 0.25))
+
+    def ratings_seen(self, target: EntityId) -> int:
+        return self._count.get(target, 0)
+
+    def score(
+        self,
+        target: EntityId,
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> float:
+        return self._reputation.get(target, 0.0) / self.d

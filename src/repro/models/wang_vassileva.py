@@ -1,0 +1,209 @@
+"""Wang & Vassileva's Bayesian-network trust — decentralized /
+person-agent / personalized.
+
+The authors' own P2P trust model (their [30, 31]): each agent maintains
+a naive-Bayes model per partner, learning ``P(satisfying | facets)``
+from its interaction history.  Trust is the posterior probability that
+the next interaction will be satisfying, per QoS facet and overall, so
+different agents (with different experiences and different facet
+weightings) hold genuinely different trust in the same partner —
+personalized by construction.
+
+Two trust kinds, as in the original: trust in a partner as a *provider*
+of service (competence) and trust as a *rater* (credibility of its
+recommendations), the latter learned from how its recommendations
+matched subsequent experience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import EntityId
+from repro.common.records import Feedback
+from repro.core.typology import Architecture, Scope, Subject, Typology
+from repro.models.base import ReputationModel
+
+
+@dataclass
+class _FacetCounts:
+    """Satisfied/unsatisfied counts for one facet of one partner."""
+
+    satisfied: float = 0.0
+    unsatisfied: float = 0.0
+
+    def update(self, satisfying: bool, weight: float = 1.0) -> None:
+        if satisfying:
+            self.satisfied += weight
+        else:
+            self.unsatisfied += weight
+
+    def probability(self, prior: float = 0.5, strength: float = 2.0) -> float:
+        """Laplace-style posterior P(satisfying)."""
+        total = self.satisfied + self.unsatisfied
+        return (self.satisfied + prior * strength) / (total + strength)
+
+
+@dataclass
+class _PartnerModel:
+    """One agent's learned model of one partner."""
+
+    overall: _FacetCounts = field(default_factory=_FacetCounts)
+    facets: Dict[str, _FacetCounts] = field(default_factory=dict)
+    #: credibility evidence: recommendations vs. later experience
+    rater: _FacetCounts = field(default_factory=_FacetCounts)
+
+
+class WangVassilevaModel(ReputationModel):
+    """Per-agent naive-Bayes trust with facet decomposition.
+
+    Args:
+        satisfaction_threshold: rating above which an interaction counts
+            as satisfying.
+        facet_weights: default facet importance for overall trust; when
+            None, facets observed in feedback are weighted uniformly.
+        recommendation_tolerance: how close a recommendation must be to
+            the subsequent experience to count as credible.
+    """
+
+    name = "wang_vassileva"
+    typology = Typology(
+        Architecture.DECENTRALIZED, Subject.PERSON_AGENT, Scope.PERSONALIZED
+    )
+    paper_ref = "[30, 31]"
+
+    def __init__(
+        self,
+        satisfaction_threshold: float = 0.5,
+        facet_weights: Optional[Mapping[str, float]] = None,
+        recommendation_tolerance: float = 0.2,
+    ) -> None:
+        if not 0.0 <= satisfaction_threshold <= 1.0:
+            raise ConfigurationError(
+                "satisfaction_threshold must be in [0, 1]"
+            )
+        if not 0.0 < recommendation_tolerance <= 1.0:
+            raise ConfigurationError(
+                "recommendation_tolerance must be in (0, 1]"
+            )
+        self.satisfaction_threshold = satisfaction_threshold
+        self.facet_weights = dict(facet_weights) if facet_weights else None
+        self.recommendation_tolerance = recommendation_tolerance
+        #: perspective agent -> partner -> learned model
+        self._models: Dict[EntityId, Dict[EntityId, _PartnerModel]] = {}
+
+    def _model(self, agent: EntityId, partner: EntityId) -> _PartnerModel:
+        return self._models.setdefault(agent, {}).setdefault(
+            partner, _PartnerModel()
+        )
+
+    # -- learning ------------------------------------------------------------
+    def record(self, feedback: Feedback) -> None:
+        """The rater's own experience updates its model of the target."""
+        model = self._model(feedback.rater, feedback.target)
+        model.overall.update(feedback.rating > self.satisfaction_threshold)
+        for facet, rating in feedback.facet_ratings.items():
+            counts = model.facets.setdefault(facet, _FacetCounts())
+            counts.update(rating > self.satisfaction_threshold)
+
+    def record_recommendation(
+        self,
+        agent: EntityId,
+        recommender: EntityId,
+        recommended_rating: float,
+        experienced_rating: float,
+    ) -> None:
+        """Update *agent*'s rater-trust in *recommender*.
+
+        Credible when the recommendation landed within tolerance of what
+        *agent* then experienced.
+        """
+        model = self._model(agent, recommender)
+        credible = (
+            abs(recommended_rating - experienced_rating)
+            <= self.recommendation_tolerance
+        )
+        model.rater.update(credible)
+
+    # -- queries ----------------------------------------------------------------
+    def provider_trust(
+        self,
+        agent: EntityId,
+        partner: EntityId,
+        facet_weights: Optional[Mapping[str, float]] = None,
+    ) -> float:
+        """P(next interaction satisfying), facet-weighted."""
+        model = self._models.get(agent, {}).get(partner)
+        if model is None:
+            return 0.5
+        weights = facet_weights or self.facet_weights
+        if not model.facets or not weights:
+            return model.overall.probability()
+        total = 0.0
+        weight_sum = 0.0
+        for facet, counts in model.facets.items():
+            w = weights.get(facet, 0.0)
+            if w <= 0:
+                continue
+            total += w * counts.probability()
+            weight_sum += w
+        if weight_sum <= 0:
+            return model.overall.probability()
+        return total / weight_sum
+
+    def rater_trust(self, agent: EntityId, partner: EntityId) -> float:
+        """Trust in *partner*'s recommendations (credibility)."""
+        model = self._models.get(agent, {}).get(partner)
+        if model is None:
+            return 0.5
+        return model.rater.probability()
+
+    def recommendation_weighted_reputation(
+        self, agent: EntityId, target: EntityId
+    ) -> Optional[float]:
+        """Pool other agents' trust in *target*, weighted by how much
+        *agent* trusts each of them as a rater."""
+        total = 0.0
+        weight_sum = 0.0
+        for other, partners in self._models.items():
+            if other == agent or target not in partners:
+                continue
+            opinion = self.provider_trust(other, target)
+            weight = self.rater_trust(agent, other)
+            total += weight * opinion
+            weight_sum += weight
+        if weight_sum <= 0:
+            return None
+        return total / weight_sum
+
+    def score(
+        self,
+        target: EntityId,
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> float:
+        if perspective is None:
+            # Global fallback: mean of all agents' provider trust.
+            opinions = [
+                self.provider_trust(agent, target)
+                for agent, partners in self._models.items()
+                if target in partners
+            ]
+            if not opinions:
+                return 0.5
+            return sum(opinions) / len(opinions)
+        model = self._models.get(perspective, {}).get(target)
+        own = self.provider_trust(perspective, target)
+        own_evidence = (
+            model.overall.satisfied + model.overall.unsatisfied
+            if model
+            else 0.0
+        )
+        pooled = self.recommendation_weighted_reputation(perspective, target)
+        if pooled is None:
+            return own
+        # Blend: own experience dominates as it accumulates.
+        own_weight = own_evidence / (own_evidence + 2.0)
+        return own_weight * own + (1.0 - own_weight) * pooled

@@ -1,0 +1,186 @@
+"""Chord-like distributed hash table.
+
+Distributed EigenTrust assigns each peer's trust value to *score
+managers* located via a DHT; this module provides that substrate:
+consistent hashing onto a ring, finger-table routing in O(log N) hops,
+and per-node key/value stores with append semantics.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.errors import (
+    ConfigurationError,
+    RoutingError,
+    UnknownEntityError,
+)
+from repro.common.ids import EntityId
+from repro.p2p.hashing import stable_hash
+from repro.sim.network import Network
+
+
+class _DHTNode:
+    """Internal ring node: position, fingers, store."""
+
+    def __init__(self, node_id: EntityId, position: int) -> None:
+        self.node_id = node_id
+        self.position = position
+        self.fingers: List[EntityId] = []
+        self.store: Dict[str, List[Any]] = defaultdict(list)
+        self.online = True
+
+
+class ChordDHT:
+    """A static Chord ring over the given node ids.
+
+    Args:
+        node_ids: participating nodes.
+        bits: ring size is ``2**bits``.
+        network: optional message accounting fabric.
+    """
+
+    def __init__(
+        self,
+        node_ids: "list[EntityId]",
+        bits: int = 16,
+        network: Optional[Network] = None,
+    ) -> None:
+        if not node_ids:
+            raise ConfigurationError("DHT needs at least one node")
+        if len(set(node_ids)) != len(node_ids):
+            raise ConfigurationError("duplicate node ids")
+        self.bits = bits
+        self.ring_size = 2 ** bits
+        self.network = network
+        self._nodes: Dict[EntityId, _DHTNode] = {}
+        positions: Dict[int, EntityId] = {}
+        for node_id in sorted(node_ids):
+            pos = stable_hash(f"dht:{node_id}", bits)
+            # Linear probing on collision keeps positions unique.
+            while pos in positions:
+                pos = (pos + 1) % self.ring_size
+            positions[pos] = node_id
+            self._nodes[node_id] = _DHTNode(node_id, pos)
+        self._ring: List[Tuple[int, EntityId]] = sorted(
+            (node.position, nid) for nid, node in self._nodes.items()
+        )
+        self._positions = [pos for pos, _ in self._ring]
+        for node in self._nodes.values():
+            node.fingers = self._build_fingers(node.position)
+
+    # -- ring geometry -----------------------------------------------------
+    def _successor_of(self, position: int) -> EntityId:
+        index = bisect.bisect_left(self._positions, position % self.ring_size)
+        if index == len(self._ring):
+            index = 0
+        return self._ring[index][1]
+
+    def _build_fingers(self, position: int) -> List[EntityId]:
+        fingers: List[EntityId] = []
+        for i in range(self.bits):
+            target = (position + (1 << i)) % self.ring_size
+            succ = self._successor_of(target)
+            if not fingers or fingers[-1] != succ:
+                fingers.append(succ)
+        return fingers
+
+    def key_position(self, key: str) -> int:
+        return stable_hash(f"key:{key}", self.bits)
+
+    def responsible_node(self, key: str) -> EntityId:
+        """The node owning *key* (ignores online status)."""
+        return self._successor_of(self.key_position(key))
+
+    def node(self, node_id: EntityId) -> _DHTNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise UnknownEntityError(f"unknown DHT node: {node_id!r}") from None
+
+    def set_online(self, node_id: EntityId, online: bool) -> None:
+        self.node(node_id).online = online
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -- routing -------------------------------------------------------------
+    @staticmethod
+    def _in_interval(x: int, a: int, b: int, ring: int) -> bool:
+        """True when x ∈ (a, b] on the ring."""
+        a %= ring
+        b %= ring
+        x %= ring
+        if a < b:
+            return a < x <= b
+        return x > a or x <= b
+
+    def lookup(self, origin: EntityId, key: str) -> Tuple[EntityId, int]:
+        """Iterative finger routing from *origin* to the owner of *key*.
+
+        Returns ``(owner_id, hops)``.  When the owner is offline the
+        lookup falls through to the next online successor (Chord's
+        successor-list behaviour), charging one extra hop per skip.
+        """
+        key_pos = self.key_position(key)
+        current = self.node(origin)
+        hops = 0
+        max_hops = 2 * self.bits + len(self._nodes)
+        while True:
+            owner = self._successor_of(key_pos)
+            if current.node_id == owner:
+                break
+            # Greedy: the finger closest to (but not past) the key.
+            best: Optional[EntityId] = None
+            for finger_id in reversed(current.fingers):
+                finger = self._nodes[finger_id]
+                if not finger.online:
+                    continue
+                if self._in_interval(
+                    finger.position, current.position, key_pos, self.ring_size
+                ):
+                    best = finger_id
+                    break
+            if best is None or best == current.node_id:
+                best = owner  # direct jump: final finger is the successor
+            if self.network is not None:
+                self.network.send(current.node_id, best, kind="dht-route")
+            hops += 1
+            if hops > max_hops:
+                raise RoutingError(f"DHT lookup for {key!r} did not converge")
+            current = self._nodes[best]
+            if current.node_id == owner:
+                break
+        # Skip offline owners via successor walk.
+        skips = 0
+        while not current.online:
+            skips += 1
+            if skips > len(self._nodes):
+                raise RoutingError("all DHT nodes offline")
+            current = self._nodes[
+                self._successor_of(current.position + 1)
+            ]
+            hops += 1
+        return current.node_id, hops
+
+    # -- storage --------------------------------------------------------------
+    def put(self, origin: EntityId, key: str, value: Any) -> int:
+        """Append *value* under *key* at its owner; returns hops used."""
+        owner, hops = self.lookup(origin, key)
+        self._nodes[owner].store[key].append(value)
+        return hops
+
+    def get(self, origin: EntityId, key: str) -> Tuple[List[Any], int]:
+        """Fetch all values under *key*; returns ``(values, hops+1)``."""
+        owner, hops = self.lookup(origin, key)
+        if self.network is not None:
+            self.network.send(owner, origin, kind="dht-response")
+        return list(self._nodes[owner].store.get(key, ())), hops + 1
+
+    def storage_load(self) -> Dict[EntityId, int]:
+        return {
+            nid: sum(len(v) for v in node.store.values())
+            for nid, node in self._nodes.items()
+        }

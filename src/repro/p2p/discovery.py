@@ -1,0 +1,136 @@
+"""Decentralized service discovery over P-Grid.
+
+The paper's Section 4/5 premise — "peer to peer web services have been
+proposed [9, 14, 28]" — needs somewhere to *publish and find* services
+without a UDDI server.  :class:`DistributedServiceRegistry` provides
+the discovery half (the reputation half is
+:class:`~repro.models.vu_aberer.VuAbererModel` over the same overlay):
+
+* a service description is published under its functional **category**
+  key — the P-Grid peers responsible for ``category`` hold the listing
+  (replicated like any P-Grid datum);
+* a search routes to those peers and returns the category's listings.
+
+This mirrors how WSPDS-style systems map discovery onto structured
+overlays, and gives experiment C6-style accounting a decentralized
+discovery path to price.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.common.errors import RegistryError
+from repro.common.ids import EntityId
+from repro.p2p.pgrid import PGrid
+from repro.services.description import QoSAdvertisement, ServiceDescription
+
+
+class DistributedServiceRegistry:
+    """Publish/search service descriptions on a P-Grid overlay."""
+
+    def __init__(self, grid: PGrid) -> None:
+        self.grid = grid
+        #: holder peer -> category -> descriptions
+        self._listings: Dict[EntityId, Dict[str, List[ServiceDescription]]] = {}
+        #: holder peer -> service id -> advertisement
+        self._advertisements: Dict[
+            EntityId, Dict[EntityId, QoSAdvertisement]
+        ] = {}
+        self.publish_count = 0
+        self.search_count = 0
+
+    # -- publish --------------------------------------------------------
+    def publish(
+        self,
+        origin: EntityId,
+        description: ServiceDescription,
+        advertisement: "QoSAdvertisement | None" = None,
+    ) -> int:
+        """Publish *description* from *origin*; returns messages used.
+
+        The listing lands on every online peer responsible for the
+        category key (routing + replication fan-out, like data
+        inserts).
+        """
+        if advertisement is not None and (
+            advertisement.service != description.service
+        ):
+            raise RegistryError(
+                "advertisement service id does not match description"
+            )
+        category = description.category
+        _, hops = self.grid.route(origin, category)
+        messages = hops
+        for holder_id in self.grid.responsible_peers(category):
+            holder = self.grid.peer(holder_id)
+            messages += 1
+            if self.grid.network is not None:
+                delivered = self.grid.network.send(
+                    origin, holder_id, kind="discovery-publish"
+                )
+                if delivered is None:
+                    continue
+            if not holder.online:
+                continue
+            listings = self._listings.setdefault(holder_id, {}).setdefault(
+                category, []
+            )
+            listings[:] = [
+                d for d in listings if d.service != description.service
+            ] + [description]
+            if advertisement is not None:
+                self._advertisements.setdefault(holder_id, {})[
+                    description.service
+                ] = advertisement
+        self.publish_count += 1
+        return messages
+
+    # -- search -----------------------------------------------------------
+    def search(
+        self, origin: EntityId, category: str
+    ) -> Tuple[List[ServiceDescription], int]:
+        """Find *category* listings; returns (descriptions, messages)."""
+        responsible, hops = self.grid.route(origin, category)
+        messages = hops + 1
+        if self.grid.network is not None:
+            self.grid.network.send(
+                responsible.peer_id, origin, kind="discovery-response"
+            )
+        self.search_count += 1
+        found = self._listings.get(responsible.peer_id, {}).get(
+            category, []
+        )
+        return sorted(found, key=lambda d: d.service), messages
+
+    def advertisement(
+        self, origin: EntityId, service: EntityId, category: str
+    ) -> Tuple["QoSAdvertisement | None", int]:
+        """Fetch a published advertisement for *service*."""
+        responsible, hops = self.grid.route(origin, category)
+        messages = hops + 1
+        if self.grid.network is not None:
+            self.grid.network.send(
+                responsible.peer_id, origin, kind="discovery-response"
+            )
+        ad = self._advertisements.get(responsible.peer_id, {}).get(service)
+        return ad, messages
+
+    # -- maintenance ---------------------------------------------------------
+    def unpublish(
+        self, origin: EntityId, service: EntityId, category: str
+    ) -> int:
+        """Remove *service*'s listing from the category's holders."""
+        _, hops = self.grid.route(origin, category)
+        messages = hops
+        for holder_id in self.grid.responsible_peers(category):
+            messages += 1
+            if self.grid.network is not None:
+                self.grid.network.send(
+                    origin, holder_id, kind="discovery-unpublish"
+                )
+            listings = self._listings.get(holder_id, {}).get(category)
+            if listings:
+                listings[:] = [d for d in listings if d.service != service]
+            self._advertisements.get(holder_id, {}).pop(service, None)
+        return messages

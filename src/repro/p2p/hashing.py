@@ -1,0 +1,27 @@
+"""Deterministic hashing for overlay key spaces.
+
+Python's builtin ``hash`` is salted per process, which would make
+overlay placement non-reproducible; all overlays hash through SHA-256
+instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def stable_hash(key: str, bits: int = 64) -> int:
+    """Deterministic integer hash of *key* in ``[0, 2**bits)``."""
+    if bits <= 0 or bits > 256:
+        raise ValueError("bits must be in (0, 256]")
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    value = int.from_bytes(digest, "big")
+    return value >> (256 - bits)
+
+
+def to_bits(key: str, length: int) -> str:
+    """Deterministic binary-string key of *length* bits for *key*."""
+    if length <= 0 or length > 64:
+        raise ValueError("length must be in (0, 64]")
+    value = stable_hash(key, 64)
+    return format(value, "064b")[:length]

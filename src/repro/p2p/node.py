@@ -1,0 +1,38 @@
+"""Generic peer: identity, local storage, neighbours.
+
+Every overlay builds on the same peer abstraction: a node id, a local
+:class:`~repro.registry.qos_registry.FeedbackStore` (peers hold
+reputation data locally — that is the point of decentralization), and a
+neighbour set maintained by the overlay.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.common.ids import EntityId
+from repro.registry.qos_registry import FeedbackStore
+
+
+class Peer:
+    """A node participating in an overlay."""
+
+    def __init__(self, peer_id: EntityId) -> None:
+        self.peer_id = peer_id
+        self.store = FeedbackStore()
+        self.neighbors: Set[EntityId] = set()
+        self.online = True
+
+    def add_neighbor(self, other: EntityId) -> None:
+        if other != self.peer_id:
+            self.neighbors.add(other)
+
+    def remove_neighbor(self, other: EntityId) -> None:
+        self.neighbors.discard(other)
+
+    def neighbor_list(self) -> List[EntityId]:
+        return sorted(self.neighbors)
+
+    def __repr__(self) -> str:
+        state = "online" if self.online else "offline"
+        return f"Peer({self.peer_id!r}, {len(self.neighbors)} neighbors, {state})"

@@ -1,0 +1,498 @@
+"""P-Grid: a binary-trie structured overlay.
+
+The substrate of Aberer & Despotovic's trust management and Vu et al.'s
+decentralized QoS registries.  Each peer is responsible for one binary
+*path*; data keys are binary strings, and a key belongs to the peers
+whose path prefixes it.  Routing: at each step the current peer forwards
+to a reference for the first bit where the key disagrees with its path,
+halving the remaining key space — O(log N) hops.
+
+Two constructions are provided:
+
+* the default constructor assigns the *outcome* of P-Grid's
+  pairwise-split protocol directly — paths of uniform depth with
+  round-robin replication and ``refs_per_level`` references per level;
+* :meth:`PGrid.build_by_exchanges` replays Aberer's decentralized
+  bootstrap itself: peers start with the empty path, random pairs meet,
+  and two peers sharing a path *split* (one takes suffix 0, the other
+  suffix 1, each remembering the other as its reference for the
+  complementary side), until the target replication level is reached.
+  The emergent trie is what the experiments then measure.
+
+Either way the observable properties are the same: O(log N) hop counts,
+distributed storage load, and failure robustness via replicas and
+redundant references.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import (
+    ConfigurationError,
+    RoutingError,
+    UnknownEntityError,
+)
+from repro.common.ids import EntityId
+from repro.common.randomness import RngLike, make_rng
+from repro.common.records import Feedback
+from repro.p2p.hashing import to_bits
+from repro.p2p.node import Peer
+from repro.sim.network import Network
+
+
+class PGridPeer(Peer):
+    """A peer owning one trie path plus per-level references."""
+
+    def __init__(self, peer_id: EntityId, path: str) -> None:
+        super().__init__(peer_id)
+        self.path = path
+        #: level -> ids of peers in the complementary subtree at that level
+        self.references: Dict[int, List[EntityId]] = {}
+
+    def responsible_for(self, key_bits: str) -> bool:
+        return key_bits.startswith(self.path)
+
+    def first_mismatch(self, key_bits: str) -> Optional[int]:
+        """First level where *key_bits* leaves this peer's path."""
+        for level, bit in enumerate(self.path):
+            if level >= len(key_bits) or key_bits[level] != bit:
+                return level
+        return None
+
+
+class PGrid:
+    """The overlay: path assignment, routing, replication, storage.
+
+    Args:
+        peer_ids: participating peers (at least one).
+        replication: target replicas per path; depth is derived as
+            ``floor(log2(n / replication))`` (min 0).
+        refs_per_level: redundant references kept per routing level.
+        network: optional message accounting fabric.
+        rng: used to pick among alternative references.
+    """
+
+    def __init__(
+        self,
+        peer_ids: "list[EntityId]",
+        replication: int = 2,
+        refs_per_level: int = 2,
+        network: Optional[Network] = None,
+        rng: RngLike = None,
+    ) -> None:
+        if not peer_ids:
+            raise ConfigurationError("P-Grid needs at least one peer")
+        if len(set(peer_ids)) != len(peer_ids):
+            raise ConfigurationError("duplicate peer ids")
+        if replication < 1:
+            raise ConfigurationError("replication must be >= 1")
+        if refs_per_level < 1:
+            raise ConfigurationError("refs_per_level must be >= 1")
+        self.network = network
+        self._rng = make_rng(rng)
+        n = len(peer_ids)
+        self.depth = max(0, int(math.floor(math.log2(max(1, n // replication)))))
+        self._peers: Dict[EntityId, PGridPeer] = {}
+        self._by_path: Dict[str, List[EntityId]] = {}
+        paths = self._all_paths(self.depth)
+        for index, peer_id in enumerate(sorted(peer_ids)):
+            path = paths[index % len(paths)]
+            peer = PGridPeer(peer_id, path)
+            self._peers[peer_id] = peer
+            self._by_path.setdefault(path, []).append(peer_id)
+        self._build_references(refs_per_level)
+
+    @staticmethod
+    def _all_paths(depth: int) -> List[str]:
+        if depth == 0:
+            return [""]
+        return [format(i, f"0{depth}b") for i in range(2 ** depth)]
+
+    @classmethod
+    def build_by_exchanges(
+        cls,
+        peer_ids: "list[EntityId]",
+        replication: int = 2,
+        refs_per_level: int = 2,
+        network: Optional[Network] = None,
+        rng: RngLike = None,
+        max_rounds: int = 200,
+    ) -> "PGrid":
+        """Bootstrap the trie with Aberer's pairwise-exchange protocol.
+
+        Every peer starts with the empty path.  Each round pairs peers
+        at random; when two peers share the same path and their
+        subtree's population still exceeds *replication*, they split:
+        one appends ``0``, the other ``1``, and each records the other
+        as a level reference for the complementary side.  Peers with
+        different paths exchange references instead (improving routing
+        tables), exactly as in the published protocol.
+
+        Returns a fully wired :class:`PGrid`; exchange messages are
+        charged to *network* when given.
+        """
+        if not peer_ids:
+            raise ConfigurationError("P-Grid needs at least one peer")
+        if len(set(peer_ids)) != len(peer_ids):
+            raise ConfigurationError("duplicate peer ids")
+        if replication < 1:
+            raise ConfigurationError("replication must be >= 1")
+        gen = make_rng(rng)
+        grid = cls.__new__(cls)
+        grid.network = network
+        grid._rng = gen
+        grid.depth = 0
+        grid._peers = {
+            pid: PGridPeer(pid, "") for pid in sorted(peer_ids)
+        }
+        grid._by_path = {"": sorted(peer_ids)}
+        population = {pid: grid._peers[pid] for pid in peer_ids}
+
+        def path_population(path: str) -> int:
+            return sum(
+                1 for p in population.values() if p.path == path
+            )
+
+        ids = sorted(peer_ids)
+        quiet_rounds = 0
+        for _ in range(max_rounds):
+            split_happened = False
+            order = [ids[int(i)] for i in gen.permutation(len(ids))]
+            for a_id, b_id in zip(order[::2], order[1::2]):
+                a, b = population[a_id], population[b_id]
+                if network is not None:
+                    network.send(a_id, b_id, kind="pgrid-exchange")
+                if a.path == b.path:
+                    if path_population(a.path) <= replication:
+                        continue  # enough replicas; stay put
+                    level = len(a.path)
+                    a.path += "0"
+                    b.path += "1"
+                    a.references.setdefault(level, [])
+                    b.references.setdefault(level, [])
+                    if b_id not in a.references[level]:
+                        a.references[level].append(b_id)
+                    if a_id not in b.references[level]:
+                        b.references[level].append(a_id)
+                    split_happened = True
+                elif (
+                    b.path.startswith(a.path)
+                    and len(b.path) > len(a.path)
+                    and path_population(a.path) > 0
+                ):
+                    # a's path is a proper prefix of b's: a specializes
+                    # to the complementary subtree (P-Grid case 2),
+                    # taking b as its reference for b's side.
+                    level = len(a.path)
+                    a.path += "1" if b.path[level] == "0" else "0"
+                    refs = a.references.setdefault(level, [])
+                    if b.peer_id not in refs:
+                        refs.append(b.peer_id)
+                    brefs = b.references.setdefault(level, [])
+                    if a.peer_id not in brefs and len(brefs) < refs_per_level:
+                        brefs.append(a.peer_id)
+                    split_happened = True
+                elif (
+                    a.path.startswith(b.path)
+                    and len(a.path) > len(b.path)
+                ):
+                    level = len(b.path)
+                    b.path += "1" if a.path[level] == "0" else "0"
+                    refs = b.references.setdefault(level, [])
+                    if a.peer_id not in refs:
+                        refs.append(a.peer_id)
+                    arefs = a.references.setdefault(level, [])
+                    if b.peer_id not in arefs and len(arefs) < refs_per_level:
+                        arefs.append(b.peer_id)
+                    split_happened = True
+                else:
+                    # Divergent paths: exchange references at the first
+                    # level where the paths disagree.
+                    prefix = 0
+                    while (
+                        prefix < min(len(a.path), len(b.path))
+                        and a.path[prefix] == b.path[prefix]
+                    ):
+                        prefix += 1
+                    for peer, other in ((a, b), (b, a)):
+                        if prefix < len(peer.path):
+                            refs = peer.references.setdefault(prefix, [])
+                            if (
+                                other.path[prefix:prefix + 1]
+                                == ("1" if peer.path[prefix] == "0" else "0")
+                                and other.peer_id not in refs
+                                and len(refs) < refs_per_level
+                            ):
+                                refs.append(other.peer_id)
+            if split_happened:
+                quiet_rounds = 0
+            else:
+                # Random pairings can miss remaining same-path pairs in
+                # any one round; only a sustained streak means the trie
+                # has converged.
+                quiet_rounds += 1
+                if quiet_rounds >= 20:
+                    break
+        # Finalize: index by path, compute depth, and fill any reference
+        # gaps so routing is complete even if random meetings missed a
+        # pairing (peers learn missing refs by querying, in practice).
+        grid._by_path = {}
+        for pid, peer in grid._peers.items():
+            grid._by_path.setdefault(peer.path, []).append(pid)
+        for path in grid._by_path:
+            grid._by_path[path].sort()
+        grid.depth = max(
+            (len(p.path) for p in grid._peers.values()), default=0
+        )
+        grid._build_references(refs_per_level)
+        return grid
+
+    def _build_references(self, refs_per_level: int) -> None:
+        for peer in self._peers.values():
+            for level, bit in enumerate(peer.path):
+                complement = peer.path[:level] + ("1" if bit == "0" else "0")
+                candidates = sorted(
+                    pid
+                    for pid, other in self._peers.items()
+                    if other.path.startswith(complement) and pid != peer.peer_id
+                )
+                if not candidates:
+                    continue
+                if len(candidates) > refs_per_level:
+                    picks = self._rng.choice(
+                        len(candidates), size=refs_per_level, replace=False
+                    )
+                    chosen = [candidates[int(i)] for i in sorted(picks)]
+                else:
+                    chosen = candidates
+                peer.references[level] = chosen
+
+    # -- membership ------------------------------------------------------
+    def join(
+        self,
+        peer_id: EntityId,
+        exchanges: int = 32,
+        refs_per_level: int = 2,
+    ) -> PGridPeer:
+        """Dynamic join: a new peer bootstraps its path by exchanges.
+
+        The newcomer starts at the empty path and repeatedly meets
+        random existing peers: meeting a peer whose path extends its
+        own, it specializes to the complementary subtree (adopting the
+        partner as a reference); on arrival at a leaf path it becomes a
+        replica there and copies the replica's data.
+        """
+        if peer_id in self._peers:
+            raise ConfigurationError(f"peer already joined: {peer_id!r}")
+        newcomer = PGridPeer(peer_id, "")
+        existing = sorted(self._peers)
+        if not existing:
+            self._peers[peer_id] = newcomer
+            self._by_path.setdefault("", []).append(peer_id)
+            return newcomer
+        leaf_paths = set(self._by_path)
+        for _ in range(exchanges):
+            partner_id = existing[int(self._rng.integers(0, len(existing)))]
+            partner = self._peers[partner_id]
+            if self.network is not None:
+                self.network.send(peer_id, partner_id,
+                                  kind="pgrid-exchange")
+            if newcomer.path in leaf_paths:
+                break
+            if (
+                partner.path.startswith(newcomer.path)
+                and len(partner.path) > len(newcomer.path)
+            ):
+                level = len(newcomer.path)
+                complement = "1" if partner.path[level] == "0" else "0"
+                candidate = newcomer.path + complement
+                # Only descend toward populated space.
+                if any(p.startswith(candidate) or candidate.startswith(p)
+                       for p in leaf_paths):
+                    newcomer.path = candidate
+                    refs = newcomer.references.setdefault(level, [])
+                    if partner_id not in refs:
+                        refs.append(partner_id)
+                else:
+                    # The other side: follow the partner's subtree.
+                    newcomer.path = newcomer.path + partner.path[level]
+        # Snap to the deepest leaf path that is compatible.
+        compatible = [
+            p for p in leaf_paths
+            if p.startswith(newcomer.path) or newcomer.path.startswith(p)
+        ]
+        target_path = max(compatible, key=len) if compatible else ""
+        newcomer.path = target_path
+        self._peers[peer_id] = newcomer
+        self._by_path.setdefault(target_path, []).append(peer_id)
+        self._by_path[target_path].sort()
+        # Copy the replica set's data and (re)build the newcomer's refs.
+        for sibling_id in self._by_path[target_path]:
+            if sibling_id == peer_id:
+                continue
+            sibling = self._peers[sibling_id]
+            for fb in sibling.store.all():
+                newcomer.store.add(fb)
+            if self.network is not None:
+                self.network.send(sibling_id, peer_id,
+                                  kind="pgrid-replicate")
+            break
+        for level, bit in enumerate(newcomer.path):
+            complement = newcomer.path[:level] + ("1" if bit == "0" else "0")
+            candidates = sorted(
+                pid
+                for pid, other in self._peers.items()
+                if other.path.startswith(complement) and pid != peer_id
+            )
+            newcomer.references[level] = candidates[:refs_per_level]
+        # Existing peers learn about the newcomer as a backup reference
+        # for its subtree (in the protocol this spreads through later
+        # exchanges; the effect is the same).
+        for other_id, other in self._peers.items():
+            if other_id == peer_id:
+                continue
+            for level, bit in enumerate(other.path):
+                complement = other.path[:level] + (
+                    "1" if bit == "0" else "0"
+                )
+                if newcomer.path.startswith(complement):
+                    refs = other.references.setdefault(level, [])
+                    if peer_id not in refs:
+                        refs.append(peer_id)
+                    break
+        self.depth = max(self.depth, len(newcomer.path))
+        return newcomer
+
+    def peer(self, peer_id: EntityId) -> PGridPeer:
+        try:
+            return self._peers[peer_id]
+        except KeyError:
+            raise UnknownEntityError(f"unknown peer: {peer_id!r}") from None
+
+    def peers(self) -> List[PGridPeer]:
+        return list(self._peers.values())
+
+    def __len__(self) -> int:
+        return len(self._peers)
+
+    def replicas_for_path(self, path: str) -> List[EntityId]:
+        return list(self._by_path.get(path, ()))
+
+    def key_bits(self, key: str) -> str:
+        """The binary key this overlay uses for *key*."""
+        return to_bits(key, max(1, self.depth)) if self.depth > 0 else ""
+
+    def responsible_peers(self, key: str) -> List[EntityId]:
+        """All peers responsible for *key* (their path prefixes its bits).
+
+        With a uniform-depth trie this is one path's replica set; tries
+        built by pairwise exchanges may have unsplit peers whose shorter
+        paths cover the key as well.
+        """
+        bits = self.key_bits(key)
+        if self.depth == 0:
+            return sorted(self._peers)
+        return sorted(
+            pid
+            for pid, peer in self._peers.items()
+            if peer.responsible_for(bits)
+        )
+
+    # -- routing -----------------------------------------------------------
+    def route(self, origin: EntityId, key: str) -> Tuple[PGridPeer, int]:
+        """Greedy prefix routing from *origin* toward *key*.
+
+        Returns ``(responsible_online_peer, hops)``.  Raises
+        :class:`RoutingError` when every candidate next hop (and every
+        replica) is offline.
+        """
+        bits = self.key_bits(key)
+        current = self.peer(origin)
+        hops = 0
+        max_hops = self.depth + 2
+        while True:
+            if current.online and current.responsible_for(bits):
+                return current, hops
+            if current.responsible_for(bits):
+                # Current replica is offline mid-route; try a sibling.
+                alive = [
+                    pid
+                    for pid in self.replicas_for_path(current.path)
+                    if self._peers[pid].online and pid != current.peer_id
+                ]
+                if not alive:
+                    raise RoutingError(
+                        f"all replicas for path {current.path!r} offline"
+                    )
+                current = self._hop(current, alive[0])
+                hops += 1
+                continue
+            level = current.first_mismatch(bits)
+            if level is None or hops >= max_hops:
+                raise RoutingError(
+                    f"routing from {origin!r} for key {key!r} failed"
+                )
+            refs = current.references.get(level, [])
+            next_id = None
+            for candidate in refs:
+                if self._peers[candidate].online:
+                    next_id = candidate
+                    break
+            if next_id is None:
+                raise RoutingError(
+                    f"no online reference at level {level} from "
+                    f"{current.peer_id!r}"
+                )
+            current = self._hop(current, next_id)
+            hops += 1
+
+    def _hop(self, sender: PGridPeer, receiver_id: EntityId) -> PGridPeer:
+        if self.network is not None:
+            self.network.send(sender.peer_id, receiver_id, kind="pgrid-route")
+        return self._peers[receiver_id]
+
+    # -- storage -----------------------------------------------------------
+    def insert(self, origin: EntityId, key: str, feedback: Feedback) -> int:
+        """Route *feedback* under *key* and store at all online replicas.
+
+        Returns total messages (routing hops + replication fan-out).
+        """
+        target, hops = self.route(origin, key)
+        messages = hops
+        target.store.add(feedback)
+        for replica_id in self.responsible_peers(key):
+            if replica_id == target.peer_id:
+                continue
+            replica = self._peers[replica_id]
+            messages += 1
+            if self.network is not None:
+                delivered = self.network.send(
+                    target.peer_id, replica_id, kind="pgrid-replicate"
+                )
+                if delivered is None:
+                    continue
+            if replica.online:
+                replica.store.add(feedback)
+        return messages
+
+    def lookup(
+        self, origin: EntityId, key: str, target: EntityId
+    ) -> Tuple[List[Feedback], int]:
+        """Fetch feedback about *target* stored under *key*.
+
+        Returns ``(feedback, messages)`` including the response message.
+        """
+        responsible, hops = self.route(origin, key)
+        messages = hops + 1
+        if self.network is not None:
+            self.network.send(
+                responsible.peer_id, origin, kind="pgrid-response"
+            )
+        return responsible.store.for_target(target), messages
+
+    # -- diagnostics ---------------------------------------------------------
+    def storage_load(self) -> Dict[EntityId, int]:
+        """Stored records per peer (for the load-balance experiment)."""
+        return {pid: len(p.store) for pid, p in self._peers.items()}

@@ -1,0 +1,154 @@
+"""Unstructured overlay with TTL-bounded flooding.
+
+Gnutella-style: peers hold random neighbour links; a query floods
+outward with a time-to-live.  Reputation data about a target is held by
+whoever interacted with it, so queries collect *opinions* from reached
+peers.  XRep's polling and the overhead comparison (C9) run on this.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.common.errors import ConfigurationError, UnknownEntityError
+from repro.common.ids import EntityId
+from repro.common.randomness import RngLike, make_rng
+from repro.common.records import Feedback
+from repro.p2p.node import Peer
+from repro.sim.network import Network
+
+
+class UnstructuredOverlay:
+    """Random-graph overlay with flooding queries.
+
+    Args:
+        degree: neighbour links created per joining peer.
+        network: optional message accounting fabric.
+        rng: randomness for neighbour selection.
+    """
+
+    def __init__(
+        self,
+        degree: int = 4,
+        network: Optional[Network] = None,
+        rng: RngLike = None,
+    ) -> None:
+        if degree < 1:
+            raise ConfigurationError("degree must be >= 1")
+        self.degree = degree
+        self.network = network
+        self._rng = make_rng(rng)
+        self._peers: Dict[EntityId, Peer] = {}
+
+    # -- membership ------------------------------------------------------
+    def join(self, peer_id: EntityId) -> Peer:
+        """Add a peer, wiring ``degree`` random bidirectional links."""
+        if peer_id in self._peers:
+            raise ConfigurationError(f"peer already joined: {peer_id!r}")
+        peer = Peer(peer_id)
+        existing = list(self._peers.values())
+        self._peers[peer_id] = peer
+        if existing:
+            k = min(self.degree, len(existing))
+            picks = self._rng.choice(len(existing), size=k, replace=False)
+            for index in picks:
+                other = existing[int(index)]
+                peer.add_neighbor(other.peer_id)
+                other.add_neighbor(peer_id)
+        return peer
+
+    def leave(self, peer_id: EntityId) -> None:
+        peer = self._peers.pop(peer_id, None)
+        if peer is None:
+            return
+        for other in self._peers.values():
+            other.remove_neighbor(peer_id)
+
+    def peer(self, peer_id: EntityId) -> Peer:
+        try:
+            return self._peers[peer_id]
+        except KeyError:
+            raise UnknownEntityError(f"unknown peer: {peer_id!r}") from None
+
+    def peers(self) -> List[Peer]:
+        return list(self._peers.values())
+
+    def __len__(self) -> int:
+        return len(self._peers)
+
+    def __contains__(self, peer_id: EntityId) -> bool:
+        return peer_id in self._peers
+
+    # -- data ------------------------------------------------------------
+    def deposit(self, peer_id: EntityId, feedback: Feedback) -> None:
+        """Store feedback at *peer_id*'s local store (its own experience)."""
+        self.peer(peer_id).store.add(feedback)
+
+    # -- flooding --------------------------------------------------------
+    def flood(
+        self,
+        origin: EntityId,
+        ttl: int,
+        visit: Callable[[Peer], None],
+    ) -> Tuple[int, int]:
+        """Breadth-first flood from *origin* with time-to-live *ttl*.
+
+        Calls *visit* on every reached online peer (including the
+        origin).  Returns ``(peers_reached, messages_sent)``.  Offline
+        peers swallow messages without forwarding.
+        """
+        if ttl < 0:
+            raise ConfigurationError("ttl must be >= 0")
+        start = self.peer(origin)
+        messages = 0
+        reached = 0
+        seen: Set[EntityId] = {origin}
+        queue: deque = deque([(start, ttl)])
+        while queue:
+            peer, remaining = queue.popleft()
+            if not peer.online:
+                continue
+            visit(peer)
+            reached += 1
+            if remaining <= 0:
+                continue
+            for neighbor_id in peer.neighbor_list():
+                if neighbor_id in seen:
+                    continue
+                seen.add(neighbor_id)
+                messages += 1
+                if self.network is not None:
+                    delivered = self.network.send(
+                        peer.peer_id, neighbor_id, kind="flood-query"
+                    )
+                    if delivered is None:
+                        continue
+                neighbor = self._peers.get(neighbor_id)
+                if neighbor is not None:
+                    queue.append((neighbor, remaining - 1))
+        return reached, messages
+
+    def poll_opinions(
+        self, origin: EntityId, target: EntityId, ttl: int = 3
+    ) -> Tuple[List[Feedback], int]:
+        """Collect feedback about *target* from peers within *ttl* hops.
+
+        Returns ``(opinions, messages_sent)``; response messages are
+        charged one per responding peer.
+        """
+        opinions: List[Feedback] = []
+        responders: List[EntityId] = []
+
+        def visit(peer: Peer) -> None:
+            local = peer.store.for_target(target)
+            if local and peer.peer_id != origin:
+                responders.append(peer.peer_id)
+            opinions.extend(local)
+
+        _, messages = self.flood(origin, ttl, visit)
+        for responder in responders:
+            messages += 1
+            if self.network is not None:
+                self.network.send(responder, origin, kind="poll-response")
+        return opinions, messages

@@ -1,0 +1,13 @@
+"""Registries: UDDI-style discovery and the central QoS registry.
+
+The classical web-service framework the paper describes is
+server-centric: a UDDI registry for publish/search, and (in most of the
+surveyed selection mechanisms) a central QoS registry that collects
+consumer feedback and computes ratings.  Both support fault injection so
+the single-point-of-failure experiment (C6) can knock them over.
+"""
+
+from repro.registry.uddi import UDDIRegistry
+from repro.registry.qos_registry import CentralQoSRegistry, FeedbackStore
+
+__all__ = ["CentralQoSRegistry", "FeedbackStore", "UDDIRegistry"]

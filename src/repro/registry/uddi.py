@@ -1,0 +1,121 @@
+"""UDDI-style functional registry.
+
+Providers publish :class:`~repro.services.description.ServiceDescription`
+records (optionally with a QoS advertisement); consumers search by
+functional category.  The registry knows nothing about quality beyond
+what providers *claim* — exactly the gap trust and reputation fill.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import RegistryError, UnknownEntityError
+from repro.common.ids import EntityId
+from repro.services.description import QoSAdvertisement, ServiceDescription
+
+
+class UDDIRegistry:
+    """Publish/search registry for service descriptions.
+
+    Args:
+        registry_id: node id used in message accounting.
+
+    Fault injection: after :meth:`fail`, every operation raises
+    :class:`RegistryError` until :meth:`heal` — the single point of
+    failure the paper warns about.
+    """
+
+    def __init__(self, registry_id: EntityId = "uddi") -> None:
+        self.registry_id = registry_id
+        self._descriptions: Dict[EntityId, ServiceDescription] = {}
+        self._advertisements: Dict[EntityId, QoSAdvertisement] = {}
+        self._failed = False
+        self.publish_count = 0
+        self.search_count = 0
+
+    # -- fault injection ------------------------------------------------
+    def fail(self) -> None:
+        """Take the registry down."""
+        self._failed = True
+
+    def heal(self) -> None:
+        self._failed = False
+
+    @property
+    def is_failed(self) -> bool:
+        return self._failed
+
+    def _check_up(self) -> None:
+        if self._failed:
+            raise RegistryError(f"registry {self.registry_id!r} is down")
+
+    # -- publish / unpublish ---------------------------------------------
+    def publish(
+        self,
+        description: ServiceDescription,
+        advertisement: Optional[QoSAdvertisement] = None,
+    ) -> None:
+        """Publish (or republish) a service description.
+
+        Republishing the same service id with a *lower* version is
+        rejected; same-or-higher versions replace the record.
+        """
+        self._check_up()
+        existing = self._descriptions.get(description.service)
+        if existing is not None and description.version < existing.version:
+            raise RegistryError(
+                f"stale republish of {description.service}: version "
+                f"{description.version} < {existing.version}"
+            )
+        self._descriptions[description.service] = description
+        if advertisement is not None:
+            if advertisement.service != description.service:
+                raise RegistryError(
+                    "advertisement service id does not match description"
+                )
+            self._advertisements[description.service] = advertisement
+        self.publish_count += 1
+
+    def unpublish(self, service_id: EntityId) -> None:
+        self._check_up()
+        if service_id not in self._descriptions:
+            raise UnknownEntityError(f"service not published: {service_id!r}")
+        del self._descriptions[service_id]
+        self._advertisements.pop(service_id, None)
+
+    # -- lookup -----------------------------------------------------------
+    def search(self, category: str) -> List[ServiceDescription]:
+        """All published services offering *category*, in publish order."""
+        self._check_up()
+        self.search_count += 1
+        return [
+            d for d in self._descriptions.values() if d.matches(category)
+        ]
+
+    def describe(self, service_id: EntityId) -> ServiceDescription:
+        self._check_up()
+        try:
+            return self._descriptions[service_id]
+        except KeyError:
+            raise UnknownEntityError(
+                f"service not published: {service_id!r}"
+            ) from None
+
+    def advertisement(self, service_id: EntityId) -> Optional[QoSAdvertisement]:
+        self._check_up()
+        return self._advertisements.get(service_id)
+
+    def categories(self) -> List[str]:
+        self._check_up()
+        seen: List[str] = []
+        for d in self._descriptions.values():
+            if d.category not in seen:
+                seen.append(d.category)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self._descriptions)
+
+    def __contains__(self, service_id: EntityId) -> bool:
+        return service_id in self._descriptions

@@ -1,0 +1,53 @@
+"""Dishonest feedback: attacks and defenses (paper Section 3.1, Q3).
+
+"It is inevitable that some users may provide false feedback to
+badmouth or raise the reputation of a service on purpose."  This
+package provides the attack strategies (pluggable consumer rating
+strategies) and the three defense families the paper cites: Dellarocas'
+cluster filtering, Sen & Sajja's majority opinion, and Zhang & Cohen's
+personalized advisor-credibility approach.
+"""
+
+from repro.robustness.attacks import (
+    AttackPlan,
+    badmouth_strategy,
+    ballot_stuffing_strategy,
+    collusion_strategy,
+    complementary_liar_strategy,
+    random_liar_strategy,
+)
+from repro.robustness.cluster_filtering import (
+    ClusterFilter,
+    FilterMode,
+    FilterReport,
+    two_means_split,
+)
+from repro.robustness.majority import (
+    MajorityOpinion,
+    majority_correct_probability,
+    required_witnesses,
+)
+from repro.robustness.discrimination import (
+    DiscriminationDetector,
+    DiscriminationReport,
+)
+from repro.robustness.zhang_cohen import ZhangCohenDefense
+
+__all__ = [
+    "AttackPlan",
+    "ClusterFilter",
+    "DiscriminationDetector",
+    "DiscriminationReport",
+    "FilterMode",
+    "FilterReport",
+    "MajorityOpinion",
+    "ZhangCohenDefense",
+    "badmouth_strategy",
+    "ballot_stuffing_strategy",
+    "collusion_strategy",
+    "complementary_liar_strategy",
+    "majority_correct_probability",
+    "random_liar_strategy",
+    "required_witnesses",
+    "two_means_split",
+]

@@ -1,0 +1,147 @@
+"""Dellarocas' cluster filtering of unfair ratings.
+
+"Immunizing online reputation reporting systems against unfair ratings
+and discriminatory behavior" (EC 2000): before aggregating ratings for
+a target, divide them into two clusters by value; when the clusters are
+well separated and one side is a minority, that side is presumed unfair
+(ballot-stuffers rate conspicuously high, badmouthers conspicuously
+low) and dropped.
+
+:func:`two_means_split` is the 1-D 2-means used for the division;
+:class:`ClusterFilter` applies the policy to feedback lists and can wrap
+any model's input stream.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.mathutils import safe_mean
+from repro.common.records import Feedback
+
+
+def two_means_split(
+    values: Sequence[float], max_iter: int = 50
+) -> Tuple[List[int], List[int], float, float]:
+    """1-D 2-means clustering.
+
+    Returns ``(low_indices, high_indices, low_centre, high_centre)``.
+    Degenerate inputs (fewer than 2 points, or all equal) put everything
+    in the low cluster with equal centres.
+    """
+    n = len(values)
+    if n < 2 or max(values) - min(values) <= 1e-12:
+        centre = safe_mean(values)
+        return list(range(n)), [], centre, centre
+    low_c, high_c = min(values), max(values)
+    assignment = [0] * n
+    for _ in range(max_iter):
+        changed = False
+        for i, v in enumerate(values):
+            cluster = 0 if abs(v - low_c) <= abs(v - high_c) else 1
+            if cluster != assignment[i]:
+                assignment[i] = cluster
+                changed = True
+        lows = [values[i] for i in range(n) if assignment[i] == 0]
+        highs = [values[i] for i in range(n) if assignment[i] == 1]
+        if not lows or not highs:
+            break
+        low_c = safe_mean(lows)
+        high_c = safe_mean(highs)
+        if not changed:
+            break
+    low_indices = [i for i in range(n) if assignment[i] == 0]
+    high_indices = [i for i in range(n) if assignment[i] == 1]
+    return low_indices, high_indices, low_c, high_c
+
+
+class FilterMode(enum.Enum):
+    """Which unfair direction to filter."""
+
+    HIGH = "high"  # ballot stuffing
+    LOW = "low"  # badmouthing
+    BOTH = "both"
+
+
+@dataclass
+class FilterReport:
+    """What one filtering pass did."""
+
+    kept: List[Feedback]
+    dropped: List[Feedback]
+
+    @property
+    def drop_fraction(self) -> float:
+        total = len(self.kept) + len(self.dropped)
+        return len(self.dropped) / total if total else 0.0
+
+
+class ClusterFilter:
+    """Dellarocas-style divisive filtering.
+
+    Args:
+        mode: filter suspiciously high, low, or both directions.
+        separation_threshold: minimum centre distance for a cluster to
+            be deemed an unfair bloc (small gaps are honest variance).
+        max_minority: a cluster is only dropped when it holds at most
+            this fraction of the ratings — the majority is presumed
+            honest (the same assumption Sen & Sajja make explicit).
+        min_ratings: below this many ratings, nothing is filtered.
+    """
+
+    def __init__(
+        self,
+        mode: FilterMode = FilterMode.BOTH,
+        separation_threshold: float = 0.3,
+        max_minority: float = 0.5,
+        min_ratings: int = 4,
+    ) -> None:
+        if not 0.0 < separation_threshold <= 1.0:
+            raise ConfigurationError(
+                "separation_threshold must be in (0, 1]"
+            )
+        if not 0.0 < max_minority <= 0.5:
+            raise ConfigurationError("max_minority must be in (0, 0.5]")
+        if min_ratings < 2:
+            raise ConfigurationError("min_ratings must be >= 2")
+        self.mode = mode
+        self.separation_threshold = separation_threshold
+        self.max_minority = max_minority
+        self.min_ratings = min_ratings
+
+    def filter(self, feedbacks: Sequence[Feedback]) -> FilterReport:
+        """Split ratings and drop the presumed-unfair cluster."""
+        if len(feedbacks) < self.min_ratings:
+            return FilterReport(kept=list(feedbacks), dropped=[])
+        values = [fb.rating for fb in feedbacks]
+        low_idx, high_idx, low_c, high_c = two_means_split(values)
+        if not high_idx or high_c - low_c < self.separation_threshold:
+            return FilterReport(kept=list(feedbacks), dropped=[])
+        n = len(feedbacks)
+        drop: List[int] = []
+        if (
+            self.mode in (FilterMode.HIGH, FilterMode.BOTH)
+            and len(high_idx) <= self.max_minority * n
+        ):
+            drop = high_idx
+        elif (
+            self.mode in (FilterMode.LOW, FilterMode.BOTH)
+            and len(low_idx) <= self.max_minority * n
+        ):
+            drop = low_idx
+        if not drop:
+            return FilterReport(kept=list(feedbacks), dropped=[])
+        drop_set = set(drop)
+        kept = [fb for i, fb in enumerate(feedbacks) if i not in drop_set]
+        dropped = [fb for i, fb in enumerate(feedbacks) if i in drop_set]
+        return FilterReport(kept=kept, dropped=dropped)
+
+    def filtered_mean(self, feedbacks: Sequence[Feedback]) -> float:
+        """The defended aggregate: mean of surviving ratings."""
+        report = self.filter(feedbacks)
+        if not report.kept:
+            return 0.5
+        return safe_mean(fb.rating for fb in report.kept)

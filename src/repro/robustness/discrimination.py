@@ -1,0 +1,145 @@
+"""Detection of discriminatory behaviour (Dellarocas [5], second half).
+
+"Immunizing online reputation reporting systems against unfair ratings
+**and discriminatory behavior**": besides raters lying, *providers* can
+discriminate — serving most consumers well but a targeted subset badly
+(or vice versa, favouring cronies).  A single averaged reputation then
+misleads the discriminated group.
+
+Detection follows Dellarocas' clustering idea applied to the *per-buyer
+outcome* axis: aggregate each rater's mean experience with the
+provider, split the raters into two clusters, and flag the provider
+when the clusters are far apart and both substantial — honest variance
+produces one blob, discrimination produces two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import EntityId
+from repro.common.mathutils import safe_mean
+from repro.common.records import Feedback
+from repro.robustness.cluster_filtering import two_means_split
+
+
+@dataclass(frozen=True)
+class DiscriminationReport:
+    """Outcome of screening one provider."""
+
+    target: EntityId
+    discriminating: bool
+    favoured: Tuple[EntityId, ...]
+    disfavoured: Tuple[EntityId, ...]
+    favoured_mean: float
+    disfavoured_mean: float
+
+    @property
+    def gap(self) -> float:
+        return self.favoured_mean - self.disfavoured_mean
+
+
+class DiscriminationDetector:
+    """Flags providers whose per-buyer outcomes split into two camps.
+
+    Args:
+        separation_threshold: minimum gap between the camp means.
+        min_group_fraction: both camps must hold at least this share of
+            raters (a lone outlier is rater noise, not discrimination).
+        min_raters: don't judge below this many distinct raters.
+    """
+
+    def __init__(
+        self,
+        separation_threshold: float = 0.3,
+        min_group_fraction: float = 0.2,
+        min_raters: int = 6,
+    ) -> None:
+        if not 0.0 < separation_threshold <= 1.0:
+            raise ConfigurationError(
+                "separation_threshold must be in (0, 1]"
+            )
+        if not 0.0 < min_group_fraction <= 0.5:
+            raise ConfigurationError(
+                "min_group_fraction must be in (0, 0.5]"
+            )
+        if min_raters < 2:
+            raise ConfigurationError("min_raters must be >= 2")
+        self.separation_threshold = separation_threshold
+        self.min_group_fraction = min_group_fraction
+        self.min_raters = min_raters
+
+    def per_rater_means(
+        self, feedbacks: Sequence[Feedback]
+    ) -> Dict[EntityId, float]:
+        by_rater: Dict[EntityId, List[float]] = {}
+        for fb in feedbacks:
+            by_rater.setdefault(fb.rater, []).append(fb.rating)
+        return {rater: safe_mean(vals) for rater, vals in by_rater.items()}
+
+    def screen(
+        self, target: EntityId, feedbacks: Sequence[Feedback]
+    ) -> DiscriminationReport:
+        """Screen *target* using all feedback about it."""
+        means = self.per_rater_means(
+            [fb for fb in feedbacks if fb.target == target]
+        )
+        raters = sorted(means)
+        if len(raters) < self.min_raters:
+            return DiscriminationReport(
+                target=target, discriminating=False,
+                favoured=tuple(raters), disfavoured=(),
+                favoured_mean=safe_mean(means.values(), 0.5),
+                disfavoured_mean=safe_mean(means.values(), 0.5),
+            )
+        values = [means[r] for r in raters]
+        low_idx, high_idx, low_c, high_c = two_means_split(values)
+        n = len(raters)
+        gap = high_c - low_c
+        substantial = (
+            len(low_idx) >= self.min_group_fraction * n
+            and len(high_idx) >= self.min_group_fraction * n
+        )
+        discriminating = bool(
+            high_idx and gap >= self.separation_threshold and substantial
+        )
+        favoured = tuple(raters[i] for i in high_idx)
+        disfavoured = tuple(raters[i] for i in low_idx)
+        if not discriminating:
+            overall = safe_mean(values, 0.5)
+            return DiscriminationReport(
+                target=target, discriminating=False,
+                favoured=tuple(raters), disfavoured=(),
+                favoured_mean=overall, disfavoured_mean=overall,
+            )
+        return DiscriminationReport(
+            target=target, discriminating=True,
+            favoured=favoured, disfavoured=disfavoured,
+            favoured_mean=high_c, disfavoured_mean=low_c,
+        )
+
+    def personalized_score(
+        self,
+        perspective: EntityId,
+        target: EntityId,
+        feedbacks: Sequence[Feedback],
+    ) -> float:
+        """Reputation of *target* as *perspective* should read it.
+
+        For a discriminating provider, only the camp containing (or
+        likely to contain) the asking consumer is informative: a member
+        of the disfavoured camp gets the disfavoured mean, not the
+        flattering average.  Consumers with no history get the
+        *disfavoured* mean — the conservative reading.
+        """
+        report = self.screen(target, feedbacks)
+        if not report.discriminating:
+            relevant = [
+                fb.rating for fb in feedbacks if fb.target == target
+            ]
+            return safe_mean(relevant, 0.5)
+        if perspective in report.favoured:
+            return report.favoured_mean
+        return report.disfavoured_mean

@@ -1,0 +1,109 @@
+"""Sen & Sajja: robustness of reputation-based trust, Boolean case.
+
+"Robustness of reputation-based trust: Boolean case" (AAMAS 2002):
+an agent selects a service processor by polling *N* witnesses for a
+Boolean good/bad opinion and believing the majority.  With liar
+fraction *p* below one half, the probability the majority is correct
+grows with *N*; the paper derives the minimum number of witnesses that
+guarantees a target confidence.  Both the probability and the minimum-N
+computation are reproduced (exact binomial tail, no approximation).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.records import Feedback
+
+
+def _binomial_pmf(n: int, k: int, p: float) -> float:
+    return math.comb(n, k) * (p ** k) * ((1.0 - p) ** (n - k))
+
+
+def majority_correct_probability(
+    witnesses: int, liar_fraction: float
+) -> float:
+    """P(majority of *witnesses* opinions is truthful).
+
+    Witnesses lie independently with probability *liar_fraction*; ties
+    (even splits) count as failure — the conservative reading.
+    """
+    if witnesses < 1:
+        raise ConfigurationError("witnesses must be >= 1")
+    if not 0.0 <= liar_fraction <= 1.0:
+        raise ConfigurationError("liar_fraction must be in [0, 1]")
+    needed = witnesses // 2 + 1
+    return sum(
+        _binomial_pmf(witnesses, k, 1.0 - liar_fraction)
+        for k in range(needed, witnesses + 1)
+    )
+
+
+def required_witnesses(
+    liar_fraction: float,
+    confidence: float = 0.95,
+    max_witnesses: int = 2001,
+) -> Optional[int]:
+    """Minimum witnesses for majority correctness >= *confidence*.
+
+    Returns None when unreachable (liar fraction >= 0.5 — the honest
+    majority assumption is violated and no N suffices).
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError("confidence must be in (0, 1)")
+    if liar_fraction >= 0.5:
+        return None
+    for n in range(1, max_witnesses + 1, 2):  # odd N avoids ties
+        if majority_correct_probability(n, liar_fraction) >= confidence:
+            return n
+    return None
+
+
+class MajorityOpinion:
+    """Boolean majority aggregation over witness feedback.
+
+    Args:
+        positive_threshold: rating above this is a "good" opinion.
+        max_witnesses: cap on opinions polled per decision (Sen &
+            Sajja's query budget).
+    """
+
+    def __init__(
+        self,
+        positive_threshold: float = 0.5,
+        max_witnesses: Optional[int] = None,
+    ) -> None:
+        if max_witnesses is not None and max_witnesses < 1:
+            raise ConfigurationError("max_witnesses must be >= 1")
+        self.positive_threshold = positive_threshold
+        self.max_witnesses = max_witnesses
+
+    def opinions(self, feedbacks: Sequence[Feedback]) -> List[bool]:
+        """One Boolean opinion per distinct witness (their latest)."""
+        latest: dict = {}
+        for fb in sorted(feedbacks, key=lambda f: f.time):
+            latest[fb.rater] = fb.rating > self.positive_threshold
+        opinions = [latest[rater] for rater in sorted(latest)]
+        if self.max_witnesses is not None:
+            opinions = opinions[: self.max_witnesses]
+        return opinions
+
+    def verdict(self, feedbacks: Sequence[Feedback]) -> Optional[bool]:
+        """Majority verdict; None with no opinions or a tie."""
+        opinions = self.opinions(feedbacks)
+        if not opinions:
+            return None
+        good = sum(opinions)
+        bad = len(opinions) - good
+        if good == bad:
+            return None
+        return good > bad
+
+    def score(self, feedbacks: Sequence[Feedback]) -> float:
+        """Score on [0, 1]: the majority direction, 0.5 when undecided."""
+        verdict = self.verdict(feedbacks)
+        if verdict is None:
+            return 0.5
+        return 1.0 if verdict else 0.0

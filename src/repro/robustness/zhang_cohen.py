@@ -1,0 +1,169 @@
+"""Zhang & Cohen: trusting advice from other buyers (ICEC 2006).
+
+A *personalized* defense against unfair ratings: a buyer judges each
+advisor's credibility by comparing the advisor's ratings of a seller
+with the buyer's **own** ratings of the same seller in matching time
+windows — advice that historically agreed with first-hand experience
+earns trust (a private, Beta-evidence estimate).  When private evidence
+is thin, a *public* component (the advisor's agreement with the all-
+buyer consensus) fills in, weighted by how much private evidence exists.
+The defended reputation of a seller is then the credibility-weighted
+mean of advisor ratings blended with the buyer's own experience.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import EntityId
+from repro.common.mathutils import safe_mean
+from repro.common.records import Feedback
+
+
+class ZhangCohenDefense:
+    """Personalized + public advisor credibility.
+
+    Args:
+        window: time-window length for matching advisor ratings against
+            own experience.
+        agreement_tolerance: max |advisor − own| counted as agreement.
+        min_private: private evidence pairs at which private credibility
+            fully dominates the public component.
+    """
+
+    def __init__(
+        self,
+        window: float = 10.0,
+        agreement_tolerance: float = 0.2,
+        min_private: int = 5,
+    ) -> None:
+        if window <= 0:
+            raise ConfigurationError("window must be positive")
+        if not 0.0 < agreement_tolerance <= 1.0:
+            raise ConfigurationError("agreement_tolerance must be in (0, 1]")
+        if min_private < 1:
+            raise ConfigurationError("min_private must be >= 1")
+        self.window = window
+        self.agreement_tolerance = agreement_tolerance
+        self.min_private = min_private
+        #: buyer -> seller -> [(time, rating)] first-hand experiences
+        self._own: Dict[EntityId, Dict[EntityId, List[Tuple[float, float]]]] = (
+            defaultdict(lambda: defaultdict(list))
+        )
+        #: advisor -> seller -> [(time, rating)] filed ratings
+        self._advice: Dict[
+            EntityId, Dict[EntityId, List[Tuple[float, float]]]
+        ] = defaultdict(lambda: defaultdict(list))
+
+    # -- evidence ----------------------------------------------------------
+    def record_own(self, feedback: Feedback) -> None:
+        """A buyer's first-hand experience with a seller."""
+        self._own[feedback.rater][feedback.target].append(
+            (feedback.time, feedback.rating)
+        )
+
+    def record_advice(self, feedback: Feedback) -> None:
+        """An advisor's public rating of a seller."""
+        self._advice[feedback.rater][feedback.target].append(
+            (feedback.time, feedback.rating)
+        )
+
+    def record(self, feedback: Feedback) -> None:
+        """Convenience: every report is both advice and (for its rater)
+        own experience."""
+        self.record_own(feedback)
+        self.record_advice(feedback)
+
+    # -- credibility ----------------------------------------------------------
+    def _window_pairs(
+        self, buyer: EntityId, advisor: EntityId
+    ) -> List[Tuple[float, float]]:
+        """(advisor_rating, own_rating) pairs in matching windows."""
+        pairs: List[Tuple[float, float]] = []
+        for seller, advice in self._advice.get(advisor, {}).items():
+            own = self._own.get(buyer, {}).get(seller)
+            if not own:
+                continue
+            for advice_time, advice_rating in advice:
+                window_own = [
+                    r
+                    for t, r in own
+                    if abs(t - advice_time) <= self.window
+                ]
+                if window_own:
+                    pairs.append((advice_rating, safe_mean(window_own)))
+        return pairs
+
+    def private_credibility(
+        self, buyer: EntityId, advisor: EntityId
+    ) -> Tuple[float, int]:
+        """(Beta-expected credibility, #evidence pairs) from own data."""
+        pairs = self._window_pairs(buyer, advisor)
+        agree = sum(
+            1
+            for advice, own in pairs
+            if abs(advice - own) <= self.agreement_tolerance
+        )
+        disagree = len(pairs) - agree
+        credibility = (agree + 1.0) / (agree + disagree + 2.0)
+        return credibility, len(pairs)
+
+    def public_credibility(self, advisor: EntityId) -> float:
+        """Agreement of *advisor* with the all-advisor consensus."""
+        agree = 0
+        disagree = 0
+        for seller, advice in self._advice.get(advisor, {}).items():
+            others = [
+                r
+                for other, filed in self._advice.items()
+                if other != advisor
+                for t, r in filed.get(seller, ())
+            ]
+            if not others:
+                continue
+            consensus = safe_mean(others)
+            for _, rating in advice:
+                if abs(rating - consensus) <= self.agreement_tolerance:
+                    agree += 1
+                else:
+                    disagree += 1
+        return (agree + 1.0) / (agree + disagree + 2.0)
+
+    def credibility(self, buyer: EntityId, advisor: EntityId) -> float:
+        """The blended (private-weighted) advisor credibility."""
+        private, evidence = self.private_credibility(buyer, advisor)
+        public = self.public_credibility(advisor)
+        w = min(1.0, evidence / self.min_private)
+        return w * private + (1.0 - w) * public
+
+    # -- defended reputation ------------------------------------------------------
+    def robust_score(
+        self, buyer: EntityId, seller: EntityId
+    ) -> float:
+        """Credibility-weighted seller reputation for *buyer*."""
+        own = self._own.get(buyer, {}).get(seller, [])
+        own_mean = safe_mean((r for _, r in own)) if own else None
+        total = 0.0
+        weight_sum = 0.0
+        for advisor, filed in self._advice.items():
+            if advisor == buyer or seller not in filed:
+                continue
+            cred = self.credibility(buyer, advisor)
+            advisor_mean = safe_mean(r for _, r in filed[seller])
+            # Low-credibility advisors' influence is attenuated toward
+            # zero rather than inverted.
+            weight = max(0.0, 2.0 * cred - 1.0)
+            total += weight * advisor_mean
+            weight_sum += weight
+        advice_part = total / weight_sum if weight_sum > 0 else None
+        if own_mean is None and advice_part is None:
+            return 0.5
+        if own_mean is None:
+            assert advice_part is not None
+            return advice_part
+        if advice_part is None:
+            return own_mean
+        own_weight = min(1.0, len(own) / self.min_private)
+        return own_weight * own_mean + (1.0 - own_weight) * advice_part

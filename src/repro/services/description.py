@@ -1,0 +1,78 @@
+"""Service descriptions and QoS advertisements.
+
+A :class:`ServiceDescription` is the WSDL-analogue: the functional
+category a consumer searches on plus interface metadata.  A
+:class:`QoSAdvertisement` is the provider's *claimed* quality — which,
+as the paper stresses, "is not an agreement or obligation" and may be
+exaggerated on purpose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from repro.common.ids import EntityId
+
+
+@dataclass(frozen=True)
+class ServiceDescription:
+    """Functional description of a service (the WSDL analogue).
+
+    Attributes:
+        service: the service's id.
+        provider: the owning provider's id.
+        category: functional category, e.g. ``"weather_report"`` —
+            consumers discover services by category.
+        operations: named operations the service exposes (purely
+            descriptive; the simulation invokes the service as a whole).
+        version: providers may republish with a bumped version.
+    """
+
+    service: EntityId
+    provider: EntityId
+    category: str
+    operations: Tuple[str, ...] = ("invoke",)
+    version: int = 1
+
+    def matches(self, category: str) -> bool:
+        """True when this service offers the requested *category*."""
+        return self.category == category
+
+
+@dataclass(frozen=True)
+class QoSAdvertisement:
+    """A provider's published QoS claims, in quality space ``[0, 1]``.
+
+    ``claimed`` maps metric names to the quality level the provider
+    *says* it delivers.  Nothing enforces honesty; compare against the
+    service's true :class:`~repro.services.qos.QoSProfile` to measure
+    exaggeration.
+    """
+
+    service: EntityId
+    claimed: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, value in self.claimed.items():
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"claimed quality {name!r} must be in [0, 1], got {value}"
+                )
+
+    def claim(self, metric: str, default: float = 0.5) -> float:
+        return self.claimed.get(metric, default)
+
+    def exaggeration(self, true_quality: Mapping[str, float]) -> float:
+        """Mean signed gap between claims and truth (positive = inflated)."""
+        common = [m for m in self.claimed if m in true_quality]
+        if not common:
+            return 0.0
+        return sum(self.claimed[m] - true_quality[m] for m in common) / len(common)
+
+
+def advertisement_table(
+    ads: "list[QoSAdvertisement]",
+) -> Dict[EntityId, Dict[str, float]]:
+    """Pivot advertisements into ``{service: {metric: claim}}``."""
+    return {ad.service: dict(ad.claimed) for ad in ads}

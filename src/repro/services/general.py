@@ -1,0 +1,182 @@
+"""General services and intermediaries — the Figure 1B mediated scenario.
+
+In the paper's scenario B a consumer uses a web service (e.g. a flight
+*booking* site) to obtain a *general service* (the flight itself).  The
+selection of the web service is "mainly decided by the general service
+properties"; the intermediary's own QoS "only plays a small part".
+
+We model that literally: an :class:`IntermediaryService` fronts a set of
+:class:`GeneralService` offerings, and the consumer-perceived outcome of
+a mediated invocation blends the general service's domain quality
+(dominant) with the intermediary web service's QoS (minor), controlled
+by ``intermediary_weight``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.common.errors import ConfigurationError, UnknownEntityError
+from repro.common.ids import EntityId
+from repro.common.mathutils import clamp, safe_mean
+from repro.common.randomness import RngLike, make_rng
+from repro.common.records import Interaction
+from repro.services.consumer import Consumer, quality_scores
+from repro.services.invocation import InvocationEngine
+from repro.services.provider import Service
+
+
+@dataclass
+class GeneralService:
+    """A real-world service reachable through intermediaries.
+
+    Domain quality lives in its own facet space (e.g. ``comfort``,
+    ``punctuality`` for a flight) — deliberately *not* the web-service
+    QoS taxonomy, because "each domain has its own related QoS metrics".
+    """
+
+    general_id: EntityId
+    domain: str
+    quality: Dict[str, float] = field(default_factory=dict)
+    noise: float = 0.05
+    segment_offsets: Dict[str, Dict[int, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, q in self.quality.items():
+            if not 0.0 <= q <= 1.0:
+                raise ConfigurationError(
+                    f"general quality {name!r} must be in [0, 1], got {q}"
+                )
+        if self.noise < 0:
+            raise ConfigurationError("noise must be non-negative")
+
+    def true_quality(self, facet: str, segment: Optional[int] = None) -> float:
+        base = self.quality[facet]
+        if segment is not None:
+            base += self.segment_offsets.get(facet, {}).get(segment, 0.0)
+        return clamp(base, 0.0, 1.0)
+
+    def overall(self, segment: Optional[int] = None) -> float:
+        if not self.quality:
+            return 0.0
+        return safe_mean(
+            self.true_quality(f, segment) for f in self.quality
+        )
+
+    def experience(
+        self, rng: RngLike = None, segment: Optional[int] = None
+    ) -> Dict[str, float]:
+        """One consumption's per-facet experienced quality."""
+        gen = make_rng(rng)
+        return {
+            facet: clamp(
+                self.true_quality(facet, segment)
+                + float(gen.normal(0.0, self.noise)),
+                0.0,
+                1.0,
+            )
+            for facet in self.quality
+        }
+
+
+@dataclass(frozen=True)
+class MediatedOutcome:
+    """Everything a consumer perceives from one mediated invocation."""
+
+    interaction: Interaction
+    general: EntityId
+    general_facets: Mapping[str, float]
+    intermediary_facets: Mapping[str, float]
+    perceived_quality: float
+
+
+class IntermediaryService:
+    """A web service that brokers access to general services.
+
+    Args:
+        service: the intermediary's own web service (with web-service QoS).
+        catalog: the general services this intermediary can book.
+        intermediary_weight: share of the perceived outcome attributable
+            to the intermediary's own QoS (the paper says it is small;
+            default 0.2).
+    """
+
+    def __init__(
+        self,
+        service: Service,
+        catalog: "list[GeneralService]",
+        intermediary_weight: float = 0.2,
+        rng: RngLike = None,
+    ) -> None:
+        if not 0.0 <= intermediary_weight <= 1.0:
+            raise ConfigurationError("intermediary_weight must be in [0, 1]")
+        if not catalog:
+            raise ConfigurationError("intermediary needs a non-empty catalog")
+        self.service = service
+        self.intermediary_weight = intermediary_weight
+        self._catalog: Dict[EntityId, GeneralService] = {
+            g.general_id: g for g in catalog
+        }
+        self._rng = make_rng(rng)
+
+    @property
+    def service_id(self) -> EntityId:
+        return self.service.service_id
+
+    @property
+    def catalog(self) -> List[GeneralService]:
+        return list(self._catalog.values())
+
+    def general(self, general_id: EntityId) -> GeneralService:
+        try:
+            return self._catalog[general_id]
+        except KeyError:
+            raise UnknownEntityError(
+                f"intermediary {self.service_id} has no general service "
+                f"{general_id!r}"
+            ) from None
+
+    def best_general(self, segment: Optional[int] = None) -> GeneralService:
+        """The catalog entry with highest true overall quality."""
+        return max(self._catalog.values(), key=lambda g: g.overall(segment))
+
+    def book(
+        self,
+        consumer: Consumer,
+        general_id: EntityId,
+        engine: InvocationEngine,
+        time: float,
+    ) -> MediatedOutcome:
+        """Consume *general_id* through this intermediary.
+
+        The intermediary's web-service QoS is observed (its own
+        invocation), the general service is experienced, and the
+        perceived quality blends the two.  A failed web-service call
+        means the booking never happened: perceived quality 0.
+        """
+        general = self.general(general_id)
+        interaction = engine.invoke(consumer, self.service, time)
+        intermediary_facets = quality_scores(interaction, engine.taxonomy)
+        if not interaction.success:
+            return MediatedOutcome(
+                interaction=interaction,
+                general=general_id,
+                general_facets={},
+                intermediary_facets={},
+                perceived_quality=0.0,
+            )
+        general_facets = general.experience(self._rng, consumer.segment)
+        w = self.intermediary_weight
+        intermediary_part = consumer.preferences.overall(intermediary_facets)
+        general_part = safe_mean(general_facets.values(), default=0.5)
+        perceived = clamp(
+            w * intermediary_part + (1.0 - w) * general_part, 0.0, 1.0
+        )
+        return MediatedOutcome(
+            interaction=interaction,
+            general=general_id,
+            general_facets=general_facets,
+            intermediary_facets=intermediary_facets,
+            perceived_quality=perceived,
+        )

@@ -1,0 +1,84 @@
+"""Invocation engine: executing a service call and observing QoS.
+
+The engine is the single place where ground truth turns into
+observations: it samples the service's effective profile at the current
+time (respecting :class:`~repro.services.provider.QualityBehavior`) for
+the invoking consumer's taste segment, decides success/failure, and
+emits an :class:`~repro.common.records.Interaction`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.ids import EntityId
+from repro.common.randomness import RngLike, make_rng
+from repro.common.records import Interaction
+from repro.services.consumer import Consumer
+from repro.services.provider import Service
+from repro.services.qos import QoSTaxonomy
+
+
+class InvocationEngine:
+    """Executes invocations against ground-truth service profiles."""
+
+    def __init__(self, taxonomy: QoSTaxonomy, rng: RngLike = None) -> None:
+        self.taxonomy = taxonomy
+        self._rng = make_rng(rng)
+        self.invocation_count = 0
+
+    def invoke(
+        self,
+        consumer: Consumer,
+        service: Service,
+        time: float,
+        segment: Optional[int] = None,
+    ) -> Interaction:
+        """Invoke *service* on behalf of *consumer* at simulation *time*.
+
+        Args:
+            segment: taste segment override; defaults to the consumer's
+                own segment.
+        """
+        self.invocation_count += 1
+        profile = service.profile_at(time)
+        seg = consumer.segment if segment is None else segment
+        success = bool(self._rng.random() < profile.success_rate)
+        observations = (
+            profile.sample(self.taxonomy, self._rng, segment=seg)
+            if success
+            else {}
+        )
+        return Interaction(
+            consumer=consumer.consumer_id,
+            service=service.service_id,
+            provider=service.provider_id,
+            time=time,
+            success=success,
+            observations=observations,
+        )
+
+    def invoke_anonymous(
+        self, invoker_id: EntityId, service: Service, time: float
+    ) -> Interaction:
+        """Invocation by a non-consumer party (monitor, explorer agent).
+
+        Monitors observe the *base-segment* truth: they can measure
+        objective metrics but have no taste segment of their own.
+        """
+        self.invocation_count += 1
+        profile = service.profile_at(time)
+        success = bool(self._rng.random() < profile.success_rate)
+        observations = (
+            profile.sample(self.taxonomy, self._rng, segment=None)
+            if success
+            else {}
+        )
+        return Interaction(
+            consumer=invoker_id,
+            service=service.service_id,
+            provider=service.provider_id,
+            time=time,
+            success=success,
+            observations=observations,
+        )

@@ -1,0 +1,281 @@
+"""Active QoS monitoring: sensors, third-party probes, explorer agents.
+
+The paper's Figure 2 lists three ways QoS information reaches a central
+node besides consumer feedback:
+
+* **Sensors** deployed one-per-service, constantly reporting QoS — the
+  approach the paper calls "very costly … only suitable for a small
+  system" (Truong et al.).
+* A **third party / central node** actively probing services itself.
+* **Explorer agents** (Maximilien & Singh): the central node probes only
+  services with a *negative* reputation, so improved services regain a
+  chance of being selected.
+
+All three measure only *observable* metrics; subjective facets such as
+accuracy stay invisible to them — the structural advantage of consumer
+feedback the paper emphasizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import EntityId
+from repro.common.mathutils import safe_mean
+from repro.common.randomness import RngLike, make_rng
+from repro.common.records import Feedback
+from repro.services.invocation import InvocationEngine
+from repro.services.provider import Service
+from repro.services.qos import QoSTaxonomy
+
+
+@dataclass
+class MonitoringReport:
+    """Aggregated monitor view of one service's observable quality."""
+
+    service: EntityId
+    samples: int = 0
+    successes: int = 0
+    facet_sums: Dict[str, float] = field(default_factory=dict)
+    facet_counts: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, observations: Mapping[str, float], success: bool,
+               taxonomy: QoSTaxonomy) -> None:
+        self.samples += 1
+        if success:
+            self.successes += 1
+        for name, raw in observations.items():
+            if name not in taxonomy or not taxonomy.get(name).observable:
+                continue
+            quality = taxonomy.get(name).normalize(raw)
+            self.facet_sums[name] = self.facet_sums.get(name, 0.0) + quality
+            self.facet_counts[name] = self.facet_counts.get(name, 0) + 1
+
+    def facet_quality(self, name: str, default: float = 0.5) -> float:
+        count = self.facet_counts.get(name, 0)
+        if count == 0:
+            return default
+        return self.facet_sums[name] / count
+
+    def facet_estimates(self) -> Dict[str, float]:
+        return {
+            name: self.facet_sums[name] / count
+            for name, count in self.facet_counts.items()
+            if count > 0
+        }
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.samples if self.samples else 1.0
+
+    def overall(self, weights: Optional[Mapping[str, float]] = None) -> float:
+        """Preference-weighted observable quality, scaled by success rate."""
+        estimates = self.facet_estimates()
+        if not estimates:
+            return 0.5 * self.success_rate
+        if weights:
+            common = {m: w for m, w in weights.items() if m in estimates}
+            total = sum(common.values())
+            if total > 0:
+                base = sum(estimates[m] * w for m, w in common.items()) / total
+                return base * self.success_rate
+        return safe_mean(estimates.values()) * self.success_rate
+
+
+class SensorDeployment:
+    """One sensor per monitored service, probing on a fixed cadence.
+
+    Costs tracked: number of sensors deployed (hardware/installation),
+    probe invocations, and report messages to the central node.
+    """
+
+    def __init__(
+        self,
+        engine: InvocationEngine,
+        report_sink: Optional[Callable[[EntityId, MonitoringReport], None]] = None,
+    ) -> None:
+        self.engine = engine
+        self.report_sink = report_sink
+        self.reports: Dict[EntityId, MonitoringReport] = {}
+        self.sensors_deployed = 0
+        self.probe_count = 0
+        self.report_messages = 0
+
+    def deploy(self, service: Service) -> None:
+        if service.service_id in self.reports:
+            return
+        self.reports[service.service_id] = MonitoringReport(service.service_id)
+        self.sensors_deployed += 1
+
+    def retire(self, service_id: EntityId) -> None:
+        self.reports.pop(service_id, None)
+
+    def probe(self, service: Service, time: float) -> None:
+        """One sensor measurement of *service* at *time*."""
+        if service.service_id not in self.reports:
+            raise ConfigurationError(
+                f"no sensor deployed for {service.service_id}"
+            )
+        sensor_id = f"sensor:{service.service_id}"
+        interaction = self.engine.invoke_anonymous(sensor_id, service, time)
+        report = self.reports[service.service_id]
+        report.record(interaction.observations, interaction.success,
+                      self.engine.taxonomy)
+        self.probe_count += 1
+        self.report_messages += 1
+        if self.report_sink is not None:
+            self.report_sink(service.service_id, report)
+
+    def probe_all(self, services: "list[Service]", time: float) -> None:
+        for service in services:
+            if service.service_id in self.reports:
+                self.probe(service, time)
+
+    def report_for(self, service_id: EntityId) -> Optional[MonitoringReport]:
+        return self.reports.get(service_id)
+
+    def total_cost(
+        self, sensor_cost: float = 10.0, probe_cost: float = 0.1,
+        message_cost: float = 0.01,
+    ) -> float:
+        """Deployment-model cost: sensors dominate, per the paper."""
+        return (
+            self.sensors_deployed * sensor_cost
+            + self.probe_count * probe_cost
+            + self.report_messages * message_cost
+        )
+
+
+class ThirdPartyMonitor:
+    """A central third party probing services itself (no sensors).
+
+    Cheaper than sensors (no per-service hardware) but the probing
+    burden concentrates on one node — the "too much burden on the
+    central node" drawback.
+    """
+
+    def __init__(self, engine: InvocationEngine, monitor_id: EntityId = "third-party") -> None:
+        self.engine = engine
+        self.monitor_id = monitor_id
+        self.reports: Dict[EntityId, MonitoringReport] = {}
+        self.probe_count = 0
+
+    def probe(self, service: Service, time: float) -> MonitoringReport:
+        interaction = self.engine.invoke_anonymous(self.monitor_id, service, time)
+        report = self.reports.setdefault(
+            service.service_id, MonitoringReport(service.service_id)
+        )
+        report.record(interaction.observations, interaction.success,
+                      self.engine.taxonomy)
+        self.probe_count += 1
+        return report
+
+    def sweep(self, services: "list[Service]", time: float) -> None:
+        for service in services:
+            self.probe(service, time)
+
+    def report_for(self, service_id: EntityId) -> Optional[MonitoringReport]:
+        return self.reports.get(service_id)
+
+
+class ExplorerAgentPool:
+    """Maximilien & Singh's explorer agents.
+
+    The central node creates consumer agents that deliberately consume
+    services whose reputation is *negative*.  When an explorer finds the
+    quality improved, it files honest positive feedback, rehabilitating
+    the service so ordinary consumers will select it again.
+    """
+
+    def __init__(
+        self,
+        engine: InvocationEngine,
+        feedback_sink: Callable[[Feedback], None],
+        reputation_threshold: float = 0.4,
+        probes_per_round: int = 3,
+        support_margin: float = 0.05,
+        rng: RngLike = None,
+    ) -> None:
+        if probes_per_round < 1:
+            raise ConfigurationError("probes_per_round must be >= 1")
+        if support_margin < 0:
+            raise ConfigurationError("support_margin must be >= 0")
+        self.engine = engine
+        self.feedback_sink = feedback_sink
+        self.reputation_threshold = reputation_threshold
+        self.probes_per_round = probes_per_round
+        #: keep filing feedback for an improved service until its
+        #: reputation has caught up to the measured quality (the
+        #: "help the services gain positive reputation" half of the
+        #: explorer-agent design) within this margin.
+        self.support_margin = support_margin
+        self._rng = make_rng(rng)
+        self._last_measured: Dict[EntityId, float] = {}
+        self.probe_count = 0
+        self.rehabilitations = 0
+
+    def explore(
+        self,
+        services: "list[Service]",
+        reputations: Mapping[EntityId, float],
+        time: float,
+    ) -> List[Feedback]:
+        """Probe every negatively-reputed service; file what was found.
+
+        Explorer feedback is honest: it reports measured quality whether
+        good or bad, so an unimproved service stays down while an
+        improved one rises.
+        """
+        filed: List[Feedback] = []
+        for service in services:
+            rep = reputations.get(service.service_id)
+            if rep is None:
+                continue
+            negative = rep < self.reputation_threshold
+            # Continued support: a service measured better than its
+            # current reputation still needs explorer feedback until
+            # the community score reflects the improvement.
+            catching_up = (
+                self._last_measured.get(service.service_id, -1.0)
+                > rep + self.support_margin
+            )
+            if not negative and not catching_up:
+                continue
+            scores: List[float] = []
+            facet_acc: Dict[str, List[float]] = {}
+            for i in range(self.probes_per_round):
+                agent_id = f"explorer:{service.service_id}:{i}"
+                interaction = self.engine.invoke_anonymous(
+                    agent_id, service, time
+                )
+                self.probe_count += 1
+                if not interaction.success:
+                    scores.append(0.0)
+                    continue
+                per_facet = {
+                    name: self.engine.taxonomy.get(name).normalize(raw)
+                    for name, raw in interaction.observations.items()
+                    if name in self.engine.taxonomy
+                }
+                for name, q in per_facet.items():
+                    facet_acc.setdefault(name, []).append(q)
+                scores.append(safe_mean(per_facet.values(), default=0.5))
+            measured = safe_mean(scores, default=0.0)
+            facet_ratings = {
+                name: safe_mean(values) for name, values in facet_acc.items()
+            }
+            feedback = Feedback(
+                rater=f"explorer:{service.service_id}",
+                target=service.service_id,
+                time=time,
+                rating=max(0.0, min(1.0, measured)),
+                facet_ratings=facet_ratings,
+            )
+            self.feedback_sink(feedback)
+            filed.append(feedback)
+            self._last_measured[service.service_id] = measured
+            if negative and measured > self.reputation_threshold:
+                self.rehabilitations += 1
+        return filed

@@ -1,0 +1,137 @@
+"""Metric vocabulary alignment — the §2 "common ontology" prerequisite.
+
+"This method [SLA] relies on the establishing of a common ontology so
+that providers and consumers have the same understanding of various QoS
+metrics."  In practice parties name the same metric differently
+(``response_time`` vs ``responseTime`` vs ``rt``) or measure it in
+different units (seconds vs milliseconds).  :class:`MetricVocabulary`
+is the alignment layer: it maps a party's local metric names (and
+units) onto the canonical taxonomy so SLAs, claims, and observations
+actually talk about the same quantities.
+
+Without alignment, an SLA floor on ``responseTime`` never matches an
+observation of ``response_time`` — the violation silently goes
+undetected, which is precisely the failure mode the paper's caveat is
+about (demonstrated in the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.common.errors import ConfigurationError, UnknownEntityError
+from repro.services.qos import QoSTaxonomy
+
+
+@dataclass(frozen=True)
+class MetricAlias:
+    """One party-local metric name mapped onto the canonical taxonomy.
+
+    Attributes:
+        canonical: the taxonomy metric this alias denotes.
+        scale / offset: linear unit conversion applied to raw values:
+            ``canonical_value = scale * local_value + offset`` (e.g.
+            milliseconds -> seconds uses scale 0.001).
+    """
+
+    canonical: str
+    scale: float = 1.0
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.scale == 0:
+            raise ConfigurationError("alias scale must be non-zero")
+
+    def to_canonical(self, value: float) -> float:
+        return self.scale * value + self.offset
+
+    def from_canonical(self, value: float) -> float:
+        return (value - self.offset) / self.scale
+
+
+class MetricVocabulary:
+    """A party's local metric vocabulary with taxonomy alignment."""
+
+    def __init__(
+        self,
+        taxonomy: QoSTaxonomy,
+        aliases: Optional[Mapping[str, MetricAlias]] = None,
+    ) -> None:
+        self.taxonomy = taxonomy
+        self._aliases: Dict[str, MetricAlias] = {}
+        for local, alias in (aliases or {}).items():
+            self.add_alias(local, alias)
+
+    def add_alias(self, local_name: str, alias: MetricAlias) -> None:
+        if alias.canonical not in self.taxonomy:
+            raise UnknownEntityError(
+                f"alias target {alias.canonical!r} is not in the taxonomy"
+            )
+        self._aliases[local_name] = alias
+
+    def resolve(self, local_name: str) -> str:
+        """Canonical metric name for *local_name*.
+
+        A name already in the taxonomy resolves to itself; otherwise
+        the alias table is consulted.
+        """
+        if local_name in self.taxonomy:
+            return local_name
+        alias = self._aliases.get(local_name)
+        if alias is None:
+            raise UnknownEntityError(
+                f"metric {local_name!r} is neither canonical nor aliased"
+            )
+        return alias.canonical
+
+    def translate_observations(
+        self, observations: Mapping[str, float], strict: bool = False
+    ) -> Dict[str, float]:
+        """Rename (and unit-convert) local observations to canonical.
+
+        Unknown metrics are dropped when ``strict`` is False (the
+        receiving side simply cannot interpret them — the silent-miss
+        failure mode), or raise when ``strict`` is True.
+        """
+        out: Dict[str, float] = {}
+        for name, value in observations.items():
+            if name in self.taxonomy:
+                out[name] = value
+                continue
+            alias = self._aliases.get(name)
+            if alias is None:
+                if strict:
+                    raise UnknownEntityError(
+                        f"cannot align metric {name!r}"
+                    )
+                continue
+            out[alias.canonical] = alias.to_canonical(value)
+        return out
+
+    def translate_claims(
+        self, claims: Mapping[str, float], strict: bool = False
+    ) -> Dict[str, float]:
+        """Rename quality-space claims (no unit conversion: quality
+        space is already normalized)."""
+        out: Dict[str, float] = {}
+        for name, value in claims.items():
+            if name in self.taxonomy:
+                out[name] = value
+            elif name in self._aliases:
+                out[self._aliases[name].canonical] = value
+            elif strict:
+                raise UnknownEntityError(f"cannot align metric {name!r}")
+        return out
+
+    def alignment_coverage(
+        self, names: "Tuple[str, ...] | list"
+    ) -> float:
+        """Fraction of *names* this vocabulary can interpret."""
+        if not names:
+            return 1.0
+        resolved = 0
+        for name in names:
+            if name in self.taxonomy or name in self._aliases:
+                resolved += 1
+        return resolved / len(names)

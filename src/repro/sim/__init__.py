@@ -1,0 +1,14 @@
+"""Discrete-event simulation kernel and network accounting.
+
+The kernel is intentionally small: a priority queue of timestamped
+callbacks plus a clock.  Reputation experiments are *logically* discrete
+(invocation, feedback, query), so a full process-interaction framework is
+unnecessary; what matters is a deterministic event order and cheap
+message/cost accounting.
+"""
+
+from repro.sim.clock import Clock
+from repro.sim.kernel import Event, Simulator
+from repro.sim.network import MessageStats, Network
+
+__all__ = ["Clock", "Event", "MessageStats", "Network", "Simulator"]

@@ -1,0 +1,43 @@
+"""Simulation clock.
+
+A tiny mutable wrapper around "current simulation time" shared by the
+kernel and by components that only need to timestamp records (feedback
+stores, decay policies) without scheduling events themselves.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SimulationError
+
+
+class Clock:
+    """Monotonically non-decreasing simulation time."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to *time*.
+
+        Raises :class:`SimulationError` if *time* is in the past — the
+        kernel guarantees event order, so any backwards move is a bug.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"clock cannot move backwards: {time} < {self._now}"
+            )
+        self._now = float(time)
+
+    def advance_by(self, delta: float) -> None:
+        """Move the clock forward by a non-negative *delta*."""
+        if delta < 0:
+            raise SimulationError(f"negative clock delta: {delta}")
+        self._now += float(delta)
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self._now:g})"

@@ -1,0 +1,111 @@
+"""Network model: message accounting and latency.
+
+The survey's comparative claims about centralized vs. decentralized
+mechanisms are about *cost* — messages exchanged, load concentration,
+single points of failure.  :class:`Network` provides exactly that: every
+component sends logical messages through it, and experiments read the
+aggregated statistics afterwards.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.common.ids import EntityId
+from repro.common.randomness import RngLike, make_rng
+
+
+@dataclass
+class MessageStats:
+    """Aggregated traffic statistics."""
+
+    total_messages: int = 0
+    total_bytes: int = 0
+    by_kind: Counter = field(default_factory=Counter)
+    sent_by: Counter = field(default_factory=Counter)
+    received_by: Counter = field(default_factory=Counter)
+
+    def load_imbalance(self) -> float:
+        """Max/mean ratio of per-node received messages (1.0 = balanced).
+
+        A centralized registry shows imbalance ~N (everything lands on one
+        node); a well-balanced DHT stays near 1.
+        """
+        if not self.received_by:
+            return 1.0
+        loads = list(self.received_by.values())
+        mean = sum(loads) / len(loads)
+        if mean <= 0:
+            return 1.0
+        return max(loads) / mean
+
+
+class Network:
+    """Logical message fabric with per-node failure and latency.
+
+    Components call :meth:`send` for every logical message; the network
+    records it and returns the delivery latency (or ``None`` when the
+    destination is failed/partitioned).  Latency is ``base_latency`` plus
+    an exponential jitter term.
+    """
+
+    def __init__(
+        self,
+        base_latency: float = 0.01,
+        jitter: float = 0.005,
+        rng: RngLike = None,
+    ) -> None:
+        if base_latency < 0 or jitter < 0:
+            raise ValueError("latency parameters must be non-negative")
+        self._base_latency = base_latency
+        self._jitter = jitter
+        self._rng = make_rng(rng)
+        self._failed: Set[EntityId] = set()
+        self.stats = MessageStats()
+
+    def fail_node(self, node: EntityId) -> None:
+        """Mark *node* as unreachable (fault injection)."""
+        self._failed.add(node)
+
+    def heal_node(self, node: EntityId) -> None:
+        self._failed.discard(node)
+
+    def is_failed(self, node: EntityId) -> bool:
+        return node in self._failed
+
+    def send(
+        self,
+        sender: EntityId,
+        receiver: EntityId,
+        kind: str = "message",
+        size: int = 1,
+    ) -> Optional[float]:
+        """Record one logical message; return latency or None if undeliverable.
+
+        Messages to failed nodes still count as *sent* (the sender paid
+        for them) but are not delivered.
+        """
+        self.stats.total_messages += 1
+        self.stats.total_bytes += size
+        self.stats.by_kind[kind] += 1
+        self.stats.sent_by[sender] += 1
+        if receiver in self._failed or sender in self._failed:
+            return None
+        self.stats.received_by[receiver] += 1
+        latency = self._base_latency
+        if self._jitter > 0:
+            latency += float(self._rng.exponential(self._jitter))
+        return latency
+
+    def reset_stats(self) -> None:
+        self.stats = MessageStats()
+
+
+def per_node_load(stats: MessageStats) -> Dict[EntityId, int]:
+    """Received-message load per node (convenience for experiment output)."""
+    loads: Dict[EntityId, int] = defaultdict(int)
+    for node, count in stats.received_by.items():
+        loads[node] = count
+    return dict(loads)

@@ -1,0 +1,20 @@
+"""Subjective-logic trust networks (Jøsang, Gray & Kinateder [10]).
+
+Section 3 of the survey grounds trust transitivity in Jøsang's work:
+"Trust can be transitive … Alice trusts her doctor and her doctor
+trusts an eye specialist."  This package implements the machinery that
+citation refers to:
+
+* :class:`Opinion` — the subjective-logic triple (belief, disbelief,
+  uncertainty) with base rate, plus the discounting (transitivity) and
+  consensus (fusion) operators;
+* :class:`TrustNetwork` — a directed graph of opinions with
+  *trust network analysis*: enumerate independent trust paths from one
+  agent to another, discount along each path, fuse parallel paths —
+  the simplified TNA-SL evaluation.
+"""
+
+from repro.trustnet.opinion import Opinion, consensus, discount
+from repro.trustnet.network import TrustNetwork, TrustPath
+
+__all__ = ["Opinion", "TrustNetwork", "TrustPath", "consensus", "discount"]

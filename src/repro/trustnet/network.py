@@ -1,0 +1,163 @@
+"""Trust network analysis with subjective logic (simplified TNA-SL).
+
+A directed graph whose edges carry :class:`Opinion` values of two
+kinds: *referral* trust (trust in an agent as a recommender — these
+edges may be chained) and *functional* trust (trust in an agent/service
+for the actual task — only valid as the final edge of a path).
+
+Evaluation of A's derived trust in X:
+
+1. enumerate simple paths A → … → X whose last edge is functional and
+   all earlier edges referral (bounded depth),
+2. discount each path's functional opinion through its referral chain,
+3. select a set of *node-disjoint* paths (independence requirement of
+   the consensus operator, greedily by expectation), and
+4. fuse the surviving path opinions with consensus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import EntityId
+from repro.trustnet.opinion import Opinion, consensus, discount
+
+
+@dataclass(frozen=True)
+class TrustPath:
+    """One evaluated trust path and its end-to-end opinion."""
+
+    nodes: Tuple[EntityId, ...]
+    opinion: Opinion
+
+    @property
+    def length(self) -> int:
+        return len(self.nodes) - 1
+
+
+class TrustNetwork:
+    """Directed graph of referral and functional trust opinions."""
+
+    def __init__(self, max_depth: int = 5) -> None:
+        if max_depth < 1:
+            raise ConfigurationError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        #: source -> target -> opinion (referral edges)
+        self._referral: Dict[EntityId, Dict[EntityId, Opinion]] = {}
+        #: source -> target -> opinion (functional edges)
+        self._functional: Dict[EntityId, Dict[EntityId, Opinion]] = {}
+
+    # -- construction ------------------------------------------------------
+    def add_referral_trust(
+        self, source: EntityId, target: EntityId, opinion: Opinion
+    ) -> None:
+        """Trust in *target* as a recommender."""
+        if source == target:
+            raise ConfigurationError("self-trust edges are not allowed")
+        self._referral.setdefault(source, {})[target] = opinion
+
+    def add_functional_trust(
+        self, source: EntityId, target: EntityId, opinion: Opinion
+    ) -> None:
+        """Trust in *target* for the task itself."""
+        if source == target:
+            raise ConfigurationError("self-trust edges are not allowed")
+        self._functional.setdefault(source, {})[target] = opinion
+
+    def referral_trust(
+        self, source: EntityId, target: EntityId
+    ) -> Optional[Opinion]:
+        return self._referral.get(source, {}).get(target)
+
+    def functional_trust(
+        self, source: EntityId, target: EntityId
+    ) -> Optional[Opinion]:
+        return self._functional.get(source, {}).get(target)
+
+    def nodes(self) -> List[EntityId]:
+        found: Set[EntityId] = set()
+        for edges in (self._referral, self._functional):
+            for source, targets in edges.items():
+                found.add(source)
+                found.update(targets)
+        return sorted(found)
+
+    # -- path enumeration -----------------------------------------------------
+    def trust_paths(
+        self, source: EntityId, target: EntityId
+    ) -> List[TrustPath]:
+        """All valid bounded-length trust paths source → target.
+
+        A valid path chains referral edges and ends with one functional
+        edge; cycles are excluded.
+        """
+        paths: List[TrustPath] = []
+
+        def walk(current: EntityId, visited: Tuple[EntityId, ...],
+                 opinion: Optional[Opinion]) -> None:
+            depth = len(visited) - 1
+            functional = self._functional.get(current, {}).get(target)
+            if functional is not None:
+                end_to_end = (
+                    functional if opinion is None
+                    else discount_chain(opinion, functional)
+                )
+                paths.append(
+                    TrustPath(nodes=visited + (target,), opinion=end_to_end)
+                )
+            if depth >= self.max_depth - 1:
+                return
+            for referee, trust in sorted(
+                self._referral.get(current, {}).items()
+            ):
+                if referee in visited or referee == target:
+                    continue
+                chained = (
+                    trust if opinion is None
+                    else discount_chain(opinion, trust)
+                )
+                walk(referee, visited + (referee,), chained)
+
+        walk(source, (source,), None)
+        paths.sort(key=lambda p: (-p.opinion.expectation, p.nodes))
+        return paths
+
+    @staticmethod
+    def _disjoint_subset(paths: List[TrustPath]) -> List[TrustPath]:
+        """Greedy node-disjoint path selection (interior nodes only)."""
+        chosen: List[TrustPath] = []
+        used: Set[EntityId] = set()
+        for path in paths:
+            interior = set(path.nodes[1:-1])
+            if interior & used:
+                continue
+            chosen.append(path)
+            used.update(interior)
+        return chosen
+
+    # -- evaluation -----------------------------------------------------------
+    def derived_trust(
+        self, source: EntityId, target: EntityId
+    ) -> Opinion:
+        """A's derived functional trust in X (vacuous when unreachable)."""
+        if source == target:
+            raise ConfigurationError("derived self-trust is undefined")
+        paths = self.trust_paths(source, target)
+        if not paths:
+            return Opinion.vacuous()
+        independent = self._disjoint_subset(paths)
+        fused = independent[0].opinion
+        for path in independent[1:]:
+            fused = consensus(fused, path.opinion)
+        return fused
+
+    def expectation(self, source: EntityId, target: EntityId) -> float:
+        """Convenience: probability expectation of the derived trust."""
+        return self.derived_trust(source, target).expectation
+
+
+def discount_chain(chain_opinion: Opinion, next_edge: Opinion) -> Opinion:
+    """Discount *next_edge* through the accumulated *chain_opinion*."""
+    return discount(chain_opinion, next_edge)

@@ -1,0 +1,70 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.common.records import Feedback
+from repro.experiments.workloads import World, make_world
+from repro.services.qos import DEFAULT_METRICS, QoSTaxonomy, w3c_taxonomy
+
+
+@pytest.fixture
+def taxonomy() -> QoSTaxonomy:
+    """The compact 6-metric working set."""
+    return DEFAULT_METRICS
+
+
+@pytest.fixture
+def full_taxonomy() -> QoSTaxonomy:
+    """The full 23-metric W3C taxonomy (Figure 3)."""
+    return w3c_taxonomy()
+
+
+def feedback(
+    rater: str = "c0",
+    target: str = "svc",
+    time: float = 0.0,
+    rating: float = 0.8,
+    facets: dict = None,
+) -> Feedback:
+    """Terse feedback constructor for tests."""
+    return Feedback(
+        rater=rater,
+        target=target,
+        time=time,
+        rating=rating,
+        facet_ratings=facets or {},
+    )
+
+
+def feedback_series(
+    target: str,
+    ratings: List[float],
+    rater_prefix: str = "c",
+    start_time: float = 0.0,
+) -> List[Feedback]:
+    """One feedback per rating, distinct raters, increasing times."""
+    return [
+        feedback(
+            rater=f"{rater_prefix}{i}",
+            target=target,
+            time=start_time + i,
+            rating=r,
+        )
+        for i, r in enumerate(ratings)
+    ]
+
+
+@pytest.fixture
+def small_world() -> World:
+    """A small deterministic world for integration-style tests."""
+    return make_world(
+        n_providers=4,
+        services_per_provider=1,
+        n_consumers=8,
+        seed=7,
+        quality_spread=0.3,
+    )

@@ -1,0 +1,45 @@
+"""Tests for repro.common.ids."""
+
+import pytest
+
+from repro.common.ids import IdFactory
+
+
+class TestIdFactory:
+    def test_sequential_ids(self):
+        ids = IdFactory()
+        assert ids.next("svc") == "svc-0000"
+        assert ids.next("svc") == "svc-0001"
+        assert ids.next("svc") == "svc-0002"
+
+    def test_prefixes_are_independent(self):
+        ids = IdFactory()
+        ids.next("svc")
+        assert ids.next("provider") == "provider-0000"
+        assert ids.next("svc") == "svc-0001"
+
+    def test_count(self):
+        ids = IdFactory()
+        assert ids.count("svc") == 0
+        ids.next("svc")
+        ids.next("svc")
+        assert ids.count("svc") == 2
+
+    def test_custom_width(self):
+        ids = IdFactory(width=2)
+        assert ids.next("p") == "p-00"
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            IdFactory(width=0)
+
+    def test_reset(self):
+        ids = IdFactory()
+        ids.next("svc")
+        ids.reset()
+        assert ids.next("svc") == "svc-0000"
+
+    def test_ids_sort_in_creation_order(self):
+        ids = IdFactory()
+        issued = [ids.next("x") for _ in range(20)]
+        assert issued == sorted(issued)

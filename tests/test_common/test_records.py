@@ -1,0 +1,125 @@
+"""Tests for repro.common.records."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.records import (
+    Feedback,
+    Interaction,
+    RatingScale,
+    positive,
+    ratings_by_rater,
+)
+
+
+class TestRatingScale:
+    def test_midpoint(self):
+        assert RatingScale(0.0, 1.0).midpoint == 0.5
+        assert RatingScale(1.0, 5.0).midpoint == 3.0
+
+    def test_contains(self):
+        scale = RatingScale(1.0, 5.0)
+        assert scale.contains(3.0)
+        assert not scale.contains(0.5)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            RatingScale(1.0, 1.0)
+
+    def test_to_unit_roundtrip(self):
+        scale = RatingScale(1.0, 5.0)
+        assert scale.to_unit(5.0) == 1.0
+        assert scale.to_unit(1.0) == 0.0
+        assert scale.from_unit(scale.to_unit(3.0)) == 3.0
+
+    @given(st.floats(0.0, 1.0))
+    def test_property_unit_roundtrip(self, u):
+        scale = RatingScale(-3.0, 7.0)
+        assert abs(scale.to_unit(scale.from_unit(u)) - u) < 1e-12
+
+
+class TestInteraction:
+    def test_observation_lookup(self):
+        inter = Interaction(
+            consumer="c0",
+            service="s0",
+            provider="p0",
+            time=1.0,
+            success=True,
+            observations={"response_time": 0.3},
+        )
+        assert inter.observation("response_time") == 0.3
+        assert inter.observation("missing", default=9.0) == 9.0
+
+
+class TestFeedback:
+    def test_rating_bounds(self):
+        with pytest.raises(ValueError):
+            Feedback(rater="a", target="b", time=0.0, rating=1.5)
+        with pytest.raises(ValueError):
+            Feedback(rater="a", target="b", time=0.0, rating=-0.1)
+
+    def test_facet_bounds(self):
+        with pytest.raises(ValueError):
+            Feedback(
+                rater="a",
+                target="b",
+                time=0.0,
+                rating=0.5,
+                facet_ratings={"x": 2.0},
+            )
+
+    def test_facet_defaults_to_overall(self):
+        fb = Feedback(rater="a", target="b", time=0.0, rating=0.7)
+        assert fb.facet("anything") == 0.7
+
+    def test_facet_explicit(self):
+        fb = Feedback(
+            rater="a",
+            target="b",
+            time=0.0,
+            rating=0.7,
+            facet_ratings={"speed": 0.9},
+        )
+        assert fb.facet("speed") == 0.9
+
+    def test_with_rating(self):
+        fb = Feedback(rater="a", target="b", time=2.0, rating=0.7,
+                      facet_ratings={"speed": 0.9})
+        fb2 = fb.with_rating(0.1)
+        assert fb2.rating == 0.1
+        assert fb2.rater == "a" and fb2.time == 2.0
+        assert fb2.facet_ratings == {"speed": 0.9}
+        assert fb.rating == 0.7  # original untouched
+
+    def test_positive_helper(self):
+        good = Feedback(rater="a", target="b", time=0.0, rating=0.8)
+        bad = Feedback(rater="a", target="b", time=0.0, rating=0.2)
+        assert positive(good)
+        assert not positive(bad)
+
+
+class TestRatingsByRater:
+    def test_pivot_shape(self):
+        fbs = [
+            Feedback(rater="u1", target="i1", time=0.0, rating=0.5),
+            Feedback(rater="u1", target="i2", time=0.0, rating=0.6),
+            Feedback(rater="u2", target="i1", time=0.0, rating=0.7),
+        ]
+        table = ratings_by_rater(fbs)
+        assert table == {
+            "u1": {"i1": 0.5, "i2": 0.6},
+            "u2": {"i1": 0.7},
+        }
+
+    def test_latest_rating_wins(self):
+        fbs = [
+            Feedback(rater="u", target="i", time=0.0, rating=0.2),
+            Feedback(rater="u", target="i", time=5.0, rating=0.9),
+            Feedback(rater="u", target="i", time=3.0, rating=0.4),
+        ]
+        assert ratings_by_rater(fbs) == {"u": {"i": 0.9}}
+
+    def test_empty(self):
+        assert ratings_by_rater([]) == {}

@@ -1,0 +1,50 @@
+"""Tests for decay policies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.core.decay import ExponentialDecay, NoDecay, SlidingWindow
+
+
+class TestNoDecay:
+    def test_always_one(self):
+        policy = NoDecay()
+        assert policy(0.0) == 1.0
+        assert policy(1e9) == 1.0
+
+
+class TestExponentialDecay:
+    def test_half_life(self):
+        policy = ExponentialDecay(half_life=10.0)
+        assert policy(10.0) == pytest.approx(0.5)
+        assert policy(20.0) == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialDecay(half_life=0.0)
+
+    @given(st.floats(0.0, 1e5), st.floats(0.0, 1e5))
+    def test_property_monotone(self, a, b):
+        policy = ExponentialDecay(half_life=25.0)
+        young, old = min(a, b), max(a, b)
+        assert policy(young) >= policy(old)
+
+
+class TestSlidingWindow:
+    def test_inside_window(self):
+        policy = SlidingWindow(window=10.0)
+        assert policy(10.0) == 1.0
+        assert policy(0.0) == 1.0
+
+    def test_outside_window(self):
+        assert SlidingWindow(window=10.0)(10.1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SlidingWindow(window=0.0)
+
+    def test_repr(self):
+        assert "10" in repr(SlidingWindow(10.0))
+        assert "NoDecay" in repr(NoDecay())

@@ -1,0 +1,143 @@
+"""Tests for the event-driven scenario."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.eventdriven import EventDrivenScenario
+from repro.core.selection import EpsilonGreedyPolicy
+from repro.experiments.workloads import make_world
+from repro.models.beta import BetaReputation
+
+
+def build(seed=7, arrival_rate=2.0, feedback_delay=0.1, epsilon=0.1):
+    world = make_world(
+        n_providers=4, services_per_provider=1, n_consumers=8,
+        seed=seed, quality_spread=0.3,
+    )
+    scenario = EventDrivenScenario(
+        services=world.services,
+        consumers=world.consumers,
+        model=BetaReputation(),
+        taxonomy=world.taxonomy,
+        policy=EpsilonGreedyPolicy(epsilon, rng=world.seeds.rng("policy")),
+        arrival_rate=arrival_rate,
+        feedback_delay=feedback_delay,
+        rng=world.seeds.rng("events"),
+    )
+    return world, scenario
+
+
+class TestEventDrivenScenario:
+    def test_arrivals_follow_poisson_rate(self):
+        _, scenario = build(arrival_rate=2.0)
+        result = scenario.run(horizon=50.0)
+        # 8 consumers x rate 2 x 50 time units ~ 800 selections.
+        assert 600 < result.selections < 1000
+
+    def test_all_feedback_eventually_filed(self):
+        _, scenario = build(feedback_delay=0.5)
+        result = scenario.run(horizon=20.0)
+        assert result.feedback_filed == result.selections
+
+    def test_learning_converges(self):
+        _, scenario = build()
+        result = scenario.run(horizon=60.0)
+        assert result.accuracy > 0.5
+        assert result.mean_regret < 0.1
+
+    def test_deterministic_given_seed(self):
+        results = []
+        for _ in range(2):
+            _, scenario = build(seed=9)
+            results.append(scenario.run(horizon=20.0).selections)
+        assert results[0] == results[1]
+
+    def test_zero_delay_allowed(self):
+        _, scenario = build(feedback_delay=0.0)
+        result = scenario.run(horizon=10.0)
+        assert result.feedback_filed == result.selections
+
+    def test_stale_feedback_slows_learning(self):
+        # With a huge report latency, consumers select on stale scores
+        # for longer; early regret should be at least as bad.
+        _, fast = build(seed=3, feedback_delay=0.01)
+        _, slow = build(seed=3, feedback_delay=20.0)
+        fast_result = fast.run(horizon=30.0)
+        slow_result = slow.run(horizon=30.0)
+        assert slow_result.mean_regret >= fast_result.mean_regret - 0.02
+
+    def test_validation(self):
+        world, _ = build()
+        with pytest.raises(ConfigurationError):
+            EventDrivenScenario(
+                services=world.services, consumers=world.consumers,
+                model=BetaReputation(), taxonomy=world.taxonomy,
+                arrival_rate=0.0,
+            )
+        _, scenario = build()
+        with pytest.raises(ConfigurationError):
+            scenario.run(horizon=0.0)
+
+    def test_tracks_regime_change_with_decay(self):
+        # Event-driven + decaying facet trust follows a mid-run quality
+        # collapse, tying the kernel and the decay machinery together.
+        from repro.core.decay import ExponentialDecay
+        from repro.core.facets import FacetTrust
+        from repro.models.base import ReputationModel
+        from repro.services.description import ServiceDescription
+        from repro.services.provider import DegradingBehavior, Service
+        from repro.services.qos import DEFAULT_METRICS, QoSProfile
+        from repro.experiments.workloads import make_consumers
+        from repro.common.randomness import SeedSequenceFactory
+
+        class FacetModel(ReputationModel):
+            name = "facet"
+
+            def __init__(self):
+                self.trust = FacetTrust(ExponentialDecay(half_life=5.0))
+
+            def record(self, fb):
+                self.trust.observe_feedback(fb)
+
+            def score(self, target, perspective=None, now=None):
+                return self.trust.overall(target, now=now)
+
+        def svc(sid, quality, behavior=None):
+            kwargs = dict(
+                description=ServiceDescription(
+                    service=sid, provider="p", category="c"
+                ),
+                profile=QoSProfile(
+                    quality={m.name: quality for m in DEFAULT_METRICS},
+                    noise=0.03,
+                ),
+            )
+            if behavior:
+                kwargs["behavior"] = behavior
+            return Service(**kwargs)
+
+        seeds = SeedSequenceFactory(31)
+        services = [
+            svc("star", 0.9, DegradingBehavior(drop=0.6, onset=25.0)),
+            svc("steady", 0.65),
+        ]
+        scenario = EventDrivenScenario(
+            services=services,
+            consumers=make_consumers(6, DEFAULT_METRICS, seeds),
+            model=FacetModel(),
+            taxonomy=DEFAULT_METRICS,
+            policy=EpsilonGreedyPolicy(0.1, rng=seeds.rng("policy")),
+            arrival_rate=2.0,
+            feedback_delay=0.1,
+            rng=seeds.rng("events"),
+        )
+        result = scenario.run(horizon=60.0)
+        # After the collapse, 'steady' must dominate selections.
+        assert result.selection_counts["steady"] > (
+            result.selection_counts["star"]
+        )
+
+    def test_selection_counts_sum(self):
+        _, scenario = build()
+        result = scenario.run(horizon=15.0)
+        assert sum(result.selection_counts.values()) == result.selections

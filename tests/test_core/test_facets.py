@@ -1,0 +1,111 @@
+"""Tests for multi-faceted, context-specific, dynamic trust."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.core.decay import ExponentialDecay
+from repro.core.facets import FacetTrust, combine_facets
+
+from tests.conftest import feedback
+
+
+class TestCombineFacets:
+    def test_weighted(self):
+        assert combine_facets({"a": 1.0, "b": 0.0}, {"a": 3.0, "b": 1.0}) == 0.75
+
+    def test_unweighted_mean(self):
+        assert combine_facets({"a": 0.2, "b": 0.8}) == pytest.approx(0.5)
+
+    def test_no_overlap_falls_back(self):
+        assert combine_facets({"a": 0.4}, {"z": 1.0}) == 0.4
+
+    def test_empty_default(self):
+        assert combine_facets({}, default=0.7) == 0.7
+
+    @given(
+        st.dictionaries(st.sampled_from("abcde"), st.floats(0.0, 1.0),
+                        min_size=1),
+        st.dictionaries(st.sampled_from("abcde"), st.floats(0.0, 10.0)),
+    )
+    def test_property_bounded(self, scores, weights):
+        assert 0.0 <= combine_facets(scores, weights) <= 1.0
+
+
+class TestFacetTrust:
+    def test_no_evidence_is_half(self):
+        assert FacetTrust().facet("svc", "speed") == 0.5
+
+    def test_evidence_moves_trust(self):
+        trust = FacetTrust()
+        for t in range(10):
+            trust.observe("svc", "speed", 0.9, time=float(t))
+        assert trust.facet("svc", "speed") > 0.8
+
+    def test_multi_faceted(self):
+        # The paper's example: differentiated trust per QoS aspect.
+        trust = FacetTrust()
+        for t in range(10):
+            trust.observe("svc", "response_time", 0.9, time=float(t))
+            trust.observe("svc", "accuracy", 0.2, time=float(t))
+        facets = trust.facets("svc")
+        assert facets["response_time"] > 0.8
+        assert facets["accuracy"] < 0.3
+        # Preference weighting flips the overall judgement.
+        speed_first = trust.overall("svc", {"response_time": 1.0})
+        accuracy_first = trust.overall("svc", {"accuracy": 1.0})
+        assert speed_first > 0.8 > 0.3 > accuracy_first
+
+    def test_context_specific(self):
+        # Mike trusts John as a doctor but not as a mechanic.
+        trust = FacetTrust()
+        for t in range(10):
+            trust.observe("john", "competence", 0.95, time=float(t),
+                          context="doctor")
+            trust.observe("john", "competence", 0.05, time=float(t),
+                          context="mechanic")
+        assert trust.facet("john", "competence", context="doctor") > 0.8
+        assert trust.facet("john", "competence", context="mechanic") < 0.2
+        assert sorted(trust.contexts()) == ["doctor", "mechanic"]
+
+    def test_dynamic_decay(self):
+        trust = FacetTrust(decay=ExponentialDecay(half_life=5.0))
+        for t in range(10):
+            trust.observe("svc", "speed", 0.1, time=float(t))
+        for t in range(96, 101):
+            trust.observe("svc", "speed", 0.9, time=float(t))
+        # Queried at t=100 the old bad experiences have decayed away...
+        assert trust.facet("svc", "speed", now=100.0) > 0.7
+        # ...while an undecayed view still sees the bad majority.
+        undecayed = FacetTrust()
+        for t in range(10):
+            undecayed.observe("svc", "speed", 0.1, time=float(t))
+        for t in range(96, 101):
+            undecayed.observe("svc", "speed", 0.9, time=float(t))
+        assert undecayed.facet("svc", "speed", now=100.0) < 0.5
+
+    def test_observe_feedback(self):
+        trust = FacetTrust()
+        trust.observe_feedback(
+            feedback(target="svc", rating=0.8, facets={"speed": 0.9})
+        )
+        assert trust.facet("svc", "speed") > 0.5
+
+    def test_facetless_feedback_becomes_overall(self):
+        trust = FacetTrust()
+        trust.observe_feedback(feedback(target="svc", rating=0.8))
+        assert "overall" in trust.facets("svc")
+
+    def test_confidence_grows(self):
+        trust = FacetTrust()
+        assert trust.confidence("svc") == 0.0
+        trust.observe("svc", "speed", 0.8)
+        low = trust.confidence("svc")
+        for t in range(10):
+            trust.observe("svc", "speed", 0.8, time=float(t))
+        assert trust.confidence("svc") > low
+
+    def test_value_validated(self):
+        with pytest.raises(ConfigurationError):
+            FacetTrust().observe("svc", "speed", 1.5)

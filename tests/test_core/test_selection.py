@@ -1,0 +1,106 @@
+"""Tests for the selection engine and policies."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.selection import (
+    EpsilonGreedyPolicy,
+    GreedyPolicy,
+    SelectionEngine,
+    SoftmaxPolicy,
+)
+from repro.models.base import ScoredTarget
+from repro.models.beta import BetaReputation
+from repro.registry.uddi import UDDIRegistry
+from repro.services.description import ServiceDescription
+
+from tests.conftest import feedback_series
+
+
+RANKING = [
+    ScoredTarget("best", 0.9),
+    ScoredTarget("mid", 0.5),
+    ScoredTarget("worst", 0.1),
+]
+
+
+class TestGreedyPolicy:
+    def test_picks_top(self):
+        assert GreedyPolicy().choose(RANKING) == "best"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GreedyPolicy().choose([])
+
+
+class TestEpsilonGreedyPolicy:
+    def test_zero_epsilon_is_greedy(self):
+        policy = EpsilonGreedyPolicy(epsilon=0.0, rng=0)
+        assert all(policy.choose(RANKING) == "best" for _ in range(20))
+
+    def test_full_epsilon_explores(self):
+        policy = EpsilonGreedyPolicy(epsilon=1.0, rng=0)
+        chosen = {policy.choose(RANKING) for _ in range(50)}
+        assert chosen == {"best", "mid", "worst"}
+
+    def test_tied_top_randomized(self):
+        tied = [ScoredTarget("a", 0.5), ScoredTarget("b", 0.5)]
+        policy = EpsilonGreedyPolicy(epsilon=0.0, rng=0)
+        chosen = {policy.choose(tied) for _ in range(50)}
+        assert chosen == {"a", "b"}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EpsilonGreedyPolicy(epsilon=1.5)
+
+
+class TestSoftmaxPolicy:
+    def test_low_temperature_concentrates(self):
+        policy = SoftmaxPolicy(temperature=0.01, rng=0)
+        picks = [policy.choose(RANKING) for _ in range(50)]
+        assert picks.count("best") > 45
+
+    def test_high_temperature_spreads(self):
+        policy = SoftmaxPolicy(temperature=100.0, rng=0)
+        picks = {policy.choose(RANKING) for _ in range(100)}
+        assert picks == {"best", "mid", "worst"}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SoftmaxPolicy(temperature=0.0)
+
+
+class TestSelectionEngine:
+    def build(self):
+        registry = UDDIRegistry()
+        for svc in ["good-svc", "bad-svc"]:
+            registry.publish(ServiceDescription(
+                service=svc, provider="p0", category="weather"
+            ))
+        registry.publish(ServiceDescription(
+            service="other", provider="p0", category="flights"
+        ))
+        model = BetaReputation()
+        model.record_many(feedback_series("good-svc", [0.9] * 5))
+        model.record_many(feedback_series("bad-svc", [0.1] * 5))
+        return SelectionEngine(registry, model)
+
+    def test_candidates_filtered_by_category(self):
+        engine = self.build()
+        assert sorted(engine.candidates("weather")) == ["bad-svc", "good-svc"]
+
+    def test_select_best(self):
+        engine = self.build()
+        assert engine.select("weather") == "good-svc"
+        assert engine.selections_made == 1
+
+    def test_select_empty_category(self):
+        engine = self.build()
+        assert engine.select("nonexistent") is None
+        assert engine.selections_made == 0
+
+    def test_rank_exposes_scores(self):
+        engine = self.build()
+        ranking = engine.rank("weather")
+        assert ranking[0].target == "good-svc"
+        assert ranking[0].score > ranking[1].score

@@ -1,0 +1,111 @@
+"""Tests for the typology (Figure 4) and the model registry."""
+
+import pytest
+
+from repro.core.registry import default_registry
+from repro.core.typology import (
+    PAPER_FIGURE_4,
+    Architecture,
+    Scope,
+    Subject,
+    Typology,
+    classification_tree,
+)
+
+
+class TestTypology:
+    def test_branch_path(self):
+        t = Typology(Architecture.CENTRALIZED, Subject.RESOURCE,
+                     Scope.GLOBAL)
+        assert t.branch() == ("centralized", "resource", "global")
+        assert str(t) == "centralized/resource/global"
+
+
+class TestClassificationTree:
+    def test_tree_groups_by_branch(self):
+        tree = classification_tree({
+            "ebay": PAPER_FIGURE_4["ebay"],
+            "sporas": PAPER_FIGURE_4["sporas"],
+            "epinions": PAPER_FIGURE_4["epinions"],
+        })
+        assert tree.systems_at(
+            Architecture.CENTRALIZED, Subject.PERSON_AGENT, Scope.GLOBAL
+        ) == ["ebay", "sporas"]
+        assert tree.systems_at(
+            Architecture.CENTRALIZED, Subject.RESOURCE, Scope.PERSONALIZED
+        ) == ["epinions"]
+
+    def test_render_shape(self):
+        tree = classification_tree(PAPER_FIGURE_4)
+        text = "\n".join(tree.render())
+        assert text.startswith("Trust and Reputation System")
+        assert "centralized" in text
+        assert "decentralized" in text
+        assert "- ebay" in text
+        assert "- vu_aberer" in text
+
+
+class TestFigure4Reproduction:
+    """The paper's Figure 4, leaf for leaf."""
+
+    def test_registry_tree_matches_paper(self):
+        registry = default_registry(rng_seed=0)
+        derived = registry.figure4_tree()
+        paper = classification_tree(PAPER_FIGURE_4)
+        assert set(derived.leaves) == set(paper.leaves)
+        for branch, systems in paper.leaves.items():
+            assert sorted(derived.leaves[branch]) == sorted(systems), branch
+
+    def test_paper_bold_systems_are_centralized_resource_personalized(self):
+        # Section 5: the web-service mechanisms [13, 16-21] all fall in
+        # one branch: centralized / resources / personalized.
+        bold = ["maximilien_singh", "liu_ngu_zeng",
+                "collaborative_filtering", "day"]
+        for name in bold:
+            assert PAPER_FIGURE_4[name].branch() == (
+                "centralized", "resource", "personalized"
+            )
+
+    def test_vu_aberer_is_the_only_decentralized_ws_approach(self):
+        t = PAPER_FIGURE_4["vu_aberer"]
+        assert t.architecture is Architecture.DECENTRALIZED
+        assert t.subject is Subject.PERSON_AGENT_AND_RESOURCE
+
+    def test_every_model_class_typology_matches_paper(self):
+        registry = default_registry(rng_seed=0)
+        for info in registry.infos():
+            if info.name in PAPER_FIGURE_4:
+                assert info.typology == PAPER_FIGURE_4[info.name], info.name
+
+
+class TestModelRegistry:
+    def test_create_instances(self):
+        registry = default_registry(rng_seed=0)
+        for name in registry.names():
+            model = registry.create(name)
+            assert model.score("anything") >= 0.0
+
+    def test_duplicate_registration_rejected(self):
+        from repro.common.errors import ConfigurationError
+        from repro.core.registry import ModelInfo, ModelRegistry
+        from repro.models.ebay import EbayModel
+
+        registry = ModelRegistry()
+        info = ModelInfo(
+            name="x", factory=EbayModel, typology=EbayModel.typology,
+            paper_ref="", label="x",
+        )
+        registry.register(info)
+        with pytest.raises(ConfigurationError):
+            registry.register(info)
+
+    def test_unknown_model(self):
+        from repro.common.errors import UnknownEntityError
+
+        with pytest.raises(UnknownEntityError):
+            default_registry().get("nope")
+
+    def test_all_paper_leaves_implemented(self):
+        registry = default_registry(rng_seed=0)
+        for name in PAPER_FIGURE_4:
+            assert name in registry, f"paper system {name} not implemented"

@@ -1,0 +1,26 @@
+"""Run the doctests embedded in deterministic modules.
+
+Docstring examples are documentation that can rot; this keeps the ones
+in side-effect-free modules honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.common.ids
+import repro.sim.kernel
+
+DOCTEST_MODULES = [
+    repro.common.ids,
+    repro.sim.kernel,
+]
+
+
+@pytest.mark.parametrize(
+    "module", DOCTEST_MODULES, ids=[m.__name__ for m in DOCTEST_MODULES]
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} failed"
+    assert results.attempted > 0, f"{module.__name__} has no doctests"

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs and prints its story.
+
+Examples are user-facing deliverables; these tests keep them green as
+the library evolves.
+"""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+def run_example(path: Path) -> str:
+    buffer = io.StringIO()
+    argv = sys.argv
+    sys.argv = [str(path)]
+    try:
+        with redirect_stdout(buffer):
+            runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return buffer.getvalue()
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_example_runs(path):
+    output = run_example(path)
+    assert len(output) > 100  # it told its story
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart", "travel_booking", "unfair_ratings",
+        "p2p_marketplace", "autonomic_selection",
+    } <= names
+
+
+def test_quickstart_reports_all_mechanisms():
+    path = next(p for p in EXAMPLES if p.stem == "quickstart")
+    output = run_example(path)
+    for name in ["beta", "ebay", "peertrust"]:
+        assert f"mechanism: {name}" in output
+
+
+def test_travel_booking_separates_sites():
+    path = next(p for p in EXAMPLES if p.stem == "travel_booking")
+    output = run_example(path)
+    assert "first-class-air" in output
+    assert "selection accuracy" in output

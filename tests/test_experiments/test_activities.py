@@ -1,0 +1,73 @@
+"""Unit tests for the Figure-2 activities drivers."""
+
+import pytest
+
+from repro.experiments.activities import (
+    APPROACHES,
+    ApproachReport,
+    run_activities_comparison,
+    run_advertised,
+    run_feedback,
+    run_sensors,
+)
+from repro.experiments.workloads import make_world
+
+
+def small_world(seed=0, exaggeration=0.3):
+    return make_world(
+        n_providers=3, services_per_provider=1, n_consumers=5,
+        seed=seed, exaggerations=[0.0, exaggeration], quality_spread=0.3,
+    )
+
+
+class TestApproachReports:
+    def test_report_shape(self):
+        report = run_feedback(small_world(), rounds=5)
+        assert isinstance(report, ApproachReport)
+        assert report.name == "feedback"
+        assert 0.0 <= report.accuracy <= 1.0
+        assert report.mean_regret >= 0.0
+        assert report.total_cost == report.setup_cost + report.running_cost
+
+    def test_advertised_has_no_cost(self):
+        report = run_advertised(small_world(), rounds=5)
+        assert report.total_cost == 0.0
+        assert report.messages == 0
+
+    def test_sensors_pay_per_service(self):
+        report = run_sensors(small_world(), rounds=5)
+        assert report.setup_cost == pytest.approx(3 * 10.0)  # 3 sensors
+        assert report.running_cost > 0
+
+    def test_feedback_messages_equal_selections(self):
+        report = run_feedback(small_world(), rounds=5)
+        assert report.messages == 5 * 5  # consumers x rounds
+
+    def test_all_approaches_registered(self):
+        assert set(APPROACHES) == {
+            "advertised", "sla", "sensors", "central_monitor", "feedback",
+        }
+
+
+class TestComparison:
+    def test_subset_selection(self):
+        reports = run_activities_comparison(
+            n_providers=3, services_per_provider=1, n_consumers=5,
+            rounds=5, seed=0, approaches=["advertised", "feedback"],
+        )
+        assert [r.name for r in reports] == ["advertised", "feedback"]
+
+    def test_deterministic(self):
+        a = run_activities_comparison(rounds=5, seed=1,
+                                      approaches=["feedback"])[0]
+        b = run_activities_comparison(rounds=5, seed=1,
+                                      approaches=["feedback"])[0]
+        assert a.accuracy == b.accuracy
+        assert a.mean_regret == b.mean_regret
+
+    def test_worlds_identically_seeded_across_approaches(self):
+        # Every approach must see the same providers/services.
+        reports = run_activities_comparison(
+            rounds=3, seed=2, approaches=["advertised", "sla"],
+        )
+        assert all(r.mean_regret >= 0 for r in reports)

@@ -1,0 +1,56 @@
+"""Tests for the shared experiment harness."""
+
+import pytest
+
+from repro.experiments.harness import run_selection_experiment
+from repro.experiments.workloads import make_world
+from repro.models.beta import BetaReputation
+from repro.robustness.attacks import AttackPlan, badmouth_strategy
+
+
+class TestRunSelectionExperiment:
+    def test_basic_outcome_shape(self):
+        world = make_world(n_providers=4, services_per_provider=1,
+                           n_consumers=6, seed=9, quality_spread=0.3)
+        outcome = run_selection_experiment(BetaReputation(), world,
+                                           rounds=15)
+        assert outcome.model_name == "beta"
+        assert 0.0 <= outcome.accuracy <= 1.0
+        assert outcome.mean_regret >= 0.0
+        assert set(outcome.final_scores) == set(world.true_quality)
+        assert outcome.ranking["spearman"] is not None
+
+    def test_deterministic_given_seed(self):
+        results = []
+        for _ in range(2):
+            world = make_world(n_providers=4, services_per_provider=1,
+                               n_consumers=6, seed=9)
+            outcome = run_selection_experiment(BetaReputation(), world,
+                                               rounds=10)
+            results.append((outcome.accuracy, outcome.mean_regret))
+        assert results[0] == results[1]
+
+    def test_learning_model_beats_no_evidence(self):
+        world = make_world(n_providers=5, services_per_provider=1,
+                           n_consumers=10, seed=9, quality_spread=0.35)
+        outcome = run_selection_experiment(BetaReputation(), world,
+                                           rounds=30)
+        # A learning mechanism must do much better than the 1/5 chance
+        # of random selection in its final rounds.
+        assert outcome.tail_accuracy > 0.4
+
+    def test_attack_plan_applied(self):
+        world = make_world(n_providers=4, services_per_provider=1,
+                           n_consumers=10, seed=9)
+        attack = AttackPlan(
+            liar_fraction=0.4,
+            strategy_factory=lambda: badmouth_strategy(),
+        )
+        run_selection_experiment(BetaReputation(), world, rounds=5,
+                                 attack=attack)
+        liars = attack.liars_among(world.consumers)
+        assert len(liars) == 4
+        from repro.services.consumer import honest_rating_strategy
+        assert all(
+            c.rating_strategy is not honest_rating_strategy for c in liars
+        )

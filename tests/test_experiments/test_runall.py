@@ -1,0 +1,18 @@
+"""Tests for the experiment runner module."""
+
+from pathlib import Path
+
+from repro.experiments.runall import EXPERIMENTS, benchmark_dir, main
+
+
+class TestRunall:
+    def test_every_experiment_file_exists(self):
+        bench = benchmark_dir()
+        for exp_id, filename in EXPERIMENTS.items():
+            assert (bench / filename).is_file(), exp_id
+
+    def test_unknown_id_rejected(self):
+        assert main(["NOPE"]) == 2
+
+    def test_benchmark_dir_found(self):
+        assert isinstance(benchmark_dir(), Path)

@@ -1,0 +1,82 @@
+"""Tests for workload generation."""
+
+import pytest
+
+from repro.experiments.workloads import make_consumers, make_world
+from repro.common.randomness import SeedSequenceFactory
+from repro.services.provider import OscillatingBehavior
+from repro.services.qos import DEFAULT_METRICS
+
+
+class TestMakeWorld:
+    def test_deterministic(self):
+        a = make_world(seed=3)
+        b = make_world(seed=3)
+        assert a.true_quality == b.true_quality
+        assert [c.consumer_id for c in a.consumers] == [
+            c.consumer_id for c in b.consumers
+        ]
+
+    def test_different_seeds_differ(self):
+        assert make_world(seed=1).true_quality != make_world(seed=2).true_quality
+
+    def test_population_sizes(self):
+        world = make_world(n_providers=3, services_per_provider=2,
+                           n_consumers=7, seed=0)
+        assert len(world.providers) == 3
+        assert len(world.services) == 6
+        assert len(world.consumers) == 7
+
+    def test_quality_spread_orders_providers(self):
+        world = make_world(n_providers=5, services_per_provider=1,
+                           quality_spread=0.3, seed=0)
+        tendencies = [p.quality_tendency for p in world.providers]
+        assert tendencies == sorted(tendencies)
+        assert max(tendencies) - min(tendencies) > 0.4
+
+    def test_exaggerations_cycle(self):
+        world = make_world(n_providers=4, exaggerations=[0.0, 0.3], seed=0)
+        inflations = [p.exaggeration.inflation for p in world.providers]
+        assert inflations == [0.0, 0.3, 0.0, 0.3]
+
+    def test_behaviors_applied_by_index(self):
+        behavior = OscillatingBehavior()
+        world = make_world(n_providers=2, services_per_provider=1,
+                           behaviors={1: behavior}, seed=0)
+        assert world.services[1].behavior is behavior
+        assert world.services[0].behavior is not behavior
+
+    def test_best_service_matches_truth(self):
+        world = make_world(seed=4)
+        best = world.best_service()
+        assert world.true_quality[best] == max(world.true_quality.values())
+
+    def test_service_lookup(self):
+        world = make_world(seed=4)
+        svc = world.services[0]
+        assert world.service(svc.service_id) is svc
+        with pytest.raises(KeyError):
+            world.service("nope")
+
+
+class TestMakeConsumers:
+    def test_segments_round_robin(self):
+        seeds = SeedSequenceFactory(0)
+        consumers = make_consumers(6, DEFAULT_METRICS, seeds, n_segments=3)
+        assert [c.segment for c in consumers] == [0, 1, 2, 0, 1, 2]
+
+    def test_homogeneous_preferences(self):
+        seeds = SeedSequenceFactory(0)
+        consumers = make_consumers(4, DEFAULT_METRICS, seeds,
+                                   preference_heterogeneity=0.0)
+        weights = [tuple(sorted(c.preferences.weights.items()))
+                   for c in consumers]
+        assert len(set(weights)) == 1
+
+    def test_heterogeneous_preferences(self):
+        seeds = SeedSequenceFactory(0)
+        consumers = make_consumers(4, DEFAULT_METRICS, seeds,
+                                   preference_heterogeneity=1.0)
+        weights = [tuple(sorted(c.preferences.weights.items()))
+                   for c in consumers]
+        assert len(set(weights)) == 4

@@ -1,0 +1,306 @@
+"""Integration tests: whole subsystems working together."""
+
+import pytest
+
+from repro.common.randomness import SeedSequenceFactory
+from repro.common.records import Feedback
+from repro.core.registry import default_registry
+from repro.core.scenarios import DirectSelectionScenario
+from repro.core.selection import EpsilonGreedyPolicy, SelectionEngine
+from repro.experiments.harness import run_selection_experiment
+from repro.experiments.workloads import make_world
+from repro.models.beta import BetaReputation
+from repro.models.vu_aberer import VuAbererModel
+from repro.p2p.pgrid import PGrid
+from repro.registry.qos_registry import CentralQoSRegistry
+from repro.registry.uddi import UDDIRegistry
+from repro.robustness.attacks import AttackPlan, collusion_strategy
+from repro.robustness.cluster_filtering import ClusterFilter, FilterMode
+from repro.services.invocation import InvocationEngine
+from repro.services.monitoring import SensorDeployment
+from repro.services.sla import SLAMonitor, negotiate_sla
+
+
+class TestFullCentralizedPipeline:
+    """UDDI + central QoS registry + SLA + sensors in one run."""
+
+    def test_publish_discover_select_invoke_rate_report(self):
+        world = make_world(n_providers=3, services_per_provider=1,
+                           n_consumers=5, seed=3, quality_spread=0.3)
+        uddi = UDDIRegistry()
+        qos_registry = CentralQoSRegistry()
+        model = BetaReputation()
+        for provider in world.providers:
+            for service in provider.services:
+                uddi.publish(
+                    service.description,
+                    provider.advertisement_for(service.service_id),
+                )
+        engine = SelectionEngine(uddi, model)
+        invoker = InvocationEngine(world.taxonomy,
+                                   rng=world.seeds.rng("invoke"))
+        by_id = {s.service_id: s for s in world.services}
+        for t in range(20):
+            for consumer in world.consumers:
+                chosen = engine.select(world.category,
+                                       consumer.consumer_id, now=float(t))
+                interaction = invoker.invoke(consumer, by_id[chosen],
+                                             float(t))
+                feedback = consumer.rate(interaction, world.taxonomy)
+                assert qos_registry.report(feedback)
+                model.record(feedback)
+        # The registry holds everything that was filed...
+        assert qos_registry.reports_received == 100
+        # ...and the model's final ranking matches ground truth.
+        ranking = model.rank(list(by_id))
+        truth_ranking = sorted(by_id, key=lambda s: -world.true_quality[s])
+        assert ranking[0].target == truth_ranking[0]
+
+    def test_sla_supervision_alongside_selection(self):
+        world = make_world(n_providers=2, services_per_provider=1,
+                           n_consumers=4, seed=5,
+                           exaggerations=[0.3])
+        monitor = SLAMonitor(world.taxonomy)
+        for provider in world.providers:
+            for service in provider.services:
+                ad = provider.advertisement_for(service.service_id)
+                for consumer in world.consumers:
+                    monitor.register(negotiate_sla(
+                        consumer.consumer_id, service.service_id,
+                        ad.claimed, slack=0.05,
+                    ))
+        invoker = InvocationEngine(world.taxonomy,
+                                   rng=world.seeds.rng("invoke"))
+        by_id = {s.service_id: s for s in world.services}
+        for t in range(10):
+            for consumer in world.consumers:
+                for service in by_id.values():
+                    interaction = invoker.invoke(consumer, service,
+                                                 float(t))
+                    monitor.check(interaction)
+        # Exaggerated claims (+0.3) -> negotiated floors above the true
+        # quality -> violations accumulate.
+        assert len(monitor.violations) > 0
+        assert monitor.penalties_owed()
+
+    def test_registry_failure_mid_run_loses_reports(self):
+        registry = CentralQoSRegistry()
+        registry.report(Feedback(rater="c", target="s", time=0.0,
+                                 rating=0.9))
+        registry.fail()
+        assert not registry.report(
+            Feedback(rater="c", target="s", time=1.0, rating=0.9)
+        )
+        registry.heal()
+        assert registry.report(
+            Feedback(rater="c", target="s", time=2.0, rating=0.9)
+        )
+        assert len(registry.store) == 2
+
+
+class TestDecentralizedPipeline:
+    def test_vu_aberer_full_loop_over_pgrid(self):
+        seeds = SeedSequenceFactory(9)
+        peers = [f"peer-{i:02d}" for i in range(16)]
+        grid = PGrid(peers, replication=2, rng=seeds.rng("grid"))
+        model = VuAbererModel()
+        rng = seeds.rng("ratings")
+        for i, peer in enumerate(peers):
+            rating = min(1.0, max(0.0, 0.75 + float(rng.normal(0, 0.05))))
+            model.publish_report(grid, peer, Feedback(
+                rater=peer, target="svc", time=float(i), rating=rating,
+                facet_ratings={"response_time": rating},
+            ))
+        reports, _ = model.query_reports(grid, peers[0], "svc")
+        assert len(reports) == 16
+        assert model.predicted_quality("svc") == pytest.approx(0.75,
+                                                               abs=0.05)
+
+    def test_pgrid_storage_survives_replica_churn(self):
+        peers = [f"peer-{i:02d}" for i in range(32)]
+        grid = PGrid(peers, replication=2, rng=0)
+        fb = Feedback(rater="peer-00", target="svc", time=0.0, rating=0.8)
+        grid.insert("peer-00", "svc", fb)
+        replicas = grid.responsible_peers("svc")
+        grid.peer(replicas[0]).online = False
+        origin = next(p.peer_id for p in grid.peers()
+                      if p.online and p.peer_id not in replicas)
+        found, _ = grid.lookup(origin, "svc", "svc")
+        assert found == [fb]
+
+
+class TestFullyDecentralizedPipeline:
+    """No UDDI, no central QoS registry: discovery AND reputation on
+    the overlay — the paper's Section 5 direction 1, end to end."""
+
+    def test_publish_discover_select_rate_over_pgrid(self):
+        from repro.p2p.discovery import DistributedServiceRegistry
+        from repro.services.consumer import Consumer
+        from repro.services.description import ServiceDescription
+        from repro.services.provider import Service
+        from repro.services.qos import DEFAULT_METRICS, QoSProfile
+
+        seeds = SeedSequenceFactory(23)
+        peers = [f"peer-{i:02d}" for i in range(24)]
+        grid = PGrid(peers, replication=2, rng=seeds.rng("grid"))
+        discovery = DistributedServiceRegistry(grid)
+        reputation = VuAbererModel()
+
+        services = {}
+        for i, quality in enumerate([0.85, 0.55, 0.25]):
+            sid = f"svc-{i}"
+            svc = Service(
+                description=ServiceDescription(
+                    service=sid, provider=f"prov-{i}", category="translate"
+                ),
+                profile=QoSProfile(
+                    quality={m.name: quality for m in DEFAULT_METRICS},
+                    noise=0.03,
+                ),
+            )
+            services[sid] = svc
+            # Providers publish through their own peer.
+            discovery.publish(peers[i], svc.description)
+
+        engine = InvocationEngine(DEFAULT_METRICS,
+                                  rng=seeds.rng("invoke"))
+        consumers = [
+            Consumer(pid, rng=seeds.rng(f"c-{pid}")) for pid in peers[:8]
+        ]
+        # Several rounds: discover -> score via overlay reports ->
+        # select best -> invoke -> publish the report back.
+        final_choice = {}
+        for t in range(12):
+            for consumer in consumers:
+                found, _ = discovery.search(consumer.consumer_id,
+                                            "translate")
+                assert len(found) == 3
+                candidates = [d.service for d in found]
+                chosen = max(
+                    candidates,
+                    key=lambda sid: (reputation.score(sid), sid),
+                )
+                if t >= 4:  # after warm-up everyone exploits
+                    final_choice[consumer.consumer_id] = chosen
+                else:  # round-robin exploration while cold
+                    chosen = candidates[
+                        (t * len(consumers)
+                         + consumers.index(consumer)) % 3
+                    ]
+                interaction = engine.invoke(
+                    consumer, services[chosen], float(t)
+                )
+                feedback = consumer.rate(interaction, DEFAULT_METRICS)
+                reputation.publish_report(
+                    grid, consumer.consumer_id, feedback
+                )
+        # Everyone converged on the best service, with zero central
+        # components involved.
+        assert set(final_choice.values()) == {"svc-0"}
+        reports, _ = reputation.query_reports(grid, peers[-1], "svc-0")
+        assert len(reports) > 0
+
+
+class TestAttackDefensePipeline:
+    def test_collusion_ring_distorts_and_filter_recovers(self):
+        world = make_world(n_providers=4, services_per_provider=1,
+                           n_consumers=12, seed=13, quality_spread=0.3)
+        victim = world.best_service()
+        ally = min(world.true_quality, key=world.true_quality.get)
+        attack = AttackPlan(
+            liar_fraction=0.25,
+            strategy_factory=lambda: collusion_strategy(allies=[ally]),
+        )
+        model = BetaReputation()
+        outcome = run_selection_experiment(model, world, rounds=25,
+                                           attack=attack)
+        # Defended post-hoc: filter the raw ratings per service.
+        scenario_feedback = {}  # service -> ratings seen by the model
+        # Rebuild from a fresh run with recorded feedback:
+        world2 = make_world(n_providers=4, services_per_provider=1,
+                            n_consumers=12, seed=13, quality_spread=0.3)
+        attack2 = AttackPlan(
+            liar_fraction=0.25,
+            strategy_factory=lambda: collusion_strategy(allies=[ally]),
+        )
+        attack2.apply(world2.consumers)
+        collected = []
+
+        class Recorder(BetaReputation):
+            def record(self, feedback):
+                collected.append(feedback)
+                super().record(feedback)
+
+        scenario = DirectSelectionScenario(
+            services=world2.services, consumers=world2.consumers,
+            model=Recorder(), taxonomy=world2.taxonomy,
+            policy=EpsilonGreedyPolicy(0.2, rng=world2.seeds.rng("policy")),
+            rng=world2.seeds.rng("invoke"),
+        )
+        scenario.run(25)
+        victim_fb = [fb for fb in collected if fb.target == victim]
+        naive_mean = sum(fb.rating for fb in victim_fb) / len(victim_fb)
+        defended = ClusterFilter(mode=FilterMode.LOW).filtered_mean(
+            victim_fb
+        )
+        truth = world2.true_quality[victim]
+        assert abs(defended - truth) < abs(naive_mean - truth) + 1e-9
+
+    def test_whitewashing_resets_history_but_not_sporas_standing(self):
+        # Sporas starts new identities at the floor: whitewashing a bad
+        # record gains nothing (the property Zacharia designed for).
+        from repro.models.sporas import SporasModel
+
+        model = SporasModel()
+        for i in range(20):
+            model.record(Feedback(rater=f"c{i}", target="cheat",
+                                  time=float(i), rating=0.05))
+        old_standing = model.score("cheat")
+        fresh_standing = model.score("cheat-reborn")  # new identity
+        assert fresh_standing <= old_standing + 0.05
+        # Contrast: a Laplace-smoothed mean would hand the fresh
+        # identity a big upgrade (0.5 > ~0.05).
+        beta = BetaReputation()
+        for i in range(20):
+            beta.record(Feedback(rater=f"c{i}", target="cheat",
+                                 time=float(i), rating=0.05))
+        assert beta.score("cheat-reborn") > beta.score("cheat") + 0.3
+
+
+class TestRegistryWideSmoke:
+    def test_every_registered_model_runs_a_scenario(self):
+        registry = default_registry(rng_seed=0)
+        for name in registry.names():
+            world = make_world(n_providers=3, services_per_provider=1,
+                               n_consumers=4, seed=17)
+            outcome = run_selection_experiment(
+                registry.create(name), world, rounds=5,
+            )
+            assert 0.0 <= outcome.accuracy <= 1.0, name
+            for score in outcome.final_scores.values():
+                assert 0.0 <= score <= 1.0, name
+
+    def test_monitoring_and_feedback_agree_on_observables(self):
+        world = make_world(n_providers=3, services_per_provider=1,
+                           n_consumers=6, seed=19, quality_spread=0.3)
+        engine = InvocationEngine(world.taxonomy,
+                                  rng=world.seeds.rng("probe"))
+        sensors = SensorDeployment(engine)
+        for service in world.services:
+            sensors.deploy(service)
+        for t in range(25):
+            sensors.probe_all(world.services, float(t))
+        model = BetaReputation()
+        outcome = run_selection_experiment(model, world, rounds=25)
+        # Both information paths must rank the best service first.
+        monitor_ranking = sorted(
+            world.services,
+            key=lambda s: -sensors.report_for(s.service_id).overall(),
+        )
+        feedback_ranking = sorted(
+            world.services,
+            key=lambda s: -outcome.final_scores[s.service_id],
+        )
+        assert (
+            monitor_ranking[0].service_id == feedback_ranking[0].service_id
+        )

@@ -1,0 +1,91 @@
+"""Tests for the Aberer & Despotovic complaint model."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.models.aberer import AbererDespotovicModel
+from repro.p2p.pgrid import PGrid
+
+from tests.conftest import feedback
+
+
+class TestComplaints:
+    def test_bad_rating_files_complaint(self):
+        model = AbererDespotovicModel(complaint_threshold=0.5)
+        model.record(feedback(rater="a", target="b", rating=0.2))
+        cr, cf = model.complaints("b")
+        assert cr == 1
+        assert model.complaints("a") == (0, 1)
+
+    def test_good_rating_files_nothing(self):
+        model = AbererDespotovicModel()
+        model.record(feedback(rater="a", target="b", rating=0.8))
+        assert model.complaints("b") == (0, 0)
+
+    def test_file_complaint_direct(self):
+        model = AbererDespotovicModel()
+        model.file_complaint("a", "b")
+        assert model.complaints("b") == (1, 0)
+
+
+class TestAssessment:
+    def build_population(self):
+        model = AbererDespotovicModel()
+        # 5 honest peers trading happily...
+        for i in range(5):
+            for j in range(5):
+                if i != j:
+                    model.record(feedback(rater=f"h{i}", target=f"h{j}",
+                                          rating=0.9))
+        # ...and one cheat that misbehaves and complains about everyone.
+        for i in range(5):
+            model.record(feedback(rater=f"h{i}", target="cheat", rating=0.1))
+            model.record(feedback(rater="cheat", target=f"h{i}", rating=0.1))
+        return model
+
+    def test_cheat_is_untrustworthy(self):
+        model = self.build_population()
+        assert not model.is_trustworthy("cheat")
+        assert model.is_trustworthy("h0")
+
+    def test_cheat_scores_below_honest(self):
+        model = self.build_population()
+        assert model.score("cheat") < model.score("h0")
+
+    def test_statistic_multiplicative(self):
+        # The cr*cf product punishes peers who both misbehave AND
+        # cover themselves with complaints, more than either alone.
+        model = AbererDespotovicModel()
+        for i in range(4):
+            model.file_complaint(f"x{i}", "receiver-only")
+            model.file_complaint("filer-only", f"y{i}")
+            model.file_complaint(f"z{i}", "both")
+            model.file_complaint("both", f"w{i}")
+        assert model.statistic("both") > model.statistic("receiver-only")
+        assert model.statistic("both") > model.statistic("filer-only")
+
+    def test_unknown_peer_scores_relative_to_average(self):
+        model = AbererDespotovicModel()
+        score = model.score("stranger")
+        assert 0.0 <= score <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AbererDespotovicModel(complaint_threshold=2.0)
+        with pytest.raises(ConfigurationError):
+            AbererDespotovicModel(tolerance=0.0)
+
+
+class TestPGridDeployment:
+    def test_complaints_stored_and_fetched(self):
+        peers = [f"peer-{i:02d}" for i in range(16)]
+        grid = PGrid(peers, replication=2, rng=0)
+        model = AbererDespotovicModel()
+        messages = model.store_on_pgrid(grid, "peer-00", "peer-01",
+                                        "peer-05")
+        assert messages >= 0
+        count, lookup_messages = model.assess_via_pgrid(
+            grid, "peer-02", "peer-05"
+        )
+        assert count == 1
+        assert lookup_messages >= 1

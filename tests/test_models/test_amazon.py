@@ -1,0 +1,63 @@
+"""Tests for the Amazon review model."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.decay import NoDecay
+from repro.models.amazon import AmazonModel
+
+from tests.conftest import feedback, feedback_series
+
+
+class TestAmazon:
+    def test_mean_rating(self):
+        model = AmazonModel(decay=NoDecay())
+        model.record_many(feedback_series("p", [0.2, 0.4, 0.6]))
+        assert model.score("p") == pytest.approx(0.4)
+
+    def test_star_rating_mapping(self):
+        model = AmazonModel(decay=NoDecay())
+        model.record_many(feedback_series("p", [1.0] * 3))
+        assert model.star_rating("p") == pytest.approx(5.0)
+        model2 = AmazonModel(decay=NoDecay())
+        model2.record_many(feedback_series("q", [0.0] * 3))
+        assert model2.star_rating("q") == pytest.approx(1.0)
+
+    def test_star_rating_none_without_reviews(self):
+        assert AmazonModel().star_rating("nothing") is None
+
+    def test_helpful_votes_weight_reviews(self):
+        model = AmazonModel(decay=NoDecay(), helpfulness_weight=1.0)
+        model.record(feedback(rater="expert", target="p", rating=1.0))
+        model.record(feedback(rater="rando", target="p", rating=0.0))
+        base = model.score("p")
+        model.vote_helpful("p", "expert", votes=8)
+        assert model.score("p") > base
+
+    def test_recency_weighting(self):
+        model = AmazonModel()  # default exponential decay
+        model.record(feedback(rater="old", target="p", time=0.0, rating=0.1))
+        model.record(feedback(rater="new", target="p", time=990.0,
+                              rating=0.9))
+        # At time 1000 the old review has decayed away.
+        assert model.score("p", now=1000.0) > 0.8
+        # Without a clock, reviews weigh equally.
+        assert model.score("p") == pytest.approx(0.5)
+
+    def test_no_reviews_scores_half(self):
+        assert AmazonModel().score("p") == 0.5
+
+    def test_review_count(self):
+        model = AmazonModel()
+        model.record_many(feedback_series("p", [0.5] * 4))
+        assert model.review_count("p") == 4
+
+    def test_negative_votes_rejected(self):
+        model = AmazonModel()
+        model.record(feedback(target="p"))
+        with pytest.raises(ConfigurationError):
+            model.vote_helpful("p", "c0", votes=-1)
+
+    def test_helpfulness_weight_validation(self):
+        with pytest.raises(ConfigurationError):
+            AmazonModel(helpfulness_weight=-0.5)

@@ -1,0 +1,52 @@
+"""Tests for the ReputationModel base-class defaults."""
+
+from typing import Optional
+
+from repro.common.ids import EntityId
+from repro.models.base import ReputationModel, ScoredTarget
+
+from tests.conftest import feedback
+
+
+class FixedScores(ReputationModel):
+    """Minimal model: scores from a dict, records counted."""
+
+    name = "fixed"
+
+    def __init__(self, scores):
+        self.scores = scores
+        self.recorded = []
+
+    def record(self, fb) -> None:
+        self.recorded.append(fb)
+
+    def score(self, target: EntityId, perspective=None,
+              now: Optional[float] = None) -> float:
+        return self.scores.get(target, 0.5)
+
+
+class TestBaseDefaults:
+    def test_record_many(self):
+        model = FixedScores({})
+        model.record_many([feedback(), feedback(rater="c1")])
+        assert len(model.recorded) == 2
+
+    def test_rank_sorted_desc_with_deterministic_ties(self):
+        model = FixedScores({"a": 0.5, "b": 0.9, "c": 0.5})
+        ranking = model.rank(["c", "a", "b"])
+        assert ranking == [
+            ScoredTarget("b", 0.9),
+            ScoredTarget("a", 0.5),
+            ScoredTarget("c", 0.5),
+        ]
+
+    def test_best(self):
+        model = FixedScores({"a": 0.2, "b": 0.7})
+        assert model.best(["a", "b"]) == "b"
+        assert model.best([]) is None
+
+    def test_rank_empty(self):
+        assert FixedScores({}).rank([]) == []
+
+    def test_repr(self):
+        assert "FixedScores" in repr(FixedScores({}))

@@ -1,0 +1,178 @@
+"""Tests for collaborative filtering (Breese et al.; Karta's comparison)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.models.collaborative import (
+    CollaborativeFilteringModel,
+    Similarity,
+)
+
+from tests.conftest import feedback
+
+
+def rate(model, user, item, rating, time=0.0):
+    model.record(feedback(rater=user, target=item, rating=rating, time=time))
+
+
+class TestSimilarity:
+    def test_identical_users_similar(self):
+        model = CollaborativeFilteringModel(significance_threshold=0)
+        for item, r in [("i1", 0.9), ("i2", 0.1), ("i3", 0.5)]:
+            rate(model, "u1", item, r)
+            rate(model, "u2", item, r)
+        assert model.user_similarity("u1", "u2") == pytest.approx(1.0)
+
+    def test_opposite_users_anticorrelated(self):
+        model = CollaborativeFilteringModel(significance_threshold=0)
+        for item, r in [("i1", 0.9), ("i2", 0.1), ("i3", 0.7)]:
+            rate(model, "u1", item, r)
+            rate(model, "u2", item, 1.0 - r)
+        assert model.user_similarity("u1", "u2") == pytest.approx(-1.0)
+
+    def test_insufficient_overlap_is_none(self):
+        model = CollaborativeFilteringModel(min_overlap=3)
+        rate(model, "u1", "i1", 0.5)
+        rate(model, "u2", "i1", 0.5)
+        assert model.user_similarity("u1", "u2") is None
+
+    def test_significance_weighting_devalues_thin_overlap(self):
+        thin = CollaborativeFilteringModel(significance_threshold=10)
+        full = CollaborativeFilteringModel(significance_threshold=0)
+        for m in (thin, full):
+            for item, r in [("i1", 0.9), ("i2", 0.1), ("i3", 0.5)]:
+                rate(m, "u1", item, r)
+                rate(m, "u2", item, r)
+        assert thin.user_similarity("u1", "u2") < full.user_similarity("u1", "u2")
+
+    def test_cosine_variant(self):
+        model = CollaborativeFilteringModel(
+            similarity=Similarity.COSINE, significance_threshold=0
+        )
+        for item, r in [("i1", 0.9), ("i2", 0.3)]:
+            rate(model, "u1", item, r)
+            rate(model, "u2", item, r)
+        assert model.user_similarity("u1", "u2") == pytest.approx(1.0)
+
+
+class TestPrediction:
+    def build_segmented(self, similarity=Similarity.PEARSON):
+        """Two taste segments rating two items oppositely."""
+        model = CollaborativeFilteringModel(
+            similarity=similarity, significance_threshold=0
+        )
+        # Segment A loves "artsy", hates "blockbuster"; B the reverse.
+        for u in ["a1", "a2", "a3"]:
+            rate(model, u, "artsy", 0.9)
+            rate(model, u, "blockbuster", 0.2)
+            rate(model, u, "neutral", 0.5)
+        for u in ["b1", "b2", "b3"]:
+            rate(model, u, "artsy", 0.2)
+            rate(model, u, "blockbuster", 0.9)
+            rate(model, u, "neutral", 0.5)
+        return model
+
+    def test_prediction_follows_segment(self):
+        model = self.build_segmented()
+        # New user with segment-A tastes (rated 2 of 3 items).
+        rate(model, "newbie", "blockbuster", 0.2)
+        rate(model, "newbie", "neutral", 0.5)
+        rate(model, "newbie", "extra", 0.9)
+        # a-users agree with newbie on blockbuster+neutral...
+        prediction = model.predict("newbie", "artsy")
+        assert prediction > 0.6
+
+    def test_own_rating_returned(self):
+        model = CollaborativeFilteringModel()
+        rate(model, "u", "i", 0.7)
+        assert model.predict("u", "i") == 0.7
+
+    def test_unknown_user_gets_item_mean(self):
+        model = CollaborativeFilteringModel()
+        rate(model, "a", "i", 0.4)
+        rate(model, "b", "i", 0.8)
+        assert model.predict("stranger", "i") == pytest.approx(0.6)
+
+    def test_unknown_item_for_known_user(self):
+        model = CollaborativeFilteringModel()
+        rate(model, "u", "i1", 0.9)
+        assert model.predict("u", "never-rated") == 0.5
+
+    def test_latest_rating_wins(self):
+        model = CollaborativeFilteringModel()
+        rate(model, "u", "i", 0.2, time=0.0)
+        rate(model, "u", "i", 0.8, time=5.0)
+        assert model.rating("u", "i") == 0.8
+
+    def test_score_without_perspective_is_item_mean(self):
+        model = CollaborativeFilteringModel()
+        rate(model, "a", "i", 0.4)
+        rate(model, "b", "i", 0.6)
+        assert model.score("i") == pytest.approx(0.5)
+
+    def test_prediction_clipped_to_unit(self):
+        model = self.build_segmented()
+        rate(model, "fan", "blockbuster", 0.95)
+        rate(model, "fan", "neutral", 0.55)
+        assert 0.0 <= model.predict("fan", "artsy") <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CollaborativeFilteringModel(neighbourhood=0)
+        with pytest.raises(ConfigurationError):
+            CollaborativeFilteringModel(min_overlap=0)
+
+
+class TestDefaultVoting:
+    def test_default_vote_extends_item_universe(self):
+        plain = CollaborativeFilteringModel(significance_threshold=0)
+        voting = CollaborativeFilteringModel(
+            significance_threshold=0, default_vote=0.5
+        )
+        for m in (plain, voting):
+            # Two co-rated items, plus each user rates one private item.
+            rate(m, "u1", "shared1", 0.9)
+            rate(m, "u2", "shared1", 0.9)
+            rate(m, "u1", "shared2", 0.2)
+            rate(m, "u2", "shared2", 0.2)
+            rate(m, "u1", "only1", 0.9)
+            rate(m, "u2", "only2", 0.1)
+        # Plain similarity sees perfect agreement; default voting also
+        # weighs the disjoint items (filled with 0.5) and so disagrees
+        # slightly.
+        assert plain.user_similarity("u1", "u2") == pytest.approx(1.0)
+        assert voting.user_similarity("u1", "u2") < 1.0
+
+    def test_default_vote_still_requires_min_overlap(self):
+        voting = CollaborativeFilteringModel(
+            default_vote=0.5, min_overlap=2
+        )
+        rate(voting, "u1", "i1", 0.9)
+        rate(voting, "u2", "i2", 0.9)
+        assert voting.user_similarity("u1", "u2") is None
+
+    def test_default_vote_validated(self):
+        with pytest.raises(ConfigurationError):
+            CollaborativeFilteringModel(default_vote=1.5)
+
+
+class TestKartaComparison:
+    def test_pearson_and_cosine_may_differ(self):
+        # Cosine ignores per-user rating bias; Pearson removes it.
+        # A user rating uniformly high is "similar" to everyone by
+        # cosine but not necessarily by Pearson.
+        pearson = CollaborativeFilteringModel(
+            similarity=Similarity.PEARSON, significance_threshold=0
+        )
+        cosine = CollaborativeFilteringModel(
+            similarity=Similarity.COSINE, significance_threshold=0
+        )
+        ratings = [("i1", 0.8, 0.9), ("i2", 0.9, 0.8), ("i3", 0.7, 1.0)]
+        for m in (pearson, cosine):
+            for item, r1, r2 in ratings:
+                rate(m, "u1", item, r1)
+                rate(m, "u2", item, r2)
+        cos_sim = cosine.user_similarity("u1", "u2")
+        pea_sim = pearson.user_similarity("u1", "u2")
+        assert cos_sim > 0.95  # both always-high raters
+        assert pea_sim < cos_sim  # Pearson sees the disagreement

@@ -1,0 +1,126 @@
+"""Tests for Day's expert system and naive Bayes selection."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.models.day import (
+    DayExpertSystem,
+    DayNaiveBayes,
+    Rule,
+    combine_certainty,
+    threshold_rule,
+)
+
+from tests.conftest import feedback
+
+
+def facet_fb(rater, target, facets, rating=None, time=0.0):
+    if rating is None:
+        rating = sum(facets.values()) / len(facets)
+    return feedback(rater=rater, target=target, time=time, rating=rating,
+                    facets=facets)
+
+
+class TestCertaintyCombination:
+    def test_positive_pair(self):
+        assert combine_certainty(0.5, 0.5) == pytest.approx(0.75)
+
+    def test_negative_pair(self):
+        assert combine_certainty(-0.5, -0.5) == pytest.approx(-0.75)
+
+    def test_mixed(self):
+        assert combine_certainty(0.8, -0.4) == pytest.approx(0.4 / 0.6)
+
+    def test_identity(self):
+        assert combine_certainty(0.0, 0.7) == pytest.approx(0.7)
+
+
+class TestExpertSystem:
+    def test_default_rules_prefer_good_service(self):
+        model = DayExpertSystem()
+        for i in range(5):
+            model.record(facet_fb(f"c{i}", "good", {
+                "response_time": 0.9, "reliability": 0.9,
+                "availability": 0.9,
+            }))
+            model.record(facet_fb(f"c{i}", "bad", {
+                "response_time": 0.2, "reliability": 0.2,
+                "availability": 0.2,
+            }))
+        assert model.score("good") > model.score("bad")
+        assert model.certainty("good") > 0
+        assert model.certainty("bad") < 0
+
+    def test_custom_rules(self):
+        model = DayExpertSystem(rules=[
+            threshold_rule("premium", "gold_support", 0.5, 0.9),
+        ])
+        for i in range(3):
+            model.record(facet_fb(f"c{i}", "svc", {"gold_support": 0.8}))
+        assert model.score("svc") > 0.9
+
+    def test_add_rule(self):
+        model = DayExpertSystem(rules=[])
+        model.add_rule(Rule("always", lambda f: True, 0.5))
+        model.record(facet_fb("c0", "svc", {"anything": 0.5}))
+        assert model.certainty("svc") == 0.5
+
+    def test_no_evidence_is_neutral(self):
+        assert DayExpertSystem().score("unknown") == 0.5
+
+    def test_facetless_fallback(self):
+        model = DayExpertSystem()
+        model.record(feedback(rater="c0", target="svc", rating=0.9))
+        assert model.score("svc") > 0.8
+
+    def test_rule_certainty_validated(self):
+        with pytest.raises(ConfigurationError):
+            Rule("bad", lambda f: True, 1.5)
+
+
+class TestNaiveBayes:
+    def train(self, model):
+        # Fast+reliable services satisfy; slow+unreliable do not.
+        for i in range(20):
+            model.record(facet_fb(
+                f"a{i}", f"good{i % 4}",
+                {"response_time": 0.85, "reliability": 0.9}, rating=0.9,
+            ))
+            model.record(facet_fb(
+                f"b{i}", f"bad{i % 4}",
+                {"response_time": 0.15, "reliability": 0.2}, rating=0.1,
+            ))
+
+    def test_classifies_by_learned_pattern(self):
+        model = DayNaiveBayes()
+        self.train(model)
+        assert model.posterior({"response_time": 0.9, "reliability": 0.9}) > 0.8
+        assert model.posterior({"response_time": 0.1, "reliability": 0.1}) < 0.2
+
+    def test_score_uses_service_facet_vector(self):
+        model = DayNaiveBayes()
+        self.train(model)
+        assert model.score("good0") > model.score("bad0")
+
+    def test_untrained_is_neutral(self):
+        assert DayNaiveBayes().posterior({"x": 0.5}) == 0.5
+
+    def test_unknown_facets_ignored(self):
+        model = DayNaiveBayes()
+        self.train(model)
+        known = model.posterior({"response_time": 0.9})
+        with_unknown = model.posterior(
+            {"response_time": 0.9, "exotic": 0.5}
+        )
+        assert known == with_unknown
+
+    def test_facetless_fallback(self):
+        model = DayNaiveBayes()
+        model.record(feedback(rater="c0", target="svc", rating=0.2))
+        assert model.score("svc") == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DayNaiveBayes(bins=1)
+        with pytest.raises(ConfigurationError):
+            DayNaiveBayes(label_threshold=1.5)

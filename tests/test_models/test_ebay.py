@@ -1,0 +1,86 @@
+"""Tests for the eBay feedback model."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.models.ebay import EbayModel
+
+from tests.conftest import feedback, feedback_series
+
+
+class TestTernarization:
+    def test_signs(self):
+        model = EbayModel()
+        model.record(feedback(rater="a", target="s", rating=0.9))  # +
+        model.record(feedback(rater="b", target="s", rating=0.5))  # 0
+        model.record(feedback(rater="c", target="s", rating=0.1))  # -
+        summary = model.summary("s")
+        assert (summary.positives, summary.neutrals, summary.negatives) == (
+            1, 1, 1,
+        )
+        assert summary.score == 0
+
+    def test_thresholds_validated(self):
+        with pytest.raises(ConfigurationError):
+            EbayModel(positive_threshold=0.2, negative_threshold=0.4)
+
+
+class TestSummary:
+    def test_score_is_signed_sum(self):
+        model = EbayModel()
+        model.record_many(feedback_series("s", [0.9] * 7 + [0.1] * 2))
+        assert model.summary("s").score == 5
+
+    def test_positive_percentage(self):
+        model = EbayModel()
+        model.record_many(feedback_series("s", [0.9] * 3 + [0.1] * 1))
+        assert model.summary("s").positive_percentage == 75.0
+
+    def test_positive_percentage_ignores_neutrals(self):
+        model = EbayModel()
+        model.record_many(feedback_series("s", [0.9, 0.5, 0.5]))
+        assert model.summary("s").positive_percentage == 100.0
+
+    def test_empty_summary(self):
+        summary = EbayModel().summary("nobody")
+        assert summary.score == 0
+        assert summary.positive_percentage == 100.0
+
+    def test_window_view(self):
+        model = EbayModel()
+        model.record(feedback(rater="a", target="s", time=0.0, rating=0.1))
+        model.record(feedback(rater="b", target="s", time=90.0, rating=0.9))
+        recent = model.summary("s", window=30.0, now=100.0)
+        assert recent.positives == 1 and recent.negatives == 0
+        alltime = model.summary("s")
+        assert alltime.negatives == 1
+
+    def test_window_requires_now(self):
+        model = EbayModel()
+        with pytest.raises(ConfigurationError):
+            model.summary("s", window=10.0)
+
+
+class TestScore:
+    def test_no_feedback_is_half(self):
+        assert EbayModel().score("s") == 0.5
+
+    def test_score_in_unit_interval(self):
+        model = EbayModel()
+        model.record_many(feedback_series("s", [0.9] * 100))
+        assert 0.5 < model.score("s") <= 1.0
+
+    def test_good_above_bad(self):
+        model = EbayModel()
+        model.record_many(feedback_series("good", [0.9] * 10))
+        model.record_many(feedback_series("bad", [0.1] * 10))
+        assert model.score("good") > model.score("bad")
+
+    def test_typology_matches_paper(self):
+        from repro.core.typology import (
+            Architecture, PAPER_FIGURE_4, Scope, Subject,
+        )
+        assert EbayModel.typology == PAPER_FIGURE_4["ebay"]
+        assert EbayModel.typology.architecture is Architecture.CENTRALIZED
+        assert EbayModel.typology.subject is Subject.PERSON_AGENT
+        assert EbayModel.typology.scope is Scope.GLOBAL

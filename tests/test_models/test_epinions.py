@@ -1,0 +1,93 @@
+"""Tests for the Epinions web-of-trust model."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.models.epinions import EpinionsModel
+
+from tests.conftest import feedback
+
+
+class TestWebOfTrust:
+    def test_trust_distance_direct(self):
+        model = EpinionsModel()
+        model.trust("alice", "bob")
+        assert model.trust_distance("alice", "bob") == 1
+
+    def test_trust_distance_transitive(self):
+        model = EpinionsModel()
+        model.trust("alice", "bob")
+        model.trust("bob", "carol")
+        assert model.trust_distance("alice", "carol") == 2
+
+    def test_blocked_is_unreachable(self):
+        model = EpinionsModel()
+        model.trust("alice", "bob")
+        model.block("alice", "bob")  # block overrides trust
+        assert model.trust_distance("alice", "bob") is None
+
+    def test_depth_bound(self):
+        model = EpinionsModel(max_depth=2)
+        model.trust("a", "b")
+        model.trust("b", "c")
+        model.trust("c", "d")
+        assert model.trust_distance("a", "d") is None
+
+    def test_trust_then_block_switches_lists(self):
+        model = EpinionsModel()
+        model.block("alice", "bob")
+        model.trust("alice", "bob")
+        assert model.trust_distance("alice", "bob") == 1
+
+
+class TestScoring:
+    def test_trusted_reviewer_dominates(self):
+        model = EpinionsModel(stranger_weight=0.1)
+        model.trust("alice", "friend")
+        model.record(feedback(rater="friend", target="p", rating=1.0))
+        model.record(feedback(rater="stranger", target="p", rating=0.0))
+        assert model.score("p", perspective="alice") > 0.85
+
+    def test_blocked_reviewer_ignored(self):
+        model = EpinionsModel()
+        model.block("alice", "troll")
+        model.record(feedback(rater="troll", target="p", rating=0.0))
+        model.record(feedback(rater="other", target="p", rating=0.8))
+        # Troll has zero weight: only "other" counts (stranger weight).
+        assert model.score("p", perspective="alice") == pytest.approx(0.8)
+
+    def test_transitive_trust_attenuates(self):
+        model = EpinionsModel(trust_decay=0.5, stranger_weight=0.0)
+        model.trust("alice", "bob")
+        model.trust("bob", "carol")
+        model.record(feedback(rater="bob", target="p", rating=1.0))
+        model.record(feedback(rater="carol", target="p", rating=0.0))
+        # bob weight 1.0, carol weight 0.5 -> score 2/3.
+        assert model.score("p", perspective="alice") == pytest.approx(2 / 3)
+
+    def test_without_perspective_all_reviews_equal(self):
+        model = EpinionsModel()
+        model.record(feedback(rater="a", target="p", rating=1.0))
+        model.record(feedback(rater="b", target="p", rating=0.0))
+        assert model.score("p") == pytest.approx(0.5)
+
+    def test_no_reviews_scores_half(self):
+        assert EpinionsModel().score("p", perspective="alice") == 0.5
+
+    def test_personalization(self):
+        model = EpinionsModel(stranger_weight=0.0)
+        model.trust("alice", "optimist")
+        model.trust("eve", "pessimist")
+        model.record(feedback(rater="optimist", target="p", rating=0.9))
+        model.record(feedback(rater="pessimist", target="p", rating=0.2))
+        assert model.score("p", perspective="alice") > model.score(
+            "p", perspective="eve"
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EpinionsModel(trust_decay=0.0)
+        with pytest.raises(ConfigurationError):
+            EpinionsModel(stranger_weight=1.5)
+        with pytest.raises(ConfigurationError):
+            EpinionsModel(max_depth=0)

@@ -1,0 +1,91 @@
+"""Tests for Histos personalized reputation."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.models.histos import HistosModel
+
+from tests.conftest import feedback
+
+
+class TestHistos:
+    def test_direct_rating_wins(self):
+        model = HistosModel()
+        model.record(feedback(rater="alice", target="svc", rating=0.9))
+        assert model.score("svc", perspective="alice") == 0.9
+
+    def test_latest_direct_rating_wins(self):
+        model = HistosModel()
+        model.record(feedback(rater="alice", target="svc", time=0.0,
+                              rating=0.2))
+        model.record(feedback(rater="alice", target="svc", time=5.0,
+                              rating=0.8))
+        assert model.score("svc", perspective="alice") == 0.8
+
+    def test_transitive_trust_one_hop(self):
+        # alice trusts bob 0.8; bob rates svc 1.0 -> alice sees 1.0
+        # (weights only select among neighbours, values propagate).
+        model = HistosModel()
+        model.record(feedback(rater="alice", target="bob", rating=0.8))
+        model.record(feedback(rater="bob", target="svc", rating=1.0))
+        assert model.score("svc", perspective="alice") == pytest.approx(1.0)
+
+    def test_transitive_weighting_two_witnesses(self):
+        model = HistosModel()
+        model.record(feedback(rater="alice", target="bob", rating=0.9))
+        model.record(feedback(rater="alice", target="carol", rating=0.1))
+        model.record(feedback(rater="bob", target="svc", rating=1.0))
+        model.record(feedback(rater="carol", target="svc", rating=0.0))
+        # Bob's strongly-trusted opinion dominates.
+        score = model.score("svc", perspective="alice")
+        assert score == pytest.approx((0.9 * 1.0 + 0.1 * 0.0) / 1.0)
+
+    def test_unreachable_target_gets_prior(self):
+        model = HistosModel(prior=0.5)
+        model.record(feedback(rater="alice", target="bob", rating=0.9))
+        assert model.score("mystery", perspective="alice") == 0.5
+
+    def test_depth_limit_respected(self):
+        model = HistosModel(max_depth=2)
+        # Chain alice -> b1 -> b2 -> b3 -> svc is 4 hops: too deep.
+        model.record(feedback(rater="alice", target="b1", rating=1.0))
+        model.record(feedback(rater="b1", target="b2", rating=1.0))
+        model.record(feedback(rater="b2", target="b3", rating=1.0))
+        model.record(feedback(rater="b3", target="svc", rating=1.0))
+        assert model.score("svc", perspective="alice") == 0.5  # prior
+
+    def test_cycles_do_not_loop(self):
+        model = HistosModel()
+        model.record(feedback(rater="a", target="b", rating=0.9))
+        model.record(feedback(rater="b", target="a", rating=0.9))
+        model.record(feedback(rater="b", target="svc", rating=0.7))
+        assert model.score("svc", perspective="a") == pytest.approx(0.7)
+
+    def test_distrusted_neighbors_excluded(self):
+        model = HistosModel()
+        model.record(feedback(rater="alice", target="mallory", rating=0.0))
+        model.record(feedback(rater="mallory", target="svc", rating=1.0))
+        # Zero-weight edge contributes nothing -> prior.
+        assert model.score("svc", perspective="alice") == 0.5
+
+    def test_personalization_differs_between_roots(self):
+        model = HistosModel()
+        model.record(feedback(rater="alice", target="bob", rating=1.0))
+        model.record(feedback(rater="eve", target="carol", rating=1.0))
+        model.record(feedback(rater="bob", target="svc", rating=0.9))
+        model.record(feedback(rater="carol", target="svc", rating=0.1))
+        assert model.score("svc", perspective="alice") > model.score(
+            "svc", perspective="eve"
+        )
+
+    def test_global_fallback_without_perspective(self):
+        model = HistosModel()
+        model.record(feedback(rater="a", target="svc", rating=0.2))
+        model.record(feedback(rater="b", target="svc", rating=0.8))
+        assert model.score("svc") == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HistosModel(max_depth=0)
+        with pytest.raises(ConfigurationError):
+            HistosModel(prior=2.0)

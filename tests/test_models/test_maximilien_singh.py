@@ -1,0 +1,99 @@
+"""Tests for the Maximilien & Singh facet-reputation model."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.decay import NoDecay
+from repro.models.maximilien_singh import MaximilienSinghModel
+
+from tests.conftest import feedback
+
+
+def facet_fb(rater, target, facets, time=0.0, rating=None):
+    if rating is None:
+        rating = sum(facets.values()) / len(facets)
+    return feedback(rater=rater, target=target, time=time, rating=rating,
+                    facets=facets)
+
+
+class TestFacetReputation:
+    def test_community_evidence(self):
+        model = MaximilienSinghModel(decay=NoDecay())
+        for i in range(5):
+            model.record(facet_fb(f"c{i}", "svc", {"speed": 0.8}))
+        assert model.facet_reputation("svc", "speed") == pytest.approx(0.8)
+
+    def test_claim_fills_evidence_gap(self):
+        model = MaximilienSinghModel()
+        model.register_advertisement("svc", {"speed": 0.9})
+        assert model.facet_reputation("svc", "speed") == 0.9
+
+    def test_claim_weight_shrinks_with_evidence(self):
+        model = MaximilienSinghModel(decay=NoDecay(),
+                                     claim_evidence_scale=2.0)
+        model.register_advertisement("svc", {"speed": 1.0})
+        model.record(facet_fb("c0", "svc", {"speed": 0.4}))
+        early = model.facet_reputation("svc", "speed")
+        for i in range(1, 20):
+            model.record(facet_fb(f"c{i}", "svc", {"speed": 0.4}))
+        late = model.facet_reputation("svc", "speed")
+        assert late < early  # claim's pull fades
+        assert late == pytest.approx(0.4, abs=0.05)
+
+    def test_mismatched_claims_lose_say(self):
+        liar = MaximilienSinghModel(decay=NoDecay())
+        liar.register_advertisement("svc", {"speed": 1.0})
+        honest = MaximilienSinghModel(decay=NoDecay())
+        honest.register_advertisement("svc", {"speed": 0.45})
+        for model in (liar, honest):
+            for i in range(3):
+                model.record(facet_fb(f"c{i}", "svc", {"speed": 0.4}))
+        # Both end on the observation side of their claims, and the
+        # honest (near-truth) claim distorts far less than the inflated
+        # one even though it formally carries the same base weight.
+        liar_error = abs(liar.facet_reputation("svc", "speed") - 0.4)
+        honest_error = abs(honest.facet_reputation("svc", "speed") - 0.4)
+        assert honest_error < liar_error
+        assert liar_error < 0.2
+        assert honest_error < 0.05
+
+    def test_unknown_facet_is_half(self):
+        assert MaximilienSinghModel().facet_reputation("svc", "x") == 0.5
+
+
+class TestPreferences:
+    def test_preferences_personalize_score(self):
+        model = MaximilienSinghModel(decay=NoDecay())
+        for i in range(5):
+            model.record(
+                facet_fb(f"c{i}", "svc", {"speed": 0.9, "cost": 0.1})
+            )
+        model.set_preferences("speed-freak", {"speed": 1.0})
+        model.set_preferences("penny-pincher", {"cost": 1.0})
+        assert model.score("svc", perspective="speed-freak") > 0.8
+        assert model.score("svc", perspective="penny-pincher") < 0.2
+
+    def test_no_preferences_averages_facets(self):
+        model = MaximilienSinghModel(decay=NoDecay())
+        for i in range(5):
+            model.record(
+                facet_fb(f"c{i}", "svc", {"speed": 0.9, "cost": 0.1})
+            )
+        assert model.score("svc") == pytest.approx(0.5, abs=0.05)
+
+    def test_overall_fallback_without_facets(self):
+        model = MaximilienSinghModel(decay=NoDecay())
+        model.record(feedback(rater="c0", target="svc", rating=0.8))
+        assert model.score("svc") == pytest.approx(0.8)
+
+    def test_decay_prefers_recent(self):
+        model = MaximilienSinghModel()  # exponential decay default
+        model.record(facet_fb("old", "svc", {"speed": 0.1}, time=0.0))
+        model.record(facet_fb("new", "svc", {"speed": 0.9}, time=500.0))
+        assert model.facet_reputation("svc", "speed", now=500.0) > 0.7
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MaximilienSinghModel(claim_evidence_scale=0.0)
+        with pytest.raises(ConfigurationError):
+            MaximilienSinghModel().register_advertisement("s", {"x": 2.0})

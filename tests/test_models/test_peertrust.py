@@ -1,0 +1,90 @@
+"""Tests for PeerTrust."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.records import Feedback, Interaction
+from repro.models.peertrust import CredibilityMeasure, PeerTrustModel
+
+from tests.conftest import feedback
+
+
+def build_honest_and_liar(credibility=CredibilityMeasure.PSM):
+    """Honest raters agree with each other; the liar inverts."""
+    model = PeerTrustModel(credibility=credibility)
+    # Shared context: honest raters rate several peers consistently.
+    for subject, quality in [("s1", 0.9), ("s2", 0.2), ("s3", 0.7)]:
+        for r in ["h1", "h2", "h3"]:
+            model.record(feedback(rater=r, target=subject, rating=quality))
+        model.record(feedback(rater="liar", target=subject,
+                              rating=1.0 - quality))
+    return model
+
+
+class TestSatisfactionAggregation:
+    def test_good_peer_scores_high(self):
+        model = PeerTrustModel()
+        for i in range(10):
+            model.record(feedback(rater=f"r{i}", target="peer",
+                                  rating=0.9, time=float(i)))
+        assert model.score("peer") > 0.7
+
+    def test_no_transactions_scores_near_half(self):
+        assert PeerTrustModel().score("ghost") == pytest.approx(0.45, abs=0.1)
+
+    def test_window_limits_history(self):
+        model = PeerTrustModel(window=5)
+        # Old bad, recent good: only recent window counts.
+        for i in range(20):
+            rating = 0.1 if i < 15 else 0.9
+            model.record(feedback(rater=f"r{i}", target="peer",
+                                  rating=rating, time=float(i)))
+        assert model.score("peer") > 0.6
+
+
+class TestCredibility:
+    def test_psm_downweights_divergent_rater(self):
+        model = build_honest_and_liar()
+        honest_cred = model.feedback_similarity("h1", "h2")
+        liar_cred = model.feedback_similarity("h1", "liar")
+        assert honest_cred > liar_cred
+
+    def test_psm_resists_badmouthing(self):
+        model = build_honest_and_liar()
+        # Liar badmouths a new good peer; honest raters praise it.
+        for r in ["h1", "h2"]:
+            model.record(feedback(rater=r, target="victim", rating=0.9))
+        model.record(feedback(rater="liar", target="victim", rating=0.0))
+        assert model.score("victim", perspective="h3") > 0.6
+
+    def test_tvm_uses_trust_value(self):
+        model = build_honest_and_liar(credibility=CredibilityMeasure.TVM)
+        score = model.score("s1", perspective="h1")
+        assert 0.0 <= score <= 1.0
+
+    def test_community_context_rewards_contributors(self):
+        model = PeerTrustModel(alpha=0.5, beta=0.5)
+        for i in range(20):
+            model.record(feedback(rater="active", target=f"t{i}",
+                                  rating=0.5, time=float(i)))
+        assert model.community_context("active") > model.community_context(
+            "silent"
+        )
+
+    def test_transaction_context_from_interaction(self):
+        model = PeerTrustModel()
+        rich = Interaction(
+            consumer="c", service="s", provider="p", time=0.0, success=True,
+            observations={"a": 1.0, "b": 1.0, "c": 1.0},
+        )
+        fb_rich = Feedback(rater="c", target="peer", time=0.0, rating=0.9,
+                           interaction=rich)
+        model.record(fb_rich)
+        tx = model._transactions["peer"][0]
+        assert tx.context == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PeerTrustModel(alpha=-1.0)
+        with pytest.raises(ConfigurationError):
+            PeerTrustModel(window=0)

@@ -1,0 +1,58 @@
+"""Tests for provider-reputation backoff."""
+
+import pytest
+
+from repro.models.provider_backoff import ProviderBackoffModel
+
+from tests.conftest import feedback, feedback_series
+
+
+class TestProviderBackoff:
+    def test_new_service_inherits_provider_reputation(self):
+        model = ProviderBackoffModel({"old-svc": "acme", "new-svc": "acme"})
+        model.record_many(feedback_series("old-svc", [0.9] * 10))
+        # new-svc has zero evidence: score == provider reputation.
+        assert model.score("new-svc") == pytest.approx(
+            model.provider_reputation("acme")
+        )
+        assert model.score("new-svc") > 0.7
+
+    def test_unmapped_service_scores_on_own_evidence(self):
+        model = ProviderBackoffModel({})
+        model.record_many(feedback_series("solo", [0.8] * 5))
+        assert model.score("solo") == pytest.approx(
+            model.service_model.score("solo")
+        )
+
+    def test_own_evidence_overrides_provider_with_volume(self):
+        model = ProviderBackoffModel({"good": "acme", "lemon": "acme"})
+        model.record_many(feedback_series("good", [0.9] * 20))
+        # The lemon is bad despite its reputable provider.
+        model.record_many(feedback_series("lemon", [0.1] * 30))
+        assert model.score("lemon") < 0.35
+
+    def test_blend_moves_from_provider_to_service(self):
+        model = ProviderBackoffModel({"svc": "acme", "flagship": "acme"})
+        model.record_many(feedback_series("flagship", [0.9] * 10))
+        trajectory = [model.score("svc")]
+        for i in range(10):
+            model.record(feedback(rater=f"c{i}", target="svc",
+                                  time=float(i), rating=0.2))
+            trajectory.append(model.score("svc"))
+        # Monotonically descending from provider level to own level.
+        assert trajectory[0] > 0.7
+        assert trajectory[-1] < 0.4
+        assert all(a >= b - 1e-9 for a, b in zip(trajectory, trajectory[1:]))
+
+    def test_register_service(self):
+        mapping = {}
+        model = ProviderBackoffModel(mapping)
+        model.register_service("svc", "acme")
+        assert mapping == {"svc": "acme"}
+
+    def test_provider_reputation_pools_all_services(self):
+        model = ProviderBackoffModel({"a": "acme", "b": "acme"})
+        model.record_many(feedback_series("a", [0.9] * 5))
+        model.record_many(feedback_series("b", [0.5] * 5))
+        rep = model.provider_reputation("acme")
+        assert 0.5 < rep < 0.9

@@ -1,0 +1,65 @@
+"""Tests for social-network topology reputation (NodeRanking-style)."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.models.socialnetwork import SocialNetworkModel
+
+from tests.conftest import feedback
+
+
+class TestTopologyAuthority:
+    def test_authority_sums_to_one(self):
+        model = SocialNetworkModel()
+        model.add_relation("a", "b")
+        model.add_relation("b", "c")
+        model.add_relation("c", "a")
+        authority = model.compute()
+        assert math.isclose(sum(authority.values()), 1.0, rel_tol=1e-9)
+
+    def test_popular_agent_ranks_highest(self):
+        model = SocialNetworkModel()
+        for source in ["a", "b", "c", "d", "e"]:
+            model.add_relation(source, "star")
+        model.add_relation("a", "b")
+        assert model.score("star") == 1.0
+        assert model.score("star") > model.score("b")
+
+    def test_endorsement_from_authority_counts_more(self):
+        model = SocialNetworkModel()
+        # "star" is popular; it endorses x. Lone "nobody" endorses y.
+        for source in ["a", "b", "c", "d"]:
+            model.add_relation(source, "star")
+        model.add_relation("star", "x")
+        model.add_relation("nobody", "y")
+        assert model.score("x") > model.score("y")
+
+    def test_degree(self):
+        model = SocialNetworkModel()
+        model.add_relation("a", "c")
+        model.add_relation("b", "c")
+        assert model.degree("c") == 2
+        assert model.degree("a") == 0
+
+
+class TestFeedbackEdges:
+    def test_positive_feedback_creates_edge(self):
+        model = SocialNetworkModel()
+        model.record(feedback(rater="a", target="b", rating=0.9))
+        assert model.degree("b") == 1
+
+    def test_negative_feedback_creates_no_edge(self):
+        model = SocialNetworkModel()
+        model.record(feedback(rater="a", target="b", rating=0.1))
+        assert model.degree("b") == 0
+        # But both nodes are known to the graph.
+        assert model.score("b") <= 0.5 or model.score("b") >= 0.0
+
+    def test_empty_graph(self):
+        assert SocialNetworkModel().score("x") == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SocialNetworkModel(damping=0.0)

@@ -1,0 +1,101 @@
+"""Tests for Sporas."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.common.records import Feedback
+from repro.models.sporas import SporasModel
+
+from tests.conftest import feedback, feedback_series
+
+
+class TestSporas:
+    def test_new_user_starts_at_zero(self):
+        model = SporasModel()
+        assert model.reputation("nobody") == 0.0
+        assert model.score("nobody") == 0.0
+
+    def test_good_ratings_grow_reputation(self):
+        model = SporasModel()
+        model.record_many(feedback_series("s", [1.0] * 50))
+        assert model.score("s") > 0.3
+
+    def test_reputation_bounded_by_d(self):
+        model = SporasModel(d=100.0, theta=2.0)
+        model.record_many(feedback_series("s", [1.0] * 500))
+        assert model.reputation("s") <= 100.0
+        assert model.score("s") <= 1.0
+
+    def test_reputation_never_negative(self):
+        model = SporasModel()
+        model.record_many(feedback_series("s", [0.0] * 50))
+        assert model.reputation("s") >= 0.0
+
+    def test_damping_slows_high_reputations(self):
+        # Phi(R) shrinks as R -> D: increments get smaller.
+        model = SporasModel(d=100.0, theta=5.0, sigma=10.0)
+        increments = []
+        last = 0.0
+        for i in range(200):
+            model.record(feedback(rater=f"c{i}", target="s", time=float(i),
+                                  rating=1.0))
+            now = model.reputation("s")
+            increments.append(now - last)
+            last = now
+        assert increments[-1] < increments[0]
+
+    def test_identity_switch_cannot_gain(self):
+        # A user with bad reputation restarts at 0 -- which is also the
+        # floor, so switching gains nothing (Zacharia's design goal).
+        model = SporasModel()
+        model.record_many(feedback_series("cheat", [0.0] * 20))
+        assert model.reputation("cheat") == pytest.approx(0.0, abs=1e-6)
+        assert model.reputation("fresh-identity") == 0.0
+
+    def test_reliability_deviation_tracks_volatility(self):
+        stable = SporasModel()
+        stable.record_many(feedback_series("s", [0.8] * 100))
+        volatile = SporasModel()
+        volatile.record_many(
+            feedback_series("s", [1.0, 0.0] * 50)
+        )
+        assert (
+            volatile.reliability_deviation("s")
+            > stable.reliability_deviation("s")
+        )
+
+    def test_rater_reputation_weights_update(self):
+        model = SporasModel(d=100.0)
+        # Build up the rater's own reputation first.
+        model.record_many(feedback_series("heavy-rater", [1.0] * 100))
+        light = SporasModel(d=100.0)
+
+        heavy_fb = Feedback(rater="heavy-rater", target="s", time=0.0,
+                            rating=1.0)
+        light_fb = Feedback(rater="nobody", target="s", time=0.0, rating=1.0)
+        model.record(heavy_fb)
+        light.record(light_fb)
+        assert model.reputation("s") > light.reputation("s")
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            SporasModel(d=0)
+        with pytest.raises(ConfigurationError):
+            SporasModel(theta=1.0)
+        with pytest.raises(ConfigurationError):
+            SporasModel(rd_memory=1.0)
+
+    def test_ratings_seen(self):
+        model = SporasModel()
+        model.record_many(feedback_series("s", [0.5] * 3))
+        assert model.ratings_seen("s") == 3
+
+    @given(st.lists(st.floats(0.0, 1.0), max_size=60))
+    def test_property_score_bounded(self, ratings):
+        model = SporasModel()
+        for i, r in enumerate(ratings):
+            model.record(Feedback(rater=f"c{i}", target="s", time=float(i),
+                                  rating=r))
+        assert 0.0 <= model.score("s") <= 1.0

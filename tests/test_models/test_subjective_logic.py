@@ -1,0 +1,98 @@
+"""Tests for the subjective-logic reputation mechanism."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.models.subjective_logic import SubjectiveLogicModel
+
+from tests.conftest import feedback, feedback_series
+
+
+class TestGlobalFusion:
+    def test_no_evidence_is_base_rate(self):
+        model = SubjectiveLogicModel()
+        assert model.score("svc") == 0.5
+        assert model.uncertainty("svc") == 1.0
+
+    def test_evidence_moves_expectation_and_commits_mass(self):
+        model = SubjectiveLogicModel()
+        model.record_many(feedback_series("svc", [0.9] * 8))
+        assert model.score("svc") > 0.75
+        assert model.uncertainty("svc") < 0.3
+
+    def test_fusion_pools_raters(self):
+        single = SubjectiveLogicModel()
+        for i in range(3):
+            single.record(feedback(rater="only", target="svc",
+                                   time=float(i), rating=0.9))
+        many = SubjectiveLogicModel()
+        for i in range(3):
+            for rater in ["a", "b", "c"]:
+                many.record(feedback(rater=rater, target="svc",
+                                     time=float(i), rating=0.9))
+        assert many.uncertainty("svc") < single.uncertainty("svc")
+
+    def test_good_above_bad(self):
+        model = SubjectiveLogicModel()
+        model.record_many(feedback_series("good", [0.9] * 6))
+        model.record_many(feedback_series("bad", [0.1] * 6))
+        assert model.score("good") > model.score("bad")
+
+
+class TestPersonalization:
+    def build_with_liar(self):
+        model = SubjectiveLogicModel(agreement_tolerance=0.2)
+        # "me" and "ally" agree on calibration targets; "liar" inverts.
+        for target, truth in [("cal1", 0.8), ("cal2", 0.3)]:
+            for t in range(3):
+                model.record(feedback(rater="me", target=target,
+                                      time=float(t), rating=truth))
+                model.record(feedback(rater="ally", target=target,
+                                      time=float(t), rating=truth))
+                model.record(feedback(rater="liar", target=target,
+                                      time=float(t), rating=1.0 - truth))
+        # Disputed target: ally says good, liar says terrible.
+        for t in range(5):
+            model.record(feedback(rater="ally", target="disputed",
+                                  time=float(t), rating=0.85))
+            model.record(feedback(rater="liar", target="disputed",
+                                  time=float(t), rating=0.05))
+        return model
+
+    def test_referral_trust_learned_from_agreement(self):
+        model = self.build_with_liar()
+        ally_trust = model.referral_opinion("me", "ally")
+        liar_trust = model.referral_opinion("me", "liar")
+        assert ally_trust.expectation > 0.7
+        assert liar_trust.expectation < 0.3
+
+    def test_personalized_score_discounts_the_liar(self):
+        model = self.build_with_liar()
+        personalized = model.score("disputed", perspective="me")
+        unpersonalized = model.score("disputed")
+        assert personalized > unpersonalized
+        assert personalized > 0.6
+
+    def test_own_evidence_not_discounted(self):
+        model = SubjectiveLogicModel()
+        for t in range(6):
+            model.record(feedback(rater="me", target="svc",
+                                  time=float(t), rating=0.9))
+        assert model.score("svc", perspective="me") > 0.75
+
+    def test_stranger_perspective_discounts_everyone(self):
+        model = SubjectiveLogicModel()
+        model.record_many(feedback_series("svc", [0.9] * 6))
+        # A perspective with no history can verify nobody: opinions are
+        # heavily discounted, the result stays near the base rate but
+        # on the positive side.
+        score = model.score("svc", perspective="total-stranger")
+        assert 0.5 <= score < model.score("svc")
+        assert model.uncertainty("svc", perspective="total-stranger") > \
+            model.uncertainty("svc")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SubjectiveLogicModel(agreement_tolerance=0.0)
+        with pytest.raises(ConfigurationError):
+            SubjectiveLogicModel(base_rate=1.5)

@@ -1,0 +1,108 @@
+"""Tests for the Vu, Hauswirth & Aberer decentralized QoS model."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.models.vu_aberer import VuAbererModel
+from repro.p2p.pgrid import PGrid
+
+from tests.conftest import feedback
+
+
+def facet_fb(rater, target, facets, time=0.0):
+    rating = sum(facets.values()) / len(facets)
+    return feedback(rater=rater, target=target, time=time, rating=rating,
+                    facets=facets)
+
+
+class TestLiarDetection:
+    def test_deviant_rater_loses_credibility(self):
+        model = VuAbererModel(deviation_tolerance=0.15)
+        model.record_monitor_data("svc", {"speed": 0.8})
+        for t in range(5):
+            model.record(facet_fb("honest", "svc", {"speed": 0.78},
+                                  time=float(t)))
+            model.record(facet_fb("liar", "svc", {"speed": 0.1},
+                                  time=float(t)))
+        assert model.credibility("honest") > 0.7
+        assert model.credibility("liar") < 0.3
+
+    def test_monitor_data_rescreens_existing_reports(self):
+        model = VuAbererModel()
+        # Reports arrive before the monitor measured the service.
+        for t in range(5):
+            model.record(facet_fb("liar", "svc", {"speed": 0.1},
+                                  time=float(t)))
+        assert model.credibility("liar") == 0.5  # not yet caught
+        model.record_monitor_data("svc", {"speed": 0.8})
+        assert model.credibility("liar") < 0.3
+
+    def test_liar_caught_on_monitored_service_discounted_everywhere(self):
+        model = VuAbererModel()
+        model.record_monitor_data("monitored", {"speed": 0.8})
+        for t in range(5):
+            model.record(facet_fb("liar", "monitored", {"speed": 0.1},
+                                  time=float(t)))
+        # Liar's reports on an UNmonitored service are now discounted.
+        for t in range(5):
+            model.record(facet_fb("liar", "unmonitored", {"speed": 0.0},
+                                  time=float(t)))
+            model.record(facet_fb("honest", "unmonitored", {"speed": 0.7},
+                                  time=float(t)))
+        # Naive (credibility-blind) pooling would land at 0.35; the
+        # defended estimate sits clearly on the honest side.
+        assert model.predicted_quality("unmonitored", "speed") > 0.5
+
+    def test_credibility_floor(self):
+        model = VuAbererModel(min_credibility=0.05)
+        model.record_monitor_data("svc", {"speed": 0.9})
+        for t in range(50):
+            model.record(facet_fb("liar", "svc", {"speed": 0.0},
+                                  time=float(t)))
+        assert model.credibility("liar") >= 0.05
+
+
+class TestPrediction:
+    def test_monitor_blend(self):
+        model = VuAbererModel(monitor_weight=1.0)
+        model.record_monitor_data("svc", {"speed": 0.8})
+        model.record(facet_fb("c0", "svc", {"speed": 0.2}))
+        assert model.predicted_quality("svc", "speed") == pytest.approx(0.8)
+
+    def test_pure_user_estimate_without_monitor(self):
+        model = VuAbererModel()
+        model.record(facet_fb("c0", "svc", {"speed": 0.6}))
+        assert model.predicted_quality("svc", "speed") == pytest.approx(0.6)
+
+    def test_unknown_service(self):
+        assert VuAbererModel().predicted_quality("nothing") == 0.5
+
+    def test_preference_weighted_score(self):
+        model = VuAbererModel()
+        for i in range(3):
+            model.record(facet_fb(f"c{i}", "svc", {"speed": 0.9, "cost": 0.1}))
+        model.set_preferences("racer", {"speed": 1.0})
+        model.set_preferences("saver", {"cost": 1.0})
+        assert model.score("svc", perspective="racer") > 0.8
+        assert model.score("svc", perspective="saver") < 0.2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            VuAbererModel(deviation_tolerance=0.0)
+        with pytest.raises(ConfigurationError):
+            VuAbererModel(min_credibility=1.0)
+
+
+class TestPGridDeployment:
+    def test_publish_and_query_over_overlay(self):
+        peers = [f"reg-{i:02d}" for i in range(16)]
+        grid = PGrid(peers, replication=2, rng=0)
+        model = VuAbererModel()
+        report = facet_fb("consumer", "svc", {"speed": 0.7})
+        messages = model.publish_report(grid, "reg-00", report)
+        assert messages >= 0
+        found, lookup_messages = model.query_reports(grid, "reg-15", "svc")
+        assert found == [report]
+        assert lookup_messages >= 1
+        # Publishing also fed the local model.
+        assert model.predicted_quality("svc", "speed") == pytest.approx(0.7)

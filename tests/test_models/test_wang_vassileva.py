@@ -1,0 +1,104 @@
+"""Tests for the Wang & Vassileva Bayesian trust model."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.models.wang_vassileva import WangVassilevaModel
+
+from tests.conftest import feedback
+
+
+class TestProviderTrust:
+    def test_no_evidence_is_half(self):
+        model = WangVassilevaModel()
+        assert model.provider_trust("me", "partner") == 0.5
+
+    def test_satisfying_interactions_raise_trust(self):
+        model = WangVassilevaModel()
+        for i in range(10):
+            model.record(feedback(rater="me", target="svc", time=float(i),
+                                  rating=0.9))
+        assert model.provider_trust("me", "svc") > 0.8
+
+    def test_facet_weighted_trust(self):
+        model = WangVassilevaModel()
+        for i in range(10):
+            model.record(
+                feedback(
+                    rater="me", target="svc", time=float(i), rating=0.5,
+                    facets={"speed": 0.9, "cost": 0.1},
+                )
+            )
+        fast = model.provider_trust("me", "svc", {"speed": 1.0})
+        cheap = model.provider_trust("me", "svc", {"cost": 1.0})
+        assert fast > 0.8
+        assert cheap < 0.2
+
+    def test_trust_is_personal(self):
+        model = WangVassilevaModel()
+        for i in range(5):
+            model.record(feedback(rater="happy", target="svc",
+                                  time=float(i), rating=0.9))
+            model.record(feedback(rater="sad", target="svc",
+                                  time=float(i), rating=0.1))
+        assert model.provider_trust("happy", "svc") > model.provider_trust(
+            "sad", "svc"
+        )
+
+
+class TestRaterTrust:
+    def test_accurate_recommender_gains_credibility(self):
+        model = WangVassilevaModel(recommendation_tolerance=0.2)
+        for _ in range(5):
+            model.record_recommendation("me", "good-advisor", 0.8, 0.75)
+        for _ in range(5):
+            model.record_recommendation("me", "bad-advisor", 0.9, 0.1)
+        assert model.rater_trust("me", "good-advisor") > 0.7
+        assert model.rater_trust("me", "bad-advisor") < 0.3
+
+    def test_recommendation_weighted_reputation(self):
+        model = WangVassilevaModel()
+        # Two other agents hold opposite views.
+        for i in range(10):
+            model.record(feedback(rater="truthful", target="svc",
+                                  time=float(i), rating=0.9))
+            model.record(feedback(rater="liar", target="svc",
+                                  time=float(i), rating=0.1))
+        # "me" has learned who to trust as a recommender.
+        for _ in range(10):
+            model.record_recommendation("me", "truthful", 0.9, 0.85)
+            model.record_recommendation("me", "liar", 0.1, 0.9)
+        pooled = model.recommendation_weighted_reputation("me", "svc")
+        assert pooled > 0.6  # truthful's view dominates
+
+
+class TestScore:
+    def test_blends_own_and_pooled(self):
+        model = WangVassilevaModel()
+        # Others say the service is great.
+        for i in range(10):
+            model.record(feedback(rater="other", target="svc",
+                                  time=float(i), rating=0.9))
+        newcomer_score = model.score("svc", perspective="me")
+        assert newcomer_score > 0.6  # follows the crowd with no own data
+        # With strong own bad experience, own view dominates.
+        for i in range(20):
+            model.record(feedback(rater="me", target="svc",
+                                  time=float(i), rating=0.1))
+        assert model.score("svc", perspective="me") < 0.4
+
+    def test_global_fallback(self):
+        model = WangVassilevaModel()
+        for i in range(5):
+            model.record(feedback(rater="a", target="svc", time=float(i),
+                                  rating=0.9))
+        assert model.score("svc") > 0.7
+
+    def test_unknown_target(self):
+        assert WangVassilevaModel().score("nothing") == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WangVassilevaModel(satisfaction_threshold=1.5)
+        with pytest.raises(ConfigurationError):
+            WangVassilevaModel(recommendation_tolerance=0.0)

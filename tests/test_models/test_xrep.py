@@ -1,0 +1,89 @@
+"""Tests for XRep poll-based reputation."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.models.xrep import XRepModel
+from repro.p2p.unstructured import UnstructuredOverlay
+
+from tests.conftest import feedback
+
+
+class TestResourceReputation:
+    def test_votes_aggregate(self):
+        model = XRepModel()
+        for i in range(8):
+            model.record(feedback(rater=f"v{i}", target="r", rating=0.9))
+        assert model.resource_reputation("r") > 0.8
+
+    def test_no_votes_is_half(self):
+        assert XRepModel().resource_reputation("r") == 0.5
+
+    def test_cluster_deflation(self):
+        # 5 honest distinct-cluster negative votes vs 10 stuffed votes
+        # from one cluster: clustering must keep the resource down.
+        defended = XRepModel(cluster_weight=0.0)
+        naive = XRepModel(cluster_weight=1.0)
+        for model in (defended, naive):
+            for i in range(5):
+                model.record(feedback(rater=f"honest{i}", target="r",
+                                      rating=0.1))
+            for i in range(10):
+                rater = f"sybil{i}"
+                model.assign_cluster(rater, "attacker-subnet")
+                model.record(feedback(rater=rater, target="r", rating=1.0))
+        assert defended.resource_reputation("r") < 0.35
+        assert naive.resource_reputation("r") > 0.6
+
+    def test_default_cluster_is_rater_itself(self):
+        model = XRepModel(cluster_weight=0.0)
+        for i in range(6):
+            model.record(feedback(rater=f"v{i}", target="r", rating=0.9))
+        # Distinct raters = distinct clusters: no deflation.
+        assert model.resource_reputation("r") > 0.8
+
+
+class TestServentBlend:
+    def test_ill_reputed_servent_taints_resource(self):
+        model = XRepModel(servent_blend=0.5)
+        model.register_offer("file", "shady-servent")
+        for i in range(5):
+            model.record(feedback(rater=f"v{i}", target="file", rating=0.9))
+            model.record(feedback(rater=f"w{i}", target="shady-servent",
+                                  rating=0.1))
+        blended = model.score("file")
+        pure = model.resource_reputation("file")
+        assert blended < pure
+
+    def test_no_offers_scores_resource_alone(self):
+        model = XRepModel(servent_blend=0.5)
+        for i in range(5):
+            model.record(feedback(rater=f"v{i}", target="file", rating=0.9))
+        assert model.score("file") == model.resource_reputation("file")
+
+    def test_register_offer_idempotent(self):
+        model = XRepModel()
+        model.register_offer("f", "s")
+        model.register_offer("f", "s")
+        assert model._offered_by["f"] == ["s"]
+
+
+class TestLivePolling:
+    def test_poll_collects_and_scores(self):
+        overlay = UnstructuredOverlay(degree=4, rng=0)
+        for i in range(15):
+            overlay.join(f"peer-{i:02d}")
+        overlay.deposit("peer-05", feedback(rater="peer-05", target="file",
+                                            rating=0.9))
+        overlay.deposit("peer-09", feedback(rater="peer-09", target="file",
+                                            rating=0.8))
+        model = XRepModel()
+        score, messages = model.poll(overlay, "peer-00", "file", ttl=15)
+        assert score > 0.6
+        assert messages > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            XRepModel(cluster_weight=2.0)
+        with pytest.raises(ConfigurationError):
+            XRepModel(servent_blend=-0.1)

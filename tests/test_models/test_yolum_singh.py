@@ -1,0 +1,92 @@
+"""Tests for the Yolum & Singh referral-network model."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.models.yolum_singh import YolumSinghModel
+from repro.p2p.referral import ReferralNetwork
+
+from tests.conftest import feedback
+
+
+def build_model(n_agents=15, seed=0, **kwargs):
+    network = ReferralNetwork(degree=4, branching=3, rng=seed)
+    model = YolumSinghModel(network=network, **kwargs)
+    for i in range(n_agents):
+        model.ensure_agent(f"agent-{i:02d}")
+    return model
+
+
+class TestRecording:
+    def test_record_auto_joins_rater(self):
+        model = YolumSinghModel(rng=0)
+        model.record(feedback(rater="newcomer", target="svc", rating=0.9))
+        assert len(model.network) == 1
+
+    def test_experience_stored_at_rater(self):
+        model = build_model()
+        model.record(feedback(rater="agent-03", target="svc", rating=0.9))
+        assert len(model.network.agent("agent-03").store.for_target("svc")) == 1
+
+
+class TestScoring:
+    def test_witness_opinion_found_through_referrals(self):
+        model = build_model(n_agents=15, seed=1, depth_limit=6)
+        for t in range(3):
+            model.record(feedback(rater="agent-07", target="svc",
+                                  rating=0.9, time=float(t)))
+        score = model.score("svc", perspective="agent-00")
+        assert score > 0.6
+
+    def test_own_experience_counts_fully(self):
+        model = build_model(seed=2)
+        for t in range(5):
+            model.record(feedback(rater="agent-00", target="svc",
+                                  rating=0.9, time=float(t)))
+        assert model.score("svc", perspective="agent-00") > 0.8
+
+    def test_no_information_is_neutral(self):
+        model = build_model(seed=3)
+        assert model.score("mystery", perspective="agent-00") == 0.5
+
+    def test_global_score_averages_experiences(self):
+        model = build_model(seed=4)
+        model.record(feedback(rater="agent-01", target="svc", rating=0.9))
+        model.record(feedback(rater="agent-02", target="svc", rating=0.3))
+        assert model.score("svc") == pytest.approx(0.6)
+
+    def test_chain_discount_weakens_remote_witnesses(self):
+        near = build_model(seed=5, chain_discount=1.0, depth_limit=6)
+        far = build_model(seed=5, chain_discount=0.3, depth_limit=6)
+        for model in (near, far):
+            for t in range(3):
+                model.record(feedback(rater="agent-10", target="svc",
+                                      rating=1.0, time=float(t)))
+        # Both find the witness; the discounted one trusts it less...
+        # but both stay on the same side of neutral.
+        assert near.score("svc", perspective="agent-00") >= far.score(
+            "svc", perspective="agent-00"
+        ) - 1e-9
+
+    def test_adaptation_reinforces_useful_witnesses(self):
+        model = build_model(seed=6, adapt=True, depth_limit=6)
+        for t in range(3):
+            model.record(feedback(rater="agent-08", target="svc",
+                                  rating=0.95, time=float(t)))
+        before = model.network.weight("agent-00", "agent-08")
+        model.score("svc", perspective="agent-00")
+        after = model.network.weight("agent-00", "agent-08")
+        assert after >= before
+
+    def test_message_accounting(self):
+        model = build_model(seed=7)
+        model.record(feedback(rater="agent-05", target="svc", rating=0.9))
+        model.score("svc", perspective="agent-00")
+        assert model.queries_issued == 1
+        assert model.messages_used > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            YolumSinghModel(depth_limit=-1)
+        with pytest.raises(ConfigurationError):
+            YolumSinghModel(chain_discount=0.0)

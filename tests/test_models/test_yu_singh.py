@@ -1,0 +1,190 @@
+"""Tests for the Yu & Singh belief model and Dempster combination."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.models.yu_singh import (
+    Testimony,
+    YuSinghModel,
+    dempster_combine,
+    discount,
+)
+
+from tests.conftest import feedback
+
+
+@st.composite
+def belief_masses(draw):
+    bt = draw(st.floats(0.0, 1.0))
+    bn = draw(st.floats(0.0, 1.0 - bt))
+    return (bt, bn, 1.0 - bt - bn)
+
+
+class TestDempsterCombine:
+    def test_vacuous_is_identity(self):
+        m = (0.6, 0.1, 0.3)
+        assert dempster_combine(m, (0.0, 0.0, 1.0)) == pytest.approx(m)
+
+    def test_agreement_reinforces(self):
+        m = (0.6, 0.0, 0.4)
+        combined = dempster_combine(m, m)
+        assert combined[0] > 0.6
+
+    def test_total_conflict_raises(self):
+        with pytest.raises(ConfigurationError):
+            dempster_combine((1.0, 0.0, 0.0), (0.0, 1.0, 0.0))
+
+    def test_invalid_mass_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dempster_combine((0.9, 0.9, 0.9), (0.0, 0.0, 1.0))
+
+    @given(belief_masses(), belief_masses())
+    def test_property_valid_output(self, m1, m2):
+        bt1, bn1, _ = m1
+        bt2, bn2, _ = m2
+        conflict = bt1 * bn2 + bn1 * bt2
+        if conflict >= 1.0 - 1e-9:
+            return  # total conflict raises; tested separately
+        bt, bn, u = dempster_combine(m1, m2)
+        assert bt >= -1e-9 and bn >= -1e-9 and u >= -1e-9
+        assert math.isclose(bt + bn + u, 1.0, rel_tol=1e-6)
+
+    @given(belief_masses(), belief_masses())
+    def test_property_commutative(self, m1, m2):
+        bt1, bn1, _ = m1
+        bt2, bn2, _ = m2
+        if bt1 * bn2 + bn1 * bt2 >= 1.0 - 1e-9:
+            return
+        a = dempster_combine(m1, m2)
+        b = dempster_combine(m2, m1)
+        assert a == pytest.approx(b)
+
+
+class TestDiscount:
+    def test_full_factor_is_identity(self):
+        m = (0.5, 0.2, 0.3)
+        assert discount(m, 1.0) == pytest.approx(m)
+
+    def test_zero_factor_is_vacuous(self):
+        assert discount((0.5, 0.5, 0.0), 0.0) == (0.0, 0.0, 1.0)
+
+    def test_mass_moves_to_uncertainty(self):
+        bt, bn, u = discount((0.6, 0.2, 0.2), 0.5)
+        assert bt == 0.3 and bn == 0.1 and u == pytest.approx(0.6)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ConfigurationError):
+            discount((0.5, 0.2, 0.3), 1.5)
+
+
+class TestYuSinghModel:
+    def test_local_mass_from_history(self):
+        model = YuSinghModel(upper=0.7, lower=0.3)
+        for i, r in enumerate([0.9, 0.9, 0.1, 0.5]):
+            model.record(feedback(rater="me", target="svc", time=float(i),
+                                  rating=r))
+        bt, bn, u = model.local_mass("me", "svc")
+        assert bt == 0.5 and bn == 0.25 and u == 0.25
+
+    def test_history_window(self):
+        model = YuSinghModel(history=2)
+        for i, r in enumerate([0.1, 0.1, 0.9, 0.9]):
+            model.record(feedback(rater="me", target="svc", time=float(i),
+                                  rating=r))
+        bt, bn, u = model.local_mass("me", "svc")
+        assert bt == 1.0  # only the last 2 ratings count
+
+    def test_sufficient_local_experience_skips_witnesses(self):
+        model = YuSinghModel(min_local=3)
+        for i in range(5):
+            model.record(feedback(rater="me", target="svc", time=float(i),
+                                  rating=0.9))
+        # A badmouthing witness should not matter.
+        for i in range(5):
+            model.record(feedback(rater="liar", target="svc",
+                                  time=float(i), rating=0.0))
+        assert model.score("svc", perspective="me") > 0.9
+
+    def test_witnesses_fill_in_for_newcomer(self):
+        model = YuSinghModel()
+        for i in range(5):
+            model.record(feedback(rater="w1", target="svc", time=float(i),
+                                  rating=0.9))
+            model.record(feedback(rater="w2", target="svc", time=float(i),
+                                  rating=0.9))
+        assert model.score("svc", perspective="newcomer") > 0.7
+
+    def test_no_evidence_scores_half(self):
+        assert YuSinghModel().score("svc", perspective="me") == 0.5
+
+    def test_chain_length_discounts_testimony(self):
+        model = YuSinghModel(referral_discount=0.5)
+        for i in range(10):
+            model.record(feedback(rater="w", target="svc", time=float(i),
+                                  rating=1.0))
+        near = model.combine_testimonies(
+            (0.0, 0.0, 1.0), [model.testimony_from("w", "svc", 1)]
+        )
+        far = model.combine_testimonies(
+            (0.0, 0.0, 1.0), [model.testimony_from("w", "svc", 4)]
+        )
+        assert near[0] > far[0]
+
+    def test_conflicting_testimony_dropped_not_fatal(self):
+        model = YuSinghModel(referral_discount=1.0)
+        combined = model.combine_testimonies(
+            (1.0, 0.0, 0.0),
+            [Testimony(witness="w", mass=(0.0, 1.0, 0.0), chain_length=0)],
+        )
+        assert combined == (1.0, 0.0, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            YuSinghModel(upper=0.3, lower=0.7)
+        with pytest.raises(ConfigurationError):
+            YuSinghModel(history=0)
+        with pytest.raises(ConfigurationError):
+            YuSinghModel(referral_discount=0.0)
+
+    def test_score_with_referrals_over_network(self):
+        from repro.p2p.referral import ReferralNetwork
+
+        network = ReferralNetwork(degree=4, branching=3, rng=1)
+        model = YuSinghModel()
+        agents = [f"agent-{i:02d}" for i in range(15)]
+        for agent in agents:
+            network.join(agent)
+        # A witness somewhere in the network has strong evidence.
+        for t in range(8):
+            fb = feedback(rater="agent-07", target="svc", time=float(t),
+                          rating=0.95)
+            model.record(fb)
+            network.record_experience("agent-07", fb)
+        trust, messages = model.score_with_referrals(
+            network, "agent-00", "svc", depth_limit=6
+        )
+        assert trust > 0.6
+        assert messages > 0
+
+    def test_score_with_referrals_prefers_own_experience(self):
+        from repro.p2p.referral import ReferralNetwork
+
+        network = ReferralNetwork(degree=2, rng=2)
+        model = YuSinghModel(min_local=3)
+        for agent in ["a", "b", "c"]:
+            network.join(agent)
+        for t in range(5):
+            model.record(feedback(rater="a", target="svc", time=float(t),
+                                  rating=0.9))
+        trust, messages = model.score_with_referrals(network, "a", "svc")
+        assert trust > 0.8
+        assert messages == 0  # no query needed
+
+    def test_degree_of_trust(self):
+        assert YuSinghModel.degree_of_trust((1.0, 0.0, 0.0)) == 1.0
+        assert YuSinghModel.degree_of_trust((0.0, 1.0, 0.0)) == 0.0
+        assert YuSinghModel.degree_of_trust((0.0, 0.0, 1.0)) == 0.5

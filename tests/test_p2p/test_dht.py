@@ -1,0 +1,102 @@
+"""Tests for the Chord-like DHT."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError, RoutingError
+from repro.p2p.dht import ChordDHT
+from repro.sim.network import Network
+
+
+def node_ids(n):
+    return [f"node-{i:03d}" for i in range(n)]
+
+
+class TestConstruction:
+    def test_needs_nodes(self):
+        with pytest.raises(ConfigurationError):
+            ChordDHT([])
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChordDHT(["a", "a"])
+
+    def test_positions_unique(self):
+        dht = ChordDHT(node_ids(100), bits=16)
+        positions = [dht.node(n).position for n in node_ids(100)]
+        assert len(set(positions)) == 100
+
+
+class TestLookup:
+    def test_lookup_reaches_owner(self):
+        dht = ChordDHT(node_ids(64), bits=16)
+        owner, hops = dht.lookup("node-000", "some-key")
+        assert owner == dht.responsible_node("some-key")
+
+    def test_lookup_from_any_origin_agrees(self):
+        dht = ChordDHT(node_ids(32), bits=16)
+        owners = {
+            dht.lookup(origin, "key-q")[0] for origin in node_ids(32)
+        }
+        assert len(owners) == 1
+
+    def test_hops_logarithmic(self):
+        dht = ChordDHT(node_ids(128), bits=16)
+        worst = max(
+            dht.lookup("node-000", f"key-{i}")[1] for i in range(50)
+        )
+        # O(log N): 128 nodes -> expect well under 16 hops.
+        assert worst <= 16
+
+    def test_offline_owner_skipped_to_successor(self):
+        dht = ChordDHT(node_ids(16), bits=16)
+        owner = dht.responsible_node("key-x")
+        dht.set_online(owner, False)
+        origin = next(n for n in node_ids(16) if n != owner)
+        found, _ = dht.lookup(origin, "key-x")
+        assert found != owner
+        assert dht.node(found).online
+
+    def test_all_offline_raises(self):
+        dht = ChordDHT(node_ids(4), bits=16)
+        for n in node_ids(4):
+            dht.set_online(n, False)
+        with pytest.raises(RoutingError):
+            dht.lookup("node-000", "key")
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.text(min_size=1, max_size=20))
+    def test_property_lookup_matches_responsible(self, key):
+        dht = ChordDHT(node_ids(32), bits=16)
+        owner, _ = dht.lookup("node-000", key)
+        assert owner == dht.responsible_node(key)
+
+
+class TestStorage:
+    def test_put_get_roundtrip(self):
+        dht = ChordDHT(node_ids(32), bits=16)
+        dht.put("node-000", "trust:alice", 0.9)
+        dht.put("node-001", "trust:alice", 0.7)
+        values, _ = dht.get("node-031", "trust:alice")
+        assert sorted(values) == [0.7, 0.9]
+
+    def test_get_missing_key(self):
+        dht = ChordDHT(node_ids(8), bits=16)
+        values, _ = dht.get("node-000", "missing")
+        assert values == []
+
+    def test_storage_balance(self):
+        dht = ChordDHT(node_ids(64), bits=16)
+        for i in range(500):
+            dht.put("node-000", f"key-{i}", i)
+        load = dht.storage_load()
+        populated = sum(1 for v in load.values() if v > 0)
+        assert populated > 20  # spread across many nodes
+
+    def test_network_accounting(self):
+        net = Network(rng=0)
+        dht = ChordDHT(node_ids(32), bits=16, network=net)
+        dht.put("node-000", "k", 1)
+        dht.get("node-001", "k")
+        assert net.stats.total_messages > 0

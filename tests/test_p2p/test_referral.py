@@ -1,0 +1,98 @@
+"""Tests for referral networks."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.records import Feedback
+from repro.p2p.referral import ReferralNetwork
+
+
+def fb(rater, target="svc", rating=0.9):
+    return Feedback(rater=rater, target=target, time=0.0, rating=rating)
+
+
+def build(n=20, degree=4, branching=3, seed=0):
+    net = ReferralNetwork(degree=degree, branching=branching, rng=seed)
+    for i in range(n):
+        net.join(f"agent-{i:02d}")
+    return net
+
+
+class TestMembership:
+    def test_join_wires_mutual_links(self):
+        net = build(10)
+        for agent in net.agents():
+            for neighbor in agent.neighbors:
+                assert agent.peer_id in net.agent(neighbor).neighbors
+
+    def test_duplicate_join_rejected(self):
+        net = build(3)
+        with pytest.raises(ConfigurationError):
+            net.join("agent-00")
+
+
+class TestQuery:
+    def test_finds_witness_with_experience(self):
+        net = build(20, degree=4, branching=4, seed=1)
+        net.record_experience("agent-10", fb("agent-10"))
+        responses, messages = net.query("agent-00", "svc", depth_limit=6)
+        witnesses = {r.witness for r in responses}
+        assert "agent-10" in witnesses
+        assert messages > 0
+
+    def test_chain_length_recorded(self):
+        net = build(20, degree=4, branching=4, seed=1)
+        net.record_experience("agent-10", fb("agent-10"))
+        responses, _ = net.query("agent-00", "svc", depth_limit=6)
+        for r in responses:
+            assert r.chain[0] == "agent-00"
+            assert r.chain[-1] == r.witness
+            assert r.chain_length == len(r.chain) - 1
+
+    def test_depth_limit_bounds_search(self):
+        net = build(30, degree=2, branching=1, seed=2)
+        net.record_experience("agent-29", fb("agent-29"))
+        responses, _ = net.query("agent-00", "svc", depth_limit=1)
+        # With branching 1 and depth 1 at most one neighbour is asked.
+        assert len(responses) <= 1
+
+    def test_witnesses_answer_instead_of_referring(self):
+        net = build(10, degree=9, branching=9, seed=0)
+        # Everyone is everyone's neighbour (degree 9 over 10 agents).
+        net.record_experience("agent-05", fb("agent-05"))
+        responses, _ = net.query("agent-00", "svc", depth_limit=3)
+        assert {r.witness for r in responses} == {"agent-05"}
+
+    def test_offline_agents_silent(self):
+        net = build(10, degree=9, branching=9, seed=0)
+        net.record_experience("agent-05", fb("agent-05"))
+        net.agent("agent-05").online = False
+        responses, _ = net.query("agent-00", "svc", depth_limit=3)
+        assert responses == []
+
+
+class TestAdaptation:
+    def test_reinforce_moves_weight(self):
+        net = build(10, seed=0)
+        before = net.weight("agent-00", "agent-05")
+        net.reinforce("agent-00", "agent-05", useful=True)
+        assert net.weight("agent-00", "agent-05") > before
+        net.reinforce("agent-00", "agent-05", useful=False)
+        net.reinforce("agent-00", "agent-05", useful=False)
+        assert net.weight("agent-00", "agent-05") < 0.7
+
+    def test_useful_witness_promoted_to_neighbor(self):
+        net = build(10, degree=2, seed=3)
+        agent = net.agent("agent-00")
+        outsider = next(
+            a.peer_id for a in net.agents()
+            if a.peer_id not in agent.neighbors and a.peer_id != "agent-00"
+        )
+        for _ in range(10):
+            net.reinforce("agent-00", outsider, useful=True)
+        assert outsider in agent.neighbors
+
+    def test_invalid_rate(self):
+        net = build(3)
+        with pytest.raises(ConfigurationError):
+            net.reinforce("agent-00", "agent-01", True, rate=0.0)

@@ -1,0 +1,102 @@
+"""Tests for the unstructured flooding overlay."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, UnknownEntityError
+from repro.common.records import Feedback
+from repro.p2p.unstructured import UnstructuredOverlay
+from repro.sim.network import Network
+
+
+def build(n=20, degree=3, seed=0, network=None):
+    overlay = UnstructuredOverlay(degree=degree, network=network, rng=seed)
+    for i in range(n):
+        overlay.join(f"peer-{i:02d}")
+    return overlay
+
+
+class TestMembership:
+    def test_join_wires_neighbors(self):
+        overlay = build(10, degree=3)
+        for peer in overlay.peers():
+            assert len(peer.neighbors) >= 1
+
+    def test_duplicate_join_rejected(self):
+        overlay = build(3)
+        with pytest.raises(ConfigurationError):
+            overlay.join("peer-00")
+
+    def test_leave_unlinks(self):
+        overlay = build(5)
+        overlay.leave("peer-00")
+        assert "peer-00" not in overlay
+        for peer in overlay.peers():
+            assert "peer-00" not in peer.neighbors
+
+    def test_unknown_peer(self):
+        with pytest.raises(UnknownEntityError):
+            build(2).peer("nope")
+
+    def test_first_peer_has_no_neighbors(self):
+        overlay = UnstructuredOverlay(rng=0)
+        first = overlay.join("solo")
+        assert first.neighbors == set()
+
+
+class TestFlood:
+    def test_ttl_zero_reaches_only_origin(self):
+        overlay = build(10)
+        visited = []
+        reached, messages = overlay.flood(
+            "peer-00", 0, lambda p: visited.append(p.peer_id)
+        )
+        assert visited == ["peer-00"]
+        assert messages == 0
+
+    def test_large_ttl_reaches_connected_component(self):
+        overlay = build(20, degree=3)
+        reached, _ = overlay.flood("peer-00", 20, lambda p: None)
+        assert reached == 20
+
+    def test_offline_peers_do_not_forward(self):
+        overlay = build(20, degree=2, seed=1)
+        # Knock half the overlay offline.
+        for peer in overlay.peers()[::2]:
+            peer.online = False
+        reached, _ = overlay.flood("peer-01", 20, lambda p: None)
+        assert reached < 20
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build(3).flood("peer-00", -1, lambda p: None)
+
+    def test_message_accounting(self):
+        net = Network(rng=0)
+        overlay = build(10, network=net)
+        overlay.flood("peer-00", 5, lambda p: None)
+        assert net.stats.total_messages > 0
+
+
+class TestPollOpinions:
+    def test_collects_deposited_feedback(self):
+        overlay = build(15, degree=3)
+        fb = Feedback(rater="peer-05", target="resource-x", time=0.0,
+                      rating=0.9)
+        overlay.deposit("peer-05", fb)
+        opinions, messages = overlay.poll_opinions(
+            "peer-00", "resource-x", ttl=15
+        )
+        assert opinions == [fb]
+        assert messages > 0
+
+    def test_no_opinions_when_none_deposited(self):
+        overlay = build(10)
+        opinions, _ = overlay.poll_opinions("peer-00", "resource-x", ttl=10)
+        assert opinions == []
+
+    def test_poll_includes_own_store(self):
+        overlay = build(5)
+        fb = Feedback(rater="peer-00", target="r", time=0.0, rating=0.5)
+        overlay.deposit("peer-00", fb)
+        opinions, _ = overlay.poll_opinions("peer-00", "r", ttl=0)
+        assert opinions == [fb]

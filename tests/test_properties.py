@@ -1,0 +1,141 @@
+"""Cross-model property-based tests.
+
+Invariants every reputation mechanism in the registry must satisfy,
+checked with hypothesis-generated feedback streams:
+
+* scores stay on [0, 1] for any input;
+* scoring is read-only (two consecutive queries agree);
+* rank() is consistent with score();
+* models are deterministic given the same feedback sequence;
+* unanimous strong evidence orders a clearly-good target above a
+  clearly-bad one.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.records import Feedback
+from repro.core.registry import default_registry
+
+REGISTRY = default_registry(rng_seed=0)
+#: Models whose scoring involves a seeded-but-stateful substrate
+#: (referral network adaptation mutates weights on query).
+QUERY_MUTATING = {"yolum_singh"}
+
+MODEL_NAMES = REGISTRY.names()
+
+
+@st.composite
+def feedback_streams(draw) -> List[Feedback]:
+    n = draw(st.integers(0, 30))
+    raters = [f"r{i}" for i in range(6)]
+    targets = ["svc-a", "svc-b", "svc-c"]
+    stream = []
+    for i in range(n):
+        stream.append(
+            Feedback(
+                rater=draw(st.sampled_from(raters)),
+                target=draw(st.sampled_from(targets)),
+                time=float(i),
+                rating=draw(
+                    st.floats(0.0, 1.0, allow_nan=False)
+                ),
+            )
+        )
+    return stream
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(stream=feedback_streams())
+def test_property_scores_bounded(name, stream):
+    model = REGISTRY.create(name)
+    model.record_many(stream)
+    for target in ["svc-a", "svc-b", "svc-c", "never-seen"]:
+        score = model.score(target, perspective="r0")
+        assert 0.0 - 1e-9 <= score <= 1.0 + 1e-9
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(stream=feedback_streams())
+def test_property_scoring_is_repeatable(name, stream):
+    if name in QUERY_MUTATING:
+        pytest.skip("query-time adaptation is part of this model's design")
+    model = REGISTRY.create(name)
+    model.record_many(stream)
+    first = model.score("svc-a", perspective="r0")
+    second = model.score("svc-a", perspective="r0")
+    assert first == pytest.approx(second)
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(stream=feedback_streams())
+def test_property_rank_consistent_with_score(name, stream):
+    if name in QUERY_MUTATING:
+        pytest.skip("query-time adaptation reorders between calls")
+    if name == "liu_ngu_zeng":
+        pytest.skip("rank() is candidate-set-relative by design")
+    model = REGISTRY.create(name)
+    model.record_many(stream)
+    candidates = ["svc-a", "svc-b", "svc-c"]
+    ranking = model.rank(candidates, perspective="r0")
+    scores = [st_.score for st_ in ranking]
+    assert scores == sorted(scores, reverse=True)
+    for entry in ranking:
+        assert entry.score == pytest.approx(
+            model.score(entry.target, perspective="r0"), abs=1e-6
+        )
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+def test_property_deterministic_across_instances(name):
+    stream = [
+        Feedback(rater=f"r{i % 4}", target=["svc-a", "svc-b"][i % 2],
+                 time=float(i), rating=(i % 10) / 10.0)
+        for i in range(25)
+    ]
+    a = REGISTRY.create(name)
+    b = REGISTRY.create(name)
+    a.record_many(stream)
+    b.record_many(stream)
+    assert a.score("svc-a", perspective="r0") == pytest.approx(
+        b.score("svc-a", perspective="r0")
+    )
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+def test_property_unanimous_evidence_orders_targets(name):
+    model = REGISTRY.create(name)
+    stream = []
+    t = 0.0
+    for i in range(8):
+        for rater in ["r0", "r1", "r2", "r3"]:
+            stream.append(Feedback(rater=rater, target="svc-good",
+                                   time=t, rating=0.95))
+            t += 1.0
+            stream.append(Feedback(rater=rater, target="svc-bad",
+                                   time=t, rating=0.05))
+            t += 1.0
+    model.record_many(stream)
+    good = model.score("svc-good", perspective="r0")
+    bad = model.score("svc-bad", perspective="r0")
+    assert good > bad, f"{name}: {good} <= {bad}"
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+def test_property_empty_model_is_safe(name):
+    model = REGISTRY.create(name)
+    score = model.score("anything")
+    assert 0.0 <= score <= 1.0
+    assert model.rank([]) == []
+    assert model.best([]) is None

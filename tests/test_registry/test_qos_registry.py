@@ -1,0 +1,137 @@
+"""Tests for the central QoS registry and feedback store."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import RegistryError
+from repro.common.records import Feedback
+from repro.registry.qos_registry import CentralQoSRegistry, FeedbackStore
+from repro.sim.network import Network
+
+
+def fb(rater="c0", target="s0", time=0.0, rating=0.8):
+    return Feedback(rater=rater, target=target, time=time, rating=rating)
+
+
+class TestFeedbackStore:
+    def test_add_and_lookup(self):
+        store = FeedbackStore()
+        store.add(fb())
+        store.add(fb(rater="c1"))
+        assert len(store.for_target("s0")) == 2
+        assert len(store.by_rater("c0")) == 1
+        assert len(store) == 2
+
+    def test_ordering_is_insertion(self):
+        store = FeedbackStore()
+        store.add(fb(time=5.0, rating=0.1))
+        store.add(fb(time=1.0, rating=0.9))
+        ratings = [f.rating for f in store.for_target("s0")]
+        assert ratings == [0.1, 0.9]
+
+    def test_all_sorted_by_time(self):
+        store = FeedbackStore()
+        store.add(fb(time=5.0, target="a"))
+        store.add(fb(time=1.0, target="b"))
+        assert [f.time for f in store.all()] == [1.0, 5.0]
+
+    def test_prune_before(self):
+        store = FeedbackStore()
+        store.extend([fb(time=float(t)) for t in range(10)])
+        dropped = store.prune_before(5.0)
+        assert dropped == 5
+        assert len(store) == 5
+        assert all(f.time >= 5.0 for f in store.for_target("s0"))
+
+    def test_prune_clears_empty_targets(self):
+        store = FeedbackStore()
+        store.add(fb(time=0.0))
+        store.prune_before(1.0)
+        assert store.targets() == []
+
+    def test_targets_and_raters(self):
+        store = FeedbackStore()
+        store.add(fb(rater="a", target="x"))
+        store.add(fb(rater="b", target="y"))
+        assert set(store.targets()) == {"x", "y"}
+        assert set(store.raters()) == {"a", "b"}
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["r1", "r2", "r3"]),
+                st.sampled_from(["t1", "t2"]),
+                st.floats(0.0, 100.0),
+            ),
+            max_size=40,
+        ),
+        st.floats(0.0, 100.0),
+    )
+    def test_property_prune_consistency(self, entries, cutoff):
+        store = FeedbackStore()
+        for rater, target, time in entries:
+            store.add(Feedback(rater=rater, target=target, time=time,
+                               rating=0.5))
+        expected_kept = sum(1 for _, _, t in entries if t >= cutoff)
+        dropped = store.prune_before(cutoff)
+        assert dropped == len(entries) - expected_kept
+        assert len(store) == expected_kept
+        # Both indexes agree after pruning.
+        by_target = sum(len(store.for_target(t)) for t in ["t1", "t2"])
+        by_rater = sum(len(store.by_rater(r)) for r in ["r1", "r2", "r3"])
+        assert by_target == by_rater == expected_kept
+
+
+class TestCentralQoSRegistry:
+    def test_report_and_query(self):
+        reg = CentralQoSRegistry()
+        assert reg.report(fb())
+        results = reg.query("c1", "s0")
+        assert len(results) == 1
+        assert reg.reports_received == 1
+        assert reg.queries_served == 1
+
+    def test_messages_accounted(self):
+        net = Network(rng=0)
+        reg = CentralQoSRegistry(network=net)
+        reg.report(fb())
+        reg.query("c1", "s0")
+        # 1 report + 1 query + 1 response
+        assert net.stats.total_messages == 3
+        assert net.stats.received_by["qos-registry"] == 2
+
+    def test_failed_registry_drops_reports(self):
+        reg = CentralQoSRegistry()
+        reg.fail()
+        assert not reg.report(fb())
+        assert len(reg.store) == 0
+
+    def test_failed_registry_raises_on_query(self):
+        reg = CentralQoSRegistry()
+        reg.fail()
+        with pytest.raises(RegistryError):
+            reg.query("c0", "s0")
+
+    def test_network_failure_loses_report(self):
+        net = Network(rng=0)
+        reg = CentralQoSRegistry(network=net)
+        net.fail_node(reg.registry_id)
+        assert not reg.report(fb())
+
+    def test_score_with(self):
+        reg = CentralQoSRegistry()
+        reg.report(fb(rating=0.4))
+        reg.report(fb(rater="c1", rating=0.8))
+        mean = reg.score_with(
+            lambda fbs: sum(f.rating for f in fbs) / len(fbs), "s0"
+        )
+        assert mean == pytest.approx(0.6)
+
+    def test_query_many(self):
+        reg = CentralQoSRegistry()
+        reg.report(fb(target="a"))
+        reg.report(fb(target="b"))
+        result = reg.query_many("c0", ["a", "b", "c"])
+        assert len(result["a"]) == 1
+        assert result["c"] == []

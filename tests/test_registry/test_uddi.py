@@ -1,0 +1,103 @@
+"""Tests for the UDDI-style functional registry."""
+
+import pytest
+
+from repro.common.errors import RegistryError, UnknownEntityError
+from repro.registry.uddi import UDDIRegistry
+from repro.services.description import QoSAdvertisement, ServiceDescription
+
+
+def desc(service="s0", category="weather", version=1):
+    return ServiceDescription(
+        service=service, provider="p0", category=category, version=version
+    )
+
+
+class TestPublish:
+    def test_publish_and_search(self):
+        reg = UDDIRegistry()
+        reg.publish(desc("s0"))
+        reg.publish(desc("s1"))
+        reg.publish(desc("s2", category="flights"))
+        found = reg.search("weather")
+        assert [d.service for d in found] == ["s0", "s1"]
+
+    def test_republish_higher_version(self):
+        reg = UDDIRegistry()
+        reg.publish(desc(version=1))
+        reg.publish(desc(version=2))
+        assert reg.describe("s0").version == 2
+
+    def test_stale_republish_rejected(self):
+        reg = UDDIRegistry()
+        reg.publish(desc(version=2))
+        with pytest.raises(RegistryError):
+            reg.publish(desc(version=1))
+
+    def test_publish_with_advertisement(self):
+        reg = UDDIRegistry()
+        ad = QoSAdvertisement(service="s0", claimed={"availability": 0.99})
+        reg.publish(desc(), advertisement=ad)
+        assert reg.advertisement("s0").claimed["availability"] == 0.99
+
+    def test_mismatched_advertisement_rejected(self):
+        reg = UDDIRegistry()
+        ad = QoSAdvertisement(service="other", claimed={})
+        with pytest.raises(RegistryError):
+            reg.publish(desc(), advertisement=ad)
+
+    def test_unpublish(self):
+        reg = UDDIRegistry()
+        reg.publish(desc())
+        reg.unpublish("s0")
+        assert "s0" not in reg
+        with pytest.raises(UnknownEntityError):
+            reg.unpublish("s0")
+
+
+class TestLookup:
+    def test_describe_unknown(self):
+        with pytest.raises(UnknownEntityError):
+            UDDIRegistry().describe("nope")
+
+    def test_categories(self):
+        reg = UDDIRegistry()
+        reg.publish(desc("a", category="x"))
+        reg.publish(desc("b", category="y"))
+        reg.publish(desc("c", category="x"))
+        assert reg.categories() == ["x", "y"]
+
+    def test_len_and_contains(self):
+        reg = UDDIRegistry()
+        reg.publish(desc())
+        assert len(reg) == 1
+        assert "s0" in reg
+
+    def test_search_counts(self):
+        reg = UDDIRegistry()
+        reg.publish(desc())
+        reg.search("weather")
+        reg.search("weather")
+        assert reg.search_count == 2
+        assert reg.publish_count == 1
+
+
+class TestFaultInjection:
+    def test_failed_registry_raises_everywhere(self):
+        reg = UDDIRegistry()
+        reg.publish(desc())
+        reg.fail()
+        assert reg.is_failed
+        with pytest.raises(RegistryError):
+            reg.search("weather")
+        with pytest.raises(RegistryError):
+            reg.publish(desc("s9"))
+        with pytest.raises(RegistryError):
+            reg.describe("s0")
+
+    def test_heal_restores(self):
+        reg = UDDIRegistry()
+        reg.publish(desc())
+        reg.fail()
+        reg.heal()
+        assert reg.describe("s0").service == "s0"

@@ -1,0 +1,111 @@
+"""Tests for Dellarocas cluster filtering."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.robustness.cluster_filtering import (
+    ClusterFilter,
+    FilterMode,
+    two_means_split,
+)
+
+from tests.conftest import feedback_series
+
+
+class TestTwoMeansSplit:
+    def test_clear_separation(self):
+        values = [0.1, 0.15, 0.2, 0.9, 0.95]
+        low, high, low_c, high_c = two_means_split(values)
+        assert sorted(low) == [0, 1, 2]
+        assert sorted(high) == [3, 4]
+        assert low_c < 0.3 and high_c > 0.8
+
+    def test_degenerate_all_equal(self):
+        low, high, low_c, high_c = two_means_split([0.5, 0.5, 0.5])
+        assert high == []
+        assert low_c == high_c == 0.5
+
+    def test_single_point(self):
+        low, high, _, _ = two_means_split([0.7])
+        assert low == [0] and high == []
+
+    @given(st.lists(st.floats(0.0, 1.0), min_size=2, max_size=30))
+    def test_property_partition(self, values):
+        low, high, _, _ = two_means_split(values)
+        assert sorted(low + high) == list(range(len(values)))
+
+
+class TestClusterFilter:
+    def test_ballot_stuffers_dropped(self):
+        honest = feedback_series("s", [0.3, 0.35, 0.3, 0.25, 0.32, 0.28])
+        stuffers = feedback_series("s", [0.95, 0.98], rater_prefix="liar")
+        cf = ClusterFilter(mode=FilterMode.HIGH)
+        report = cf.filter(honest + stuffers)
+        assert len(report.dropped) == 2
+        assert all(fb.rating > 0.9 for fb in report.dropped)
+
+    def test_badmouthers_dropped(self):
+        honest = feedback_series("s", [0.8, 0.85, 0.8, 0.75, 0.82, 0.78])
+        trolls = feedback_series("s", [0.05, 0.02], rater_prefix="liar")
+        cf = ClusterFilter(mode=FilterMode.LOW)
+        report = cf.filter(honest + trolls)
+        assert len(report.dropped) == 2
+        assert all(fb.rating < 0.1 for fb in report.dropped)
+
+    def test_honest_variance_untouched(self):
+        # Mild spread, no separated bloc: nothing must be dropped.
+        honest = feedback_series("s", [0.6, 0.65, 0.7, 0.72, 0.68, 0.63])
+        report = ClusterFilter().filter(honest)
+        assert report.dropped == []
+
+    def test_majority_cluster_never_dropped(self):
+        # The "unfair" side is the majority: the filter must refuse.
+        ratings = [0.9] * 8 + [0.2] * 2
+        report = ClusterFilter(mode=FilterMode.HIGH).filter(
+            feedback_series("s", ratings)
+        )
+        dropped_high = [fb for fb in report.dropped if fb.rating > 0.5]
+        assert dropped_high == []
+
+    def test_min_ratings_gate(self):
+        cf = ClusterFilter(min_ratings=5)
+        report = cf.filter(feedback_series("s", [0.1, 0.9, 0.95]))
+        assert report.dropped == []
+
+    def test_filtered_mean_defends_score(self):
+        honest = feedback_series("s", [0.3, 0.32, 0.28, 0.31, 0.3, 0.29])
+        stuffers = feedback_series("s", [0.95] * 3, rater_prefix="liar")
+        cf = ClusterFilter(mode=FilterMode.HIGH, max_minority=0.4)
+        defended = cf.filtered_mean(honest + stuffers)
+        naive = sum(fb.rating for fb in honest + stuffers) / 9
+        assert abs(defended - 0.3) < 0.05
+        assert naive > defended
+
+    def test_both_mode_picks_minority_side(self):
+        honest = feedback_series("s", [0.5, 0.52, 0.48, 0.51, 0.5, 0.49])
+        trolls = feedback_series("s", [0.02, 0.05], rater_prefix="liar")
+        report = ClusterFilter(mode=FilterMode.BOTH).filter(honest + trolls)
+        assert len(report.dropped) == 2
+        assert report.drop_fraction == pytest.approx(0.25)
+
+    def test_empty_input(self):
+        assert ClusterFilter().filtered_mean([]) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClusterFilter(separation_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            ClusterFilter(max_minority=0.6)
+        with pytest.raises(ConfigurationError):
+            ClusterFilter(min_ratings=1)
+
+    @given(st.lists(st.floats(0.0, 1.0), min_size=0, max_size=40))
+    def test_property_conservative_partition(self, ratings):
+        fbs = feedback_series("s", ratings)
+        report = ClusterFilter().filter(fbs)
+        assert len(report.kept) + len(report.dropped) == len(fbs)
+        # Never drop more than half.
+        if fbs:
+            assert len(report.dropped) <= len(fbs) / 2

@@ -1,0 +1,111 @@
+"""Tests for discriminatory-behaviour detection."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.records import Feedback
+from repro.robustness.discrimination import DiscriminationDetector
+
+
+def fb(rater, target="seller", rating=0.8, time=0.0):
+    return Feedback(rater=rater, target=target, time=time, rating=rating)
+
+
+def discriminating_feedback(favoured=6, disfavoured=4, reports=3):
+    """A seller serving 'in-crowd' raters 0.9 and the others 0.2."""
+    out = []
+    t = 0.0
+    for i in range(favoured):
+        for _ in range(reports):
+            out.append(fb(f"in-{i}", rating=0.9, time=t))
+            t += 1.0
+    for i in range(disfavoured):
+        for _ in range(reports):
+            out.append(fb(f"out-{i}", rating=0.2, time=t))
+            t += 1.0
+    return out
+
+
+def fair_feedback(n=10, reports=3, level=0.7):
+    out = []
+    t = 0.0
+    for i in range(n):
+        for k in range(reports):
+            out.append(fb(f"r-{i}", rating=level + 0.02 * (k % 3), time=t))
+            t += 1.0
+    return out
+
+
+class TestScreening:
+    def test_discrimination_detected(self):
+        detector = DiscriminationDetector()
+        report = detector.screen("seller", discriminating_feedback())
+        assert report.discriminating
+        assert set(report.favoured) == {f"in-{i}" for i in range(6)}
+        assert set(report.disfavoured) == {f"out-{i}" for i in range(4)}
+        assert report.gap > 0.5
+
+    def test_fair_provider_not_flagged(self):
+        detector = DiscriminationDetector()
+        report = detector.screen("seller", fair_feedback())
+        assert not report.discriminating
+
+    def test_single_outlier_not_discrimination(self):
+        feedbacks = fair_feedback(n=9)
+        feedbacks += [fb("grump", rating=0.05, time=99.0)] * 3
+        report = DiscriminationDetector(min_group_fraction=0.2).screen(
+            "seller", feedbacks
+        )
+        assert not report.discriminating
+
+    def test_too_few_raters_not_judged(self):
+        detector = DiscriminationDetector(min_raters=6)
+        feedbacks = discriminating_feedback(favoured=2, disfavoured=2)
+        assert not detector.screen("seller", feedbacks).discriminating
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DiscriminationDetector(separation_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            DiscriminationDetector(min_group_fraction=0.6)
+        with pytest.raises(ConfigurationError):
+            DiscriminationDetector(min_raters=1)
+
+
+class TestPersonalizedScore:
+    def test_disfavoured_member_sees_their_truth(self):
+        detector = DiscriminationDetector()
+        feedbacks = discriminating_feedback()
+        score = detector.personalized_score("out-0", "seller", feedbacks)
+        assert score == pytest.approx(0.2, abs=0.05)
+
+    def test_favoured_member_sees_their_truth(self):
+        detector = DiscriminationDetector()
+        feedbacks = discriminating_feedback()
+        score = detector.personalized_score("in-0", "seller", feedbacks)
+        assert score == pytest.approx(0.9, abs=0.05)
+
+    def test_stranger_gets_conservative_reading(self):
+        detector = DiscriminationDetector()
+        feedbacks = discriminating_feedback()
+        score = detector.personalized_score("nobody", "seller", feedbacks)
+        assert score == pytest.approx(0.2, abs=0.05)
+
+    def test_flat_average_would_mislead(self):
+        # The point of the defense: the naive mean (0.62) tells the
+        # disfavoured group the seller is decent; it is not, for them.
+        detector = DiscriminationDetector()
+        feedbacks = discriminating_feedback()
+        naive = sum(f.rating for f in feedbacks) / len(feedbacks)
+        personalized = detector.personalized_score("out-0", "seller",
+                                                   feedbacks)
+        assert naive > 0.5
+        assert personalized < 0.3
+
+    def test_fair_provider_scores_mean_for_everyone(self):
+        detector = DiscriminationDetector()
+        feedbacks = fair_feedback(level=0.7)
+        for who in ["r-0", "stranger"]:
+            assert detector.personalized_score(
+                who, "seller", feedbacks
+            ) == pytest.approx(0.72, abs=0.03)

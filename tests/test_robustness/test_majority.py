@@ -1,0 +1,108 @@
+"""Tests for Sen & Sajja majority-opinion robustness."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.robustness.majority import (
+    MajorityOpinion,
+    majority_correct_probability,
+    required_witnesses,
+)
+
+from tests.conftest import feedback, feedback_series
+
+
+class TestMajorityCorrectProbability:
+    def test_no_liars_always_correct(self):
+        assert majority_correct_probability(5, 0.0) == pytest.approx(1.0)
+
+    def test_all_liars_never_correct(self):
+        assert majority_correct_probability(5, 1.0) == pytest.approx(0.0)
+
+    def test_single_witness(self):
+        assert majority_correct_probability(1, 0.3) == pytest.approx(0.7)
+
+    def test_more_witnesses_help_below_half(self):
+        p3 = majority_correct_probability(3, 0.3)
+        p11 = majority_correct_probability(11, 0.3)
+        p101 = majority_correct_probability(101, 0.3)
+        assert p3 < p11 < p101
+
+    def test_more_witnesses_hurt_above_half(self):
+        p3 = majority_correct_probability(3, 0.7)
+        p101 = majority_correct_probability(101, 0.7)
+        assert p101 < p3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            majority_correct_probability(0, 0.3)
+        with pytest.raises(ConfigurationError):
+            majority_correct_probability(5, 1.5)
+
+    @given(st.integers(1, 50), st.floats(0.0, 1.0))
+    def test_property_is_probability(self, n, p):
+        assert 0.0 <= majority_correct_probability(n, p) <= 1.0
+
+
+class TestRequiredWitnesses:
+    def test_minimum_satisfies_confidence(self):
+        n = required_witnesses(0.2, confidence=0.95)
+        assert majority_correct_probability(n, 0.2) >= 0.95
+        if n > 2:
+            assert majority_correct_probability(n - 2, 0.2) < 0.95
+
+    def test_grows_with_liar_fraction(self):
+        assert required_witnesses(0.4, 0.9) > required_witnesses(0.1, 0.9)
+
+    def test_unreachable_above_half(self):
+        assert required_witnesses(0.5) is None
+        assert required_witnesses(0.7) is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            required_witnesses(0.3, confidence=1.0)
+
+
+class TestMajorityOpinion:
+    def test_majority_verdict(self):
+        mo = MajorityOpinion()
+        fbs = feedback_series("s", [0.9, 0.8, 0.9, 0.1, 0.2])
+        assert mo.verdict(fbs) is True
+        assert mo.score(fbs) == 1.0
+
+    def test_one_opinion_per_witness(self):
+        mo = MajorityOpinion()
+        # One enthusiastic liar repeating itself must count once.
+        fbs = [
+            feedback(rater="liar", target="s", time=float(t), rating=0.9)
+            for t in range(10)
+        ] + feedback_series("s", [0.1, 0.2, 0.15])
+        assert mo.verdict(fbs) is False
+
+    def test_latest_opinion_per_witness(self):
+        mo = MajorityOpinion()
+        fbs = [
+            feedback(rater="w", target="s", time=0.0, rating=0.9),
+            feedback(rater="w", target="s", time=5.0, rating=0.1),
+        ]
+        assert mo.verdict(fbs) is False
+
+    def test_tie_is_undecided(self):
+        mo = MajorityOpinion()
+        fbs = feedback_series("s", [0.9, 0.1])
+        assert mo.verdict(fbs) is None
+        assert mo.score(fbs) == 0.5
+
+    def test_empty_is_undecided(self):
+        assert MajorityOpinion().verdict([]) is None
+
+    def test_witness_budget(self):
+        mo = MajorityOpinion(max_witnesses=3)
+        fbs = feedback_series("s", [0.9, 0.9, 0.9, 0.1, 0.1, 0.1, 0.1])
+        assert len(mo.opinions(fbs)) == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MajorityOpinion(max_witnesses=0)

@@ -1,0 +1,101 @@
+"""Tests for the Zhang & Cohen personalized defense."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.robustness.zhang_cohen import ZhangCohenDefense
+
+from tests.conftest import feedback
+
+
+def build_marketplace(defense=None):
+    """Buyer trades with two sellers; two advisors comment, one lies."""
+    d = defense or ZhangCohenDefense(window=10.0)
+    # Buyer's own experience: seller-good is great, seller-bad is awful.
+    for t in range(5):
+        d.record_own(feedback(rater="buyer", target="seller-good",
+                              time=float(t), rating=0.9))
+        d.record_own(feedback(rater="buyer", target="seller-bad",
+                              time=float(t), rating=0.1))
+    # Honest advisor mirrors reality; liar inverts it.
+    for t in range(5):
+        d.record_advice(feedback(rater="honest", target="seller-good",
+                                 time=float(t), rating=0.85))
+        d.record_advice(feedback(rater="honest", target="seller-bad",
+                                 time=float(t), rating=0.15))
+        d.record_advice(feedback(rater="liar", target="seller-good",
+                                 time=float(t), rating=0.1))
+        d.record_advice(feedback(rater="liar", target="seller-bad",
+                                 time=float(t), rating=0.9))
+    return d
+
+
+class TestPrivateCredibility:
+    def test_honest_advisor_high(self):
+        d = build_marketplace()
+        cred, evidence = d.private_credibility("buyer", "honest")
+        assert cred > 0.8
+        assert evidence == 10
+
+    def test_liar_low(self):
+        d = build_marketplace()
+        cred, _ = d.private_credibility("buyer", "liar")
+        assert cred < 0.2
+
+    def test_no_shared_sellers_neutral(self):
+        d = ZhangCohenDefense()
+        d.record_advice(feedback(rater="advisor", target="s", rating=0.9))
+        cred, evidence = d.private_credibility("buyer", "advisor")
+        assert cred == 0.5 and evidence == 0
+
+    def test_window_excludes_distant_ratings(self):
+        d = ZhangCohenDefense(window=1.0)
+        d.record_own(feedback(rater="buyer", target="s", time=0.0,
+                              rating=0.9))
+        d.record_advice(feedback(rater="advisor", target="s", time=100.0,
+                                 rating=0.1))
+        _, evidence = d.private_credibility("buyer", "advisor")
+        assert evidence == 0
+
+
+class TestPublicCredibility:
+    def test_consensus_agreement(self):
+        d = ZhangCohenDefense()
+        for i in range(4):
+            d.record_advice(feedback(rater=f"a{i}", target="s", rating=0.8))
+        d.record_advice(feedback(rater="outlier", target="s", rating=0.1))
+        assert d.public_credibility("a0") > d.public_credibility("outlier")
+
+
+class TestRobustScore:
+    def test_liar_cannot_flip_unknown_seller(self):
+        d = build_marketplace()
+        # New seller: buyer has no experience; honest says good (0.8),
+        # liar says bad (0.1).
+        for t in range(3):
+            d.record_advice(feedback(rater="honest", target="new-seller",
+                                     time=float(t), rating=0.8))
+            d.record_advice(feedback(rater="liar", target="new-seller",
+                                     time=float(t), rating=0.1))
+        assert d.robust_score("buyer", "new-seller") > 0.6
+
+    def test_own_experience_dominates_with_enough_data(self):
+        d = build_marketplace()
+        assert d.robust_score("buyer", "seller-good") > 0.8
+        assert d.robust_score("buyer", "seller-bad") < 0.2
+
+    def test_nothing_known_is_neutral(self):
+        assert ZhangCohenDefense().robust_score("b", "s") == 0.5
+
+    def test_record_convenience_feeds_both(self):
+        d = ZhangCohenDefense()
+        d.record(feedback(rater="x", target="s", rating=0.9))
+        assert d.robust_score("x", "s") == pytest.approx(0.9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ZhangCohenDefense(window=0.0)
+        with pytest.raises(ConfigurationError):
+            ZhangCohenDefense(agreement_tolerance=0.0)
+        with pytest.raises(ConfigurationError):
+            ZhangCohenDefense(min_private=0)

@@ -1,0 +1,56 @@
+"""Tests for service descriptions and QoS advertisements."""
+
+import pytest
+
+from repro.services.description import (
+    QoSAdvertisement,
+    ServiceDescription,
+    advertisement_table,
+)
+
+
+class TestServiceDescription:
+    def test_matches_category(self):
+        desc = ServiceDescription(service="s", provider="p",
+                                  category="weather")
+        assert desc.matches("weather")
+        assert not desc.matches("flights")
+
+    def test_defaults(self):
+        desc = ServiceDescription(service="s", provider="p", category="c")
+        assert desc.operations == ("invoke",)
+        assert desc.version == 1
+
+    def test_frozen(self):
+        desc = ServiceDescription(service="s", provider="p", category="c")
+        with pytest.raises(AttributeError):
+            desc.category = "other"
+
+
+class TestQoSAdvertisement:
+    def test_claim_lookup(self):
+        ad = QoSAdvertisement(service="s", claimed={"availability": 0.95})
+        assert ad.claim("availability") == 0.95
+        assert ad.claim("missing", default=0.4) == 0.4
+
+    def test_claim_bounds(self):
+        with pytest.raises(ValueError):
+            QoSAdvertisement(service="s", claimed={"x": 1.2})
+
+    def test_exaggeration_signed_gap(self):
+        ad = QoSAdvertisement(service="s",
+                              claimed={"a": 0.9, "b": 0.5})
+        truth = {"a": 0.6, "b": 0.5}
+        assert ad.exaggeration(truth) == pytest.approx(0.15)
+
+    def test_exaggeration_no_overlap(self):
+        ad = QoSAdvertisement(service="s", claimed={"a": 0.9})
+        assert ad.exaggeration({"z": 0.1}) == 0.0
+
+    def test_advertisement_table(self):
+        ads = [
+            QoSAdvertisement(service="s1", claimed={"a": 0.5}),
+            QoSAdvertisement(service="s2", claimed={"b": 0.7}),
+        ]
+        table = advertisement_table(ads)
+        assert table == {"s1": {"a": 0.5}, "s2": {"b": 0.7}}

@@ -1,0 +1,118 @@
+"""Tests for general services and intermediaries (Figure 1B)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, UnknownEntityError
+from repro.services.consumer import Consumer, PreferenceProfile
+from repro.services.description import ServiceDescription
+from repro.services.general import GeneralService, IntermediaryService
+from repro.services.invocation import InvocationEngine
+from repro.services.provider import Service
+from repro.services.qos import DEFAULT_METRICS, QoSProfile
+
+
+def make_intermediary(web_quality=0.8, general_qualities=(0.3, 0.9),
+                      weight=0.2, success_rate=1.0):
+    svc = Service(
+        description=ServiceDescription(
+            service="booker", provider="p0", category="flight_booking"
+        ),
+        profile=QoSProfile(
+            quality={m.name: web_quality for m in DEFAULT_METRICS},
+            noise=0.0,
+            success_rate=success_rate,
+        ),
+    )
+    catalog = [
+        GeneralService(
+            general_id=f"flight-{i}",
+            domain="flight",
+            quality={"comfort": q, "punctuality": q},
+            noise=0.0,
+        )
+        for i, q in enumerate(general_qualities)
+    ]
+    return IntermediaryService(svc, catalog, intermediary_weight=weight, rng=0)
+
+
+class TestGeneralService:
+    def test_quality_bounds(self):
+        with pytest.raises(ConfigurationError):
+            GeneralService(general_id="g", domain="d", quality={"x": 2.0})
+
+    def test_overall(self):
+        g = GeneralService(
+            general_id="g", domain="d", quality={"a": 0.4, "b": 0.8}
+        )
+        assert g.overall() == pytest.approx(0.6)
+
+    def test_segment_offsets(self):
+        g = GeneralService(
+            general_id="g",
+            domain="d",
+            quality={"comfort": 0.5},
+            segment_offsets={"comfort": {1: 0.3}},
+        )
+        assert g.true_quality("comfort", segment=1) == 0.8
+        assert g.true_quality("comfort", segment=0) == 0.5
+
+    def test_experience_noise_free(self):
+        g = GeneralService(
+            general_id="g", domain="d", quality={"comfort": 0.7}, noise=0.0
+        )
+        assert g.experience(rng=0) == {"comfort": 0.7}
+
+
+class TestIntermediaryService:
+    def test_needs_catalog(self):
+        svc = Service(
+            description=ServiceDescription(
+                service="b", provider="p", category="c"
+            ),
+            profile=QoSProfile(quality={"cost": 0.5}),
+        )
+        with pytest.raises(ConfigurationError):
+            IntermediaryService(svc, [])
+
+    def test_best_general(self):
+        inter = make_intermediary(general_qualities=(0.3, 0.9, 0.6))
+        assert inter.best_general().general_id == "flight-1"
+
+    def test_unknown_general_raises(self):
+        inter = make_intermediary()
+        engine = InvocationEngine(DEFAULT_METRICS, rng=0)
+        with pytest.raises(UnknownEntityError):
+            inter.book(Consumer("c0", rng=0), "flight-99", engine, 0.0)
+
+    def test_general_quality_dominates_outcome(self):
+        # Same web service, very different general services: the
+        # perceived outcome must follow the general service (paper: the
+        # intermediary "only plays a small part").
+        engine = InvocationEngine(DEFAULT_METRICS, rng=0)
+        consumer = Consumer("c0", rating_noise=0.0, rng=0)
+        good = make_intermediary(general_qualities=(0.95,))
+        bad = make_intermediary(general_qualities=(0.05,))
+        out_good = good.book(consumer, "flight-0", engine, 0.0)
+        out_bad = bad.book(consumer, "flight-0", engine, 0.0)
+        assert out_good.perceived_quality - out_bad.perceived_quality > 0.5
+
+    def test_intermediary_weight_bounds_web_influence(self):
+        engine = InvocationEngine(DEFAULT_METRICS, rng=0)
+        consumer = Consumer("c0", rating_noise=0.0, rng=0)
+        # Terrible web service, great flight, weight 0.2:
+        inter = make_intermediary(web_quality=0.0, general_qualities=(1.0,),
+                                  weight=0.2)
+        outcome = inter.book(consumer, "flight-0", engine, 0.0)
+        assert outcome.perceived_quality == pytest.approx(0.8, abs=0.05)
+
+    def test_failed_web_service_means_no_booking(self):
+        engine = InvocationEngine(DEFAULT_METRICS, rng=0)
+        consumer = Consumer("c0", rating_noise=0.0, rng=0)
+        inter = make_intermediary(success_rate=0.0)
+        outcome = inter.book(consumer, "flight-0", engine, 0.0)
+        assert outcome.perceived_quality == 0.0
+        assert outcome.general_facets == {}
+
+    def test_weight_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_intermediary(weight=1.5)

@@ -1,0 +1,80 @@
+"""Tests for the invocation engine."""
+
+import pytest
+
+from repro.services.consumer import Consumer, PreferenceProfile
+from repro.services.description import ServiceDescription
+from repro.services.invocation import InvocationEngine
+from repro.services.provider import Service
+from repro.services.qos import DEFAULT_METRICS, QoSProfile
+
+
+def make_service(quality=0.7, success_rate=1.0, segment_offsets=None):
+    q = {m.name: quality for m in DEFAULT_METRICS}
+    return Service(
+        description=ServiceDescription(
+            service="s0", provider="p0", category="cat"
+        ),
+        profile=QoSProfile(
+            quality=q,
+            noise=0.0,
+            success_rate=success_rate,
+            segment_offsets=segment_offsets or {},
+        ),
+    )
+
+
+class TestInvocationEngine:
+    def test_successful_invocation_has_observations(self):
+        engine = InvocationEngine(DEFAULT_METRICS, rng=0)
+        consumer = Consumer("c0", rng=0)
+        inter = engine.invoke(consumer, make_service(), time=1.0)
+        assert inter.success
+        assert set(inter.observations) == set(DEFAULT_METRICS.names())
+        assert inter.time == 1.0
+        assert inter.provider == "p0"
+
+    def test_always_failing_service(self):
+        engine = InvocationEngine(DEFAULT_METRICS, rng=0)
+        consumer = Consumer("c0", rng=0)
+        inter = engine.invoke(
+            consumer, make_service(success_rate=0.0), time=0.0
+        )
+        assert not inter.success
+        assert inter.observations == {}
+
+    def test_observations_match_true_quality_without_noise(self):
+        engine = InvocationEngine(DEFAULT_METRICS, rng=0)
+        consumer = Consumer("c0", rng=0)
+        inter = engine.invoke(consumer, make_service(quality=0.6), time=0.0)
+        for name, raw in inter.observations.items():
+            assert DEFAULT_METRICS.get(name).normalize(raw) == pytest.approx(0.6)
+
+    def test_segment_affects_subjective_observation(self):
+        offsets = {"accuracy": {0: 0.2, 1: -0.2}}
+        svc = make_service(quality=0.5, segment_offsets=offsets)
+        engine = InvocationEngine(DEFAULT_METRICS, rng=0)
+        c_seg0 = Consumer("c0", preferences=PreferenceProfile(segment=0), rng=0)
+        c_seg1 = Consumer("c1", preferences=PreferenceProfile(segment=1), rng=0)
+        i0 = engine.invoke(c_seg0, svc, time=0.0)
+        i1 = engine.invoke(c_seg1, svc, time=0.0)
+        q0 = DEFAULT_METRICS.get("accuracy").normalize(i0.observations["accuracy"])
+        q1 = DEFAULT_METRICS.get("accuracy").normalize(i1.observations["accuracy"])
+        assert q0 == pytest.approx(0.7)
+        assert q1 == pytest.approx(0.3)
+
+    def test_anonymous_invocation_uses_base_segment(self):
+        offsets = {"accuracy": {0: 0.2}}
+        svc = make_service(quality=0.5, segment_offsets=offsets)
+        engine = InvocationEngine(DEFAULT_METRICS, rng=0)
+        inter = engine.invoke_anonymous("monitor", svc, time=0.0)
+        q = DEFAULT_METRICS.get("accuracy").normalize(inter.observations["accuracy"])
+        assert q == pytest.approx(0.5)
+        assert inter.consumer == "monitor"
+
+    def test_invocation_count(self):
+        engine = InvocationEngine(DEFAULT_METRICS, rng=0)
+        consumer = Consumer("c0", rng=0)
+        for _ in range(3):
+            engine.invoke(consumer, make_service(), time=0.0)
+        assert engine.invocation_count == 3

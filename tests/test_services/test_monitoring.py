@@ -1,0 +1,164 @@
+"""Tests for sensors, third-party monitors and explorer agents."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.services.description import ServiceDescription
+from repro.services.invocation import InvocationEngine
+from repro.services.monitoring import (
+    ExplorerAgentPool,
+    SensorDeployment,
+    ThirdPartyMonitor,
+)
+from repro.services.provider import ImprovingBehavior, Service, StaticBehavior
+from repro.services.qos import DEFAULT_METRICS, QoSProfile
+
+
+def make_service(service_id="s0", quality=0.7, behavior=None):
+    q = {m.name: quality for m in DEFAULT_METRICS}
+    return Service(
+        description=ServiceDescription(
+            service=service_id, provider="p0", category="cat"
+        ),
+        profile=QoSProfile(quality=q, noise=0.0, success_rate=1.0),
+        behavior=behavior or StaticBehavior(),
+    )
+
+
+class TestSensorDeployment:
+    def test_probe_requires_deployment(self):
+        sensors = SensorDeployment(InvocationEngine(DEFAULT_METRICS, rng=0))
+        with pytest.raises(ConfigurationError):
+            sensors.probe(make_service(), time=0.0)
+
+    def test_probe_builds_report(self):
+        sensors = SensorDeployment(InvocationEngine(DEFAULT_METRICS, rng=0))
+        svc = make_service(quality=0.8)
+        sensors.deploy(svc)
+        for t in range(5):
+            sensors.probe(svc, time=float(t))
+        report = sensors.report_for("s0")
+        assert report.samples == 5
+        assert report.facet_quality("availability") == pytest.approx(0.8)
+
+    def test_subjective_metrics_invisible_to_sensors(self):
+        sensors = SensorDeployment(InvocationEngine(DEFAULT_METRICS, rng=0))
+        svc = make_service()
+        sensors.deploy(svc)
+        sensors.probe(svc, time=0.0)
+        report = sensors.report_for("s0")
+        # "accuracy" is subjective: monitoring cannot measure it.
+        assert "accuracy" not in report.facet_estimates()
+        assert "response_time" in report.facet_estimates()
+
+    def test_cost_scales_with_sensors(self):
+        engine = InvocationEngine(DEFAULT_METRICS, rng=0)
+        small = SensorDeployment(engine)
+        large = SensorDeployment(engine)
+        small.deploy(make_service("a"))
+        for i in range(10):
+            large.deploy(make_service(f"svc-{i}"))
+        assert large.total_cost() > small.total_cost()
+        assert large.sensors_deployed == 10
+
+    def test_deploy_idempotent(self):
+        sensors = SensorDeployment(InvocationEngine(DEFAULT_METRICS, rng=0))
+        svc = make_service()
+        sensors.deploy(svc)
+        sensors.deploy(svc)
+        assert sensors.sensors_deployed == 1
+
+    def test_report_sink_called(self):
+        seen = []
+        sensors = SensorDeployment(
+            InvocationEngine(DEFAULT_METRICS, rng=0),
+            report_sink=lambda sid, rep: seen.append(sid),
+        )
+        svc = make_service()
+        sensors.deploy(svc)
+        sensors.probe(svc, time=0.0)
+        assert seen == ["s0"]
+
+
+class TestThirdPartyMonitor:
+    def test_sweep_covers_all(self):
+        monitor = ThirdPartyMonitor(InvocationEngine(DEFAULT_METRICS, rng=0))
+        services = [make_service(f"s{i}", quality=0.5 + i * 0.1) for i in range(3)]
+        monitor.sweep(services, time=0.0)
+        assert monitor.probe_count == 3
+        assert monitor.report_for("s2").overall() > monitor.report_for("s0").overall()
+
+
+class TestExplorerAgentPool:
+    def test_only_negative_reputation_probed(self):
+        filed = []
+        pool = ExplorerAgentPool(
+            InvocationEngine(DEFAULT_METRICS, rng=0),
+            feedback_sink=filed.append,
+            reputation_threshold=0.4,
+            rng=0,
+        )
+        services = [make_service("good"), make_service("bad")]
+        reputations = {"good": 0.8, "bad": 0.2}
+        pool.explore(services, reputations, time=0.0)
+        assert [fb.target for fb in filed] == ["bad"]
+
+    def test_improved_service_rehabilitated(self):
+        filed = []
+        pool = ExplorerAgentPool(
+            InvocationEngine(DEFAULT_METRICS, rng=0),
+            feedback_sink=filed.append,
+            reputation_threshold=0.4,
+            rng=0,
+        )
+        # Service has recovered to 0.7 but reputation still says 0.2.
+        improved = make_service(
+            "s0", quality=0.7,
+            behavior=ImprovingBehavior(initial_deficit=0.5, ramp_duration=10),
+        )
+        pool.explore([improved], {"s0": 0.2}, time=100.0)
+        assert pool.rehabilitations == 1
+        assert filed[0].rating > 0.4
+
+    def test_unimproved_service_stays_down(self):
+        filed = []
+        pool = ExplorerAgentPool(
+            InvocationEngine(DEFAULT_METRICS, rng=0),
+            feedback_sink=filed.append,
+            reputation_threshold=0.4,
+            rng=0,
+        )
+        still_bad = make_service("s0", quality=0.2)
+        pool.explore([still_bad], {"s0": 0.2}, time=0.0)
+        assert pool.rehabilitations == 0
+        assert filed[0].rating < 0.4
+
+    def test_continued_support_until_reputation_catches_up(self):
+        filed = []
+        pool = ExplorerAgentPool(
+            InvocationEngine(DEFAULT_METRICS, rng=0),
+            feedback_sink=filed.append,
+            reputation_threshold=0.4,
+            support_margin=0.05,
+            rng=0,
+        )
+        improved = make_service("s0", quality=0.9)
+        # Round 1: negative reputation triggers the probe.
+        pool.explore([improved], {"s0": 0.2}, time=0.0)
+        assert len(filed) == 1
+        # Round 2: reputation recovered above the threshold but is
+        # still far below the measured 0.9 -> keep supporting.
+        pool.explore([improved], {"s0": 0.55}, time=1.0)
+        assert len(filed) == 2
+        # Round 3: reputation has caught up -> stop.
+        pool.explore([improved], {"s0": 0.88}, time=2.0)
+        assert len(filed) == 2
+
+    def test_unknown_reputation_not_probed(self):
+        pool = ExplorerAgentPool(
+            InvocationEngine(DEFAULT_METRICS, rng=0),
+            feedback_sink=lambda fb: None,
+            rng=0,
+        )
+        pool.explore([make_service("s0")], {}, time=0.0)
+        assert pool.probe_count == 0

@@ -1,0 +1,118 @@
+"""Tests for metric vocabulary alignment (the common-ontology caveat)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, UnknownEntityError
+from repro.common.records import Interaction
+from repro.services.ontology import MetricAlias, MetricVocabulary
+from repro.services.qos import DEFAULT_METRICS
+from repro.services.sla import SLA, SLAMonitor
+
+
+class TestMetricAlias:
+    def test_unit_conversion_roundtrip(self):
+        ms_to_s = MetricAlias(canonical="response_time", scale=0.001)
+        assert ms_to_s.to_canonical(250.0) == pytest.approx(0.25)
+        assert ms_to_s.from_canonical(0.25) == pytest.approx(250.0)
+
+    def test_zero_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricAlias(canonical="response_time", scale=0.0)
+
+
+class TestMetricVocabulary:
+    def build(self):
+        return MetricVocabulary(
+            DEFAULT_METRICS,
+            aliases={
+                "responseTime_ms": MetricAlias("response_time",
+                                               scale=0.001),
+                "uptime": MetricAlias("availability"),
+            },
+        )
+
+    def test_canonical_names_resolve_to_themselves(self):
+        vocab = self.build()
+        assert vocab.resolve("availability") == "availability"
+
+    def test_alias_resolution(self):
+        vocab = self.build()
+        assert vocab.resolve("uptime") == "availability"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownEntityError):
+            self.build().resolve("wat")
+
+    def test_alias_must_target_taxonomy(self):
+        with pytest.raises(UnknownEntityError):
+            MetricVocabulary(
+                DEFAULT_METRICS,
+                aliases={"x": MetricAlias("not_a_metric")},
+            )
+
+    def test_translate_observations_converts_units(self):
+        vocab = self.build()
+        out = vocab.translate_observations(
+            {"responseTime_ms": 250.0, "uptime": 0.99}
+        )
+        assert out == {
+            "response_time": pytest.approx(0.25),
+            "availability": 0.99,
+        }
+
+    def test_unknown_observations_dropped_or_strict(self):
+        vocab = self.build()
+        assert vocab.translate_observations({"mystery": 1.0}) == {}
+        with pytest.raises(UnknownEntityError):
+            vocab.translate_observations({"mystery": 1.0}, strict=True)
+
+    def test_alignment_coverage(self):
+        vocab = self.build()
+        assert vocab.alignment_coverage(
+            ["uptime", "cost", "mystery"]
+        ) == pytest.approx(2 / 3)
+
+
+class TestOntologyMismatchFailureMode:
+    """The paper's caveat, demonstrated: SLA supervision silently
+    misses violations when the parties' vocabularies differ."""
+
+    def provider_interaction(self, rt_ms=1500.0):
+        # The provider reports response time in *milliseconds* under
+        # its own metric name.
+        return Interaction(
+            consumer="c0", service="s0", provider="p0", time=0.0,
+            success=True, observations={"responseTime_ms": rt_ms},
+        )
+
+    def test_without_alignment_violation_goes_undetected(self):
+        monitor = SLAMonitor(DEFAULT_METRICS)
+        monitor.register(SLA(
+            consumer="c0", service="s0",
+            floors={"response_time": 0.8},  # wants quality >= 0.8
+        ))
+        # 1500 ms is terrible, but the observation's name doesn't match
+        # the canonical taxonomy: nothing is checked.
+        violations = monitor.check(self.provider_interaction())
+        assert violations == []  # silent miss!
+
+    def test_with_alignment_violation_detected(self):
+        vocab = MetricVocabulary(
+            DEFAULT_METRICS,
+            aliases={"responseTime_ms": MetricAlias("response_time",
+                                                    scale=0.001)},
+        )
+        monitor = SLAMonitor(DEFAULT_METRICS)
+        monitor.register(SLA(
+            consumer="c0", service="s0",
+            floors={"response_time": 0.8},
+        ))
+        raw = self.provider_interaction()
+        aligned = Interaction(
+            consumer=raw.consumer, service=raw.service,
+            provider=raw.provider, time=raw.time, success=raw.success,
+            observations=vocab.translate_observations(raw.observations),
+        )
+        violations = monitor.check(aligned)
+        assert len(violations) == 1
+        assert violations[0].metric == "response_time"

@@ -1,0 +1,180 @@
+"""Tests for the QoS ontology (Figure 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError, UnknownEntityError
+from repro.services.qos import (
+    DEFAULT_METRICS,
+    Direction,
+    MetricDef,
+    QoSProfile,
+    metric,
+    random_profile,
+    w3c_taxonomy,
+)
+
+
+class TestMetricDef:
+    def test_higher_is_better_normalization(self):
+        m = metric("throughput", "perf", Direction.HIGHER_IS_BETTER, 0, 100)
+        assert m.normalize(100) == 1.0
+        assert m.normalize(0) == 0.0
+        assert m.normalize(50) == 0.5
+
+    def test_lower_is_better_normalization(self):
+        m = metric("rt", "perf", Direction.LOWER_IS_BETTER, 0, 2)
+        assert m.normalize(0) == 1.0
+        assert m.normalize(2) == 0.0
+
+    def test_normalize_clamps_out_of_range(self):
+        m = metric("x", "c", Direction.HIGHER_IS_BETTER, 0, 1)
+        assert m.normalize(5.0) == 1.0
+        assert m.normalize(-5.0) == 0.0
+
+    def test_denormalize_roundtrip(self):
+        m = metric("rt", "perf", Direction.LOWER_IS_BETTER, 0.5, 2.5)
+        for q in [0.0, 0.25, 0.5, 1.0]:
+            assert abs(m.normalize(m.denormalize(q)) - q) < 1e-12
+
+    def test_invalid_range(self):
+        with pytest.raises(ConfigurationError):
+            metric("x", "c", Direction.HIGHER_IS_BETTER, 1.0, 1.0)
+
+    @given(st.floats(0.0, 1.0))
+    def test_property_roundtrip(self, q):
+        m = metric("x", "c", Direction.HIGHER_IS_BETTER, -3.0, 9.0)
+        assert abs(m.normalize(m.denormalize(q)) - q) < 1e-9
+
+
+class TestW3CTaxonomy:
+    def test_figure3_metric_count(self):
+        # 4 performance + 8 dependability + 3 integrity + 7 security
+        # + 1 application-specific (cost) = 23
+        assert len(w3c_taxonomy()) == 23
+
+    def test_figure3_top_categories(self):
+        cats = w3c_taxonomy().categories()
+        assert cats == [
+            "performance",
+            "dependability",
+            "integrity",
+            "security",
+            "application_specific",
+        ]
+
+    def test_figure3_key_metrics_present(self):
+        tax = w3c_taxonomy()
+        for name in [
+            "processing_time", "throughput", "response_time", "latency",
+            "availability", "accessibility", "accuracy", "reliability",
+            "capacity", "scalability", "stability", "robustness",
+            "data_integrity", "transactional_integrity", "interoperability",
+            "accountability", "authentication", "authorization",
+            "auditability", "non_repudiation", "confidentiality",
+            "encryption", "cost",
+        ]:
+            assert name in tax
+
+    def test_accuracy_is_subjective(self):
+        # The paper: facets like accuracy "can not be acquired through
+        # execution monitoring".
+        tax = w3c_taxonomy()
+        assert not tax.get("accuracy").observable
+        assert tax.get("response_time").observable
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(UnknownEntityError):
+            w3c_taxonomy().get("nonexistent")
+
+    def test_tree_render_contains_leaves(self):
+        lines = w3c_taxonomy().tree_lines()
+        text = "\n".join(lines)
+        assert "performance" in text
+        assert "- response_time" in text
+
+    def test_observable_plus_subjective_is_all(self):
+        tax = w3c_taxonomy()
+        assert len(tax.observable_metrics()) + len(tax.subjective_metrics()) == len(tax)
+
+
+class TestQoSProfile:
+    def test_quality_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            QoSProfile(quality={"x": 1.5})
+
+    def test_overall_uniform(self):
+        p = QoSProfile(quality={"a": 0.2, "b": 0.8}, noise=0.0)
+        assert p.overall() == 0.5
+
+    def test_overall_weighted(self):
+        p = QoSProfile(quality={"a": 0.0, "b": 1.0}, noise=0.0)
+        assert p.overall({"a": 1.0, "b": 3.0}) == 0.75
+
+    def test_segment_offsets(self):
+        p = QoSProfile(
+            quality={"accuracy": 0.5},
+            segment_offsets={"accuracy": {0: 0.3, 1: -0.3}},
+        )
+        assert p.true_quality("accuracy", segment=0) == 0.8
+        assert p.true_quality("accuracy", segment=1) == pytest.approx(0.2)
+        assert p.true_quality("accuracy") == 0.5
+
+    def test_sample_respects_zero_noise(self, taxonomy):
+        quality = {m.name: 0.6 for m in taxonomy}
+        p = QoSProfile(quality=quality, noise=0.0)
+        obs = p.sample(taxonomy, rng=np.random.default_rng(0))
+        for name, raw in obs.items():
+            assert abs(taxonomy.get(name).normalize(raw) - 0.6) < 1e-9
+
+    def test_sample_deterministic_with_seed(self, taxonomy):
+        quality = {m.name: 0.6 for m in taxonomy}
+        p = QoSProfile(quality=quality, noise=0.1)
+        a = p.sample(taxonomy, rng=np.random.default_rng(5))
+        b = p.sample(taxonomy, rng=np.random.default_rng(5))
+        assert a == b
+
+    def test_shifted_clamps(self):
+        p = QoSProfile(quality={"a": 0.9}, noise=0.0)
+        assert p.shifted(0.5).quality["a"] == 1.0
+        assert p.shifted(-2.0).quality["a"] == 0.0
+
+    def test_shifted_preserves_other_fields(self):
+        p = QoSProfile(
+            quality={"a": 0.5},
+            noise=0.07,
+            segment_offsets={"a": {0: 0.1}},
+            success_rate=0.9,
+        )
+        q = p.shifted(0.1)
+        assert q.noise == 0.07
+        assert q.segment_offsets == {"a": {0: 0.1}}
+        assert q.success_rate == 0.9
+
+
+class TestRandomProfile:
+    def test_deterministic(self, taxonomy):
+        a = random_profile(taxonomy, rng=np.random.default_rng(3))
+        b = random_profile(taxonomy, rng=np.random.default_rng(3))
+        assert a.quality == b.quality
+
+    def test_covers_all_metrics(self, taxonomy):
+        p = random_profile(taxonomy, rng=np.random.default_rng(3))
+        assert set(p.quality) == set(taxonomy.names())
+
+    def test_segments_only_on_subjective_metrics(self, taxonomy):
+        p = random_profile(
+            taxonomy, rng=np.random.default_rng(3), n_segments=3,
+            segment_spread=0.2,
+        )
+        subjective = {m.name for m in taxonomy.subjective_metrics()}
+        assert set(p.segment_offsets) == subjective
+
+    def test_mean_quality_controls_centre(self, taxonomy):
+        p = random_profile(
+            taxonomy, rng=np.random.default_rng(3), mean_quality=0.9,
+            spread=0.05,
+        )
+        assert p.overall() > 0.8

@@ -1,0 +1,103 @@
+"""Tests for SLAs and third-party supervision."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.records import Interaction
+from repro.services.qos import DEFAULT_METRICS
+from repro.services.sla import SLA, SLAMonitor, negotiate_sla
+
+
+def interaction(rt=0.2, availability=0.95, success=True, time=1.0):
+    obs = {"response_time": rt, "availability": availability} if success else {}
+    return Interaction(
+        consumer="c0", service="s0", provider="p0", time=time,
+        success=success, observations=obs,
+    )
+
+
+class TestSLA:
+    def test_floor_validation(self):
+        with pytest.raises(ConfigurationError):
+            SLA(consumer="c", service="s", floors={"x": 1.5})
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SLA(consumer="c", service="s", penalty=-1.0)
+
+
+class TestNegotiateSLA:
+    def test_floors_below_claims(self):
+        sla = negotiate_sla("c0", "s0", {"availability": 0.9}, slack=0.1)
+        assert sla.floors["availability"] == pytest.approx(0.8)
+
+    def test_floor_never_negative(self):
+        sla = negotiate_sla("c0", "s0", {"x": 0.05}, slack=0.1)
+        assert sla.floors["x"] == 0.0
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(ConfigurationError):
+            negotiate_sla("c0", "s0", {}, slack=-0.1)
+
+
+class TestSLAMonitor:
+    def make_monitor(self, floors=None):
+        monitor = SLAMonitor(DEFAULT_METRICS)
+        sla = SLA(
+            consumer="c0",
+            service="s0",
+            floors=floors or {"availability": 0.9, "response_time": 0.8},
+            penalty=2.0,
+            negotiation_cost=1.5,
+        )
+        monitor.register(sla)
+        return monitor, sla
+
+    def test_meeting_floors_no_violation(self):
+        monitor, _ = self.make_monitor()
+        # availability 0.95 >= 0.9; response_time 0.1s -> quality ~0.955
+        assert monitor.check(interaction(rt=0.1)) == []
+
+    def test_breach_detected(self):
+        monitor, _ = self.make_monitor()
+        violations = monitor.check(interaction(availability=0.5))
+        assert len(violations) == 1
+        v = violations[0]
+        assert v.metric == "availability"
+        assert v.shortfall == pytest.approx(0.4)
+
+    def test_failure_violates_every_floor(self):
+        monitor, _ = self.make_monitor()
+        violations = monitor.check(interaction(success=False))
+        assert {v.metric for v in violations} == {
+            "availability", "response_time",
+        }
+
+    def test_unregistered_pair_ignored(self):
+        monitor, _ = self.make_monitor()
+        other = Interaction(
+            consumer="c9", service="s0", provider="p0", time=0.0,
+            success=True, observations={"availability": 0.1},
+        )
+        assert monitor.check(other) == []
+        assert monitor.checks == 0
+
+    def test_penalties_owed(self):
+        monitor, sla = self.make_monitor()
+        monitor.check(interaction(availability=0.5))
+        monitor.check(interaction(availability=0.4))
+        assert monitor.penalties_owed() == {"s0": 4.0}
+
+    def test_negotiation_cost_accumulates(self):
+        monitor, _ = self.make_monitor()
+        assert monitor.total_negotiation_cost == 1.5
+
+    def test_agreement_lookup(self):
+        monitor, sla = self.make_monitor()
+        assert monitor.agreement("c0", "s0") is sla
+        assert monitor.agreement("c0", "s1") is None
+
+    def test_metrics_not_observed_are_skipped(self):
+        monitor, _ = self.make_monitor(floors={"accuracy": 0.9})
+        # accuracy not in the observations: cannot be judged
+        assert monitor.check(interaction()) == []

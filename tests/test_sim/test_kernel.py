@@ -1,0 +1,156 @@
+"""Tests for the discrete-event kernel and clock."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.clock import Clock
+from repro.sim.kernel import Simulator
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_advance_to(self):
+        clock = Clock()
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_no_backwards(self):
+        clock = Clock(10.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(5.0)
+
+    def test_advance_by(self):
+        clock = Clock(1.0)
+        clock.advance_by(2.5)
+        assert clock.now == 3.5
+
+    def test_negative_delta(self):
+        with pytest.raises(SimulationError):
+            Clock().advance_by(-1.0)
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fires_in_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: fired.append(n))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_priority_orders_simultaneous_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("low"), priority=1)
+        sim.schedule(1.0, lambda: fired.append("high"), priority=0)
+        sim.run()
+        assert fired == ["high", "low"]
+
+    def test_clock_advances_with_events(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.0, lambda: times.append(sim.now))
+        sim.schedule(5.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.0, 5.0]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule(0.5, lambda: None)
+
+    def test_schedule_in(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule_in(2.0, lambda: fired.append(sim.now)))
+        sim.run()
+        assert fired == [3.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_in(-1.0, lambda: None)
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        sim.run()
+        assert fired == []
+        assert sim.executed == 0
+
+    def test_run_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_max_events(self):
+        sim = Simulator()
+        for t in range(10):
+            sim.schedule(float(t + 1), lambda: None)
+        executed = sim.run(max_events=3)
+        assert executed == 3
+        assert sim.pending == 7
+
+    def test_schedule_every(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_every(1.0, lambda: times.append(sim.now), count=4)
+        sim.run()
+        assert times == [1.0, 2.0, 3.0, 4.0]
+
+    def test_schedule_every_with_start(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_every(2.0, lambda: times.append(sim.now), start=5.0, count=2)
+        sim.run()
+        assert times == [5.0, 7.0]
+
+    def test_schedule_every_until_horizon(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_every(1.0, lambda: times.append(sim.now))
+        sim.run(until=3.5)
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_bad_interval(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_every(0.0, lambda: None)
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+
+        def reenter():
+            sim.run()
+
+        sim.schedule(1.0, reenter)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_step(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        assert sim.step() is True
+        assert sim.step() is False
+        assert fired == [1]

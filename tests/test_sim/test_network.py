@@ -1,0 +1,81 @@
+"""Tests for the network accounting model."""
+
+import pytest
+
+from repro.sim.network import MessageStats, Network, per_node_load
+
+
+class TestNetwork:
+    def test_send_counts_messages(self):
+        net = Network(rng=0)
+        net.send("a", "b")
+        net.send("a", "c", kind="query")
+        assert net.stats.total_messages == 2
+        assert net.stats.by_kind["query"] == 1
+        assert net.stats.sent_by["a"] == 2
+        assert net.stats.received_by["b"] == 1
+
+    def test_latency_positive(self):
+        net = Network(base_latency=0.01, jitter=0.005, rng=0)
+        latency = net.send("a", "b")
+        assert latency is not None and latency >= 0.01
+
+    def test_zero_jitter_is_exact(self):
+        net = Network(base_latency=0.02, jitter=0.0, rng=0)
+        assert net.send("a", "b") == 0.02
+
+    def test_failed_receiver_undeliverable(self):
+        net = Network(rng=0)
+        net.fail_node("b")
+        assert net.send("a", "b") is None
+        # Sent but not received.
+        assert net.stats.sent_by["a"] == 1
+        assert net.stats.received_by.get("b", 0) == 0
+
+    def test_heal(self):
+        net = Network(rng=0)
+        net.fail_node("b")
+        net.heal_node("b")
+        assert net.send("a", "b") is not None
+
+    def test_failed_sender_cannot_send(self):
+        net = Network(rng=0)
+        net.fail_node("a")
+        assert net.send("a", "b") is None
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Network(base_latency=-1.0)
+
+    def test_bytes_accounting(self):
+        net = Network(rng=0)
+        net.send("a", "b", size=100)
+        net.send("a", "b", size=50)
+        assert net.stats.total_bytes == 150
+
+    def test_reset_stats(self):
+        net = Network(rng=0)
+        net.send("a", "b")
+        net.reset_stats()
+        assert net.stats.total_messages == 0
+
+
+class TestMessageStats:
+    def test_balanced_load_imbalance_is_one(self):
+        stats = MessageStats()
+        stats.received_by.update({"a": 10, "b": 10, "c": 10})
+        assert stats.load_imbalance() == 1.0
+
+    def test_centralized_load_imbalance(self):
+        stats = MessageStats()
+        stats.received_by.update({"hub": 100, "a": 0, "b": 0, "c": 0})
+        assert stats.load_imbalance() == 4.0
+
+    def test_empty_stats(self):
+        assert MessageStats().load_imbalance() == 1.0
+
+    def test_per_node_load(self):
+        net = Network(rng=0)
+        net.send("a", "b")
+        net.send("c", "b")
+        assert per_node_load(net.stats) == {"b": 2}

@@ -1,0 +1,138 @@
+"""Tests for trust network analysis."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.trustnet.network import TrustNetwork
+from repro.trustnet.opinion import Opinion
+
+
+def strong():
+    return Opinion.from_evidence(9, 0)
+
+
+def weak():
+    return Opinion.from_evidence(1, 1)
+
+
+class TestConstruction:
+    def test_self_edges_rejected(self):
+        net = TrustNetwork()
+        with pytest.raises(ConfigurationError):
+            net.add_referral_trust("a", "a", strong())
+
+    def test_nodes(self):
+        net = TrustNetwork()
+        net.add_referral_trust("alice", "doctor", strong())
+        net.add_functional_trust("doctor", "specialist", strong())
+        assert net.nodes() == ["alice", "doctor", "specialist"]
+
+
+class TestPaths:
+    def build_paper_example(self):
+        """Alice -> doctor (referral) -> specialist (functional)."""
+        net = TrustNetwork()
+        net.add_referral_trust("alice", "doctor", strong())
+        net.add_functional_trust("doctor", "specialist",
+                                 Opinion.from_evidence(8, 0))
+        return net
+
+    def test_paper_example_derives_trust(self):
+        net = self.build_paper_example()
+        derived = net.derived_trust("alice", "specialist")
+        assert derived.expectation > 0.6
+        assert derived.uncertainty > 0  # transitive, not first-hand
+
+    def test_paths_require_functional_last_edge(self):
+        net = TrustNetwork()
+        net.add_referral_trust("a", "b", strong())
+        net.add_referral_trust("b", "x", strong())  # referral only!
+        assert net.trust_paths("a", "x") == []
+        assert net.derived_trust("a", "x").uncertainty == 1.0
+
+    def test_direct_functional_trust_needs_no_referral(self):
+        net = TrustNetwork()
+        net.add_functional_trust("a", "x", Opinion.from_evidence(9, 1))
+        derived = net.derived_trust("a", "x")
+        assert derived.belief == pytest.approx(0.75)
+
+    def test_depth_bound(self):
+        net = TrustNetwork(max_depth=2)
+        net.add_referral_trust("a", "b", strong())
+        net.add_referral_trust("b", "c", strong())
+        net.add_functional_trust("c", "x", strong())
+        # Path a-b-c-x has 3 edges > max_depth 2.
+        assert net.trust_paths("a", "x") == []
+
+    def test_cycles_excluded(self):
+        net = TrustNetwork()
+        net.add_referral_trust("a", "b", strong())
+        net.add_referral_trust("b", "a", strong())
+        net.add_functional_trust("b", "x", strong())
+        paths = net.trust_paths("a", "x")
+        assert len(paths) == 1
+        assert paths[0].nodes == ("a", "b", "x")
+
+    def test_longer_chains_more_uncertain(self):
+        short_net = TrustNetwork()
+        short_net.add_referral_trust("a", "b", weak())
+        short_net.add_functional_trust("b", "x", strong())
+        long_net = TrustNetwork()
+        long_net.add_referral_trust("a", "b", weak())
+        long_net.add_referral_trust("b", "c", weak())
+        long_net.add_referral_trust("c", "d", weak())
+        long_net.add_functional_trust("d", "x", strong())
+        assert (
+            long_net.derived_trust("a", "x").uncertainty
+            > short_net.derived_trust("a", "x").uncertainty
+        )
+
+
+class TestFusion:
+    def test_parallel_paths_reduce_uncertainty(self):
+        single = TrustNetwork()
+        single.add_referral_trust("a", "b", strong())
+        single.add_functional_trust("b", "x", strong())
+        double = TrustNetwork()
+        double.add_referral_trust("a", "b", strong())
+        double.add_functional_trust("b", "x", strong())
+        double.add_referral_trust("a", "c", strong())
+        double.add_functional_trust("c", "x", strong())
+        assert (
+            double.derived_trust("a", "x").uncertainty
+            < single.derived_trust("a", "x").uncertainty
+        )
+
+    def test_disjoint_selection_avoids_double_counting(self):
+        # Two paths sharing the interior node b are NOT independent;
+        # only one may be fused.
+        net = TrustNetwork()
+        net.add_referral_trust("a", "b", strong())
+        net.add_referral_trust("b", "c", strong())
+        net.add_referral_trust("b", "d", strong())
+        net.add_functional_trust("c", "x", strong())
+        net.add_functional_trust("d", "x", strong())
+        paths = net.trust_paths("a", "x")
+        assert len(paths) == 2
+        chosen = net._disjoint_subset(paths)
+        assert len(chosen) == 1
+
+    def test_conflicting_witnesses_average(self):
+        net = TrustNetwork()
+        net.add_referral_trust("a", "fan", strong())
+        net.add_functional_trust("fan", "x", Opinion.from_evidence(10, 0))
+        net.add_referral_trust("a", "hater", strong())
+        net.add_functional_trust("hater", "x", Opinion.from_evidence(0, 10))
+        derived = net.derived_trust("a", "x")
+        assert derived.expectation == pytest.approx(0.5, abs=0.1)
+
+    def test_derived_self_trust_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrustNetwork().derived_trust("a", "a")
+
+    def test_expectation_convenience(self):
+        net = TrustNetwork()
+        net.add_functional_trust("a", "x", Opinion.from_evidence(9, 1))
+        assert net.expectation("a", "x") == pytest.approx(
+            net.derived_trust("a", "x").expectation
+        )

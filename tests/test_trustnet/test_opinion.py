@@ -1,0 +1,167 @@
+"""Tests for subjective-logic opinions and operators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.trustnet.opinion import Opinion, consensus, discount
+
+
+@st.composite
+def opinions(draw):
+    b = draw(st.floats(0.0, 1.0))
+    d = draw(st.floats(0.0, 1.0 - b))
+    a = draw(st.floats(0.0, 1.0))
+    return Opinion(b, d, 1.0 - b - d, a)
+
+
+class TestOpinion:
+    def test_components_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            Opinion(0.5, 0.5, 0.5)
+
+    def test_component_bounds(self):
+        with pytest.raises(ConfigurationError):
+            Opinion(1.5, -0.5, 0.0)
+
+    def test_vacuous(self):
+        o = Opinion.vacuous()
+        assert o.uncertainty == 1.0
+        assert o.expectation == 0.5
+
+    def test_dogmatic(self):
+        o = Opinion.dogmatic(0.8)
+        assert o.uncertainty == 0.0
+        assert o.expectation == pytest.approx(0.8)
+
+    def test_from_evidence(self):
+        o = Opinion.from_evidence(8, 0)
+        assert o.belief == pytest.approx(0.8)
+        assert o.uncertainty == pytest.approx(0.2)
+        assert o.expectation == pytest.approx(0.9)
+
+    def test_evidence_reduces_uncertainty(self):
+        weak = Opinion.from_evidence(2, 1)
+        strong = Opinion.from_evidence(200, 100)
+        assert strong.uncertainty < weak.uncertainty
+
+    def test_from_rating(self):
+        o = Opinion.from_rating(0.9, confidence=0.8)
+        assert o.belief == pytest.approx(0.72)
+        assert o.uncertainty == pytest.approx(0.2)
+
+    def test_negative_evidence_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Opinion.from_evidence(-1, 0)
+
+    @given(opinions())
+    def test_property_expectation_bounded(self, o):
+        assert 0.0 - 1e-9 <= o.expectation <= 1.0 + 1e-9
+
+
+class TestDiscount:
+    def test_full_trust_preserves_opinion(self):
+        full = Opinion.dogmatic(1.0)
+        target = Opinion.from_evidence(9, 1)
+        out = discount(full, target)
+        assert out.belief == pytest.approx(target.belief)
+        assert out.disbelief == pytest.approx(target.disbelief)
+
+    def test_no_trust_gives_vacuous(self):
+        none = Opinion.dogmatic(0.0)
+        target = Opinion.from_evidence(9, 1)
+        out = discount(none, target)
+        assert out.uncertainty == pytest.approx(1.0)
+
+    def test_uncertainty_grows_along_chains(self):
+        link = Opinion.from_evidence(8, 1)
+        opinion = Opinion.from_evidence(9, 0)
+        chained = opinion
+        previous_u = opinion.uncertainty
+        for _ in range(4):
+            chained = discount(link, chained)
+            assert chained.uncertainty >= previous_u
+            previous_u = chained.uncertainty
+
+    @given(opinions(), opinions())
+    def test_property_valid_opinion(self, trust, opinion):
+        out = discount(trust, opinion)
+        total = out.belief + out.disbelief + out.uncertainty
+        assert abs(total - 1.0) < 1e-6
+        assert out.belief <= opinion.belief + 1e-9
+
+
+class TestConsensus:
+    def test_agreement_reduces_uncertainty(self):
+        a = Opinion.from_evidence(8, 2)
+        fused = consensus(a, a)
+        assert fused.uncertainty < a.uncertainty
+        assert fused.expectation == pytest.approx(a.expectation, abs=0.05)
+
+    def test_vacuous_is_neutral_element(self):
+        a = Opinion.from_evidence(5, 5)
+        fused = consensus(a, Opinion.vacuous())
+        assert fused.belief == pytest.approx(a.belief)
+        assert fused.uncertainty == pytest.approx(a.uncertainty)
+
+    def test_disagreement_averages(self):
+        pro = Opinion.from_evidence(10, 0)
+        con = Opinion.from_evidence(0, 10)
+        fused = consensus(pro, con)
+        assert fused.expectation == pytest.approx(0.5, abs=0.01)
+
+    def test_dogmatic_limit(self):
+        fused = consensus(Opinion.dogmatic(1.0), Opinion.dogmatic(0.0))
+        assert fused.expectation == pytest.approx(0.5)
+
+    def test_consensus_is_evidence_additive(self):
+        # Consensus of (r1,s1) and (r2,s2) evidence equals the opinion
+        # from pooled evidence (r1+r2, s1+s2) -- Jøsang's mapping.
+        a = Opinion.from_evidence(4, 1)
+        b = Opinion.from_evidence(2, 3)
+        pooled = Opinion.from_evidence(6, 4)
+        fused = consensus(a, b)
+        assert fused.belief == pytest.approx(pooled.belief, abs=1e-9)
+        assert fused.uncertainty == pytest.approx(pooled.uncertainty,
+                                                  abs=1e-9)
+
+    @given(opinions(), opinions())
+    def test_property_commutative(self, a, b):
+        ab = consensus(a, b)
+        ba = consensus(b, a)
+        assert ab.belief == pytest.approx(ba.belief, abs=1e-6)
+        assert ab.uncertainty == pytest.approx(ba.uncertainty, abs=1e-6)
+
+    @given(opinions(), opinions())
+    def test_property_uncertainty_never_grows(self, a, b):
+        fused = consensus(a, b)
+        assert fused.uncertainty <= min(a.uncertainty, b.uncertainty) + 1e-6
+
+    @given(
+        st.floats(0, 20), st.floats(0, 20),
+        st.floats(0, 20), st.floats(0, 20),
+        st.floats(0, 20), st.floats(0, 20),
+    )
+    def test_property_consensus_associative_on_evidence(
+        self, r1, s1, r2, s2, r3, s3
+    ):
+        # On evidence-based opinions consensus is evidence addition,
+        # hence associative.
+        a = Opinion.from_evidence(r1, s1)
+        b = Opinion.from_evidence(r2, s2)
+        c = Opinion.from_evidence(r3, s3)
+        left = consensus(consensus(a, b), c)
+        right = consensus(a, consensus(b, c))
+        assert left.belief == pytest.approx(right.belief, abs=1e-6)
+        assert left.uncertainty == pytest.approx(right.uncertainty,
+                                                 abs=1e-6)
+
+    @given(opinions(), opinions(), opinions())
+    def test_property_discount_distributes_over_chains(self, t1, t2, x):
+        # Discounting through t1 then t2 equals discounting through the
+        # combined chain trust (belief multiplies): b stays b1*b2*bx.
+        step = discount(t2, discount(t1, x))
+        assert step.belief == pytest.approx(
+            t1.belief * t2.belief * x.belief, abs=1e-9
+        )
