@@ -1,0 +1,160 @@
+"""C14 — §4: the single point of failure, measured under chaos.
+
+The survey's architectural claim (centralized registries are simpler
+but "suffer a single point of failure"; decentralized overlays trade
+messages for resilience) is usually left qualitative.  This benchmark
+injects the *same* seeded fault plan — consumer churn, 2% message loss,
+two registry outage windows, one slow provider — into three deployments
+of the same selection workload and measures what each architecture
+actually delivers:
+
+* **central-naive** — selection availability collapses to zero inside
+  the registry outage windows;
+* **central-resilient** — retry + circuit breaker + stale-cache
+  fallback keep selection available through the outages, but every
+  outage-window answer is degraded (age-discounted stale data), and the
+  breaker's closed→open→half-open→closed cycle is visible in its
+  transition log;
+* **pgrid** — replicated overlay storage keeps selection almost
+  entirely *fresh* through the registry outages (only its own peer
+  churn degrades it), at a multiple of the message cost.
+
+Run with ``-s`` to see the comparison table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.chaos import (
+    CENTRAL_NAIVE,
+    CENTRAL_RESILIENT,
+    PGRID,
+    ChaosConfig,
+    run_chaos_comparison,
+    run_chaos_deployment,
+)
+
+from benchmarks.conftest import print_table
+
+CONFIG = ChaosConfig()
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return run_chaos_comparison(CONFIG)
+
+
+def test_chaos_runs_are_deterministic():
+    first = run_chaos_deployment(CENTRAL_RESILIENT, CONFIG)
+    second = run_chaos_deployment(CENTRAL_RESILIENT, CONFIG)
+    assert first.trace == second.trace
+    assert first.breaker_transitions == second.breaker_transitions
+    assert first.messages == second.messages
+
+
+def test_same_plan_across_deployments(reports):
+    # Identical worlds + identical fault plans: every deployment faces
+    # the same consumer-uptime schedule, hence the same attempt counts.
+    attempts = {r.attempts for r in reports.values()}
+    assert len(attempts) == 1
+    assert reports[CENTRAL_NAIVE].outage_attempts == \
+        reports[CENTRAL_RESILIENT].outage_attempts
+
+
+def test_naive_central_collapses_during_outages(reports):
+    naive = reports[CENTRAL_NAIVE]
+    assert naive.outage_attempts > 0
+    # The single point of failure, quantified: no selection succeeds
+    # while the registry is down.
+    assert naive.outage_availability <= 0.05
+    assert naive.degraded == 0  # nothing to degrade to
+    # Outside the outages the same deployment works fine.
+    assert naive.availability > 0.4
+
+
+def test_resilient_central_degrades_gracefully(reports):
+    resilient = reports[CENTRAL_RESILIENT]
+    # Availability survives the outages ...
+    assert resilient.outage_availability >= 0.95
+    # ... but only via the stale-fallback path: outage-window answers
+    # are degraded, not fresh.
+    assert resilient.outage_degraded > 0
+    assert resilient.outage_fresh_availability <= 0.05
+    assert resilient.degraded > 0
+    assert resilient.availability > reports[CENTRAL_NAIVE].availability
+
+
+def test_breaker_cycles_closed_open_half_open(reports):
+    transitions = [
+        (frm, to)
+        for _, frm, to in reports[CENTRAL_RESILIENT].breaker_transitions
+    ]
+    assert ("closed", "open") in transitions
+    assert ("open", "half_open") in transitions
+    # Recovery probes during the outage fail and re-open; after the
+    # outage one probe succeeds and the circuit closes again.
+    assert ("half_open", "open") in transitions
+    assert ("half_open", "closed") in transitions
+    # The naive client's breaker is configured to never trip.
+    assert reports[CENTRAL_NAIVE].breaker_transitions == []
+
+
+def test_pgrid_stays_fresh_through_registry_outages(reports):
+    pgrid = reports[PGRID]
+    # No central registry to lose: outage windows barely register, and
+    # the answers that do arrive are fresh overlay lookups.
+    assert pgrid.outage_availability >= 0.95
+    assert pgrid.outage_fresh_availability >= 0.9
+    assert (
+        pgrid.outage_fresh_availability
+        > reports[CENTRAL_RESILIENT].outage_fresh_availability
+    )
+
+
+def test_resilience_costs_messages(reports):
+    # The survey's trade-off: decentralization buys availability with
+    # message overhead; client-side resilience sits in between.
+    assert reports[PGRID].messages > reports[CENTRAL_NAIVE].messages
+    assert reports[CENTRAL_RESILIENT].messages >= \
+        reports[CENTRAL_NAIVE].messages
+
+
+def test_report_table(reports):
+    rows = [
+        [
+            name,
+            r.attempts,
+            f"{r.availability:.3f}",
+            f"{r.outage_availability:.3f}",
+            f"{r.outage_fresh_availability:.3f}",
+            r.degraded,
+            f"{r.mean_regret:.4f}",
+            r.messages,
+            r.messages_dropped,
+            r.reports_lost,
+        ]
+        for name, r in reports.items()
+    ]
+    print_table(
+        "C14: selection availability under churn + registry outages",
+        [
+            "deployment",
+            "attempts",
+            "avail",
+            "outage avail",
+            "outage fresh",
+            "degraded",
+            "regret",
+            "msgs",
+            "dropped",
+            "lost reports",
+        ],
+        rows,
+    )
+    transitions = reports[CENTRAL_RESILIENT].breaker_transitions
+    print_table(
+        "C14: circuit breaker transitions (central-resilient)",
+        ["t", "from", "to"],
+        [[f"{t:.0f}", frm, to] for t, frm, to in transitions],
+    )

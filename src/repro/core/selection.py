@@ -17,9 +17,10 @@ import abc
 import math
 from typing import List, Optional, Sequence
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, ReproError
 from repro.common.ids import EntityId
 from repro.common.randomness import RngLike, make_rng
+from repro.faults.degradation import StaleRankingFallback
 from repro.models.base import ReputationModel, ScoredTarget
 from repro.registry.uddi import UDDIRegistry
 
@@ -102,6 +103,10 @@ class SelectionEngine:
         registry: functional discovery (UDDI analogue).
         model: reputation mechanism scoring the candidates.
         policy: how the ranking becomes a choice.
+        fallback: optional stale-ranking cache; when the scoring path
+            raises a library error (registry outage, overlay partition,
+            open circuit), the engine serves the last good ranking with
+            age-discounted scores instead of propagating the failure.
     """
 
     def __init__(
@@ -109,11 +114,15 @@ class SelectionEngine:
         registry: UDDIRegistry,
         model: ReputationModel,
         policy: Optional[SelectionPolicy] = None,
+        fallback: Optional[StaleRankingFallback] = None,
     ) -> None:
         self.registry = registry
         self.model = model
         self.policy = policy or GreedyPolicy()
+        self.fallback = fallback
         self.selections_made = 0
+        self.degraded_selections = 0
+        self.failed_selections = 0
 
     def candidates(self, category: str) -> List[EntityId]:
         """Service ids matching *category* in the registry."""
@@ -133,8 +142,28 @@ class SelectionEngine:
         perspective: Optional[EntityId] = None,
         now: Optional[float] = None,
     ) -> Optional[EntityId]:
-        """Choose a service for *category*; None when none published."""
-        ranking = self.rank(category, perspective, now)
+        """Choose a service for *category*; None when none published.
+
+        With a :attr:`fallback` configured, a scoring failure degrades
+        to the last cached ranking (scores shrunk toward the 0.5 prior
+        by their age confidence) instead of raising; when there is no
+        usable cache entry either, the failure counts in
+        :attr:`failed_selections` and None is returned.
+        """
+        key = (category, perspective)
+        try:
+            ranking = self.rank(category, perspective, now)
+        except ReproError:
+            if self.fallback is None:
+                raise
+            ranking = self.fallback.recall(key, now or 0.0)
+            if not ranking:
+                self.failed_selections += 1
+                return None
+            self.degraded_selections += 1
+        else:
+            if self.fallback is not None and ranking:
+                self.fallback.remember(key, ranking, now or 0.0)
         if not ranking:
             return None
         self.selections_made += 1

@@ -22,14 +22,24 @@ from repro.experiments.harness import (
     SelectionOutcome,
     run_selection_experiment,
 )
+from repro.experiments.chaos import (
+    ChaosConfig,
+    ChaosReport,
+    run_chaos_comparison,
+    run_chaos_deployment,
+)
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosReport",
     "SelectionOutcome",
     "World",
     "kendall_tau",
     "make_consumers",
     "make_world",
     "ranking_quality",
+    "run_chaos_comparison",
+    "run_chaos_deployment",
     "run_selection_experiment",
     "score_mae",
     "spearman_rho",

@@ -1,0 +1,456 @@
+"""Chaos experiment: selection availability under churn and outages.
+
+Section 4/5 of the survey argues the centralized registry is a single
+point of failure while decentralized overlays degrade gracefully under
+node churn.  This module turns that prose into a measured comparison:
+the *same* seeded :class:`~repro.faults.plan.FaultPlan` (consumer churn,
+message loss, registry outage windows, one slow provider) drives three
+deployments of the same selection workload:
+
+* ``central-naive`` — consumers query the central QoS registry with no
+  resilience at all; during registry outages selection simply fails;
+* ``central-resilient`` — the same registry behind a
+  :class:`~repro.registry.qos_registry.ResilientQoSClient` (retry with
+  backoff, circuit breaker, stale-cache fallback) and a
+  :class:`~repro.faults.degradation.StaleRankingFallback` on the
+  selection engine: availability survives the outage, but answers are
+  stale and confidence-discounted;
+* ``pgrid`` — feedback lives on a replicated P-Grid overlay; churn
+  takes individual replicas down but routing falls through to siblings.
+
+Reported per deployment: selection availability (overall and inside the
+registry-outage windows), how many selections were served degraded,
+regret against ground truth, message overhead, and the circuit
+breaker's transition history.  Every number is a deterministic function
+of the config seed, so two runs produce byte-identical traces — the
+property the fault-injection tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ReproError, RoutingError
+from repro.common.ids import EntityId
+from repro.common.mathutils import safe_mean
+from repro.common.records import Feedback
+from repro.core.selection import EpsilonGreedyPolicy, SelectionEngine
+from repro.experiments.workloads import World, make_world
+from repro.faults.degradation import StaleRankingFallback, discounted_score
+from repro.faults.plan import (
+    ChurnSchedule,
+    FaultPlan,
+    MessageFaultInjector,
+    OutageWindow,
+    any_active,
+)
+from repro.faults.resilience import (
+    BreakerBoard,
+    RetryPolicy,
+    Timeout,
+)
+from repro.models.base import ReputationModel
+from repro.p2p.pgrid import PGrid
+from repro.registry.qos_registry import (
+    UNAVAILABLE,
+    CentralQoSRegistry,
+    RegistryError,
+    ResilientQoSClient,
+)
+from repro.registry.uddi import UDDIRegistry
+from repro.services.invocation import InvocationEngine
+from repro.sim.network import Network
+
+CENTRAL_NAIVE = "central-naive"
+CENTRAL_RESILIENT = "central-resilient"
+PGRID = "pgrid"
+DEPLOYMENTS = (CENTRAL_NAIVE, CENTRAL_RESILIENT, PGRID)
+
+#: Attempt outcome modes recorded in the trace.
+MODE_FRESH = "fresh"
+MODE_DEGRADED = "degraded"
+MODE_UNAVAILABLE = "unavailable"
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Everything that parameterizes one churn comparison."""
+
+    seed: int = 0
+    n_peers: int = 24
+    n_providers: int = 3
+    services_per_provider: int = 2
+    rounds: int = 40
+    #: registry unavailability windows (start, end) in round time
+    registry_outages: Tuple[Tuple[float, float], ...] = (
+        (12.0, 20.0),
+        (28.0, 33.0),
+    )
+    #: consumer churn: exponential up/downtime means
+    mean_uptime: float = 60.0
+    mean_downtime: float = 2.5
+    #: probabilistic per-message loss between healthy nodes
+    drop_rate: float = 0.02
+    #: slow-provider window applied to the truly best service
+    slow_window: Tuple[float, float] = (22.0, 26.0)
+    slowdown_factor: float = 10.0
+    #: invocation time budget (simulated seconds of response_time)
+    invocation_timeout: float = 3.0
+    #: P-Grid replicas per trie path
+    replication: int = 3
+    #: circuit breaker recovery probe delay (rounds)
+    recovery_timeout: float = 3.0
+    registry_id: EntityId = "qos-registry"
+
+
+def build_fault_plan(
+    config: ChaosConfig, nodes: Sequence[EntityId], world: World
+) -> FaultPlan:
+    """The shared adversity schedule, seeded from the config.
+
+    Deployment-independent by construction: churn windows depend only
+    on (seed, node set), registry outages and the slow window are
+    explicit, and the message-fault stream is a fresh seeded generator.
+    """
+    seeds = world.seeds
+    churn = ChurnSchedule.generate(
+        nodes,
+        horizon=float(config.rounds),
+        mean_uptime=config.mean_uptime,
+        mean_downtime=config.mean_downtime,
+        rng=seeds.rng("fault-churn"),
+    )
+    faults = (
+        MessageFaultInjector(
+            drop_rate=config.drop_rate, rng=seeds.rng("fault-messages")
+        )
+        if config.drop_rate > 0
+        else None
+    )
+    slow_start, slow_end = config.slow_window
+    return FaultPlan(
+        churn=churn,
+        message_faults=faults,
+        registry_outages={
+            config.registry_id: tuple(
+                OutageWindow(start, end)
+                for start, end in config.registry_outages
+            )
+        },
+        slow_services={
+            world.best_service(): (OutageWindow(slow_start, slow_end),)
+        },
+        slowdown_factor=config.slowdown_factor,
+    )
+
+
+def _mean_rating(feedback: Sequence[Feedback]) -> float:
+    return safe_mean([fb.rating for fb in feedback], default=0.5)
+
+
+class RegistryBackedModel(ReputationModel):
+    """Score services by mean rating fetched from the central registry.
+
+    The thinnest possible centralized mechanism — the point here is the
+    *transport*, not the aggregation: every score is a live registry
+    query through the resilient client, so outages, breaker state, and
+    stale fallbacks shape what selection sees.
+    """
+
+    name = "registry_mean"
+
+    def __init__(self, client: ResilientQoSClient) -> None:
+        self.client = client
+
+    def record(self, feedback: Feedback) -> None:
+        self.client.report(feedback, now=feedback.time)
+
+    def score(
+        self,
+        target: EntityId,
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> float:
+        result = self.client.query(
+            perspective or "chaos-consumer", target, now or 0.0
+        )
+        if result.source == UNAVAILABLE:
+            raise RegistryError(
+                f"no fresh or stale answer for {target!r}"
+            )
+        return discounted_score(
+            _mean_rating(result.feedback), result.confidence
+        )
+
+
+class PGridBackedModel(ReputationModel):
+    """Score services by mean rating looked up on a P-Grid overlay.
+
+    The asking consumer *is* an overlay peer: queries route from its own
+    node, so churn on the routing path or the replica set surfaces as
+    :class:`~repro.common.errors.RoutingError` — which the selection
+    engine's stale fallback absorbs.
+    """
+
+    name = "pgrid_mean"
+
+    def __init__(self, grid: PGrid, default_origin: EntityId) -> None:
+        self.grid = grid
+        self.default_origin = default_origin
+        self.reports_lost = 0
+
+    def record(self, feedback: Feedback) -> None:
+        try:
+            self.grid.insert(feedback.rater, feedback.target, feedback)
+        except RoutingError:
+            # The rater could not reach any responsible replica; the
+            # report is lost exactly as it would be in the field.
+            self.reports_lost += 1
+
+    def score(
+        self,
+        target: EntityId,
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> float:
+        origin = perspective or self.default_origin
+        reports, _ = self.grid.lookup(origin, target, target)
+        return _mean_rating(reports)
+
+
+@dataclass
+class ChaosReport:
+    """Everything one deployment's chaos run reports."""
+
+    name: str
+    attempts: int = 0
+    fresh: int = 0
+    degraded: int = 0
+    unavailable: int = 0
+    outage_attempts: int = 0
+    outage_fresh: int = 0
+    outage_degraded: int = 0
+    outage_unavailable: int = 0
+    regrets: List[float] = field(default_factory=list)
+    messages: int = 0
+    messages_dropped: int = 0
+    reports_lost: int = 0
+    breaker_transitions: List[Tuple[float, str, str]] = field(
+        default_factory=list
+    )
+    #: (round, consumer, chosen, mode) — the determinism fingerprint
+    trace: List[Tuple[float, EntityId, Optional[EntityId], str]] = field(
+        default_factory=list
+    )
+
+    @property
+    def available(self) -> int:
+        return self.fresh + self.degraded
+
+    @property
+    def availability(self) -> float:
+        return self.available / self.attempts if self.attempts else 0.0
+
+    @property
+    def outage_availability(self) -> float:
+        if not self.outage_attempts:
+            return 1.0
+        return (
+            self.outage_fresh + self.outage_degraded
+        ) / self.outage_attempts
+
+    @property
+    def outage_fresh_availability(self) -> float:
+        if not self.outage_attempts:
+            return 1.0
+        return self.outage_fresh / self.outage_attempts
+
+    @property
+    def mean_regret(self) -> float:
+        return safe_mean(self.regrets)
+
+
+def _make_central_engine(
+    world: World,
+    uddi: UDDIRegistry,
+    network: Network,
+    config: ChaosConfig,
+    resilient: bool,
+) -> Tuple[SelectionEngine, ResilientQoSClient, CentralQoSRegistry]:
+    registry = CentralQoSRegistry(
+        registry_id=config.registry_id, network=network
+    )
+    if resilient:
+        client = ResilientQoSClient(
+            registry,
+            retry=RetryPolicy(
+                max_attempts=3, rng=world.seeds.rng("retry")
+            ),
+            breakers=BreakerBoard(
+                recovery_timeout=config.recovery_timeout
+            ),
+        )
+        fallback: Optional[StaleRankingFallback] = StaleRankingFallback()
+    else:
+        # The naive baseline: one attempt, no fallback, and a breaker
+        # window too large to ever trip — a plain client, in effect.
+        client = ResilientQoSClient(
+            registry,
+            retry=RetryPolicy(max_attempts=1),
+            breakers=BreakerBoard(window=10 ** 6, min_calls=10 ** 6),
+            cache=None,
+        )
+        fallback = None
+    model = RegistryBackedModel(client)
+    engine = SelectionEngine(
+        uddi,
+        model,
+        policy=EpsilonGreedyPolicy(
+            epsilon=0.1, rng=world.seeds.rng("policy")
+        ),
+        fallback=fallback,
+    )
+    return engine, client, registry
+
+
+def run_chaos_deployment(
+    name: str, config: ChaosConfig = ChaosConfig()
+) -> ChaosReport:
+    """Run one deployment under the config's fault plan.
+
+    Every deployment rebuilds an identical world and fault plan from the
+    same seed, so cross-deployment differences are the architecture's.
+    """
+    if name not in DEPLOYMENTS:
+        raise ValueError(f"unknown deployment {name!r}")
+    world = make_world(
+        n_providers=config.n_providers,
+        services_per_provider=config.services_per_provider,
+        n_consumers=config.n_peers,
+        seed=config.seed,
+    )
+    consumer_ids = [c.consumer_id for c in world.consumers]
+    plan = build_fault_plan(config, consumer_ids, world)
+    network = Network(rng=world.seeds.rng("net"))
+    plan.attach(network)
+    invoker = InvocationEngine(
+        world.taxonomy,
+        rng=world.seeds.rng("invocations"),
+        fault_plan=plan,
+        timeout=Timeout(config.invocation_timeout),
+    )
+    uddi = UDDIRegistry()
+    for service in world.services:
+        uddi.publish(service.description)
+
+    registries: List[CentralQoSRegistry] = []
+    peers = []
+    client: Optional[ResilientQoSClient] = None
+    grid: Optional[PGrid] = None
+    if name == PGRID:
+        grid = PGrid(
+            consumer_ids,
+            replication=config.replication,
+            network=network,
+            rng=world.seeds.rng("pgrid"),
+        )
+        peers = grid.peers()
+        model = PGridBackedModel(grid, default_origin=consumer_ids[0])
+        engine = SelectionEngine(
+            uddi,
+            model,
+            policy=EpsilonGreedyPolicy(
+                epsilon=0.1, rng=world.seeds.rng("policy")
+            ),
+            fallback=StaleRankingFallback(),
+        )
+    else:
+        engine, client, registry = _make_central_engine(
+            world, uddi, network, config, resilient=(name == CENTRAL_RESILIENT)
+        )
+        registries.append(registry)
+
+    outage_windows = [
+        OutageWindow(start, end) for start, end in config.registry_outages
+    ]
+    best_quality = max(world.true_quality.values())
+    report = ChaosReport(name=name)
+
+    for round_index in range(config.rounds):
+        t = float(round_index)
+        plan.apply(t, network=network, registries=registries, peers=peers)
+        in_outage = any_active(outage_windows, t)
+        for consumer in world.consumers:
+            if plan.node_down(consumer.consumer_id, t):
+                continue  # a crashed consumer makes no attempt
+            report.attempts += 1
+            if in_outage:
+                report.outage_attempts += 1
+            stale_before = client.stale_queries if client else 0
+            degraded_before = engine.degraded_selections
+            try:
+                chosen = engine.select(
+                    world.category, consumer.consumer_id, now=t
+                )
+            except ReproError:
+                chosen = None
+            if chosen is None:
+                mode = MODE_UNAVAILABLE
+                report.unavailable += 1
+                if in_outage:
+                    report.outage_unavailable += 1
+            else:
+                used_stale = (
+                    client is not None
+                    and client.stale_queries > stale_before
+                )
+                used_fallback = (
+                    engine.degraded_selections > degraded_before
+                )
+                mode = (
+                    MODE_DEGRADED
+                    if used_stale or used_fallback
+                    else MODE_FRESH
+                )
+                if mode == MODE_DEGRADED:
+                    report.degraded += 1
+                    if in_outage:
+                        report.outage_degraded += 1
+                else:
+                    report.fresh += 1
+                    if in_outage:
+                        report.outage_fresh += 1
+                report.regrets.append(
+                    best_quality - world.true_quality[chosen]
+                )
+                interaction = invoker.invoke(
+                    consumer, world.service(chosen), t
+                )
+                feedback = consumer.rate(interaction, world.taxonomy)
+                engine.model.record(feedback)
+            report.trace.append(
+                (t, consumer.consumer_id, chosen, mode)
+            )
+
+    report.messages = network.stats.total_messages
+    report.messages_dropped = network.stats.dropped
+    if client is not None:
+        report.breaker_transitions = [
+            (when, str(frm), str(to))
+            for when, frm, to in client.breaker.transitions
+        ]
+        report.reports_lost = client.reports_lost
+    if grid is not None and isinstance(engine.model, PGridBackedModel):
+        report.reports_lost = engine.model.reports_lost
+    return report
+
+
+def run_chaos_comparison(
+    config: ChaosConfig = ChaosConfig(),
+    deployments: Sequence[str] = DEPLOYMENTS,
+) -> Dict[str, ChaosReport]:
+    """All deployments under the same plan, keyed by deployment name."""
+    return {
+        name: run_chaos_deployment(name, config) for name in deployments
+    }

@@ -1,0 +1,58 @@
+"""Fault injection and resilience for the selection stack.
+
+Three layers, used together by the chaos experiments:
+
+* :mod:`repro.faults.plan` — seeded, composable :class:`FaultPlan`
+  objects describing *what goes wrong when* (node churn, message
+  drop/delay/duplication, registry outage windows, slow providers);
+* :mod:`repro.faults.resilience` — client-side policies that keep the
+  pipeline correct anyway (:class:`RetryPolicy` with exponential
+  backoff + jitter, per-target :class:`CircuitBreaker`,
+  :class:`Timeout` budgets);
+* :mod:`repro.faults.degradation` — stale-cache fallbacks with
+  age-discounted confidence so selection degrades instead of failing.
+"""
+
+from repro.faults.degradation import (
+    StaleCache,
+    StaleRankingFallback,
+    StaleValue,
+    discounted_score,
+)
+from repro.faults.plan import (
+    ChurnSchedule,
+    FaultPlan,
+    MessageFaultInjector,
+    MessagePerturbation,
+    OutageWindow,
+    any_active,
+)
+from repro.faults.resilience import (
+    BreakerBoard,
+    BreakerState,
+    CallOutcome,
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryPolicy,
+    Timeout,
+)
+
+__all__ = [
+    "BreakerBoard",
+    "BreakerState",
+    "CallOutcome",
+    "ChurnSchedule",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "FaultPlan",
+    "MessageFaultInjector",
+    "MessagePerturbation",
+    "OutageWindow",
+    "RetryPolicy",
+    "StaleCache",
+    "StaleRankingFallback",
+    "StaleValue",
+    "Timeout",
+    "any_active",
+    "discounted_score",
+]

@@ -1,0 +1,308 @@
+"""Composable, seeded fault plans.
+
+Section 5 of the survey argues that a centralized reputation registry is
+a single point of failure while decentralized overlays degrade
+gracefully under node churn.  Testing that claim needs faults that are
+*reproducible*: the same seed must produce the same crash schedule, the
+same dropped messages, and the same slow-provider windows, so that two
+deployments can be compared under literally identical adversity.
+
+A :class:`FaultPlan` bundles four independent fault dimensions:
+
+* **node churn** — a :class:`ChurnSchedule` of crash/restart windows per
+  node, generated as a seeded renewal process (exponential uptime and
+  downtime), applied to the :class:`~repro.sim.network.Network` failed
+  set and to overlay peers' ``online`` flags;
+* **message faults** — a :class:`MessageFaultInjector` hook installed on
+  the network that drops, delays, or duplicates individual messages;
+* **registry unavailability** — explicit :class:`OutageWindow` lists per
+  registry node, driven into
+  :class:`~repro.registry.qos_registry.CentralQoSRegistry`;
+* **slow providers** — per-service windows during which response-time
+  metrics inflate by ``slowdown_factor``, so invocation-level timeouts
+  (:class:`~repro.faults.resilience.Timeout`) actually fire.
+
+Everything is driven from simulation time: call :meth:`FaultPlan.apply`
+at the start of each round to synchronise component state with the
+schedule.  Nothing here mutates global state or wall clocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import EntityId
+from repro.common.randomness import RngLike, make_rng
+
+if TYPE_CHECKING:  # avoid an import cycle with repro.sim.network
+    from repro.p2p.node import Peer
+    from repro.registry.qos_registry import CentralQoSRegistry
+    from repro.sim.network import Network
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """A half-open interval ``[start, end)`` during which a fault holds."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ConfigurationError("outage window must have end >= start")
+
+    def active(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def any_active(windows: Iterable[OutageWindow], time: float) -> bool:
+    """True when *time* falls inside any of *windows*."""
+    return any(w.active(time) for w in windows)
+
+
+class ChurnSchedule:
+    """Deterministic crash/restart windows per node.
+
+    The schedule is data, not behaviour: it holds the full timeline of
+    downtime windows for every node it covers, so the same schedule
+    object can drive two different deployments through identical churn.
+    """
+
+    def __init__(
+        self, windows: Mapping[EntityId, Sequence[OutageWindow]]
+    ) -> None:
+        self._windows: Dict[EntityId, Tuple[OutageWindow, ...]] = {
+            node: tuple(wins) for node, wins in windows.items()
+        }
+
+    @classmethod
+    def generate(
+        cls,
+        nodes: Sequence[EntityId],
+        horizon: float,
+        mean_uptime: float = 20.0,
+        mean_downtime: float = 3.0,
+        rng: RngLike = None,
+    ) -> "ChurnSchedule":
+        """Seeded renewal-process churn: up ~Exp(mean_uptime), down
+        ~Exp(mean_downtime), per node, until *horizon*.
+
+        Nodes are processed in sorted order so the schedule depends only
+        on the seed and the node *set*, not on input ordering.
+        """
+        if horizon <= 0:
+            raise ConfigurationError("horizon must be positive")
+        if mean_uptime <= 0 or mean_downtime <= 0:
+            raise ConfigurationError("mean up/downtime must be positive")
+        gen = make_rng(rng)
+        windows: Dict[EntityId, Tuple[OutageWindow, ...]] = {}
+        for node in sorted(nodes):
+            t = float(gen.exponential(mean_uptime))
+            wins = []
+            while t < horizon:
+                down = float(gen.exponential(mean_downtime))
+                wins.append(OutageWindow(t, t + down))
+                t += down + float(gen.exponential(mean_uptime))
+            windows[node] = tuple(wins)
+        return cls(windows)
+
+    def nodes(self) -> Tuple[EntityId, ...]:
+        return tuple(sorted(self._windows))
+
+    def windows_for(self, node: EntityId) -> Tuple[OutageWindow, ...]:
+        return self._windows.get(node, ())
+
+    def down(self, node: EntityId, time: float) -> bool:
+        return any_active(self._windows.get(node, ()), time)
+
+    def downtime(self, node: EntityId) -> float:
+        return sum(w.duration for w in self._windows.get(node, ()))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ChurnSchedule):
+            return NotImplemented
+        return self._windows == other._windows
+
+    def __repr__(self) -> str:
+        total = sum(len(w) for w in self._windows.values())
+        return (
+            f"ChurnSchedule({len(self._windows)} nodes, "
+            f"{total} outage windows)"
+        )
+
+
+@dataclass(frozen=True)
+class MessagePerturbation:
+    """What the fault injector decided for one message."""
+
+    drop: bool = False
+    extra_delay: float = 0.0
+    duplicates: int = 0
+
+
+class MessageFaultInjector:
+    """Seeded per-message drop / delay / duplication.
+
+    Installed on a :class:`~repro.sim.network.Network` (the network
+    consults it for every message between healthy nodes).  Decisions are
+    drawn from the injector's own generator, so the sequence of faults
+    is a deterministic function of the seed and the message order.
+
+    Args:
+        drop_rate: probability a message silently disappears in transit.
+        duplicate_rate: probability one extra copy is delivered.
+        delay_rate: probability the message is slowed by an extra
+            exponential delay of mean *extra_delay*.
+        kinds: when given, only message kinds in this set are perturbed
+            (lets a plan target e.g. only ``qos-query`` traffic).
+    """
+
+    def __init__(
+        self,
+        drop_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        extra_delay: float = 0.05,
+        kinds: Optional[Iterable[str]] = None,
+        rng: RngLike = None,
+    ) -> None:
+        for name, rate in (
+            ("drop_rate", drop_rate),
+            ("duplicate_rate", duplicate_rate),
+            ("delay_rate", delay_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]")
+        if extra_delay < 0:
+            raise ConfigurationError("extra_delay must be non-negative")
+        self.drop_rate = drop_rate
+        self.duplicate_rate = duplicate_rate
+        self.delay_rate = delay_rate
+        self.extra_delay = extra_delay
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        self._rng = make_rng(rng)
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+
+    def perturb(self, kind: str) -> MessagePerturbation:
+        """Decide the fate of one message of *kind*."""
+        if self.kinds is not None and kind not in self.kinds:
+            return MessagePerturbation()
+        if self.drop_rate > 0 and self._rng.random() < self.drop_rate:
+            self.dropped += 1
+            return MessagePerturbation(drop=True)
+        extra = 0.0
+        if self.delay_rate > 0 and self._rng.random() < self.delay_rate:
+            extra = float(self._rng.exponential(self.extra_delay))
+            self.delayed += 1
+        duplicates = 0
+        if (
+            self.duplicate_rate > 0
+            and self._rng.random() < self.duplicate_rate
+        ):
+            duplicates = 1
+            self.duplicated += 1
+        return MessagePerturbation(extra_delay=extra, duplicates=duplicates)
+
+
+@dataclass
+class FaultPlan:
+    """A composed, seeded schedule of everything that goes wrong.
+
+    All four dimensions are optional; an empty plan is a no-op.  The
+    plan is *pure data plus one hook*: time-window faults are pushed
+    into components via :meth:`apply`, while per-message faults are
+    pulled by the network through :attr:`message_faults`.
+    """
+
+    churn: Optional[ChurnSchedule] = None
+    message_faults: Optional[MessageFaultInjector] = None
+    registry_outages: Mapping[EntityId, Sequence[OutageWindow]] = field(
+        default_factory=dict
+    )
+    slow_services: Mapping[EntityId, Sequence[OutageWindow]] = field(
+        default_factory=dict
+    )
+    slowdown_factor: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.slowdown_factor < 1.0:
+            raise ConfigurationError("slowdown_factor must be >= 1")
+        self.registry_outages = {
+            node: tuple(wins) for node, wins in self.registry_outages.items()
+        }
+        self.slow_services = {
+            svc: tuple(wins) for svc, wins in self.slow_services.items()
+        }
+
+    # -- predicates ------------------------------------------------------
+    def node_down(self, node: EntityId, time: float) -> bool:
+        """True when *node* is crashed (churn or registry outage)."""
+        if self.churn is not None and self.churn.down(node, time):
+            return True
+        return any_active(self.registry_outages.get(node, ()), time)
+
+    def registry_down(self, registry_id: EntityId, time: float) -> bool:
+        return self.node_down(registry_id, time)
+
+    def slowdown(self, service: EntityId, time: float) -> float:
+        """Response-time inflation factor for *service* at *time*."""
+        if any_active(self.slow_services.get(service, ()), time):
+            return self.slowdown_factor
+        return 1.0
+
+    def scheduled_nodes(self) -> Tuple[EntityId, ...]:
+        nodes = set(self.registry_outages)
+        if self.churn is not None:
+            nodes.update(self.churn.nodes())
+        return tuple(sorted(nodes))
+
+    # -- application -----------------------------------------------------
+    def attach(self, network: "Network") -> None:
+        """Install the per-message fault hook on *network*."""
+        network.faults = self.message_faults
+
+    def apply(
+        self,
+        time: float,
+        network: Optional["Network"] = None,
+        registries: Iterable["CentralQoSRegistry"] = (),
+        peers: Iterable["Peer"] = (),
+    ) -> None:
+        """Synchronise component state with the schedule at *time*.
+
+        Idempotent: call it once per round (or as often as convenient).
+        Only nodes the plan actually schedules are touched, so faults
+        injected by other means are left alone.
+        """
+        if network is not None:
+            for node in self.scheduled_nodes():
+                if self.node_down(node, time):
+                    network.fail_node(node)
+                else:
+                    network.heal_node(node)
+        for registry in registries:
+            if self.registry_down(registry.registry_id, time):
+                registry.fail()
+            else:
+                registry.heal()
+        for peer in peers:
+            if self.node_down(peer.peer_id, time):
+                peer.crash()
+            else:
+                peer.restart()

@@ -69,7 +69,7 @@ class DistributedServiceRegistry:
                 delivered = self.grid.network.send(
                     origin, holder_id, kind="discovery-publish"
                 )
-                if delivered is None:
+                if not delivered:
                     continue
             if not holder.online:
                 continue

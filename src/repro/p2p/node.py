@@ -22,6 +22,22 @@ class Peer:
         self.store = FeedbackStore()
         self.neighbors: Set[EntityId] = set()
         self.online = True
+        self.crash_count = 0
+
+    def crash(self) -> None:
+        """Take the peer offline (churn); local storage survives.
+
+        Overlay reputation data is durable on disk in the systems the
+        survey covers — what churn costs is availability and missed
+        replication traffic, not the peer's history.
+        """
+        if self.online:
+            self.crash_count += 1
+        self.online = False
+
+    def restart(self) -> None:
+        """Bring the peer back online with its pre-crash store intact."""
+        self.online = True
 
     def add_neighbor(self, other: EntityId) -> None:
         if other != self.peer_id:

@@ -471,7 +471,7 @@ class PGrid:
                 delivered = self.network.send(
                     target.peer_id, replica_id, kind="pgrid-replicate"
                 )
-                if delivered is None:
+                if not delivered:
                     continue
             if replica.online:
                 replica.store.add(feedback)

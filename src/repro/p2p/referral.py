@@ -169,7 +169,7 @@ class ReferralNetwork:
                         delivered = self.network.send(
                             agent_id, neighbor_id, kind="referral-query"
                         )
-                        if delivered is None:
+                        if not delivered:
                             continue
                     next_frontier.append((neighbor_id, chain + (neighbor_id,)))
             frontier = next_frontier

@@ -122,7 +122,7 @@ class UnstructuredOverlay:
                     delivered = self.network.send(
                         peer.peer_id, neighbor_id, kind="flood-query"
                     )
-                    if delivered is None:
+                    if not delivered:
                         continue
                 neighbor = self._peers.get(neighbor_id)
                 if neighbor is not None:

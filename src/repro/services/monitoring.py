@@ -26,6 +26,7 @@ from repro.common.ids import EntityId
 from repro.common.mathutils import safe_mean
 from repro.common.randomness import RngLike, make_rng
 from repro.common.records import Feedback
+from repro.faults.resilience import RetryPolicy
 from repro.services.invocation import InvocationEngine
 from repro.services.provider import Service
 from repro.services.qos import QoSTaxonomy
@@ -154,22 +155,45 @@ class ThirdPartyMonitor:
     Cheaper than sensors (no per-service hardware) but the probing
     burden concentrates on one node — the "too much burden on the
     central node" drawback.
+
+    Args:
+        retry: optional :class:`~repro.faults.resilience.RetryPolicy`;
+            a failed probe is retried within the same round (each retry
+            is a real probe, so the cost accounting still charges it),
+            which separates transient invocation failures from a service
+            that is genuinely down.
     """
 
-    def __init__(self, engine: InvocationEngine, monitor_id: EntityId = "third-party") -> None:
+    def __init__(
+        self,
+        engine: InvocationEngine,
+        monitor_id: EntityId = "third-party",
+        retry: Optional["RetryPolicy"] = None,
+    ) -> None:
         self.engine = engine
         self.monitor_id = monitor_id
+        self.retry = retry
         self.reports: Dict[EntityId, MonitoringReport] = {}
         self.probe_count = 0
+        self.retried_probes = 0
 
     def probe(self, service: Service, time: float) -> MonitoringReport:
         interaction = self.engine.invoke_anonymous(self.monitor_id, service, time)
+        self.probe_count += 1
+        if self.retry is not None and not interaction.success:
+            for _ in range(1, self.retry.max_attempts):
+                self.retried_probes += 1
+                self.probe_count += 1
+                interaction = self.engine.invoke_anonymous(
+                    self.monitor_id, service, time
+                )
+                if interaction.success:
+                    break
         report = self.reports.setdefault(
             service.service_id, MonitoringReport(service.service_id)
         )
         report.record(interaction.observations, interaction.success,
                       self.engine.taxonomy)
-        self.probe_count += 1
         return report
 
     def sweep(self, services: "list[Service]", time: float) -> None:

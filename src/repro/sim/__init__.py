@@ -9,6 +9,13 @@ message/cost accounting.
 
 from repro.sim.clock import Clock
 from repro.sim.kernel import Event, Simulator
-from repro.sim.network import MessageStats, Network
+from repro.sim.network import DeliveryOutcome, MessageStats, Network
 
-__all__ = ["Clock", "Event", "MessageStats", "Network", "Simulator"]
+__all__ = [
+    "Clock",
+    "DeliveryOutcome",
+    "Event",
+    "MessageStats",
+    "Network",
+    "Simulator",
+]

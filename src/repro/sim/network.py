@@ -1,10 +1,18 @@
-"""Network model: message accounting and latency.
+"""Network model: message accounting, latency, and fault injection.
 
 The survey's comparative claims about centralized vs. decentralized
 mechanisms are about *cost* — messages exchanged, load concentration,
 single points of failure.  :class:`Network` provides exactly that: every
 component sends logical messages through it, and experiments read the
 aggregated statistics afterwards.
+
+Delivery is *observable*: :meth:`Network.send` returns a typed
+:class:`DeliveryOutcome` rather than a bare latency, so callers can
+distinguish a delivered message (and its latency) from a drop and its
+reason, and :class:`MessageStats` accounts drops per reason.  A
+:class:`~repro.faults.plan.MessageFaultInjector` can be installed on
+:attr:`Network.faults` to drop, delay, or duplicate individual messages
+between otherwise healthy nodes.
 """
 
 from __future__ import annotations
@@ -16,6 +24,36 @@ from typing import Dict, Optional, Set
 from repro.common.ids import EntityId
 from repro.common.randomness import RngLike, make_rng
 
+#: Drop reasons used by :meth:`Network.send`.
+SENDER_FAILED = "sender-failed"
+RECEIVER_FAILED = "receiver-failed"
+FAULT_INJECTED = "fault-injected"
+
+
+@dataclass(frozen=True)
+class DeliveryOutcome:
+    """What happened to one message.
+
+    Truthy exactly when the message was delivered, so call sites read
+    ``if not outcome: ...`` for the failure path.
+
+    Attributes:
+        delivered: whether the receiver got the message.
+        latency: delivery latency; None when dropped.
+        reason: drop reason (one of :data:`SENDER_FAILED`,
+            :data:`RECEIVER_FAILED`, :data:`FAULT_INJECTED`); None when
+            delivered.
+        duplicates: extra fault-injected copies the receiver also got.
+    """
+
+    delivered: bool
+    latency: Optional[float] = None
+    reason: Optional[str] = None
+    duplicates: int = 0
+
+    def __bool__(self) -> bool:
+        return self.delivered
+
 
 @dataclass
 class MessageStats:
@@ -23,9 +61,23 @@ class MessageStats:
 
     total_messages: int = 0
     total_bytes: int = 0
+    dropped: int = 0
+    duplicated: int = 0
     by_kind: Counter = field(default_factory=Counter)
     sent_by: Counter = field(default_factory=Counter)
     received_by: Counter = field(default_factory=Counter)
+    drops_by_reason: Counter = field(default_factory=Counter)
+
+    @property
+    def delivered(self) -> int:
+        """Messages that reached their receiver (excluding duplicates)."""
+        return self.total_messages - self.dropped
+
+    def drop_rate(self) -> float:
+        """Fraction of sent messages that were not delivered."""
+        if self.total_messages == 0:
+            return 0.0
+        return self.dropped / self.total_messages
 
     def load_imbalance(self) -> float:
         """Max/mean ratio of per-node received messages (1.0 = balanced).
@@ -43,12 +95,18 @@ class MessageStats:
 
 
 class Network:
-    """Logical message fabric with per-node failure and latency.
+    """Logical message fabric with per-node failure, latency, and faults.
 
     Components call :meth:`send` for every logical message; the network
-    records it and returns the delivery latency (or ``None`` when the
-    destination is failed/partitioned).  Latency is ``base_latency`` plus
-    an exponential jitter term.
+    records it and returns a :class:`DeliveryOutcome`.  Latency is
+    ``base_latency`` plus an exponential jitter term plus any
+    fault-injected delay.
+
+    Attributes:
+        faults: optional message fault injector (anything with a
+            ``perturb(kind) -> MessagePerturbation`` method, normally a
+            :class:`~repro.faults.plan.MessageFaultInjector`) consulted
+            for every message between healthy nodes.
     """
 
     def __init__(
@@ -56,6 +114,7 @@ class Network:
         base_latency: float = 0.01,
         jitter: float = 0.005,
         rng: RngLike = None,
+        faults=None,
     ) -> None:
         if base_latency < 0 or jitter < 0:
             raise ValueError("latency parameters must be non-negative")
@@ -63,6 +122,7 @@ class Network:
         self._jitter = jitter
         self._rng = make_rng(rng)
         self._failed: Set[EntityId] = set()
+        self.faults = faults
         self.stats = MessageStats()
 
     def fail_node(self, node: EntityId) -> None:
@@ -75,29 +135,53 @@ class Network:
     def is_failed(self, node: EntityId) -> bool:
         return node in self._failed
 
+    def failed_nodes(self) -> Set[EntityId]:
+        return set(self._failed)
+
+    def _drop(self, kind: str, reason: str) -> DeliveryOutcome:
+        self.stats.dropped += 1
+        self.stats.drops_by_reason[reason] += 1
+        return DeliveryOutcome(delivered=False, reason=reason)
+
     def send(
         self,
         sender: EntityId,
         receiver: EntityId,
         kind: str = "message",
         size: int = 1,
-    ) -> Optional[float]:
-        """Record one logical message; return latency or None if undeliverable.
+    ) -> DeliveryOutcome:
+        """Record one logical message and return its delivery outcome.
 
         Messages to failed nodes still count as *sent* (the sender paid
-        for them) but are not delivered.
+        for them) but are dropped; the outcome says which end failed.
+        Fault-injected drops, delays, and duplications apply only
+        between healthy nodes.
         """
         self.stats.total_messages += 1
         self.stats.total_bytes += size
         self.stats.by_kind[kind] += 1
         self.stats.sent_by[sender] += 1
-        if receiver in self._failed or sender in self._failed:
-            return None
-        self.stats.received_by[receiver] += 1
-        latency = self._base_latency
+        if sender in self._failed:
+            return self._drop(kind, SENDER_FAILED)
+        if receiver in self._failed:
+            return self._drop(kind, RECEIVER_FAILED)
+        extra_delay = 0.0
+        duplicates = 0
+        if self.faults is not None:
+            perturbation = self.faults.perturb(kind)
+            if perturbation.drop:
+                return self._drop(kind, FAULT_INJECTED)
+            extra_delay = perturbation.extra_delay
+            duplicates = perturbation.duplicates
+        self.stats.received_by[receiver] += 1 + duplicates
+        if duplicates:
+            self.stats.duplicated += duplicates
+        latency = self._base_latency + extra_delay
         if self._jitter > 0:
             latency += float(self._rng.exponential(self._jitter))
-        return latency
+        return DeliveryOutcome(
+            delivered=True, latency=latency, duplicates=duplicates
+        )
 
     def reset_stats(self) -> None:
         self.stats = MessageStats()

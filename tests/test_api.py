@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.common",
     "repro.core",
     "repro.experiments",
+    "repro.faults",
     "repro.models",
     "repro.p2p",
     "repro.registry",

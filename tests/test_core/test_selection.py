@@ -104,3 +104,81 @@ class TestSelectionEngine:
         ranking = engine.rank("weather")
         assert ranking[0].target == "good-svc"
         assert ranking[0].score > ranking[1].score
+
+
+# ---------------------------------------------------------------------------
+# Graceful degradation: stale-ranking fallback
+# ---------------------------------------------------------------------------
+
+from repro.common.errors import RegistryError  # noqa: E402
+from repro.faults.degradation import StaleRankingFallback  # noqa: E402
+from repro.models.base import ReputationModel  # noqa: E402
+
+
+class FlickeringModel(ReputationModel):
+    """Scores 0.9/0.1 while up; raises RegistryError while down."""
+
+    name = "flickering"
+
+    def __init__(self):
+        self.up = True
+
+    def record(self, feedback):
+        pass
+
+    def score(self, target, perspective=None, now=None):
+        if not self.up:
+            raise RegistryError("backend down")
+        return 0.9 if target == "good" else 0.1
+
+
+def degradable_engine(fallback=None):
+    registry = UDDIRegistry()
+    for svc in ("good", "bad"):
+        registry.publish(
+            ServiceDescription(service=svc, provider="p", category="cat")
+        )
+    model = FlickeringModel()
+    return SelectionEngine(registry, model, fallback=fallback), model
+
+
+class TestSelectionFallback:
+    def test_no_fallback_propagates_failure(self):
+        engine, model = degradable_engine()
+        model.up = False
+        with pytest.raises(RegistryError):
+            engine.select("cat", now=0.0)
+        assert engine.degraded_selections == 0
+
+    def test_degrades_to_cached_ranking(self):
+        engine, model = degradable_engine(StaleRankingFallback())
+        assert engine.select("cat", now=0.0) == "good"
+        model.up = False
+        assert engine.select("cat", now=1.0) == "good"
+        assert engine.degraded_selections == 1
+        assert engine.selections_made == 2
+
+    def test_cold_cache_failure_returns_none(self):
+        engine, model = degradable_engine(StaleRankingFallback())
+        model.up = False
+        assert engine.select("cat", now=0.0) is None
+        assert engine.failed_selections == 1
+        assert engine.degraded_selections == 0
+
+    def test_fallback_is_per_category_and_perspective(self):
+        engine, model = degradable_engine(StaleRankingFallback())
+        engine.select("cat", perspective="c0", now=0.0)
+        model.up = False
+        # same category, different perspective: cold key
+        assert engine.select("cat", perspective="c1", now=1.0) is None
+        assert engine.select("cat", perspective="c0", now=1.0) == "good"
+
+    def test_recovery_resumes_fresh_path(self):
+        engine, model = degradable_engine(StaleRankingFallback())
+        engine.select("cat", now=0.0)
+        model.up = False
+        engine.select("cat", now=1.0)
+        model.up = True
+        engine.select("cat", now=2.0)
+        assert engine.degraded_selections == 1
+        assert engine.failed_selections == 0

@@ -1,0 +1,114 @@
+"""Tests for the chaos experiment driver (small configs for speed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.chaos import (
+    CENTRAL_NAIVE,
+    CENTRAL_RESILIENT,
+    DEPLOYMENTS,
+    PGRID,
+    ChaosConfig,
+    ChaosReport,
+    build_fault_plan,
+    run_chaos_comparison,
+    run_chaos_deployment,
+)
+from repro.experiments.workloads import make_world
+
+SMALL = ChaosConfig(
+    seed=3,
+    n_peers=8,
+    n_providers=2,
+    services_per_provider=2,
+    rounds=12,
+    registry_outages=((4.0, 8.0),),
+    slow_window=(5.0, 7.0),
+)
+
+
+class TestChaosDeployment:
+    def test_unknown_deployment_rejected(self):
+        with pytest.raises(ValueError):
+            run_chaos_deployment("mainframe", SMALL)
+
+    def test_trace_covers_every_up_consumer_round(self):
+        report = run_chaos_deployment(CENTRAL_NAIVE, SMALL)
+        assert report.attempts == len(report.trace)
+        assert report.attempts <= SMALL.rounds * SMALL.n_peers
+        assert (
+            report.fresh + report.degraded + report.unavailable
+            == report.attempts
+        )
+
+    def test_deterministic_given_config(self):
+        for name in DEPLOYMENTS:
+            first = run_chaos_deployment(name, SMALL)
+            second = run_chaos_deployment(name, SMALL)
+            assert first.trace == second.trace
+            assert first.messages == second.messages
+            assert first.breaker_transitions == second.breaker_transitions
+
+    def test_seed_changes_trace(self):
+        base = run_chaos_deployment(CENTRAL_NAIVE, SMALL)
+        other = run_chaos_deployment(
+            CENTRAL_NAIVE, ChaosConfig(**{**SMALL.__dict__, "seed": 4})
+        )
+        assert base.trace != other.trace
+
+    def test_naive_unavailable_during_outage(self):
+        report = run_chaos_deployment(CENTRAL_NAIVE, SMALL)
+        assert report.outage_attempts > 0
+        assert report.outage_fresh == 0
+        assert report.outage_unavailable == report.outage_attempts
+
+    def test_resilient_serves_degraded_during_outage(self):
+        report = run_chaos_deployment(CENTRAL_RESILIENT, SMALL)
+        assert report.outage_degraded > 0
+        assert report.outage_unavailable == 0
+
+    def test_comparison_runs_all_deployments(self):
+        reports = run_chaos_comparison(SMALL)
+        assert set(reports) == set(DEPLOYMENTS)
+        assert all(isinstance(r, ChaosReport) for r in reports.values())
+
+    def test_report_rate_properties(self):
+        empty = ChaosReport(name="empty")
+        assert empty.availability == 0.0
+        assert empty.outage_availability == 1.0  # no outage attempts
+        assert empty.mean_regret == 0.0
+
+
+class TestBuildFaultPlan:
+    def test_plan_schedules_registry_and_slow_service(self):
+        world = make_world(
+            n_providers=2, services_per_provider=2, n_consumers=4, seed=3
+        )
+        nodes = [c.consumer_id for c in world.consumers]
+        plan = build_fault_plan(SMALL, nodes, world)
+        assert plan.registry_down(SMALL.registry_id, 5.0)
+        assert not plan.registry_down(SMALL.registry_id, 9.0)
+        assert plan.slowdown(world.best_service(), 6.0) == SMALL.slowdown_factor
+
+    def test_plan_is_seed_deterministic(self):
+        world_a = make_world(
+            n_providers=2, services_per_provider=2, n_consumers=4, seed=3
+        )
+        world_b = make_world(
+            n_providers=2, services_per_provider=2, n_consumers=4, seed=3
+        )
+        nodes = [c.consumer_id for c in world_a.consumers]
+        plan_a = build_fault_plan(SMALL, nodes, world_a)
+        plan_b = build_fault_plan(SMALL, nodes, world_b)
+        assert plan_a.churn == plan_b.churn
+
+    def test_zero_drop_rate_installs_no_injector(self):
+        config = ChaosConfig(**{**SMALL.__dict__, "drop_rate": 0.0})
+        world = make_world(
+            n_providers=2, services_per_provider=2, n_consumers=4, seed=3
+        )
+        plan = build_fault_plan(
+            config, [c.consumer_id for c in world.consumers], world
+        )
+        assert plan.message_faults is None

@@ -1,0 +1,221 @@
+"""Fault plans: outage windows, churn schedules, message perturbation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.randomness import SeedSequenceFactory
+from repro.faults.plan import (
+    ChurnSchedule,
+    FaultPlan,
+    MessageFaultInjector,
+    MessagePerturbation,
+    OutageWindow,
+    any_active,
+)
+from repro.p2p.node import Peer
+from repro.registry.qos_registry import CentralQoSRegistry
+from repro.sim.network import Network
+
+
+class TestOutageWindow:
+    def test_half_open_interval(self):
+        window = OutageWindow(2.0, 5.0)
+        assert not window.active(1.9)
+        assert window.active(2.0)
+        assert window.active(4.999)
+        assert not window.active(5.0)
+
+    def test_duration(self):
+        assert OutageWindow(2.0, 5.0).duration == 3.0
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ConfigurationError):
+            OutageWindow(5.0, 2.0)
+
+    def test_any_active(self):
+        windows = [OutageWindow(0.0, 1.0), OutageWindow(4.0, 6.0)]
+        assert any_active(windows, 0.5)
+        assert not any_active(windows, 2.0)
+        assert any_active(windows, 5.0)
+        assert not any_active([], 0.0)
+
+
+class TestChurnSchedule:
+    def test_same_seed_same_schedule(self):
+        nodes = [f"n{i}" for i in range(8)]
+        a = ChurnSchedule.generate(
+            nodes, horizon=100.0, rng=SeedSequenceFactory(7).rng("churn")
+        )
+        b = ChurnSchedule.generate(
+            nodes, horizon=100.0, rng=SeedSequenceFactory(7).rng("churn")
+        )
+        assert a == b
+
+    def test_order_insensitive(self):
+        nodes = [f"n{i}" for i in range(8)]
+        a = ChurnSchedule.generate(
+            nodes, horizon=100.0, rng=SeedSequenceFactory(7).rng("churn")
+        )
+        b = ChurnSchedule.generate(
+            list(reversed(nodes)),
+            horizon=100.0,
+            rng=SeedSequenceFactory(7).rng("churn"),
+        )
+        assert a == b
+
+    def test_different_seed_differs(self):
+        nodes = [f"n{i}" for i in range(8)]
+        a = ChurnSchedule.generate(
+            nodes, horizon=200.0, rng=SeedSequenceFactory(1).rng("churn")
+        )
+        b = ChurnSchedule.generate(
+            nodes, horizon=200.0, rng=SeedSequenceFactory(2).rng("churn")
+        )
+        assert a != b
+
+    def test_windows_within_horizon_start(self):
+        schedule = ChurnSchedule.generate(
+            ["a", "b", "c"],
+            horizon=50.0,
+            mean_uptime=5.0,
+            mean_downtime=2.0,
+            rng=SeedSequenceFactory(3).rng("churn"),
+        )
+        for node in schedule.nodes():
+            for window in schedule.windows_for(node):
+                assert 0.0 <= window.start < 50.0
+                assert window.end > window.start
+
+    def test_down_matches_windows(self):
+        schedule = ChurnSchedule(
+            {"a": [OutageWindow(1.0, 2.0), OutageWindow(5.0, 7.0)]}
+        )
+        assert not schedule.down("a", 0.5)
+        assert schedule.down("a", 1.5)
+        assert not schedule.down("a", 3.0)
+        assert schedule.down("a", 6.0)
+        assert not schedule.down("missing", 1.5)
+        assert schedule.downtime("a") == pytest.approx(3.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ChurnSchedule.generate(["a"], horizon=0.0)
+        with pytest.raises(ConfigurationError):
+            ChurnSchedule.generate(["a"], horizon=10.0, mean_uptime=0.0)
+
+
+class TestMessageFaultInjector:
+    def test_zero_rates_are_noop(self):
+        injector = MessageFaultInjector(rng=0)
+        for _ in range(50):
+            assert injector.perturb("any") == MessagePerturbation()
+        assert injector.dropped == injector.duplicated == injector.delayed == 0
+
+    def test_drop_rate_one_drops_everything(self):
+        injector = MessageFaultInjector(drop_rate=1.0, rng=0)
+        for _ in range(10):
+            assert injector.perturb("any").drop
+        assert injector.dropped == 10
+
+    def test_kind_filter(self):
+        injector = MessageFaultInjector(
+            drop_rate=1.0, kinds=["qos-query"], rng=0
+        )
+        assert not injector.perturb("feedback-report").drop
+        assert injector.perturb("qos-query").drop
+
+    def test_deterministic_sequence(self):
+        make = lambda: MessageFaultInjector(
+            drop_rate=0.3,
+            duplicate_rate=0.2,
+            delay_rate=0.2,
+            rng=SeedSequenceFactory(5).rng("faults"),
+        )
+        a, b = make(), make()
+        seq_a = [a.perturb("m") for _ in range(200)]
+        seq_b = [b.perturb("m") for _ in range(200)]
+        assert seq_a == seq_b
+        assert a.dropped == b.dropped > 0
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ConfigurationError):
+            MessageFaultInjector(drop_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            MessageFaultInjector(extra_delay=-1.0)
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_noop(self):
+        plan = FaultPlan()
+        assert not plan.node_down("x", 0.0)
+        assert plan.slowdown("svc", 0.0) == 1.0
+        assert plan.scheduled_nodes() == ()
+        plan.apply(0.0)  # nothing to touch, nothing raises
+
+    def test_slowdown_window(self):
+        plan = FaultPlan(
+            slow_services={"svc-1": [OutageWindow(5.0, 10.0)]},
+            slowdown_factor=8.0,
+        )
+        assert plan.slowdown("svc-1", 4.0) == 1.0
+        assert plan.slowdown("svc-1", 5.0) == 8.0
+        assert plan.slowdown("svc-1", 10.0) == 1.0
+        assert plan.slowdown("other", 7.0) == 1.0
+
+    def test_rejects_speedup(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(slowdown_factor=0.5)
+
+    def test_apply_drives_network_registry_and_peers(self):
+        plan = FaultPlan(
+            churn=ChurnSchedule({"peer-0": [OutageWindow(1.0, 3.0)]}),
+            registry_outages={"reg": [OutageWindow(2.0, 4.0)]},
+        )
+        net = Network(rng=0)
+        registry = CentralQoSRegistry(registry_id="reg")
+        peer = Peer("peer-0")
+
+        plan.apply(0.0, network=net, registries=[registry], peers=[peer])
+        assert "peer-0" not in net.failed_nodes()
+        assert not registry.is_failed
+        assert peer.online
+
+        plan.apply(2.0, network=net, registries=[registry], peers=[peer])
+        assert "peer-0" in net.failed_nodes()
+        assert registry.is_failed
+        assert not peer.online
+        assert peer.crash_count == 1
+
+        plan.apply(3.5, network=net, registries=[registry], peers=[peer])
+        assert "peer-0" not in net.failed_nodes()
+        assert registry.is_failed  # registry window still open
+        assert peer.online
+
+        plan.apply(4.0, network=net, registries=[registry], peers=[peer])
+        assert not registry.is_failed
+
+    def test_apply_is_idempotent_per_round(self):
+        plan = FaultPlan(
+            churn=ChurnSchedule({"p": [OutageWindow(0.0, 10.0)]})
+        )
+        peer = Peer("p")
+        for _ in range(5):
+            plan.apply(1.0, peers=[peer])
+        assert peer.crash_count == 1  # repeated applies do not re-crash
+
+    def test_attach_installs_message_hook(self):
+        injector = MessageFaultInjector(drop_rate=1.0, rng=0)
+        plan = FaultPlan(message_faults=injector)
+        net = Network(rng=0)
+        plan.attach(net)
+        assert net.faults is injector
+        assert not net.send("a", "b")
+        assert net.stats.dropped == 1
+
+    def test_node_down_includes_registry_outages(self):
+        plan = FaultPlan(registry_outages={"reg": [OutageWindow(0.0, 2.0)]})
+        assert plan.node_down("reg", 1.0)
+        assert plan.registry_down("reg", 1.0)
+        assert not plan.node_down("reg", 2.0)

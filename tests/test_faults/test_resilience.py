@@ -1,0 +1,234 @@
+"""Retry policies, circuit breakers, timeouts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError, RegistryError, ReproError
+from repro.common.randomness import SeedSequenceFactory
+from repro.faults.resilience import (
+    BreakerBoard,
+    BreakerState,
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryPolicy,
+    Timeout,
+)
+
+
+class TestTimeout:
+    def test_budget_is_inclusive(self):
+        timeout = Timeout(2.0)
+        assert not timeout.exceeded(1.9)
+        assert not timeout.exceeded(2.0)
+        assert timeout.exceeded(2.001)
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ConfigurationError):
+            Timeout(0.0)
+
+
+class TestRetryPolicy:
+    def test_success_first_try(self):
+        policy = RetryPolicy(max_attempts=3, rng=0)
+        outcome = policy.call(lambda: 42)
+        assert outcome.succeeded
+        assert outcome.value == 42
+        assert outcome.attempts == 1
+        assert outcome.backoff_delay == 0.0
+        assert policy.retries_used == 0
+
+    def test_eventual_success(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RegistryError("transient")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=3, rng=0)
+        outcome = policy.call(flaky, retry_on=(RegistryError,))
+        assert outcome.succeeded
+        assert outcome.value == "ok"
+        assert outcome.attempts == 3
+        assert outcome.backoff_delay > 0
+        assert policy.retries_used == 2
+
+    def test_exhaustion_returns_error_not_raises(self):
+        def always_fails():
+            raise RegistryError("down")
+
+        policy = RetryPolicy(max_attempts=2, rng=0)
+        outcome = policy.call(always_fails, retry_on=(RegistryError,))
+        assert not outcome.succeeded
+        assert outcome.value is None
+        assert isinstance(outcome.error, RegistryError)
+        assert outcome.attempts == 2
+
+    def test_unlisted_exceptions_propagate(self):
+        policy = RetryPolicy(max_attempts=3, rng=0)
+        with pytest.raises(ValueError):
+            policy.call(
+                lambda: (_ for _ in ()).throw(ValueError("bug")),
+                retry_on=(ReproError,),
+            )
+
+    def test_backoff_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=10.0, jitter=0.0
+        )
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.4)
+
+    def test_backoff_caps_at_max_delay(self):
+        policy = RetryPolicy(
+            base_delay=1.0, multiplier=10.0, max_delay=3.0, jitter=0.0
+        )
+        assert policy.backoff(5) == pytest.approx(3.0)
+
+    def test_jitter_stays_in_relative_band(self):
+        policy = RetryPolicy(
+            base_delay=1.0, multiplier=1.0, max_delay=1.0, jitter=0.5,
+            rng=SeedSequenceFactory(0).rng("retry"),
+        )
+        for attempt in range(1, 50):
+            assert 0.5 <= policy.backoff(1) <= 1.5
+
+    def test_jitter_is_deterministic_under_seed(self):
+        make = lambda: RetryPolicy(
+            jitter=0.5, rng=SeedSequenceFactory(9).rng("retry")
+        )
+        a, b = make(), make()
+        assert [a.backoff(i) for i in range(1, 10)] == [
+            b.backoff(i) for i in range(1, 10)
+        ]
+
+    def test_on_retry_callback(self):
+        seen = []
+        policy = RetryPolicy(max_attempts=3, rng=0)
+        policy.call(
+            lambda: (_ for _ in ()).throw(RegistryError("x")),
+            retry_on=(RegistryError,),
+            on_retry=lambda attempt, exc: seen.append(attempt),
+        )
+        assert seen == [1, 2]
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=2.0)
+
+
+def trip(breaker: CircuitBreaker, now: float = 0.0, failures: int = 4):
+    for _ in range(failures):
+        assert breaker.allow(now)
+        breaker.record_failure(now)
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self):
+        breaker = CircuitBreaker()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow(0.0)
+
+    def test_opens_at_failure_rate_threshold(self):
+        breaker = CircuitBreaker(
+            failure_rate_threshold=0.5, window=10, min_calls=4
+        )
+        breaker.record_failure(0.0)
+        breaker.record_success(0.0)
+        breaker.record_failure(0.0)
+        assert breaker.state is BreakerState.CLOSED  # below min_calls
+        breaker.record_failure(0.0)  # 3/4 failures >= 0.5
+        assert breaker.state is BreakerState.OPEN
+
+    def test_open_refuses_until_recovery_timeout(self):
+        breaker = CircuitBreaker(recovery_timeout=5.0)
+        trip(breaker, now=10.0)
+        assert not breaker.allow(12.0)
+        assert breaker.calls_refused == 1
+        assert breaker.allow(15.0)  # 10 + 5 elapsed -> half-open trial
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_meters_trial_calls(self):
+        breaker = CircuitBreaker(recovery_timeout=1.0, half_open_max_calls=1)
+        trip(breaker, now=0.0)
+        assert breaker.allow(2.0)  # the one trial
+        assert not breaker.allow(2.0)  # metered out
+
+    def test_half_open_failure_reopens(self):
+        breaker = CircuitBreaker(recovery_timeout=1.0)
+        trip(breaker, now=0.0)
+        assert breaker.allow(2.0)
+        breaker.record_failure(2.0)
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow(2.5)
+        assert breaker.allow(3.0)  # re-probes after another timeout
+
+    def test_half_open_success_closes_and_clears(self):
+        breaker = CircuitBreaker(recovery_timeout=1.0)
+        trip(breaker, now=0.0)
+        assert breaker.allow(2.0)
+        breaker.record_success(2.0)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.failure_rate == 0.0  # window cleared on close
+
+    def test_full_cycle_recorded_in_transitions(self):
+        breaker = CircuitBreaker(recovery_timeout=1.0)
+        trip(breaker, now=0.0)
+        breaker.allow(2.0)
+        breaker.record_success(2.0)
+        assert [(frm, to) for _, frm, to in breaker.transitions] == [
+            (BreakerState.CLOSED, BreakerState.OPEN),
+            (BreakerState.OPEN, BreakerState.HALF_OPEN),
+            (BreakerState.HALF_OPEN, BreakerState.CLOSED),
+        ]
+        assert breaker.saw_states(
+            BreakerState.CLOSED, BreakerState.OPEN, BreakerState.HALF_OPEN
+        )
+
+    def test_sliding_window_forgets_old_failures(self):
+        breaker = CircuitBreaker(window=4, min_calls=4)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.0)
+        for _ in range(4):
+            breaker.record_success(0.0)
+        # the two failures have slid out of the window
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.failure_rate == 0.0
+
+    def test_guard_raises_circuit_open(self):
+        breaker = CircuitBreaker(recovery_timeout=100.0)
+        trip(breaker, now=0.0)
+        with pytest.raises(CircuitOpenError):
+            breaker.guard(1.0)
+        # CircuitOpenError is a library error, so resilience layers above
+        # (stale fallback) can catch it uniformly.
+        assert issubclass(CircuitOpenError, ReproError)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_rate_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(window=2, min_calls=3)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(recovery_timeout=0.0)
+
+
+class TestBreakerBoard:
+    def test_per_target_isolation(self):
+        board = BreakerBoard(min_calls=2, window=2)
+        trip(board.for_target("bad"), failures=2)
+        assert board.for_target("bad").state is BreakerState.OPEN
+        assert board.for_target("good").state is BreakerState.CLOSED
+        assert board.open_targets() == ["bad"]
+
+    def test_same_breaker_returned(self):
+        board = BreakerBoard()
+        assert board.for_target("x") is board.for_target("x")
+        assert set(board.breakers()) == {"x"}

@@ -135,3 +135,152 @@ class TestCentralQoSRegistry:
         result = reg.query_many("c0", ["a", "b", "c"])
         assert len(result["a"]) == 1
         assert result["c"] == []
+
+
+# ---------------------------------------------------------------------------
+# Resilient client: retry + breaker + stale fallback
+# ---------------------------------------------------------------------------
+
+from repro.faults.degradation import StaleCache  # noqa: E402
+from repro.faults.resilience import (  # noqa: E402
+    BreakerBoard,
+    BreakerState,
+    RetryPolicy,
+)
+from repro.registry.qos_registry import (  # noqa: E402
+    FRESH,
+    STALE,
+    UNAVAILABLE,
+    ResilientQoSClient,
+)
+
+
+def make_client(registry=None, **kwargs):
+    registry = registry or CentralQoSRegistry()
+    kwargs.setdefault("retry", RetryPolicy(max_attempts=2, rng=0))
+    return registry, ResilientQoSClient(registry, **kwargs)
+
+
+class TestResilientQoSClient:
+    def test_fresh_query_passes_through(self):
+        reg, client = make_client()
+        reg.report(fb(rating=0.7))
+        result = client.query("c0", "s0", now=0.0)
+        assert result.source == FRESH
+        assert result.confidence == 1.0
+        assert [f.rating for f in result.feedback] == [0.7]
+        assert client.fresh_queries == 1
+
+    def test_outage_serves_stale_with_discounted_confidence(self):
+        reg, client = make_client()
+        reg.report(fb(rating=0.7))
+        client.query("c0", "s0", now=0.0)  # primes the cache
+        reg.fail()
+        result = client.query("c0", "s0", now=10.0)
+        assert result.source == STALE
+        assert 0.0 < result.confidence < 1.0
+        assert [f.rating for f in result.feedback] == [0.7]
+        assert client.stale_queries == 1
+
+    def test_outage_with_cold_cache_is_unavailable(self):
+        reg, client = make_client()
+        reg.fail()
+        result = client.query("c0", "s0", now=0.0)
+        assert result.source == UNAVAILABLE
+        assert result.confidence == 0.0
+        assert result.feedback == []
+        assert client.unavailable_queries == 1
+
+    def test_cache_none_disables_fallback(self):
+        reg, client = make_client(cache=None)
+        reg.report(fb())
+        client.query("c0", "s0", now=0.0)
+        reg.fail()
+        assert client.query("c0", "s0", now=1.0).source == UNAVAILABLE
+
+    def test_retry_recovers_from_transient_message_loss(self):
+        net = Network(rng=0)
+        reg = CentralQoSRegistry(network=net)
+        reg.report(fb())
+
+        class FlakyOnce:
+            """Drop exactly the first qos-query, then behave."""
+
+            def __init__(self):
+                self.fired = False
+
+            def perturb(self, kind):
+                from repro.faults.plan import MessagePerturbation
+
+                if kind == "qos-query" and not self.fired:
+                    self.fired = True
+                    return MessagePerturbation(drop=True)
+                return MessagePerturbation()
+
+        net.faults = FlakyOnce()
+        _, client = make_client(registry=reg)
+        result = client.query("c0", "s0", now=0.0)
+        assert result.source == FRESH
+        assert client.retry.retries_used == 1
+
+    def test_breaker_opens_after_repeated_failures(self):
+        reg, client = make_client(
+            breakers=BreakerBoard(min_calls=4, window=10, recovery_timeout=5.0)
+        )
+        reg.fail()
+        for i in range(4):
+            client.query("c0", "s0", now=float(i))
+        assert client.breaker.state is BreakerState.OPEN
+        # while open, the registry is not even contacted
+        served_before = reg.queries_served
+        client.query("c0", "s0", now=4.5)
+        assert reg.queries_served == served_before
+
+    def test_breaker_half_open_probe_closes_after_heal(self):
+        reg, client = make_client(
+            breakers=BreakerBoard(min_calls=2, window=4, recovery_timeout=2.0)
+        )
+        reg.report(fb())
+        reg.fail()
+        client.query("c0", "s0", now=0.0)
+        client.query("c0", "s0", now=0.0)
+        assert client.breaker.state is BreakerState.OPEN
+        reg.heal()
+        result = client.query("c0", "s0", now=3.0)  # half-open trial
+        assert result.source == FRESH
+        assert client.breaker.state is BreakerState.CLOSED
+        assert client.breaker.saw_states(
+            BreakerState.OPEN, BreakerState.HALF_OPEN, BreakerState.CLOSED
+        )
+
+    def test_report_is_single_shot_and_breaker_gated(self):
+        reg, client = make_client(
+            breakers=BreakerBoard(min_calls=2, window=4, recovery_timeout=9.0)
+        )
+        reg.fail()
+        assert not client.report(fb(), now=0.0)
+        assert not client.report(fb(), now=0.0)
+        assert client.reports_lost == 2
+        # breaker now open: reports are refused without touching the wire
+        assert not client.report(fb(), now=1.0)
+        assert client.reports_lost == 3
+        reg.heal()
+        assert client.breaker.state is BreakerState.OPEN
+        assert not client.report(fb(), now=2.0)  # still within recovery
+
+    def test_successful_report_counts(self):
+        reg, client = make_client()
+        assert client.report(fb(), now=0.0)
+        assert client.reports_sent == 1
+        assert len(reg.store) == 1
+
+    def test_stale_confidence_decays_with_cache_age(self):
+        reg, client = make_client(
+            cache=StaleCache()  # default half-life 20
+        )
+        reg.report(fb())
+        client.query("c0", "s0", now=0.0)
+        reg.fail()
+        early = client.query("c0", "s0", now=5.0).confidence
+        late = client.query("c0", "s0", now=40.0).confidence
+        assert early > late > 0.0

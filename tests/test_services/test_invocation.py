@@ -78,3 +78,85 @@ class TestInvocationEngine:
         for _ in range(3):
             engine.invoke(consumer, make_service(), time=0.0)
         assert engine.invocation_count == 3
+
+
+# ---------------------------------------------------------------------------
+# Fault-plan and timeout hooks
+# ---------------------------------------------------------------------------
+
+from repro.faults.plan import FaultPlan, OutageWindow  # noqa: E402
+from repro.faults.resilience import Timeout  # noqa: E402
+
+
+def slow_plan(service_id="s0", start=0.0, end=10.0, factor=10.0):
+    return FaultPlan(
+        slow_services={service_id: [OutageWindow(start, end)]},
+        slowdown_factor=factor,
+    )
+
+
+class TestInvocationFaults:
+    def test_slow_window_inflates_time_metrics_only(self):
+        svc = make_service(quality=0.5)
+        baseline = InvocationEngine(DEFAULT_METRICS, rng=0)
+        faulty = InvocationEngine(
+            DEFAULT_METRICS, rng=0, fault_plan=slow_plan(factor=10.0)
+        )
+        consumer = Consumer("c0", rng=0)
+        normal = baseline.invoke(consumer, svc, time=1.0)
+        slowed = faulty.invoke(Consumer("c0", rng=0), svc, time=1.0)
+        for name in normal.observations:
+            unit = DEFAULT_METRICS.get(name).unit
+            if unit == "s":
+                assert slowed.observations[name] == pytest.approx(
+                    10.0 * normal.observations[name]
+                )
+            else:
+                assert slowed.observations[name] == pytest.approx(
+                    normal.observations[name]
+                )
+
+    def test_outside_window_no_slowdown(self):
+        svc = make_service()
+        engine = InvocationEngine(
+            DEFAULT_METRICS, rng=0,
+            fault_plan=slow_plan(start=5.0, end=10.0),
+        )
+        inter = engine.invoke(Consumer("c0", rng=0), svc, time=0.0)
+        assert inter.success
+
+    def test_timeout_fails_slowed_invocation(self):
+        # normal response_time tops out at 2s, so a 3s budget only fires
+        # when the slowdown window is active
+        svc = make_service()
+        engine = InvocationEngine(
+            DEFAULT_METRICS, rng=0,
+            fault_plan=slow_plan(start=5.0, end=10.0),
+            timeout=Timeout(3.0),
+        )
+        ok = engine.invoke(Consumer("c0", rng=0), svc, time=0.0)
+        assert ok.success
+        timed_out = engine.invoke(Consumer("c1", rng=0), svc, time=7.0)
+        assert not timed_out.success
+        assert timed_out.observations == {}
+        assert engine.timeout_count == 1
+
+    def test_timeout_without_plan_uses_raw_observation(self):
+        svc = make_service()
+        engine = InvocationEngine(
+            DEFAULT_METRICS, rng=0, timeout=Timeout(0.001)
+        )
+        inter = engine.invoke(Consumer("c0", rng=0), svc, time=0.0)
+        assert not inter.success  # any realistic response_time > 1ms
+        assert engine.timeout_count == 1
+
+    def test_anonymous_invocations_share_fault_path(self):
+        svc = make_service()
+        engine = InvocationEngine(
+            DEFAULT_METRICS, rng=0,
+            fault_plan=slow_plan(),
+            timeout=Timeout(3.0),
+        )
+        inter = engine.invoke_anonymous("monitor", svc, time=1.0)
+        assert not inter.success
+        assert engine.timeout_count == 1

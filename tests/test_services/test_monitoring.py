@@ -162,3 +162,45 @@ class TestExplorerAgentPool:
         )
         pool.explore([make_service("s0")], {}, time=0.0)
         assert pool.probe_count == 0
+
+
+class TestThirdPartyMonitorRetry:
+    @staticmethod
+    def failing_service(service_id="flaky"):
+        q = {m.name: 0.7 for m in DEFAULT_METRICS}
+        return Service(
+            description=ServiceDescription(
+                service=service_id, provider="p0", category="cat"
+            ),
+            profile=QoSProfile(quality=q, noise=0.0, success_rate=0.0),
+        )
+
+    def test_retry_charges_every_probe(self):
+        from repro.faults.resilience import RetryPolicy
+
+        monitor = ThirdPartyMonitor(
+            InvocationEngine(DEFAULT_METRICS, rng=0),
+            retry=RetryPolicy(max_attempts=3, rng=0),
+        )
+        report = monitor.probe(self.failing_service(), time=0.0)
+        assert monitor.probe_count == 3  # initial + 2 retries, all billed
+        assert monitor.retried_probes == 2
+        assert report.samples == 1  # only the final outcome is recorded
+        assert report.success_rate == 0.0
+
+    def test_no_retry_without_policy(self):
+        monitor = ThirdPartyMonitor(InvocationEngine(DEFAULT_METRICS, rng=0))
+        monitor.probe(self.failing_service(), time=0.0)
+        assert monitor.probe_count == 1
+        assert monitor.retried_probes == 0
+
+    def test_successful_probe_never_retries(self):
+        from repro.faults.resilience import RetryPolicy
+
+        monitor = ThirdPartyMonitor(
+            InvocationEngine(DEFAULT_METRICS, rng=0),
+            retry=RetryPolicy(max_attempts=3, rng=0),
+        )
+        monitor.probe(make_service(), time=0.0)
+        assert monitor.probe_count == 1
+        assert monitor.retried_probes == 0

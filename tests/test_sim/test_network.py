@@ -2,7 +2,16 @@
 
 import pytest
 
-from repro.sim.network import MessageStats, Network, per_node_load
+from repro.faults.plan import MessageFaultInjector
+from repro.sim.network import (
+    FAULT_INJECTED,
+    RECEIVER_FAILED,
+    SENDER_FAILED,
+    DeliveryOutcome,
+    MessageStats,
+    Network,
+    per_node_load,
+)
 
 
 class TestNetwork:
@@ -15,19 +24,30 @@ class TestNetwork:
         assert net.stats.sent_by["a"] == 2
         assert net.stats.received_by["b"] == 1
 
+    def test_delivery_outcome_is_typed(self):
+        net = Network(rng=0)
+        outcome = net.send("a", "b")
+        assert isinstance(outcome, DeliveryOutcome)
+        assert outcome.delivered
+        assert outcome.reason is None
+        assert bool(outcome)
+
     def test_latency_positive(self):
         net = Network(base_latency=0.01, jitter=0.005, rng=0)
-        latency = net.send("a", "b")
-        assert latency is not None and latency >= 0.01
+        outcome = net.send("a", "b")
+        assert outcome.latency is not None and outcome.latency >= 0.01
 
     def test_zero_jitter_is_exact(self):
         net = Network(base_latency=0.02, jitter=0.0, rng=0)
-        assert net.send("a", "b") == 0.02
+        assert net.send("a", "b").latency == 0.02
 
     def test_failed_receiver_undeliverable(self):
         net = Network(rng=0)
         net.fail_node("b")
-        assert net.send("a", "b") is None
+        outcome = net.send("a", "b")
+        assert not outcome
+        assert outcome.latency is None
+        assert outcome.reason == RECEIVER_FAILED
         # Sent but not received.
         assert net.stats.sent_by["a"] == 1
         assert net.stats.received_by.get("b", 0) == 0
@@ -36,12 +56,14 @@ class TestNetwork:
         net = Network(rng=0)
         net.fail_node("b")
         net.heal_node("b")
-        assert net.send("a", "b") is not None
+        assert net.send("a", "b")
 
     def test_failed_sender_cannot_send(self):
         net = Network(rng=0)
         net.fail_node("a")
-        assert net.send("a", "b") is None
+        outcome = net.send("a", "b")
+        assert not outcome
+        assert outcome.reason == SENDER_FAILED
 
     def test_negative_latency_rejected(self):
         with pytest.raises(ValueError):
@@ -60,6 +82,74 @@ class TestNetwork:
         assert net.stats.total_messages == 0
 
 
+class TestDropAccounting:
+    def test_drops_counted_with_reason(self):
+        net = Network(rng=0)
+        net.fail_node("b")
+        net.send("a", "b")
+        net.send("a", "b")
+        net.fail_node("a")
+        net.send("a", "c")
+        assert net.stats.dropped == 3
+        assert net.stats.drops_by_reason[RECEIVER_FAILED] == 2
+        assert net.stats.drops_by_reason[SENDER_FAILED] == 1
+        assert net.stats.delivered == 0
+
+    def test_delivered_excludes_drops(self):
+        net = Network(rng=0)
+        net.send("a", "b")
+        net.fail_node("b")
+        net.send("a", "b")
+        assert net.stats.total_messages == 2
+        assert net.stats.delivered == 1
+        assert net.stats.drop_rate() == pytest.approx(0.5)
+
+    def test_drop_rate_empty_stats(self):
+        assert MessageStats().drop_rate() == 0.0
+
+    def test_fault_injected_drop(self):
+        net = Network(rng=0, faults=MessageFaultInjector(drop_rate=1.0, rng=0))
+        outcome = net.send("a", "b")
+        assert not outcome
+        assert outcome.reason == FAULT_INJECTED
+        assert net.stats.drops_by_reason[FAULT_INJECTED] == 1
+        assert net.stats.received_by.get("b", 0) == 0
+
+    def test_fault_injected_delay(self):
+        net = Network(
+            base_latency=0.01,
+            jitter=0.0,
+            rng=0,
+            faults=MessageFaultInjector(
+                delay_rate=1.0, extra_delay=0.5, rng=0
+            ),
+        )
+        outcome = net.send("a", "b")
+        assert outcome
+        assert outcome.latency > 0.01
+
+    def test_fault_injected_duplication(self):
+        net = Network(
+            rng=0, faults=MessageFaultInjector(duplicate_rate=1.0, rng=0)
+        )
+        outcome = net.send("a", "b")
+        assert outcome
+        assert outcome.duplicates == 1
+        assert net.stats.duplicated == 1
+        assert net.stats.received_by["b"] == 2
+        # The sender only paid for one send.
+        assert net.stats.total_messages == 1
+
+    def test_node_failure_beats_fault_injection(self):
+        # Faults apply only between healthy nodes; a dead receiver is
+        # reported as such, not as a random drop.
+        net = Network(
+            rng=0, faults=MessageFaultInjector(drop_rate=1.0, rng=0)
+        )
+        net.fail_node("b")
+        assert net.send("a", "b").reason == RECEIVER_FAILED
+
+
 class TestMessageStats:
     def test_balanced_load_imbalance_is_one(self):
         stats = MessageStats()
@@ -74,8 +164,79 @@ class TestMessageStats:
     def test_empty_stats(self):
         assert MessageStats().load_imbalance() == 1.0
 
+    def test_single_node_is_balanced(self):
+        stats = MessageStats()
+        stats.received_by.update({"only": 42})
+        assert stats.load_imbalance() == 1.0
+
+    def test_zero_mean_load_is_balanced(self):
+        # Counters can hold explicit zeros (e.g. after subtraction);
+        # max/mean would divide by zero without the guard.
+        stats = MessageStats()
+        stats.received_by.update({"a": 0, "b": 0})
+        assert stats.load_imbalance() == 1.0
+
+    def test_all_dropped_messages_keep_imbalance_defined(self):
+        net = Network(rng=0)
+        net.fail_node("hub")
+        for i in range(5):
+            net.send(f"n{i}", "hub")
+        assert net.stats.load_imbalance() == 1.0
+        assert net.stats.dropped == 5
+
     def test_per_node_load(self):
         net = Network(rng=0)
         net.send("a", "b")
         net.send("c", "b")
         assert per_node_load(net.stats) == {"b": 2}
+
+
+class TestFaultedNetworkDeterminism:
+    """Same seed + same fault plan => byte-identical delivery traces."""
+
+    @staticmethod
+    def run_trace(seed):
+        from repro.common.randomness import SeedSequenceFactory
+        from repro.faults.plan import (
+            ChurnSchedule,
+            FaultPlan,
+            MessageFaultInjector,
+        )
+
+        seeds = SeedSequenceFactory(seed)
+        nodes = [f"n{i}" for i in range(6)]
+        plan = FaultPlan(
+            churn=ChurnSchedule.generate(
+                nodes, horizon=30.0, mean_uptime=8.0, mean_downtime=2.0,
+                rng=seeds.rng("churn"),
+            ),
+            message_faults=MessageFaultInjector(
+                drop_rate=0.2, duplicate_rate=0.1, delay_rate=0.1,
+                rng=seeds.rng("messages"),
+            ),
+        )
+        net = Network(rng=seeds.rng("net"))
+        plan.attach(net)
+        trace = []
+        for round_index in range(30):
+            t = float(round_index)
+            plan.apply(t, network=net)
+            for i, src in enumerate(nodes):
+                dst = nodes[(i + 1) % len(nodes)]
+                trace.append(net.send(src, dst, kind="gossip"))
+        return trace, net.stats
+
+    def test_identical_seed_identical_trace(self):
+        trace_a, stats_a = self.run_trace(seed=11)
+        trace_b, stats_b = self.run_trace(seed=11)
+        assert trace_a == trace_b
+        assert stats_a.total_messages == stats_b.total_messages
+        assert stats_a.dropped == stats_b.dropped
+        assert stats_a.duplicated == stats_b.duplicated
+        assert dict(stats_a.drops_by_reason) == dict(stats_b.drops_by_reason)
+        assert stats_a.received_by == stats_b.received_by
+
+    def test_different_seed_differs(self):
+        trace_a, _ = self.run_trace(seed=11)
+        trace_b, _ = self.run_trace(seed=12)
+        assert trace_a != trace_b
