@@ -8,9 +8,42 @@ path through pytest-benchmark.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, List
 
 import pytest
+
+from repro.common.records import Feedback
+
+
+def warm_stream(
+    n: int = 1000, raters: int = 20, targets: int = 10
+) -> List[Feedback]:
+    """The canonical deterministic warm-up stream every benchmark
+    shares: *n* feedback records round-robining *raters* x *targets*
+    with varied ratings and one facet."""
+    return [
+        Feedback(
+            rater=f"r{i % raters}",
+            target=f"svc-{i % targets}",
+            time=float(i),
+            rating=((i * 7) % 100) / 100.0,
+            facet_ratings={"response_time": ((i * 3) % 100) / 100.0},
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(scope="session")
+def stream() -> List[Feedback]:
+    """1,000 warm records over 20 raters and 10 targets."""
+    return warm_stream()
+
+
+@pytest.fixture(scope="session")
+def wide_stream() -> List[Feedback]:
+    """1,000 warm records over 100 distinct targets — the batch-ranking
+    shape the score_many regression harness times."""
+    return warm_stream(targets=100)
 
 
 def print_table(title: str, header: Iterable[str], rows) -> None:

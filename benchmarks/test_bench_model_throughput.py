@@ -1,47 +1,70 @@
-"""Micro-benchmarks: per-mechanism record/score throughput.
+"""Micro-benchmarks + regression harness: per-mechanism throughput.
 
-Times the two hot operations of every registered mechanism — ingesting
-one feedback record and answering one score query — on a pre-warmed
-store of 1,000 records, plus the expensive batch operations (EigenTrust
-/ PageRank power iteration).
+Two layers:
+
+* pytest-benchmark timings of the two hot scalar operations (ingest one
+  record, answer one score) for a representative subset across the
+  typology — the mechanisms *not* in that subset are reported
+  explicitly, not silently dropped;
+* a regression harness (:func:`test_regression_batch_vs_naive`) that
+  times every mechanism carrying a custom ``score_many`` kernel on a
+  1,000-record warm store with a 100-candidate batch, compares the
+  batched path against the naive per-candidate path (for the graph
+  models: a cold power-iteration recompute, which is what every query
+  cost before the incremental cache), and writes the results to
+  ``BENCH_models.json`` at the repo root.  The harness *fails* when a
+  batched path is slower than its naive path, and requires the
+  headline >= 5x batch speedup on EigenTrust and PageRank.
 """
 
 from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
 
 import pytest
 
 from repro.common.records import Feedback
 from repro.core.registry import default_registry
+from repro.models.base import ReputationModel
 from repro.models.eigentrust import EigenTrustModel
 from repro.models.pagerank import PageRankModel
 
 REGISTRY = default_registry(rng_seed=0)
 
 #: A representative subset across the typology; the full registry would
-#: make the timing run tediously long without adding information.
+#: make the pytest-benchmark run tediously long without adding
+#: information.  The regression harness below covers every mechanism
+#: with a batch kernel and lists the rest in BENCH_models.json.
 TIMED = [
     "beta", "ebay", "sporas", "histos", "amazon", "epinions",
     "collaborative_filtering", "yu_singh", "peertrust",
     "maximilien_singh", "liu_ngu_zeng", "vu_aberer", "wang_vassileva",
 ]
 
+#: Registered mechanisms the scalar timings above do NOT cover — kept
+#: visible so the subset can't silently drift from the registry.
+NOT_TIMED = sorted(set(REGISTRY.names()) - set(TIMED))
 
-def warm_stream(n=1000):
-    return [
-        Feedback(
-            rater=f"r{i % 20}",
-            target=f"svc-{i % 10}",
-            time=float(i),
-            rating=((i * 7) % 100) / 100.0,
-            facet_ratings={"response_time": ((i * 3) % 100) / 100.0},
-        )
-        for i in range(n)
-    ]
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_models.json"
+
+WARM_RECORDS = 1000
+BATCH_SIZE = 100
+REPEATS = 7
 
 
-@pytest.fixture(scope="module")
-def stream():
-    return warm_stream()
+def test_timed_subset_is_reported(table_printer):
+    """The scalar-timing subset must be an explicit, visible choice."""
+    unknown = sorted(set(TIMED) - set(REGISTRY.names()))
+    assert not unknown, f"TIMED names not in the registry: {unknown}"
+    table_printer(
+        "Scalar timing coverage",
+        ["mechanism", "timed"],
+        [[name, "yes" if name in TIMED else "no (see BENCH_models.json)"]
+         for name in REGISTRY.names()],
+    )
 
 
 @pytest.mark.benchmark(group="throughput-record")
@@ -63,6 +86,7 @@ def test_bench_score(benchmark, name, stream):
 
 @pytest.mark.benchmark(group="power-iteration")
 def test_bench_eigentrust_compute(benchmark, stream):
+    """The pure-Python scalar reference iteration (cold every call)."""
     model = EigenTrustModel(pre_trusted=["r0"])
     model.record_many(stream)
 
@@ -75,6 +99,7 @@ def test_bench_eigentrust_compute(benchmark, stream):
 
 @pytest.mark.benchmark(group="power-iteration")
 def test_bench_eigentrust_compute_dense(benchmark, stream):
+    """The incremental numpy engine (warm-started after the first call)."""
     model = EigenTrustModel(pre_trusted=["r0"])
     model.record_many(stream)
 
@@ -96,7 +121,7 @@ def test_bench_pagerank_compute(benchmark, stream):
 def test_bench_large_world_round(benchmark):
     """One full selection round at laptop scale: 100 services, 200
     consumers."""
-    from repro.core.scenarios import DirectSelectionScenario
+    from repro.core.scenarios import DirectSelectionScenario, ScenarioResult
     from repro.core.selection import EpsilonGreedyPolicy
     from repro.experiments.workloads import make_world
     from repro.models.beta import BetaReputation
@@ -112,7 +137,184 @@ def test_bench_large_world_round(benchmark):
         policy=EpsilonGreedyPolicy(0.1, rng=world.seeds.rng("policy")),
         rng=world.seeds.rng("invoke"),
     )
-    from repro.core.scenarios import ScenarioResult
-
     result = ScenarioResult(rounds=1, selections=0, optimal_selections=0)
     benchmark(lambda: scenario.run_round(result))
+
+
+# ---------------------------------------------------------------------------
+# Regression harness: batched scoring vs the naive path, tracked in
+# BENCH_models.json.
+# ---------------------------------------------------------------------------
+
+def _best_ns(fn: Callable[[], object], repeats: int = REPEATS) -> int:
+    """Minimum wall time of *fn* over *repeats* runs (ns) — the min is
+    the standard noise-robust estimator for micro-timings."""
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter_ns()
+        fn()
+        elapsed = time.perf_counter_ns() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    assert best is not None
+    return best
+
+
+def _has_batch_kernel(model: ReputationModel) -> bool:
+    return type(model).score_many is not ReputationModel.score_many
+
+
+def _naive_scores(
+    model: ReputationModel,
+    targets: List[str],
+    perspective: str,
+    now: float,
+) -> List[float]:
+    """The pre-batch-engine query path.
+
+    Graph models pay a cold power-iteration recompute (what every
+    ranking query cost when ``record`` simply discarded the stationary
+    vector); everything else runs the base-class per-candidate loop.
+    """
+    if isinstance(model, PageRankModel):
+        ranks = model.compute_naive()
+        if not ranks:
+            return [0.5] * len(targets)
+        top = max(ranks.values())
+        if top <= 0:
+            return [0.5] * len(targets)
+        return [ranks.get(t, 0.0) / top for t in targets]
+    if isinstance(model, EigenTrustModel):
+        trust = model.compute()  # scalar reference; ignores the cache
+        if not trust:
+            return [0.5] * len(targets)
+        top = max(trust.values())
+        if top <= 0:
+            return [0.5] * len(targets)
+        return [trust.get(t, 0.0) / top for t in targets]
+    return ReputationModel.score_many(model, targets, perspective, now)
+
+
+def _warmed(name: str, records: List[Feedback]) -> ReputationModel:
+    model = REGISTRY.create(name)
+    model.record_many(records)
+    return model
+
+
+def test_regression_batch_vs_naive(table_printer, wide_stream):
+    """Time batch vs naive scoring for every batch-kernel mechanism and
+    write the tracked baseline to BENCH_models.json."""
+    records = wide_stream
+    batch = [f"svc-{i}" for i in range(BATCH_SIZE)]
+    extras = [
+        Feedback(
+            rater=f"r{i % 20}",
+            target=f"svc-{i % BATCH_SIZE}",
+            time=float(WARM_RECORDS + i),
+            rating=((i * 11) % 100) / 100.0,
+        )
+        for i in range(100)
+    ]
+    now = float(WARM_RECORDS)
+    perspective = "r0"
+
+    report: Dict[str, Dict[str, object]] = {}
+    skipped: Dict[str, str] = {}
+    for name in REGISTRY.names():
+        probe = REGISTRY.create(name)
+        if not _has_batch_kernel(probe):
+            skipped[name] = "no batch kernel (base-class score loop)"
+            continue
+
+        # Numerical equivalence before any timing: batched == naive.
+        check = _warmed(name, records)
+        fresh = _warmed(name, records)
+        batched = check.score_many(batch, perspective, now)
+        naive = _naive_scores(fresh, batch, perspective, now)
+        assert batched == pytest.approx(naive, abs=1e-9), (
+            f"{name}: batched scores diverge from the naive path"
+        )
+
+        # record: amortized over a burst of fresh feedback.
+        recorder = _warmed(name, records)
+        record_ns = _best_ns(
+            lambda m=recorder: [m.record(f) for f in extras]
+        ) / len(extras)
+
+        # warm scalar score / per-candidate loop / batched call, all on
+        # one instance with no interleaved feedback (steady-state query).
+        scorer = _warmed(name, records)
+        scorer.score(batch[0], perspective, now)  # warm any lazy cache
+        score_ns = _best_ns(
+            lambda m=scorer: m.score(batch[0], perspective, now)
+        )
+        loop_ns = _best_ns(
+            lambda m=scorer: ReputationModel.score_many(
+                m, batch, perspective, now
+            )
+        )
+        batch_ns = _best_ns(
+            lambda m=scorer: m.score_many(batch, perspective, now)
+        )
+
+        # naive path on its own instance (graph models mutate caches).
+        naive_model = _warmed(name, records)
+        naive_ns = _best_ns(
+            lambda m=naive_model: _naive_scores(m, batch, perspective, now)
+        )
+
+        report[name] = {
+            "record_ns_per_op": round(record_ns, 1),
+            "score_ns_per_op": score_ns,
+            "score_many_ns_per_batch": batch_ns,
+            "score_many_ns_per_candidate": round(batch_ns / len(batch), 1),
+            "score_loop_ns_per_batch": loop_ns,
+            "naive_ns_per_batch": naive_ns,
+            "speedup_vs_score_loop": round(loop_ns / batch_ns, 2),
+            "speedup_vs_naive": round(naive_ns / batch_ns, 2),
+        }
+
+    payload = {
+        "config": {
+            "warm_records": WARM_RECORDS,
+            "batch_size": BATCH_SIZE,
+            "repeats": REPEATS,
+            "timer": "perf_counter_ns/min",
+        },
+        "models": report,
+        "skipped": skipped,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    table_printer(
+        "Batch scoring vs naive path (1000 warm records, batch of 100)",
+        ["mechanism", "batch ns", "naive ns", "speedup"],
+        [
+            [
+                name,
+                row["score_many_ns_per_batch"],
+                row["naive_ns_per_batch"],
+                f"x{row['speedup_vs_naive']}",
+            ]
+            for name, row in sorted(report.items())
+        ],
+    )
+    if skipped:
+        table_printer(
+            "Mechanisms without a batch kernel (not gated)",
+            ["mechanism", "reason"],
+            sorted(skipped.items()),
+        )
+
+    # -- the regression gates ------------------------------------------
+    slow = {
+        name: row["speedup_vs_naive"]
+        for name, row in report.items()
+        if row["naive_ns_per_batch"] < row["score_many_ns_per_batch"]
+    }
+    assert not slow, f"batched path slower than naive path: {slow}"
+    for headline in ("eigentrust", "pagerank"):
+        assert report[headline]["speedup_vs_naive"] >= 5.0, (
+            f"{headline}: expected >= 5x batch speedup, got "
+            f"{report[headline]['speedup_vs_naive']}"
+        )

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+import numpy as np
+
 from repro.common.errors import ConfigurationError
 from repro.common.ids import EntityId
 from repro.common.records import Feedback
@@ -52,31 +54,39 @@ def combine_facets(
 
 
 @dataclass
-class _Observation:
-    time: float
-    value: float
-
-
-@dataclass
 class _FacetEvidence:
-    observations: List[_Observation] = field(default_factory=list)
+    """Observation history as parallel columns, numpy-ready."""
+
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
 
     def add(self, time: float, value: float) -> None:
-        self.observations.append(_Observation(time, value))
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
 
     def expectation(
         self, decay: DecayPolicy, now: Optional[float]
     ) -> Tuple[float, float]:
-        """(trust expectation, evidence mass) under *decay* at *now*."""
-        alpha = 0.0
-        beta = 0.0
-        for obs in self.observations:
-            weight = 1.0 if now is None else decay(max(0.0, now - obs.time))
-            alpha += weight * obs.value
-            beta += weight * (1.0 - obs.value)
-        mass = alpha + beta
-        expectation = (alpha + 1.0) / (mass + 2.0)
-        return expectation, mass
+        """(trust expectation, evidence mass) under *decay* at *now*.
+
+        The whole window is discounted in one vectorized expression —
+        weights = decay.weights(now - times) — instead of a per-
+        observation Python loop.
+        """
+        values = np.asarray(self.values, dtype=float)
+        if now is None:
+            weights = np.ones_like(values)
+        else:
+            ages = now - np.asarray(self.times, dtype=float)
+            weights = decay.weights(np.maximum(ages, 0.0))
+        alpha = float(weights @ values)
+        mass = float(weights.sum())
+        beta = mass - alpha
+        expectation = (alpha + 1.0) / (alpha + beta + 2.0)
+        return expectation, alpha + beta
 
 
 class FacetTrust:

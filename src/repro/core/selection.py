@@ -123,10 +123,29 @@ class SelectionEngine:
         self.selections_made = 0
         self.degraded_selections = 0
         self.failed_selections = 0
+        #: category -> (registry version, service ids); discovery results
+        #: are reused until the registry catalogue actually changes
+        self._candidate_cache: dict = {}
 
     def candidates(self, category: str) -> List[EntityId]:
-        """Service ids matching *category* in the registry."""
-        return [d.service for d in self.registry.search(category)]
+        """Service ids matching *category* in the registry.
+
+        Cached per category against the registry's version counter, so
+        the per-selection cost is one dict probe instead of a full
+        catalogue scan until something is published or unpublished.
+        """
+        version = getattr(self.registry, "version", None)
+        failed = getattr(self.registry, "is_failed", False)
+        if version is not None and not failed:
+            # A down registry must still raise (the fallback machinery
+            # depends on it), so the cache only answers healthy lookups.
+            cached = self._candidate_cache.get(category)
+            if cached is not None and cached[0] == version:
+                return list(cached[1])
+        ids = [d.service for d in self.registry.search(category)]
+        if version is not None:
+            self._candidate_cache[category] = (version, ids)
+        return list(ids)
 
     def rank(
         self,
@@ -134,6 +153,9 @@ class SelectionEngine:
         perspective: Optional[EntityId] = None,
         now: Optional[float] = None,
     ) -> List[ScoredTarget]:
+        """Batch-score the discovered candidates via the model's
+        :meth:`~repro.models.base.ReputationModel.rank` (one
+        ``score_many`` call, not one ``score`` per candidate)."""
         return self.model.rank(self.candidates(category), perspective, now)
 
     def select(

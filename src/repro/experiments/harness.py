@@ -73,10 +73,10 @@ def run_selection_experiment(
         rng=world.seeds.rng("invocations"),
     )
     result = scenario.run(rounds)
-    final_scores = {
-        svc.service_id: model.score(svc.service_id, now=scenario.time)
-        for svc in world.services
-    }
+    service_ids = [svc.service_id for svc in world.services]
+    final_scores = dict(
+        zip(service_ids, model.score_many(service_ids, now=scenario.time))
+    )
     return SelectionOutcome(
         model_name=model.name,
         result=result,

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.common.errors import ConfigurationError
 from repro.common.ids import EntityId
 from repro.common.records import Feedback
@@ -92,14 +94,14 @@ class AmazonModel(ReputationModel):
         reviews = self._reviews.get(target)
         if not reviews:
             return 0.5
-        total = 0.0
-        weight_sum = 0.0
-        for review in reviews:
-            weight = 1.0 + self.helpfulness_weight * review.helpful_votes
-            if now is not None:
-                weight *= self.decay(max(0.0, now - review.time))
-            total += weight * review.rating
-            weight_sum += weight
+        weights = 1.0 + self.helpfulness_weight * np.array(
+            [r.helpful_votes for r in reviews], dtype=float
+        )
+        if now is not None:
+            ages = now - np.array([r.time for r in reviews], dtype=float)
+            weights = weights * self.decay.weights(np.maximum(ages, 0.0))
+        ratings = np.array([r.rating for r in reviews], dtype=float)
+        weight_sum = float(weights.sum())
         if weight_sum <= 0:
             return 0.5
-        return total / weight_sum
+        return float(weights @ ratings) / weight_sum

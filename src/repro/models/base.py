@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, List, Optional
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
 
 from repro.common.ids import EntityId
 from repro.common.records import Feedback
@@ -67,6 +67,23 @@ class ReputationModel(abc.ABC):
         for fb in feedbacks:
             self.record(fb)
 
+    def score_many(
+        self,
+        targets: Sequence[EntityId],
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> List[float]:
+        """Scores for *targets*, in order.
+
+        The default loops over :meth:`score`; hot models override this
+        with a batched kernel that shares per-query work (similarity
+        caches, stationary vectors, decay weights) across the whole
+        candidate set.  Overrides must return exactly what the
+        per-target loop would (to float tolerance) — the property suite
+        enforces it.
+        """
+        return [self.score(t, perspective, now) for t in targets]
+
     def rank(
         self,
         candidates: Iterable[EntityId],
@@ -74,10 +91,13 @@ class ReputationModel(abc.ABC):
         now: Optional[float] = None,
     ) -> List[ScoredTarget]:
         """Candidates sorted best-first (ties broken by id for
-        determinism)."""
+        determinism).  Scoring goes through :meth:`score_many` so
+        batched models pay their per-query overhead once per ranking."""
+        candidates = list(candidates)
+        scores = self.score_many(candidates, perspective, now)
         scored = [
-            ScoredTarget(target=c, score=self.score(c, perspective, now))
-            for c in candidates
+            ScoredTarget(target=c, score=float(s))
+            for c, s in zip(candidates, scores)
         ]
         scored.sort(key=lambda st: (-st.score, st.target))
         return scored

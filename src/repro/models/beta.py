@@ -13,7 +13,7 @@ evidence multiplicatively on every update, giving the model the
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.common.ids import EntityId
@@ -67,6 +67,32 @@ class BetaReputation(ReputationModel):
         a = alpha + self.prior_alpha
         b = beta + self.prior_beta
         return a / (a + b)
+
+    def score_many(
+        self,
+        targets: Sequence[EntityId],
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> List[float]:
+        """Batch posterior means with hoisted lookups.
+
+        The score is two adds and a divide, so the batch win comes from
+        skipping per-candidate method dispatch — building a numpy array
+        out of per-target tuples costs more than the arithmetic it
+        saves at ranking-sized batches.
+        """
+        evidence = self._evidence
+        prior_alpha = self.prior_alpha
+        prior_beta = self.prior_beta
+        zero = (0.0, 0.0)
+        out: List[float] = []
+        append = out.append
+        for target in targets:
+            alpha, beta = evidence.get(target, zero)
+            a = alpha + prior_alpha
+            b = beta + prior_beta
+            append(a / (a + b))
+        return out
 
     def evidence(self, target: EntityId) -> Tuple[float, float]:
         """Raw accumulated (positive, negative) evidence mass."""

@@ -21,7 +21,7 @@ size cap.
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.common.ids import EntityId
@@ -195,3 +195,89 @@ class CollaborativeFilteringModel(ReputationModel):
         if perspective is None:
             return self.item_mean(target)
         return self.predict(perspective, target)
+
+    # -- batch prediction --------------------------------------------------
+    def _item_means(self, items: Sequence[EntityId]) -> Dict[EntityId, float]:
+        """Means for several items in one pass over the rating matrix."""
+        wanted = set(items)
+        sums: Dict[EntityId, float] = {}
+        counts: Dict[EntityId, int] = {}
+        for row in self._ratings.values():
+            for tgt, entry in row.items():
+                if tgt in wanted:
+                    sums[tgt] = sums.get(tgt, 0.0) + entry[1]
+                    counts[tgt] = counts.get(tgt, 0) + 1
+        return {
+            item: (sums[item] / counts[item] if counts.get(item) else 0.5)
+            for item in wanted
+        }
+
+    def score_many(
+        self,
+        targets: Sequence[EntityId],
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> List[float]:
+        """Batch predictions with shared similarity/mean caches.
+
+        User-user similarity is item-independent, so one cache entry per
+        neighbour serves the whole candidate set — the per-candidate
+        loop recomputes every similarity for every item, which is the
+        dominant cost of memory-based CF.
+        """
+        if not targets:
+            return []
+        item_means = self._item_means(targets)
+        if perspective is None or perspective not in self._ratings:
+            # No perspective, or an unknown user: item-mean fallback.
+            return [item_means[t] for t in targets]
+        user = perspective
+        row_user = self._ratings[user]
+        sim_cache: Dict[EntityId, Optional[float]] = {}
+        mean_cache: Dict[EntityId, float] = {}
+
+        def mean_of(member: EntityId) -> float:
+            cached = mean_cache.get(member)
+            if cached is None:
+                cached = self.user_mean(member)
+                mean_cache[member] = cached
+            return cached
+
+        def similarity_to(other: EntityId) -> Optional[float]:
+            if other in sim_cache:
+                return sim_cache[other]
+            sim = self.user_similarity(user, other)
+            sim_cache[other] = sim
+            return sim
+
+        results: List[float] = []
+        for item in targets:
+            own = row_user.get(item)
+            if own is not None:
+                results.append(own[1])
+                continue
+            candidates: List[Tuple[EntityId, float]] = []
+            for other, row in self._ratings.items():
+                if other == user or item not in row:
+                    continue
+                sim = similarity_to(other)
+                if sim is None or sim <= 0:
+                    continue
+                candidates.append((other, sim))
+            candidates.sort(key=lambda pair: (-pair[1], pair[0]))
+            neighbours = candidates[: self.neighbourhood]
+            if not neighbours:
+                results.append(item_means[item])
+                continue
+            base = mean_of(user)
+            numerator = 0.0
+            denominator = 0.0
+            for other, sim in neighbours:
+                deviation = self._ratings[other][item][1] - mean_of(other)
+                numerator += sim * deviation
+                denominator += abs(sim)
+            if denominator <= 0:
+                results.append(item_means[item])
+            else:
+                results.append(clamp(base + numerator / denominator, 0.0, 1.0))
+        return results

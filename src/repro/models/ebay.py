@@ -10,7 +10,7 @@ fraction so the model is comparable to others on ``[0, 1]``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.common.errors import ConfigurationError
 from repro.common.ids import EntityId
@@ -67,6 +67,10 @@ class EbayModel(ReputationModel):
         self.positive_threshold = positive_threshold
         self.negative_threshold = negative_threshold
         self._entries: Dict[EntityId, List[_Entry]] = {}
+        #: running (positives, negatives) per target, maintained on
+        #: record so the all-time score is O(1) instead of re-scanning
+        #: the member's whole history per query.
+        self._totals: Dict[EntityId, List[int]] = {}
 
     def _sign(self, rating: float) -> int:
         if rating > self.positive_threshold:
@@ -76,9 +80,15 @@ class EbayModel(ReputationModel):
         return 0
 
     def record(self, feedback: Feedback) -> None:
+        sign = self._sign(feedback.rating)
         self._entries.setdefault(feedback.target, []).append(
-            _Entry(time=feedback.time, sign=self._sign(feedback.rating))
+            _Entry(time=feedback.time, sign=sign)
         )
+        totals = self._totals.setdefault(feedback.target, [0, 0])
+        if sign > 0:
+            totals[0] += 1
+        elif sign < 0:
+            totals[1] += 1
 
     def summary(
         self,
@@ -93,8 +103,10 @@ class EbayModel(ReputationModel):
             if now is None:
                 raise ConfigurationError("window requires now")
             entries = [e for e in entries if now - e.time <= window]
-        positives = sum(1 for e in entries if e.sign > 0)
-        negatives = sum(1 for e in entries if e.sign < 0)
+            positives = sum(1 for e in entries if e.sign > 0)
+            negatives = sum(1 for e in entries if e.sign < 0)
+        else:
+            positives, negatives = self._totals.get(target, (0, 0))
         neutrals = len(entries) - positives - negatives
         return FeedbackSummary(
             score=positives - negatives,
@@ -109,6 +121,27 @@ class EbayModel(ReputationModel):
         perspective: Optional[EntityId] = None,
         now: Optional[float] = None,
     ) -> float:
-        s = self.summary(target)
+        positives, negatives = self._totals.get(target, (0, 0))
         # Laplace smoothing: no evidence scores 0.5.
-        return (s.positives + 1.0) / (s.positives + s.negatives + 2.0)
+        return (positives + 1.0) / (positives + negatives + 2.0)
+
+    def score_many(
+        self,
+        targets: Sequence[EntityId],
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> List[float]:
+        """Batch Laplace-smoothed positive fractions.
+
+        One running-totals probe and three float ops per candidate with
+        hoisted lookups — cheaper than either per-candidate dispatch or
+        assembling a numpy array from per-target tuples.
+        """
+        totals = self._totals
+        zero = (0, 0)
+        out: List[float] = []
+        append = out.append
+        for target in targets:
+            positives, negatives = totals.get(target, zero)
+            append((positives + 1.0) / (positives + negatives + 2.0))
+        return out

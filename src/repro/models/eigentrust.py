@@ -23,7 +23,7 @@ Two deployments:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -37,6 +37,18 @@ from repro.p2p.dht import ChordDHT
 
 class EigenTrustModel(ReputationModel):
     """EigenTrust power iteration over local trust values.
+
+    The stationary vector is *maintained*, not recomputed: a versioned
+    dirty-flag cache keeps the local-trust matrix as numpy arrays with
+    an index map, :meth:`record` queues an O(1) row patch instead of
+    invalidating the structure, and queries re-converge by warm-starting
+    the power iteration from the previous fixed point.  A dense O(n²)
+    rebuild happens only when the peer set itself grows — never per
+    query.  This mirrors how Kamvar et al. intend the vector to be kept
+    (incrementally, by the score managers), rather than being an
+    approximation: the damped iteration has a unique fixed point for
+    ``alpha > 0``, so the warm start converges to the same answer as a
+    cold one.
 
     Args:
         pre_trusted: ids of the pre-trusted peer set P (may be empty,
@@ -58,8 +70,8 @@ class EigenTrustModel(ReputationModel):
         pre_trusted: Optional[Iterable[EntityId]] = None,
         alpha: float = 0.1,
         positive_threshold: float = 0.5,
-        tol: float = 1e-10,
-        max_iter: int = 200,
+        tol: float = 1e-12,
+        max_iter: int = 500,
     ) -> None:
         if not 0.0 <= alpha <= 1.0:
             raise ConfigurationError("alpha must be in [0, 1]")
@@ -73,6 +85,23 @@ class EigenTrustModel(ReputationModel):
         self._peers: Set[EntityId] = set(self.pre_trusted)
         self._trust: Optional[Dict[EntityId, float]] = None
         self.iterations_last_run = 0
+        # -- incremental cache state --------------------------------------
+        #: bumped on every record; lets callers detect staleness cheaply
+        self.version = 0
+        #: version the cached stationary vector corresponds to
+        self._trust_version = -1
+        self._peer_list: List[EntityId] = []
+        self._index: Dict[EntityId, int] = {}
+        #: raw clipped satisfaction balances, row = rater
+        self._balance: Optional[np.ndarray] = None
+        #: row-stochastic local-trust matrix (prior rows for empty raters)
+        self._matrix: Optional[np.ndarray] = None
+        self._prior_vec: Optional[np.ndarray] = None
+        #: previous fixed point, the warm start for the next refresh
+        self._trust_vec: Optional[np.ndarray] = None
+        #: (rater, target) pairs touched since the arrays were last patched
+        self._pending: List[Tuple[EntityId, EntityId]] = []
+        self._structure_dirty = True
 
     def record(self, feedback: Feedback) -> None:
         key = (feedback.rater, feedback.target)
@@ -82,7 +111,11 @@ class EigenTrustModel(ReputationModel):
         else:
             unsat += 1
         self._counts[key] = (sat, unsat)
-        self._peers.update(key)
+        if feedback.rater not in self._peers or feedback.target not in self._peers:
+            self._peers.update(key)
+            self._structure_dirty = True
+        self._pending.append(key)
+        self.version += 1
         self._trust = None
 
     def local_trust(self, rater: EntityId, target: EntityId) -> float:
@@ -148,29 +181,94 @@ class EigenTrustModel(ReputationModel):
         self._trust = trust
         return dict(trust)
 
-    def compute_dense(self) -> Dict[EntityId, float]:
-        """Numpy-vectorized power iteration; same fixed point as
-        :meth:`compute`, markedly faster for hundreds of peers."""
-        peers = sorted(self._peers)
-        n = len(peers)
-        if n == 0:
-            self._trust = {}
-            return {}
-        index = {p: i for i, p in enumerate(peers)}
-        prior_map = self._prior()
-        prior = np.zeros(n)
-        for p, v in prior_map.items():
-            prior[index[p]] = v
-        matrix = np.zeros((n, n))
-        for i, p in enumerate(peers):
-            for j, c_ij in self._local_row(p).items():
-                if j in index:
-                    matrix[i, index[j]] = c_ij
-        trust = prior.copy() if prior.sum() > 0 else np.full(n, 1.0 / n)
-        for iteration in range(self.max_iter):
-            nxt = self.alpha * prior + (1.0 - self.alpha) * (
-                matrix.T @ trust
+    # -- incremental cache ---------------------------------------------------
+    def _refresh_arrays(self) -> None:
+        """Bring the matrix cache up to date with ``_counts``.
+
+        Peer-set growth triggers a structural rebuild (index map, prior
+        vector, fallback rows — the only O(n²) path); otherwise the
+        queued ``(rater, target)`` patches touch just the rows feedback
+        actually changed.
+        """
+        if self._structure_dirty:
+            warm: Optional[Dict[EntityId, float]] = None
+            if self._trust_vec is not None and self._peer_list:
+                warm = {
+                    p: float(v)
+                    for p, v in zip(self._peer_list, self._trust_vec)
+                }
+            peers = sorted(self._peers)
+            n = len(peers)
+            index = {p: i for i, p in enumerate(peers)}
+            prior = np.zeros(n)
+            if self.pre_trusted:
+                share = 1.0 / len(self.pre_trusted)
+                for p in self.pre_trusted:
+                    prior[index[p]] = share
+            elif n:
+                prior.fill(1.0 / n)
+            balance = np.zeros((n, n))
+            for (i, j), (sat, unsat) in self._counts.items():
+                balance[index[i], index[j]] = max(sat - unsat, 0)
+            sums = balance.sum(axis=1)
+            matrix = np.empty_like(balance)
+            positive = sums > 0
+            matrix[positive] = balance[positive] / sums[positive, None]
+            matrix[~positive] = prior
+            self._peer_list = peers
+            self._index = index
+            self._prior_vec = prior
+            self._balance = balance
+            self._matrix = matrix
+            if warm:
+                vec = np.array([warm.get(p, 0.0) for p in peers])
+                self._trust_vec = vec if float(vec.sum()) > 0 else None
+            else:
+                self._trust_vec = None
+            self._pending.clear()
+            self._structure_dirty = False
+        elif self._pending:
+            assert self._balance is not None and self._matrix is not None
+            index = self._index
+            touched = set()
+            for i, j in self._pending:
+                sat, unsat = self._counts[(i, j)]
+                self._balance[index[i], index[j]] = max(sat - unsat, 0)
+                touched.add(index[i])
+            for r in touched:
+                row = self._balance[r]
+                total = float(row.sum())
+                if total > 0:
+                    self._matrix[r] = row / total
+                else:
+                    self._matrix[r] = self._prior_vec
+            self._pending.clear()
+
+    def _converge(self) -> np.ndarray:
+        """Damped power iteration over the cached matrix, warm-started
+        from the previous fixed point when one exists."""
+        assert self._matrix is not None and self._prior_vec is not None
+        n = len(self._peer_list)
+        prior = self._prior_vec
+        trust: Optional[np.ndarray] = None
+        if (
+            self.alpha > 0
+            and self._trust_vec is not None
+            and len(self._trust_vec) == n
+        ):
+            total = float(self._trust_vec.sum())
+            if total > 0:
+                trust = self._trust_vec / total
+        if trust is None:
+            trust = (
+                prior.copy()
+                if float(prior.sum()) > 0
+                else np.full(n, 1.0 / n)
             )
+        matrix_t = self._matrix.T
+        a = self.alpha
+        for iteration in range(self.max_iter):
+            nxt = a * prior + (1.0 - a) * (matrix_t @ trust)
             delta = float(np.abs(nxt - trust).sum())
             trust = nxt
             if delta < self.tol:
@@ -181,14 +279,31 @@ class EigenTrustModel(ReputationModel):
         total = float(trust.sum())
         if total > 0:
             trust = trust / total
-        self._trust = {p: float(trust[index[p]]) for p in peers}
+        return trust
+
+    def compute_dense(self) -> Dict[EntityId, float]:
+        """The incremental numpy engine behind :meth:`score` /
+        :meth:`score_many`: patch the cached matrix, warm-start the
+        iteration.  Same fixed point as :meth:`compute`."""
+        if not self._peers:
+            self._trust = {}
+            return {}
+        self._refresh_arrays()
+        trust = self._converge()
+        self._trust_vec = trust
+        self._trust = {
+            p: float(trust[i]) for i, p in enumerate(self._peer_list)
+        }
         return dict(self._trust)
 
-    def global_trust(self, target: EntityId) -> float:
+    def _ensure_trust(self) -> Dict[EntityId, float]:
         if self._trust is None:
-            self.compute()
+            self.compute_dense()
         assert self._trust is not None
-        return self._trust.get(target, 0.0)
+        return self._trust
+
+    def global_trust(self, target: EntityId) -> float:
+        return self._ensure_trust().get(target, 0.0)
 
     def score(
         self,
@@ -196,15 +311,35 @@ class EigenTrustModel(ReputationModel):
         perspective: Optional[EntityId] = None,
         now: Optional[float] = None,
     ) -> float:
-        if self._trust is None:
-            self.compute()
-        assert self._trust is not None
-        if not self._trust:
+        trust = self._ensure_trust()
+        if not trust:
             return 0.5
-        top = max(self._trust.values())
+        top = max(trust.values())
         if top <= 0:
             return 0.5
-        return self._trust.get(target, 0.0) / top
+        return trust.get(target, 0.0) / top
+
+    def score_many(
+        self,
+        targets: Sequence[EntityId],
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> List[float]:
+        """Batch scores from one cached stationary vector."""
+        if not targets:
+            return []
+        trust = self._ensure_trust()
+        if not trust:
+            return [0.5] * len(targets)
+        top = max(trust.values())
+        if top <= 0:
+            return [0.5] * len(targets)
+        values = np.fromiter(
+            (trust.get(t, 0.0) for t in targets),
+            dtype=float,
+            count=len(targets),
+        )
+        return (values / top).tolist()
 
 
 class DistributedEigenTrust:

@@ -16,7 +16,7 @@ Only the *latest* rating per (rater, target) edge counts, matching the
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.common.errors import ConfigurationError
 from repro.common.ids import EntityId
@@ -113,3 +113,92 @@ class HistosModel(ReputationModel):
             perspective, target, self.max_depth, {perspective}
         )
         return self.prior if value is None else value
+
+    def _trust_many(
+        self,
+        root: EntityId,
+        targets: Sequence[EntityId],
+        depth: int,
+        visited: Set[EntityId],
+    ) -> Dict[EntityId, Optional[float]]:
+        """One graph walk evaluating every target simultaneously.
+
+        The per-target recursion's control flow (visited set, depth
+        bound) depends only on the path from the root, so a single
+        traversal can carry the whole candidate set: each node resolves
+        direct ratings locally and recurses once per acquaintance for
+        the targets still unresolved, instead of walking the graph once
+        per candidate.  Produces exactly what per-target :meth:`_trust`
+        calls would.
+        """
+        results: Dict[EntityId, Optional[float]] = {}
+        remaining: List[EntityId] = []
+        for target in targets:
+            direct = self.direct_rating(root, target)
+            if direct is not None:
+                results[target] = direct
+            else:
+                remaining.append(target)
+        if not remaining:
+            return results
+        if depth <= 0:
+            for target in remaining:
+                results[target] = None
+            return results
+        totals = {target: 0.0 for target in remaining}
+        total_weights = {target: 0.0 for target in remaining}
+        for neighbor, (_, weight) in self._edges.get(root, {}).items():
+            if neighbor in visited:
+                continue
+            if weight <= 0:
+                continue  # distrusted acquaintances carry no referrals
+            # The per-target walk skips the target itself as a referrer.
+            subset = [t for t in remaining if t != neighbor]
+            if not subset:
+                continue
+            downstream = self._trust_many(
+                neighbor, subset, depth - 1, visited | {neighbor}
+            )
+            for target in subset:
+                value = downstream[target]
+                if value is None:
+                    continue
+                totals[target] += weight * value
+                total_weights[target] += weight
+        for target in remaining:
+            if total_weights[target] <= 0:
+                results[target] = None
+            else:
+                results[target] = totals[target] / total_weights[target]
+        return results
+
+    def score_many(
+        self,
+        targets: Sequence[EntityId],
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> List[float]:
+        """Batch personalized scores via one shared graph traversal."""
+        if not targets:
+            return []
+        if perspective is None:
+            # Global fallback: one pass over the edge set serves every
+            # candidate instead of a full scan per candidate.
+            wanted = set(targets)
+            sums: Dict[EntityId, float] = {}
+            counts: Dict[EntityId, int] = {}
+            for edges in self._edges.values():
+                for tgt, entry in edges.items():
+                    if tgt in wanted:
+                        sums[tgt] = sums.get(tgt, 0.0) + entry[1]
+                        counts[tgt] = counts.get(tgt, 0) + 1
+            return [
+                sums[t] / counts[t] if counts.get(t) else self.prior
+                for t in targets
+            ]
+        values = self._trust_many(
+            perspective, list(targets), self.max_depth, {perspective}
+        )
+        return [
+            self.prior if values[t] is None else values[t] for t in targets
+        ]

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
+import numpy as np
+
 from repro.common.errors import ConfigurationError
 from repro.common.ids import EntityId
 from repro.common.mathutils import safe_mean
@@ -45,15 +47,12 @@ class _FacetHistory:
             return None
         if now is None:
             return safe_mean(self.ratings)
-        total = 0.0
-        weight_sum = 0.0
-        for t, r in zip(self.times, self.ratings):
-            w = decay(max(0.0, now - t))
-            total += w * r
-            weight_sum += w
+        ages = now - np.asarray(self.times, dtype=float)
+        weights = decay.weights(np.maximum(ages, 0.0))
+        weight_sum = float(weights.sum())
         if weight_sum <= 0:
             return safe_mean(self.ratings)
-        return total / weight_sum
+        return float(weights @ np.asarray(self.ratings, dtype=float)) / weight_sum
 
     def __len__(self) -> int:
         return len(self.ratings)

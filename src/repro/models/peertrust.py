@@ -27,7 +27,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.common.ids import EntityId
@@ -161,12 +161,25 @@ class PeerTrustModel(ReputationModel):
         evaluator: Optional[EntityId],
         rater: EntityId,
         depth: int,
+        memo: Optional[Dict[Tuple[EntityId, int], float]] = None,
     ) -> float:
+        """Cr of *rater*; *memo* (one per batch query) caches values
+        across the candidate set — credibility depends on the rater,
+        not on which target is being scored."""
+        if memo is not None:
+            key = (rater, depth)
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
         if self.credibility is CredibilityMeasure.PSM:
-            return max(0.0, self.feedback_similarity(evaluator, rater))
-        if depth <= 0:
-            return 0.5
-        return self._trust(rater, evaluator, depth - 1)
+            value = max(0.0, self.feedback_similarity(evaluator, rater))
+        elif depth <= 0:
+            value = 0.5
+        else:
+            value = self._trust(rater, evaluator, depth - 1, memo)
+        if memo is not None:
+            memo[(rater, depth)] = value
+        return value
 
     # -- the metric ----------------------------------------------------------------
     def community_context(self, peer: EntityId) -> float:
@@ -179,6 +192,7 @@ class PeerTrustModel(ReputationModel):
         target: EntityId,
         perspective: Optional[EntityId],
         depth: int,
+        memo: Optional[Dict[Tuple[EntityId, int], float]] = None,
     ) -> float:
         transactions = self._transactions.get(target, [])
         recent = sorted(transactions, key=lambda t: t.time)[-self.window:]
@@ -188,7 +202,7 @@ class PeerTrustModel(ReputationModel):
             numerator = 0.0
             denominator = 0.0
             for tx in recent:
-                cr = self._credibility(perspective, tx.rater, depth)
+                cr = self._credibility(perspective, tx.rater, depth, memo)
                 weight = cr * tx.context
                 numerator += tx.satisfaction * weight
                 denominator += weight
@@ -206,3 +220,22 @@ class PeerTrustModel(ReputationModel):
         now: Optional[float] = None,
     ) -> float:
         return self._trust(target, perspective, self.tvm_depth)
+
+    def score_many(
+        self,
+        targets: Sequence[EntityId],
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> List[float]:
+        """Batch trust with one shared credibility cache.
+
+        PSM similarity (and TVM recursion) depends on the rater being
+        weighed, not on the candidate being scored, so one memo serves
+        the whole candidate set — the per-candidate loop would recompute
+        every rater's similarity for every target.
+        """
+        memo: Dict[Tuple[EntityId, int], float] = {}
+        return [
+            self._trust(t, perspective, self.tvm_depth, memo)
+            for t in targets
+        ]

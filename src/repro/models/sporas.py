@@ -21,7 +21,7 @@ exponentially-weighted squared prediction error.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.common.errors import ConfigurationError
 from repro.common.ids import EntityId
@@ -112,3 +112,19 @@ class SporasModel(ReputationModel):
         now: Optional[float] = None,
     ) -> float:
         return self._reputation.get(target, 0.0) / self.d
+
+    def score_many(
+        self,
+        targets: Sequence[EntityId],
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> List[float]:
+        """Batch gather of the recursive reputations, scaled by D.
+
+        One dict probe and one divide per candidate with hoisted
+        lookups — the numpy round-trip costs more than it saves at
+        ranking-sized batches.
+        """
+        reputation = self._reputation
+        d = self.d
+        return [reputation.get(target, 0.0) / d for target in targets]

@@ -18,7 +18,7 @@ matched subsequent experience.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.common.errors import ConfigurationError
 from repro.common.ids import EntityId
@@ -207,3 +207,80 @@ class WangVassilevaModel(ReputationModel):
         # Blend: own experience dominates as it accumulates.
         own_weight = own_evidence / (own_evidence + 2.0)
         return own_weight * own + (1.0 - own_weight) * pooled
+
+    def score_many(
+        self,
+        targets: Sequence[EntityId],
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> List[float]:
+        """Batch scores sharing the rater-credibility weights.
+
+        ``rater_trust(agent, other)`` does not depend on the candidate
+        being scored, so the pooling pass reuses one credibility value
+        per recommender instead of recomputing it for every candidate.
+        """
+        if not targets:
+            return []
+        if perspective is None:
+            # Global fallback: one pass over the agents' models serves
+            # every candidate.
+            wanted = set(targets)
+            sums: Dict[EntityId, float] = {}
+            counts: Dict[EntityId, int] = {}
+            for agent, partners in self._models.items():
+                for target in partners:
+                    if target in wanted:
+                        sums[target] = sums.get(target, 0.0) + (
+                            self.provider_trust(agent, target)
+                        )
+                        counts[target] = counts.get(target, 0) + 1
+            return [
+                sums[t] / counts[t] if counts.get(t) else 0.5
+                for t in targets
+            ]
+        # One sweep over the (agent, partner) pairs gathers each
+        # candidate's recommenders (in agent order, matching the
+        # per-candidate loop), with one rater-trust value per
+        # recommender — instead of len(targets) scans of every agent.
+        rater_memo: Dict[EntityId, float] = {}
+        wanted = set(targets)
+        pooled_total: Dict[EntityId, float] = {}
+        pooled_weight: Dict[EntityId, float] = {}
+        for other, partners in self._models.items():
+            if other == perspective:
+                continue
+            weight: Optional[float] = None
+            for target in partners:
+                if target not in wanted:
+                    continue
+                if weight is None:
+                    weight = rater_memo.get(other)
+                    if weight is None:
+                        weight = self.rater_trust(perspective, other)
+                        rater_memo[other] = weight
+                opinion = self.provider_trust(other, target)
+                pooled_total[target] = (
+                    pooled_total.get(target, 0.0) + weight * opinion
+                )
+                pooled_weight[target] = (
+                    pooled_weight.get(target, 0.0) + weight
+                )
+        own_models = self._models.get(perspective, {})
+        results: List[float] = []
+        for target in targets:
+            model = own_models.get(target)
+            own = self.provider_trust(perspective, target)
+            weight_sum = pooled_weight.get(target, 0.0)
+            if weight_sum <= 0:
+                results.append(own)
+                continue
+            pooled = pooled_total[target] / weight_sum
+            own_evidence = (
+                model.overall.satisfied + model.overall.unsatisfied
+                if model
+                else 0.0
+            )
+            own_weight = own_evidence / (own_evidence + 2.0)
+            results.append(own_weight * own + (1.0 - own_weight) * pooled)
+        return results

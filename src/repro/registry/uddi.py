@@ -33,6 +33,9 @@ class UDDIRegistry:
         self._failed = False
         self.publish_count = 0
         self.search_count = 0
+        #: bumped on every publish/unpublish; lets callers cache search
+        #: results and invalidate only when the catalogue changes
+        self.version = 0
 
     # -- fault injection ------------------------------------------------
     def fail(self) -> None:
@@ -76,6 +79,7 @@ class UDDIRegistry:
                 )
             self._advertisements[description.service] = advertisement
         self.publish_count += 1
+        self.version += 1
 
     def unpublish(self, service_id: EntityId) -> None:
         self._check_up()
@@ -83,6 +87,7 @@ class UDDIRegistry:
             raise UnknownEntityError(f"service not published: {service_id!r}")
         del self._descriptions[service_id]
         self._advertisements.pop(service_id, None)
+        self.version += 1
 
     # -- lookup -----------------------------------------------------------
     def search(self, category: str) -> List[ServiceDescription]:

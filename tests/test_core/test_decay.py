@@ -1,11 +1,17 @@
 """Tests for decay policies."""
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.common.errors import ConfigurationError
-from repro.core.decay import ExponentialDecay, NoDecay, SlidingWindow
+from repro.core.decay import (
+    DecayPolicy,
+    ExponentialDecay,
+    NoDecay,
+    SlidingWindow,
+)
 
 
 class TestNoDecay:
@@ -48,3 +54,36 @@ class TestSlidingWindow:
     def test_repr(self):
         assert "10" in repr(SlidingWindow(10.0))
         assert "NoDecay" in repr(NoDecay())
+
+
+class TestVectorizedWeights:
+    """The numpy kernels must agree exactly with the scalar ones."""
+
+    POLICIES = [
+        NoDecay(),
+        ExponentialDecay(half_life=25.0),
+        SlidingWindow(window=10.0),
+    ]
+
+    @pytest.mark.parametrize("policy", POLICIES, ids=repr)
+    @given(ages=st.lists(st.floats(-5.0, 1e5, allow_nan=False), max_size=40))
+    def test_property_weights_match_scalar(self, policy, ages):
+        vector = policy.weights(np.array(ages, dtype=float))
+        assert vector.shape == (len(ages),)
+        scalars = [policy.weight(a) for a in ages]
+        assert vector.tolist() == pytest.approx(scalars, abs=1e-12)
+
+    @pytest.mark.parametrize("policy", POLICIES, ids=repr)
+    def test_empty_ages(self, policy):
+        assert policy.weights(np.array([], dtype=float)).shape == (0,)
+
+    def test_default_weights_maps_scalar_kernel(self):
+        class Staircase(DecayPolicy):
+            def weight(self, age: float) -> float:
+                return 1.0 / (1.0 + (age // 10.0))
+
+        policy = Staircase()
+        ages = np.array([0.0, 9.0, 10.0, 35.0])
+        assert policy.weights(ages).tolist() == [
+            policy.weight(a) for a in ages
+        ]

@@ -1,0 +1,125 @@
+"""Batch-vs-scalar scoring equivalence across the whole registry.
+
+The batch ranking API (``score_many``) and the incremental caches
+behind the graph models must be *pure optimizations*: under any
+interleaving of feedback and queries, the batched scores, the
+per-candidate scalar scores, and the scores of a fresh model replaying
+the same history have to agree to 1e-9.  A stale dirty flag, a missed
+invalidation, or a warm start landing on a different fixed point shows
+up exactly as one of these three paths diverging.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.records import Feedback
+from repro.core.registry import default_registry
+from repro.models.base import ReputationModel
+
+REGISTRY = default_registry(rng_seed=0)
+MODEL_NAMES = REGISTRY.names()
+#: Referral-network adaptation mutates weights on query, so consecutive
+#: queries legitimately differ (same exemption as test_properties).
+QUERY_MUTATING = {"yolum_singh"}
+
+RATERS = [f"r{i}" for i in range(6)]
+RATED = ["svc-a", "svc-b", "svc-c", "svc-d"]
+#: Queried set includes an id no feedback ever mentions — the cache
+#: index maps must not choke on (or invent evidence for) unknowns.
+QUERIED = RATED + ["never-seen"]
+
+
+@st.composite
+def chunked_streams(draw) -> List[List[Feedback]]:
+    """A feedback stream split into chunks; queries run between chunks,
+    so caches get invalidated and re-warmed several times per example."""
+    n_chunks = draw(st.integers(1, 4))
+    chunks: List[List[Feedback]] = []
+    t = 0
+    for _ in range(n_chunks):
+        size = draw(st.integers(0, 12))
+        chunk = []
+        for _ in range(size):
+            chunk.append(
+                Feedback(
+                    rater=draw(st.sampled_from(RATERS)),
+                    target=draw(st.sampled_from(RATED)),
+                    time=float(t),
+                    rating=draw(st.floats(0.0, 1.0, allow_nan=False)),
+                )
+            )
+            t += 1
+        chunks.append(chunk)
+    return chunks
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    chunks=chunked_streams(),
+    perspective=st.sampled_from([None, "r0", "r5"]),
+)
+def test_property_batch_equals_scalar_equals_fresh(name, chunks, perspective):
+    """score_many == per-candidate score() == fresh-model replay, at
+    every point of an interleaved record/query history."""
+    if name in QUERY_MUTATING:
+        pytest.skip("query-time adaptation makes consecutive queries differ")
+    live = REGISTRY.create(name)
+    seen: List[Feedback] = []
+    for chunk in chunks:
+        live.record_many(chunk)
+        seen.extend(chunk)
+        now = seen[-1].time + 1.0 if seen else 0.0
+        batch = live.score_many(QUERIED, perspective, now)
+        assert len(batch) == len(QUERIED)
+        scalar = [live.score(t, perspective, now) for t in QUERIED]
+        assert batch == pytest.approx(scalar, abs=1e-9), (
+            f"{name}: batched scores diverge from per-candidate scores"
+        )
+        fresh = REGISTRY.create(name)
+        fresh.record_many(seen)
+        fresh_batch = fresh.score_many(QUERIED, perspective, now)
+        assert batch == pytest.approx(fresh_batch, abs=1e-9), (
+            f"{name}: warm incremental scores diverge from a cold replay"
+        )
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(chunks=chunked_streams())
+def test_property_batch_matches_base_fallback(name, chunks):
+    """A custom score_many kernel must return exactly what the
+    base-class score() loop would (the naive reference path)."""
+    if name in QUERY_MUTATING:
+        pytest.skip("query-time adaptation makes consecutive queries differ")
+    model = REGISTRY.create(name)
+    for chunk in chunks:
+        model.record_many(chunk)
+    now = float(sum(len(c) for c in chunks)) + 1.0
+    batch = model.score_many(QUERIED, "r0", now)
+    fallback = ReputationModel.score_many(model, QUERIED, "r0", now)
+    assert batch == pytest.approx(fallback, abs=1e-9)
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+def test_score_many_empty_and_rank_shape(name):
+    model = REGISTRY.create(name)
+    assert model.score_many([]) == []
+    model.record_many(
+        [
+            Feedback(rater=f"r{i % 3}", target=RATED[i % 4], time=float(i),
+                     rating=(i % 10) / 10.0)
+            for i in range(20)
+        ]
+    )
+    ranking = model.rank(QUERIED, perspective="r0", now=21.0)
+    assert sorted(st_.target for st_ in ranking) == sorted(QUERIED)
+    scores = [st_.score for st_ in ranking]
+    assert scores == sorted(scores, reverse=True)

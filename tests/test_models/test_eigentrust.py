@@ -212,3 +212,81 @@ class TestDistributedEigenTrust:
         dht = ChordDHT(["a"], bits=16)
         with pytest.raises(Exception):
             DistributedEigenTrust(model, dht, n_managers=0)
+
+
+class TestIncrementalCache:
+    """The dirty-flag cache must be invisible except in speed."""
+
+    def test_version_bumps_on_record(self):
+        model = EigenTrustModel()
+        v0 = model.version
+        model.record(feedback(rater="a", target="b", rating=0.9))
+        assert model.version == v0 + 1
+        model.record(feedback(rater="a", target="b", rating=0.2))
+        assert model.version == v0 + 2
+
+    def test_dense_matches_scalar_reference_interleaved(self):
+        model = EigenTrustModel(pre_trusted=["a"], alpha=0.15)
+        peers = ["a", "b", "c", "d", "e"]
+        for i in range(120):
+            model.record(feedback(rater=peers[i % 5],
+                                  target=peers[(i + 1 + i // 7) % 5],
+                                  rating=(i % 10) / 10.0, time=float(i)))
+            if i % 11 == 0:
+                # Interleave queries so the warm-start path is exercised.
+                model.score(peers[i % 5])
+        dense = model.compute_dense()
+        scalar = model.compute()
+        for peer in peers:
+            assert dense[peer] == pytest.approx(scalar[peer], abs=1e-9)
+
+    def test_warm_start_survives_peer_growth(self):
+        model = EigenTrustModel(pre_trusted=["a"], alpha=0.15)
+        honest_community(model)
+        model.score("b")  # warm the stationary vector
+        # New peers join: the index map must rebuild and the warm
+        # vector remap without changing any answer.
+        model.record(feedback(rater="e", target="f", rating=0.9, time=500.0))
+        model.record(feedback(rater="f", target="a", rating=0.9, time=501.0))
+        replay = EigenTrustModel(pre_trusted=["a"], alpha=0.15)
+        honest_community(replay)
+        replay.record(feedback(rater="e", target="f", rating=0.9, time=500.0))
+        replay.record(feedback(rater="f", target="a", rating=0.9, time=501.0))
+        for peer in ["a", "b", "c", "d", "e", "f"]:
+            assert model.score(peer) == pytest.approx(
+                replay.score(peer), abs=1e-9
+            )
+
+    def test_queries_reuse_cached_vector(self):
+        model = EigenTrustModel(pre_trusted=["a"])
+        honest_community(model)
+        calls = {"n": 0}
+        original = model.compute_dense
+
+        def counting():
+            calls["n"] += 1
+            return original()
+
+        model.compute_dense = counting
+        model.score("a")
+        model.score("b")
+        model.score_many(["a", "b", "c", "never-seen"])
+        assert calls["n"] == 1  # one convergence serves every query
+        model.record(feedback(rater="a", target="b", rating=0.9, time=999.0))
+        model.score("a")
+        assert calls["n"] == 2  # feedback dirties the cache exactly once
+
+    def test_alpha_zero_stays_correct(self):
+        # alpha=0 has no unique fixed point, so the warm start must be
+        # disabled there rather than silently reusing the old vector.
+        model = EigenTrustModel(alpha=0.0)
+        honest_community(model)
+        model.score("a")
+        model.record(feedback(rater="b", target="c", rating=0.95, time=600.0))
+        replay = EigenTrustModel(alpha=0.0)
+        honest_community(replay)
+        replay.record(feedback(rater="b", target="c", rating=0.95, time=600.0))
+        for peer in ["a", "b", "c", "d"]:
+            assert model.score(peer) == pytest.approx(
+                replay.score(peer), abs=1e-9
+            )

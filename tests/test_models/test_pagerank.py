@@ -86,3 +86,55 @@ class TestFeedbackIntegration:
             PageRankModel(damping=1.0)
         with pytest.raises(ConfigurationError):
             PageRankModel(damping=0.0)
+
+
+class TestIncrementalCache:
+    """The warm-started vectorized engine must match the naive path."""
+
+    def test_compute_matches_naive_interleaved(self):
+        model = PageRankModel()
+        nodes = [f"n{i}" for i in range(8)]
+        for i in range(160):
+            model.record(feedback(rater=nodes[i % 8],
+                                  target=nodes[(i + 1 + i // 9) % 8],
+                                  rating=(i % 10) / 10.0, time=float(i)))
+            if i % 13 == 0:
+                model.score(nodes[i % 8])  # exercise the warm start
+        incremental = model.compute()
+        naive = model.compute_naive()
+        assert set(incremental) == set(naive)
+        for node, rank in naive.items():
+            assert incremental[node] == pytest.approx(rank, abs=1e-9)
+
+    def test_version_bumps_on_record(self):
+        model = PageRankModel()
+        v0 = model.version
+        model.record(feedback(rater="u", target="v", rating=0.9))
+        assert model.version > v0
+
+    def test_duplicate_edges_not_reindexed(self):
+        model = PageRankModel()
+        for _ in range(5):
+            model.add_edge("u", "v")
+        model.compute()
+        assert len(model._edge_pairs) == 1
+
+    def test_queries_reuse_cached_vector(self):
+        model = PageRankModel()
+        model.record(feedback(rater="u1", target="a", rating=0.9))
+        model.record(feedback(rater="u2", target="a", rating=0.9))
+        calls = {"n": 0}
+        original = model.compute
+
+        def counting():
+            calls["n"] += 1
+            return original()
+
+        model.compute = counting
+        model.score("a")
+        model.score("u1")
+        model.score_many(["a", "u1", "never-seen"])
+        assert calls["n"] == 1
+        model.record(feedback(rater="u1", target="b", rating=0.9, time=50.0))
+        model.score("b")
+        assert calls["n"] == 2
