@@ -34,6 +34,7 @@ from repro.experiments.chaos import (
     run_chaos_comparison,
     run_chaos_deployment,
 )
+from repro.experiments.parallel import jobs_from_env
 
 from benchmarks.conftest import print_table
 
@@ -42,7 +43,9 @@ CONFIG = ChaosConfig()
 
 @pytest.fixture(scope="module")
 def reports():
-    return run_chaos_comparison(CONFIG)
+    # REPRO_JOBS > 1 fans the three churn conditions across processes;
+    # by the parallel==serial contract the reports are identical.
+    return run_chaos_comparison(CONFIG, max_workers=jobs_from_env(1))
 
 
 def test_chaos_runs_are_deterministic():

@@ -24,6 +24,7 @@ import pytest
 from repro.common.errors import RegistryError
 from repro.common.randomness import SeedSequenceFactory
 from repro.common.records import Feedback
+from repro.experiments.parallel import jobs_from_env, parallel_map
 from repro.models.eigentrust import DistributedEigenTrust, EigenTrustModel
 from repro.models.vu_aberer import VuAbererModel
 from repro.p2p.dht import ChordDHT
@@ -154,13 +155,34 @@ def run_pgrid():
     return DeploymentReport("pgrid", messages, imbalance, survives)
 
 
+#: Deployment name -> runner; each builds its own workload and network,
+#: so the three deployments are independent trials.
+RUNNERS = {
+    "central": run_central,
+    "eigentrust-dht": run_eigentrust_dht,
+    "pgrid": run_pgrid,
+}
+
+
+def run_deployment(name: str) -> DeploymentReport:
+    return RUNNERS[name]()
+
+
+def run_all_deployments(max_workers: int = None):
+    """All three deployments, fanned out across the pool when
+    REPRO_JOBS (or *max_workers*) asks for it."""
+    if max_workers is None:
+        max_workers = jobs_from_env(1)
+    reports = parallel_map(
+        run_deployment, list(RUNNERS), max_workers=max_workers
+    )
+    return {r.name: r for r in reports}
+
+
 class TestCentralVsDecentral:
     @pytest.fixture(scope="class")
     def reports(self):
-        return {
-            r.name: r for r in [run_central(), run_eigentrust_dht(),
-                                run_pgrid()]
-        }
+        return run_all_deployments()
 
     def test_central_is_cheapest(self, reports):
         # "Less complex and easier to implement" shows up as messages:

@@ -17,6 +17,7 @@ liar minorities and all collapse once liars reach a majority.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Dict, List
 
 import pytest
@@ -24,6 +25,7 @@ import pytest
 from repro.common.mathutils import safe_mean
 from repro.common.randomness import SeedSequenceFactory
 from repro.common.records import Feedback
+from repro.experiments.parallel import jobs_from_env, parallel_map
 from repro.models.peertrust import PeerTrustModel
 from repro.robustness.cluster_filtering import ClusterFilter, FilterMode
 from repro.robustness.majority import MajorityOpinion, required_witnesses
@@ -121,17 +123,28 @@ DEFENSES: Dict[str, Callable] = {
 JUDGE = f"r{N_RATERS - 1:02d}"
 
 
-def run_sweep(attack: str):
+def sweep_point(attack: str, fraction: float) -> Dict[str, float]:
+    """Absolute error of every defense at one liar fraction — one
+    independent trial, so the sweep fans out across the process pool."""
     truth = TRUE_GOOD if attack == "badmouth" else TRUE_BAD
     target = "victim" if attack == "badmouth" else "crony"
-    table = {}
-    for fraction in LIAR_FRACTIONS:
-        feedbacks = build_feedback(fraction, attack)
-        table[fraction] = {
-            name: abs(defense(feedbacks, target, JUDGE) - truth)
-            for name, defense in DEFENSES.items()
-        }
-    return table
+    feedbacks = build_feedback(fraction, attack)
+    return {
+        name: abs(defense(feedbacks, target, JUDGE) - truth)
+        for name, defense in DEFENSES.items()
+    }
+
+
+def run_sweep(attack: str, max_workers: int = None):
+    """The liar-fraction sweep, parallel when REPRO_JOBS (or
+    *max_workers*) says so; results merge in canonical fraction order
+    either way."""
+    if max_workers is None:
+        max_workers = jobs_from_env(1)
+    rows = parallel_map(
+        partial(sweep_point, attack), LIAR_FRACTIONS, max_workers=max_workers
+    )
+    return dict(zip(LIAR_FRACTIONS, rows))
 
 
 class TestUnfairRatings:

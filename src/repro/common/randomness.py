@@ -61,3 +61,27 @@ class SeedSequenceFactory:
             entropy=self._root.entropy, spawn_key=(key,)
         )
         return np.random.default_rng(child)
+
+    def spawn(self, label: str) -> int:
+        """Derive an independent integer *root seed* for *label*.
+
+        Unlike :meth:`rng`, ``spawn`` is stateless: the result depends
+        only on (root entropy, label), never on call order or on how
+        many generators were issued before.  That property is what the
+        parallel experiment runtime builds on — a batch of trials can
+        derive their seeds in any order, on any worker, and still get
+        exactly the streams the serial run would have used.
+
+        The derived value is itself suitable as a
+        ``SeedSequenceFactory``/:func:`make_rng` root, and streams under
+        distinct labels are statistically independent (distinct
+        ``spawn_key`` children of the root sequence).
+        """
+        digest = hashlib.sha256(f"spawn\x00{label}".encode()).digest()
+        # 8 bytes keeps the spawn-key space disjoint from rng()'s
+        # 4-byte keys except with negligible probability.
+        key = int.from_bytes(digest[:8], "big")
+        child = np.random.SeedSequence(
+            entropy=self._root.entropy, spawn_key=(key,)
+        )
+        return int(child.generate_state(1, np.uint64)[0])

@@ -22,6 +22,20 @@ from repro.experiments.harness import (
     SelectionOutcome,
     run_selection_experiment,
 )
+from repro.experiments.parallel import (
+    AttackSpec,
+    TrialResult,
+    TrialRunReport,
+    TrialSpec,
+    group_sweep,
+    jobs_from_env,
+    parallel_map,
+    register_world_builder,
+    run_replications,
+    run_sweep,
+    run_trial,
+    run_trials,
+)
 from repro.experiments.chaos import (
     ChaosConfig,
     ChaosReport,
@@ -30,17 +44,29 @@ from repro.experiments.chaos import (
 )
 
 __all__ = [
+    "AttackSpec",
     "ChaosConfig",
     "ChaosReport",
     "SelectionOutcome",
+    "TrialResult",
+    "TrialRunReport",
+    "TrialSpec",
     "World",
+    "group_sweep",
+    "jobs_from_env",
     "kendall_tau",
     "make_consumers",
     "make_world",
+    "parallel_map",
     "ranking_quality",
+    "register_world_builder",
     "run_chaos_comparison",
     "run_chaos_deployment",
+    "run_replications",
     "run_selection_experiment",
+    "run_sweep",
+    "run_trial",
+    "run_trials",
     "score_mae",
     "spearman_rho",
     "top_k_precision",

@@ -29,6 +29,7 @@ property the fault-injection tests pin down.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ReproError, RoutingError
@@ -36,6 +37,7 @@ from repro.common.ids import EntityId
 from repro.common.mathutils import safe_mean
 from repro.common.records import Feedback
 from repro.core.selection import EpsilonGreedyPolicy, SelectionEngine
+from repro.experiments.parallel import parallel_map
 from repro.experiments.workloads import World, make_world
 from repro.faults.degradation import StaleRankingFallback, discounted_score
 from repro.faults.plan import (
@@ -449,8 +451,20 @@ def run_chaos_deployment(
 def run_chaos_comparison(
     config: ChaosConfig = ChaosConfig(),
     deployments: Sequence[str] = DEPLOYMENTS,
+    max_workers: int = 1,
 ) -> Dict[str, ChaosReport]:
-    """All deployments under the same plan, keyed by deployment name."""
-    return {
-        name: run_chaos_deployment(name, config) for name in deployments
-    }
+    """All deployments under the same plan, keyed by deployment name.
+
+    Each deployment rebuilds its own world and fault plan from the
+    config seed, so the churn conditions are independent trials: with
+    ``max_workers > 1`` they fan out across the process pool in
+    :mod:`repro.experiments.parallel` and, by the parallel==serial
+    contract, produce byte-identical reports in either mode.
+    """
+    deployments = list(deployments)
+    reports = parallel_map(
+        partial(run_chaos_deployment, config=config),
+        deployments,
+        max_workers=max_workers,
+    )
+    return dict(zip(deployments, reports))

@@ -8,6 +8,7 @@ ground truth.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -56,16 +57,22 @@ def run_selection_experiment(
         policy: defaults to ε-greedy(0.1) seeded from the world — pure
             greed starves newcomers of evidence, pure exploration never
             exploits; 0.1 is the conventional middle.
-        attack: optional dishonest-population plan, applied before the
-            run (mutates the world's consumers' strategies).
+        attack: optional dishonest-population plan, applied to per-run
+            copies of the consumers — the caller's ``world.consumers``
+            keep their own strategies, so replications sharing a world
+            never compound an attack.  (RNG state is still consumed by
+            the run; for exact replay build a fresh world per trial, as
+            :mod:`repro.experiments.parallel` does.)
     """
+    consumers = world.consumers
     if attack is not None:
-        attack.apply(world.consumers)
+        consumers = [copy.copy(c) for c in consumers]
+        attack.apply(consumers)
     if policy is None:
         policy = EpsilonGreedyPolicy(epsilon=0.1, rng=world.seeds.rng("policy"))
     scenario = DirectSelectionScenario(
         services=world.services,
-        consumers=world.consumers,
+        consumers=consumers,
         model=model,
         taxonomy=world.taxonomy,
         policy=policy,

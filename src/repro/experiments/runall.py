@@ -4,13 +4,26 @@
 with table printing on and timing off — the one-command path to all of
 EXPERIMENTS.md's numbers.  Individual experiments can be selected by
 their id: ``python -m repro.experiments.runall F4 C5``.
+
+Experiments are independent pytest invocations, so they fan out across
+processes: ``--jobs N`` (or the ``REPRO_JOBS`` environment variable)
+dispatches one pytest subprocess per experiment id, at most N at a
+time, and the exit code is the *maximum* child exit code — a failure in
+any experiment fails the run.  ``REPRO_JOBS`` also switches the
+sweep-shaped benchmarks themselves (C5, C6, C14) onto the process pool
+in :mod:`repro.experiments.parallel`.
 """
 
 from __future__ import annotations
 
+import argparse
 import subprocess
 import sys
+from concurrent.futures import ThreadPoolExecutor
+from functools import lru_cache
 from pathlib import Path
+
+from repro.experiments.parallel import jobs_from_env
 
 #: Experiment id -> benchmark file.
 EXPERIMENTS = {
@@ -31,12 +44,18 @@ EXPERIMENTS = {
     "C11": "test_claim_whitewash_sybil.py",
     "C12": "test_claim_runtime_selection.py",
     "C13": "test_claim_stale_registry.py",
+    "C14": "test_claim_availability_churn.py",
     "ABL": "test_ablations.py",
 }
 
 
+@lru_cache(maxsize=1)
 def benchmark_dir() -> Path:
-    """The benchmarks directory relative to the repository root."""
+    """The benchmarks directory relative to the repository root.
+
+    Cached: the filesystem walk answers the same question every call,
+    and parallel dispatch asks once per experiment.
+    """
     here = Path(__file__).resolve()
     for parent in here.parents:
         candidate = parent / "benchmarks"
@@ -45,20 +64,60 @@ def benchmark_dir() -> Path:
     raise FileNotFoundError("benchmarks directory not found")
 
 
+def _pytest_command(targets: "list[str]") -> "list[str]":
+    return [
+        sys.executable, "-m", "pytest", *targets,
+        "-q", "-s", "--benchmark-disable",
+    ]
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate figure/claim tables from the benchmarks.",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        metavar="ID",
+        help="experiment ids (e.g. F4 C5); all experiments when omitted",
+    )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        help="concurrent pytest invocations "
+        "(default: REPRO_JOBS or 1; 1 keeps the single-invocation path)",
+    )
+    return parser
+
+
 def main(argv: "list[str]") -> int:
-    requested = [arg.upper() for arg in argv] or list(EXPERIMENTS)
+    args = _parser().parse_args(argv)
+    requested = [arg.upper() for arg in args.ids] or list(EXPERIMENTS)
     unknown = [r for r in requested if r not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment ids: {unknown}")
         print(f"available: {', '.join(EXPERIMENTS)}")
         return 2
+    jobs = args.jobs if args.jobs is not None else jobs_from_env(1)
     bench = benchmark_dir()
-    targets = [str(bench / EXPERIMENTS[r]) for r in requested]
-    command = [
-        sys.executable, "-m", "pytest", *targets,
-        "-q", "-s", "--benchmark-disable",
-    ]
-    return subprocess.call(command)
+    if jobs <= 1 or len(requested) <= 1:
+        targets = [str(bench / EXPERIMENTS[r]) for r in requested]
+        return subprocess.call(_pytest_command(targets))
+    # One pytest invocation per experiment, at most *jobs* in flight.
+    # Threads only marshal subprocesses, so the GIL is irrelevant here.
+    with ThreadPoolExecutor(max_workers=min(jobs, len(requested))) as pool:
+        codes = list(
+            pool.map(
+                lambda r: subprocess.call(
+                    _pytest_command([str(bench / EXPERIMENTS[r])])
+                ),
+                requested,
+            )
+        )
+    return max(codes)
 
 
 def console_main() -> int:

@@ -51,3 +51,38 @@ class TestSeedSequenceFactory:
         first = float(gen.random())
         gen2 = SeedSequenceFactory(0).rng("reference")
         assert float(gen2.random()) == first
+
+
+class TestSpawn:
+    def test_same_label_same_seed(self):
+        assert SeedSequenceFactory(7).spawn("trial/0") == (
+            SeedSequenceFactory(7).spawn("trial/0")
+        )
+
+    def test_distinct_labels_distinct_seeds(self):
+        factory = SeedSequenceFactory(7)
+        seeds = {factory.spawn(f"trial/{i}") for i in range(64)}
+        assert len(seeds) == 64
+
+    def test_stateless_under_any_call_order(self):
+        # The property the parallel runtime rests on: spawn must not
+        # care how many generators or seeds were issued before.
+        clean = SeedSequenceFactory(3).spawn("trial/5")
+        busy = SeedSequenceFactory(3)
+        busy.rng("consumers")
+        busy.rng("consumers")
+        busy.spawn("trial/0")
+        busy.spawn("trial/9")
+        assert busy.spawn("trial/5") == clean
+
+    def test_different_roots_differ(self):
+        assert SeedSequenceFactory(1).spawn("x") != (
+            SeedSequenceFactory(2).spawn("x")
+        )
+
+    def test_spawned_seed_roots_independent_streams(self):
+        child = SeedSequenceFactory(0).spawn("a")
+        other = SeedSequenceFactory(0).spawn("b")
+        a = SeedSequenceFactory(child).rng("w").random()
+        b = SeedSequenceFactory(other).rng("w").random()
+        assert a != b

@@ -73,6 +73,22 @@ class TestChaosDeployment:
         assert set(reports) == set(DEPLOYMENTS)
         assert all(isinstance(r, ChaosReport) for r in reports.values())
 
+    def test_parallel_comparison_equals_serial(self):
+        # Churn conditions fanned across processes must reproduce the
+        # serial reports exactly — traces, message counts, breaker
+        # histories and all.
+        serial = run_chaos_comparison(SMALL, max_workers=1)
+        pooled = run_chaos_comparison(SMALL, max_workers=3)
+        assert set(serial) == set(pooled)
+        for name in serial:
+            assert pooled[name].trace == serial[name].trace
+            assert pooled[name].regrets == serial[name].regrets
+            assert pooled[name].messages == serial[name].messages
+            assert (
+                pooled[name].breaker_transitions
+                == serial[name].breaker_transitions
+            )
+
     def test_report_rate_properties(self):
         empty = ChaosReport(name="empty")
         assert empty.availability == 0.0

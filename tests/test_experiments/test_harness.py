@@ -39,7 +39,27 @@ class TestRunSelectionExperiment:
         # of random selection in its final rounds.
         assert outcome.tail_accuracy > 0.4
 
-    def test_attack_plan_applied(self):
+    def test_attack_changes_the_run(self):
+        def fresh_world():
+            return make_world(n_providers=4, services_per_provider=1,
+                              n_consumers=10, seed=9, quality_spread=0.3)
+
+        attack = AttackPlan(
+            liar_fraction=0.6,
+            strategy_factory=lambda: badmouth_strategy(),
+        )
+        honest = run_selection_experiment(BetaReputation(), fresh_world(),
+                                          rounds=8)
+        attacked = run_selection_experiment(BetaReputation(), fresh_world(),
+                                            rounds=8, attack=attack)
+        assert attacked.final_scores != honest.final_scores
+
+    def test_attack_does_not_mutate_callers_world(self):
+        # The attack applies to per-run copies: the caller's consumers
+        # keep their honest strategies, so replications sharing a world
+        # cannot compound the attack.
+        from repro.services.consumer import honest_rating_strategy
+
         world = make_world(n_providers=4, services_per_provider=1,
                            n_consumers=10, seed=9)
         attack = AttackPlan(
@@ -48,9 +68,15 @@ class TestRunSelectionExperiment:
         )
         run_selection_experiment(BetaReputation(), world, rounds=5,
                                  attack=attack)
-        liars = attack.liars_among(world.consumers)
-        assert len(liars) == 4
-        from repro.services.consumer import honest_rating_strategy
         assert all(
-            c.rating_strategy is not honest_rating_strategy for c in liars
+            c.rating_strategy is honest_rating_strategy
+            for c in world.consumers
+        )
+        # A second attacked replication on the same world starts from
+        # an honest population again, exactly like the first.
+        run_selection_experiment(BetaReputation(), world, rounds=5,
+                                 attack=attack)
+        assert all(
+            c.rating_strategy is honest_rating_strategy
+            for c in world.consumers
         )

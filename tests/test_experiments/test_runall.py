@@ -1,8 +1,13 @@
 """Tests for the experiment runner module."""
 
 from pathlib import Path
+from unittest import mock
 
-from repro.experiments.runall import EXPERIMENTS, benchmark_dir, main
+from repro.experiments.runall import (
+    EXPERIMENTS,
+    benchmark_dir,
+    main,
+)
 
 
 class TestRunall:
@@ -11,8 +16,48 @@ class TestRunall:
         for exp_id, filename in EXPERIMENTS.items():
             assert (bench / filename).is_file(), exp_id
 
+    def test_map_covers_every_claim_and_figure_file_on_disk(self):
+        # Every benchmarks/test_claim_*.py / test_fig*.py must be
+        # reachable through an experiment id — C14 went missing once.
+        bench = benchmark_dir()
+        on_disk = {p.name for p in bench.glob("test_claim_*.py")}
+        on_disk |= {p.name for p in bench.glob("test_fig*.py")}
+        missing = sorted(on_disk - set(EXPERIMENTS.values()))
+        assert not missing, f"benchmark files without an id: {missing}"
+
+    def test_c14_registered(self):
+        assert EXPERIMENTS["C14"] == "test_claim_availability_churn.py"
+
     def test_unknown_id_rejected(self):
         assert main(["NOPE"]) == 2
 
-    def test_benchmark_dir_found(self):
-        assert isinstance(benchmark_dir(), Path)
+    def test_benchmark_dir_found_and_cached(self):
+        first = benchmark_dir()
+        assert isinstance(first, Path)
+        assert benchmark_dir() is first  # lru_cache returns the object
+
+    def test_serial_dispatch_single_invocation(self):
+        with mock.patch("subprocess.call", return_value=0) as call:
+            assert main(["F1", "C5", "--jobs", "1"]) == 0
+        assert call.call_count == 1
+        targets = call.call_args[0][0]
+        assert sum(1 for part in targets if part.endswith(".py")) == 2
+
+    def test_parallel_dispatch_returns_max_exit_code(self):
+        # One child per experiment; a single failure must surface even
+        # when a later child succeeds.
+        def fake_call(cmd):
+            # Only the C5 child fails — thread-safe by construction.
+            return 3 if any("unfair_ratings" in part for part in cmd) else 0
+
+        with mock.patch("subprocess.call", side_effect=fake_call) as call:
+            assert main(["F1", "C5", "C6", "--jobs", "2"]) == 3
+        assert call.call_count == 3
+        for args, _ in call.call_args_list:
+            assert sum(1 for p in args[0] if p.endswith(".py")) == 1
+
+    def test_jobs_env_drives_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        with mock.patch("subprocess.call", return_value=0) as call:
+            assert main(["F1", "C5"]) == 0
+        assert call.call_count == 2
