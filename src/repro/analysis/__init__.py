@@ -1,0 +1,46 @@
+"""reprolint — AST-based determinism & contract linter for the
+reputation stack.
+
+The parallel runtime (DESIGN.md §9) and the incremental scoring engine
+(§8) rest on invariants no type checker sees: no ambient randomness or
+wall-clock reads, no hash-salted iteration feeding a ranking, cache
+version counters bumped on every ``record()``, batch kernels covered
+by the parity gate, picklable world builders, and no bare float
+equality on scores.  This package checks them statically:
+
+    python -m repro.analysis src/repro
+
+Rules R001-R006 are catalogued in DESIGN.md §10, along with the
+``# reprolint: disable=R00x`` suppression and baseline workflow.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.cli import main
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import (
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    RuleRegistry,
+    run_analysis,
+)
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import DEFAULT_REGISTRY, default_registry
+
+__all__ = [
+    "AnalysisConfig",
+    "Baseline",
+    "BaselineError",
+    "DEFAULT_REGISTRY",
+    "Finding",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "RuleRegistry",
+    "default_registry",
+    "main",
+    "render_json",
+    "render_text",
+    "run_analysis",
+]

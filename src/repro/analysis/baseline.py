@@ -1,0 +1,140 @@
+"""Grandfathered-findings baseline.
+
+A baseline file lets the CI gate go strict on day one while known,
+not-yet-fixed findings are burned down: entries in the baseline are
+subtracted from the report, and everything else fails the build.  The
+shipped ``reprolint-baseline.json`` is empty — the tree lints clean —
+so any new entry is a deliberate, reviewable act.
+
+Entries match on ``(path, rule, content)`` where *content* is the
+stripped source line, so a baseline survives unrelated edits that
+shift line numbers; the recorded line is a hint for humans.  Each
+entry absorbs exactly one finding, so a second identical violation on
+a new line still fails.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.analysis.core import Finding
+
+__all__ = ["Baseline", "BaselineError"]
+
+_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Malformed baseline file."""
+
+
+_Key = Tuple[str, str, str]
+
+
+def _key(path: str, rule: str, content: str) -> _Key:
+    return (path, rule, content.strip())
+
+
+@dataclass
+class Baseline:
+    """Counted (path, rule, content) entries to subtract from a report."""
+
+    entries: "Counter[_Key]"
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries=Counter())
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"{path}: invalid JSON ({exc})") from exc
+        if (
+            not isinstance(raw, dict)
+            or raw.get("version") != _VERSION
+            or not isinstance(raw.get("findings"), list)
+        ):
+            raise BaselineError(
+                f"{path}: expected {{'version': {_VERSION}, "
+                "'findings': [...]}"
+            )
+        entries: "Counter[_Key]" = Counter()
+        for item in raw["findings"]:
+            if not isinstance(item, dict):
+                raise BaselineError(f"{path}: non-object finding entry")
+            try:
+                entries[_key(
+                    item["path"], item["rule"], item.get("content", "")
+                )] += 1
+            except KeyError as exc:
+                raise BaselineError(
+                    f"{path}: finding entry missing {exc}"
+                ) from exc
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        entries: "Counter[_Key]" = Counter()
+        for f in findings:
+            entries[_key(f.path, f.rule, f.content)] += 1
+        return cls(entries=entries)
+
+    def filter(
+        self, findings: List[Finding]
+    ) -> Tuple[List[Finding], int]:
+        """(new findings, number grandfathered).  Order is preserved."""
+        remaining = Counter(self.entries)
+        fresh: List[Finding] = []
+        absorbed = 0
+        for finding in findings:
+            key = _key(finding.path, finding.rule, finding.content)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                absorbed += 1
+            else:
+                fresh.append(finding)
+        return fresh, absorbed
+
+    def dump(self, findings: List[Finding]) -> str:
+        """Serialized baseline for *findings* (sorted, stable)."""
+        payload = {
+            "version": _VERSION,
+            "findings": [
+                {
+                    "path": f.path,
+                    "rule": f.rule,
+                    "line": f.line,
+                    "content": f.content,
+                }
+                for f in sorted(findings)
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def write(self, path: Path, findings: List[Finding]) -> None:
+        path.write_text(self.dump(findings), encoding="utf-8")
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+
+def describe_unused(
+    baseline: Baseline, findings: List[Finding]
+) -> List[Dict[str, str]]:
+    """Baseline entries that matched nothing — candidates for deletion."""
+    remaining = Counter(baseline.entries)
+    for finding in findings:
+        key = _key(finding.path, finding.rule, finding.content)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+    return [
+        {"path": path, "rule": rule, "content": content}
+        for (path, rule, content), count in sorted(remaining.items())
+        for _ in range(count)
+    ]

@@ -1,0 +1,68 @@
+"""Finding reporters: human text and machine JSON.
+
+Both formats render findings in their canonical ``(path, line, col,
+rule)`` order — the driver sorts, the reporters never re-order — so a
+report is byte-stable for identical trees (the property CI relies on
+when diffing the uploaded JSON artifact between runs).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List
+
+from repro.analysis.core import Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(
+    findings: List[Finding],
+    files_scanned: int,
+    grandfathered: int = 0,
+) -> str:
+    lines = [
+        f"{f.path}:{f.line}:{f.col + 1}: {f.rule} {f.message}"
+        for f in findings
+    ]
+    by_rule = Counter(f.rule for f in findings)
+    if findings:
+        summary = ", ".join(
+            f"{rule}: {count}" for rule, count in sorted(by_rule.items())
+        )
+        lines.append("")
+        lines.append(
+            f"{len(findings)} finding(s) in {files_scanned} file(s) "
+            f"({summary})"
+        )
+    else:
+        lines.append(
+            f"reprolint: clean ({files_scanned} file(s) scanned"
+            + (
+                f", {grandfathered} grandfathered by baseline)"
+                if grandfathered
+                else ")"
+            )
+        )
+    if grandfathered and findings:
+        lines.append(f"{grandfathered} finding(s) grandfathered by baseline")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(
+    findings: List[Finding],
+    files_scanned: int,
+    grandfathered: int = 0,
+) -> str:
+    by_rule: Dict[str, int] = dict(
+        sorted(Counter(f.rule for f in findings).items())
+    )
+    payload = {
+        "files_scanned": files_scanned,
+        "grandfathered": grandfathered,
+        "total": len(findings),
+        "by_rule": by_rule,
+        "findings": [f.as_dict() for f in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,496 @@
+"""Determinism rules.
+
+R001 — no global nondeterminism sources.  Every stochastic component
+must draw from an injected ``numpy.random.Generator`` (see
+``repro/common/randomness.py``, the one blessed module).  Global
+``random`` state, the ``numpy.random`` legacy singleton, wall-clock
+reads, uuid4, and ``os.urandom`` all make ``parallel == serial``
+unprovable, so they are banned at lint time.
+
+R002 — no iteration over unordered collections on scoring, ranking, or
+parallel merge paths.  ``set``/``frozenset`` iteration order depends on
+hash values, and ``str`` hashing is salted per process — so a float
+accumulation or a dict built in set order can differ between a pool
+worker and the serial fallback.  Dict views are insertion-ordered in
+CPython and therefore deterministic given deterministic insertion;
+they only become unordered when pulled into set algebra, which this
+rule tracks.  The fix is always ``sorted(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import (
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    dotted_name,
+)
+
+__all__ = ["GlobalNondeterminismRule", "UnorderedIterationRule"]
+
+
+# ---------------------------------------------------------------------------
+# R001
+# ---------------------------------------------------------------------------
+
+#: exact dotted names that read ambient nondeterministic state
+_BANNED_EXACT = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "uuid.uuid1": "nondeterministic id",
+    "uuid.uuid4": "nondeterministic id",
+    "os.urandom": "OS entropy",
+}
+
+#: members of numpy.random that are seeded constructors, not the
+#: legacy global singleton
+_NUMPY_RANDOM_ALLOWED = {
+    "Generator",
+    "default_rng",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "MT19937",
+    "Philox",
+    "SFC64",
+    "RandomState",  # explicit seeded instance; the singleton is the hazard
+}
+
+#: members of the stdlib random module that construct an instance
+#: rather than touching module-level state
+_RANDOM_ALLOWED = {"Random"}
+
+
+def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> canonical dotted path, from the module's imports."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                local = item.asname or item.name.split(".")[0]
+                canonical = item.name if item.asname else local
+                aliases[local] = canonical
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.level:
+                continue  # relative imports never reach the banned modules
+            for item in node.names:
+                local = item.asname or item.name
+                aliases[local] = f"{node.module}.{item.name}"
+    return aliases
+
+
+class GlobalNondeterminismRule(Rule):
+    rule_id = "R001"
+    title = "no global nondeterminism sources"
+    exempt = ("common/randomness.py",)
+
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        aliases = _import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            dotted = dotted_name(node)
+            if dotted is None:
+                continue
+            head, _, rest = dotted.partition(".")
+            canonical = aliases.get(head)
+            if canonical is None:
+                continue
+            full = canonical + ("." + rest if rest else "")
+            message = self._violation(full)
+            if message is not None:
+                yield module.finding(node, self.rule_id, message)
+
+    @staticmethod
+    def _violation(full: str) -> Optional[str]:
+        parts = full.split(".")
+        if full in _BANNED_EXACT:
+            return (
+                f"{full} is a {_BANNED_EXACT[full]}; inject time/ids "
+                "through the simulation clock or a seeded generator"
+            )
+        if parts[0] == "secrets" and len(parts) > 1:
+            return (
+                f"{full} draws OS entropy; use "
+                "repro.common.randomness.make_rng"
+            )
+        if parts[0] == "random" and len(parts) > 1:
+            if parts[1] in _RANDOM_ALLOWED:
+                return None
+            return (
+                f"{full} touches the random module's global state; use "
+                "a numpy Generator from repro.common.randomness"
+            )
+        if (
+            len(parts) > 2
+            and parts[0] == "numpy"
+            and parts[1] == "random"
+            and parts[2] not in _NUMPY_RANDOM_ALLOWED
+        ):
+            return (
+                f"{full} uses numpy's global RNG singleton; use "
+                "repro.common.randomness.make_rng / SeedSequenceFactory"
+            )
+        return None
+
+
+# ---------------------------------------------------------------------------
+# R002
+# ---------------------------------------------------------------------------
+
+_SET_METHODS = {
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+}
+
+#: builtins whose output leaks iteration order (sorted() is the remedy
+#: and set()/frozenset()/len()/any()/all() are order-insensitive)
+_ORDER_SENSITIVE_CALLS = {
+    "list",
+    "tuple",
+    "sum",
+    "min",
+    "max",
+    "enumerate",
+    "zip",
+    "map",
+    "filter",
+    "iter",
+    "next",
+    "reversed",
+}
+
+
+def _annotation_kind(ann: Optional[ast.AST]) -> Optional[str]:
+    """'set' / 'dict_of_set' / None from a type annotation node."""
+    if ann is None:
+        return None
+    if isinstance(ann, ast.Name):
+        return "set" if ann.id in {"set", "frozenset"} else None
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        try:
+            return _annotation_kind(
+                ast.parse(ann.value, mode="eval").body
+            )
+        except SyntaxError:
+            return None
+    if isinstance(ann, ast.Subscript):
+        base = ann.value
+        base_name = base.attr if isinstance(base, ast.Attribute) else (
+            base.id if isinstance(base, ast.Name) else ""
+        )
+        if base_name in {"Set", "FrozenSet", "set", "frozenset"}:
+            return "set"
+        if base_name in {"Dict", "dict", "DefaultDict", "defaultdict"}:
+            sl = ann.slice
+            if isinstance(sl, ast.Tuple) and len(sl.elts) == 2:
+                if _annotation_kind(sl.elts[1]) == "set":
+                    return "dict_of_set"
+    return None
+
+
+class _AttrTypes:
+    """Instance-attribute kinds for one class: name -> 'set'/'dict_of_set'."""
+
+    def __init__(self, cls: ast.ClassDef) -> None:
+        self.kinds: Dict[str, str] = {}
+        for stmt in cls.body:
+            if (
+                isinstance(stmt, ast.FunctionDef)
+                and stmt.name == "__init__"
+            ):
+                for node in ast.walk(stmt):
+                    self._harvest(node)
+
+    def _harvest(self, node: ast.AST) -> None:
+        target: Optional[ast.AST] = None
+        kind: Optional[str] = None
+        if isinstance(node, ast.AnnAssign):
+            target = node.target
+            kind = _annotation_kind(node.annotation)
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if _is_set_literalish(node.value):
+                kind = "set"
+        if (
+            kind is not None
+            and isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            self.kinds[target.attr] = kind
+
+
+def _is_set_literalish(node: ast.AST) -> bool:
+    """Expressions that construct a set regardless of context."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    return False
+
+
+class _ScopeInference:
+    """Branch-insensitive set inference for one function (or module) body.
+
+    Over-approximates: a name counts as a set if *any* binding in the
+    scope makes it one.  Suppression comments handle the rare false
+    positive; missing a genuine unordered iteration is the worse error.
+    """
+
+    def __init__(
+        self,
+        body: List[ast.stmt],
+        attr_types: Dict[str, str],
+        params: Optional[ast.arguments] = None,
+        seed: Optional[Set[str]] = None,
+    ) -> None:
+        self.attr_types = attr_types
+        self.set_names: Set[str] = set(seed or ())
+        if params is not None:
+            for arg in (
+                list(params.posonlyargs)
+                + list(params.args)
+                + list(params.kwonlyargs)
+            ):
+                if _annotation_kind(arg.annotation) == "set":
+                    self.set_names.add(arg.arg)
+        # Fixed-point over local bindings: `a = set(); b = a` needs two
+        # passes when bindings appear out of order.
+        for _ in range(2):
+            before = len(self.set_names)
+            for stmt in body:
+                for node in ast.walk(stmt):
+                    self._bind(node)
+            if len(self.set_names) == before:
+                break
+
+    def _bind(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and self.is_set(node.value):
+                self.set_names.add(target.id)
+        elif isinstance(node, ast.AnnAssign):
+            if (
+                isinstance(node.target, ast.Name)
+                and _annotation_kind(node.annotation) == "set"
+            ):
+                self.set_names.add(node.target.id)
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            self._bind_loop(node.target, node.iter)
+
+    def _bind_loop(self, target: ast.AST, source: ast.AST) -> None:
+        """Loop targets drawn from Dict[..., Set[...]] values are sets."""
+        view = _dict_view_call(source)
+        if view is None:
+            return
+        method, receiver = view
+        if self._receiver_kind(receiver) != "dict_of_set":
+            return
+        if method == "values" and isinstance(target, ast.Name):
+            self.set_names.add(target.id)
+        elif (
+            method == "items"
+            and isinstance(target, ast.Tuple)
+            and len(target.elts) == 2
+            and isinstance(target.elts[1], ast.Name)
+        ):
+            self.set_names.add(target.elts[1].id)
+
+    def _receiver_kind(self, node: ast.AST) -> Optional[str]:
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return self.attr_types.get(node.attr)
+        return None
+
+    def is_set(self, node: ast.AST) -> bool:
+        """Whether *node* statically evaluates to a set/frozenset."""
+        if _is_set_literalish(node):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        if isinstance(node, ast.Attribute):
+            return self._receiver_kind(node) == "set"
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.is_set(node.left) or self.is_set(node.right)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_METHODS
+                and self.is_set(func.value)
+            ):
+                return True
+            # self._attr.get(k, set()) / .setdefault(k, set())
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in {"get", "setdefault"}
+            ):
+                if self._receiver_kind(func.value) == "dict_of_set":
+                    return True
+                if len(node.args) >= 2 and _is_set_literalish(
+                    node.args[1]
+                ):
+                    return True
+        if isinstance(node, ast.Subscript):
+            return self._receiver_kind(node.value) == "dict_of_set"
+        return False
+
+
+def _dict_view_call(
+    node: ast.AST,
+) -> Optional[Tuple[str, ast.AST]]:
+    """(method, receiver) for ``X.keys()/.values()/.items()`` calls."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in {"keys", "values", "items"}
+        and not node.args
+        and not node.keywords
+    ):
+        return node.func.attr, node.func.value
+    return None
+
+
+class UnorderedIterationRule(Rule):
+    rule_id = "R002"
+    title = "no unordered iteration on scoring/ranking/merge paths"
+    scopes = (
+        "models/",
+        "core/selection.py",
+        "experiments/parallel.py",
+    )
+
+    _MESSAGE = (
+        "iteration over a set has hash-salted, process-dependent order "
+        "on a scoring/ranking/merge path; wrap the iterable in sorted(...)"
+    )
+
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        empty_attrs: Dict[str, str] = {}
+        # Module-level set bindings (`PEERS = {...}`) are visible in
+        # every function below them — seed each scope with them.
+        module_sets = _ScopeInference(
+            self._toplevel_stmts(module.tree.body), empty_attrs
+        ).set_names
+        # Module-level statements (outside any class/function).
+        yield from self._check_scope(
+            module, module.tree.body, empty_attrs, None, toplevel=True
+        )
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                attrs = _AttrTypes(node).kinds
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        yield from self._check_scope(
+                            module, item.body, attrs, item.args,
+                            seed=module_sets,
+                        )
+            elif isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) and not self._is_method(node, module.tree):
+                yield from self._check_scope(
+                    module, node.body, empty_attrs, node.args,
+                    seed=module_sets,
+                )
+
+    @staticmethod
+    def _is_method(fn: ast.AST, tree: ast.Module) -> bool:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and fn in node.body:
+                return True
+        return False
+
+    @staticmethod
+    def _toplevel_stmts(body: List[ast.stmt]) -> List[ast.stmt]:
+        """Direct statements only; nested defs get their own scope."""
+        return [
+            s
+            for s in body
+            if not isinstance(
+                s,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            )
+        ]
+
+    def _check_scope(
+        self,
+        module: ModuleInfo,
+        body: List[ast.stmt],
+        attr_types: Dict[str, str],
+        params: Optional[ast.arguments],
+        toplevel: bool = False,
+        seed: Optional[Set[str]] = None,
+    ) -> Iterator[Finding]:
+        stmts = self._toplevel_stmts(body) if toplevel else body
+        scope = _ScopeInference(stmts, attr_types, params, seed)
+        seen: Set[Tuple[int, int]] = set()
+        for stmt in stmts:
+            for node in ast.walk(stmt):
+                if not toplevel and isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue  # nested defs are visited as methods/functions
+                for site in self._order_sensitive_sites(node, scope):
+                    key = (
+                        getattr(site, "lineno", 0),
+                        getattr(site, "col_offset", 0),
+                    )
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield module.finding(
+                        site, self.rule_id, self._MESSAGE
+                    )
+
+    @staticmethod
+    def _order_sensitive_sites(
+        node: ast.AST, scope: _ScopeInference
+    ) -> List[ast.AST]:
+        sites: List[ast.AST] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if scope.is_set(node.iter):
+                sites.append(node.iter)
+        elif isinstance(
+            node,
+            (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+        ):
+            for gen in node.generators:
+                if scope.is_set(gen.iter):
+                    sites.append(gen.iter)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else ""
+            )
+            if name in _ORDER_SENSITIVE_CALLS or name == "join":
+                for arg in node.args:
+                    if scope.is_set(arg):
+                        sites.append(arg)
+        return sites

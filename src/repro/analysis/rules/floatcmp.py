@@ -1,0 +1,113 @@
+"""R006 — no bare float equality on scores, trust values, or ratings.
+
+Model code computes scores through float accumulation, decay weights,
+and power iterations; two mathematically-equal paths routinely differ
+in the last ulp.  ``score == 0.5`` therefore encodes a coincidence of
+rounding, not a semantic condition.  Use an ordering comparison, an
+explicit tolerance (``math.isclose`` / ``abs(a - b) <= eps``), or an
+integer/boolean encoding of the condition instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.analysis.core import Finding, ModuleInfo, Project, Rule
+
+__all__ = ["FloatEqualityRule"]
+
+#: identifier segments that mark a value as a score/trust quantity
+_SCORE_SEGMENTS = {
+    "score",
+    "scores",
+    "trust",
+    "trusts",
+    "rating",
+    "ratings",
+    "reputation",
+    "similarity",
+    "credibility",
+    "satisfaction",
+}
+
+#: segments that mark the identifier as an integer/categorical quantity
+#: even when a score segment is present (rating_count, trust_index, ...)
+_NONFLOAT_SEGMENTS = {
+    "count",
+    "counts",
+    "total",
+    "totals",
+    "num",
+    "idx",
+    "index",
+    "id",
+    "ids",
+    "name",
+    "names",
+    "key",
+    "keys",
+    "sign",
+    "signs",
+    "kind",
+    "label",
+    "labels",
+    "version",
+}
+
+
+def _identifier(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _identifier(node.func)
+    return None
+
+
+def _is_scorelike(node: ast.AST) -> bool:
+    name = _identifier(node)
+    if name is None:
+        return False
+    segments: Set[str] = set(name.strip("_").lower().split("_"))
+    if segments & _NONFLOAT_SEGMENTS:
+        return False
+    return bool(segments & _SCORE_SEGMENTS)
+
+
+def _is_exempt_operand(node: ast.AST) -> bool:
+    """Operands whose equality is identity-like, not numeric."""
+    return isinstance(node, ast.Constant) and (
+        node.value is None
+        or isinstance(node.value, (str, bool))
+    )
+
+
+class FloatEqualityRule(Rule):
+    rule_id = "R006"
+    title = "no bare float equality on score/trust values"
+    scopes = ("models/",)
+
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[i], operands[i + 1]
+                if _is_exempt_operand(left) or _is_exempt_operand(right):
+                    continue
+                if _is_scorelike(left) or _is_scorelike(right):
+                    yield module.finding(
+                        node,
+                        self.rule_id,
+                        "bare float equality on a score/trust value; "
+                        "use an ordering comparison or an explicit "
+                        "tolerance (abs(a - b) <= eps)",
+                    )
+                    break

@@ -91,7 +91,7 @@ class AbererDespotovicModel(ReputationModel):
         )
         if not peers:
             return 1.0
-        return sum(self.statistic(p) for p in peers) / len(peers)
+        return sum(self.statistic(p) for p in sorted(peers)) / len(peers)
 
     def is_trustworthy(self, peer: EntityId) -> bool:
         """Aberer & Despotovic's binary decision."""
@@ -135,5 +135,5 @@ class AbererDespotovicModel(ReputationModel):
         Returns ``(complaints_received, messages)``.
         """
         records, messages = pgrid.lookup(origin, peer, peer)
-        complaints = sum(1 for fb in records if fb.rating == 0.0)
+        complaints = sum(1 for fb in records if fb.rating <= 0.0)
         return complaints, messages

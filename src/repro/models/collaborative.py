@@ -209,7 +209,7 @@ class CollaborativeFilteringModel(ReputationModel):
                     counts[tgt] = counts.get(tgt, 0) + 1
         return {
             item: (sums[item] / counts[item] if counts.get(item) else 0.5)
-            for item in wanted
+            for item in sorted(wanted)
         }
 
     def score_many(

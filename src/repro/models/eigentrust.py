@@ -135,17 +135,17 @@ class EigenTrustModel(ReputationModel):
             # fallback for undefined rows).
             if self.pre_trusted:
                 share = 1.0 / len(self.pre_trusted)
-                return {p: share for p in self.pre_trusted}
+                return {p: share for p in sorted(self.pre_trusted)}
             n = len(self._peers)
-            return {p: 1.0 / n for p in self._peers} if n else {}
+            return {p: 1.0 / n for p in sorted(self._peers)} if n else {}
         return {j: v / total for j, v in raw.items()}
 
     def _prior(self) -> Dict[EntityId, float]:
         if self.pre_trusted:
             share = 1.0 / len(self.pre_trusted)
-            return {p: share for p in self.pre_trusted}
+            return {p: share for p in sorted(self.pre_trusted)}
         n = len(self._peers)
-        return {p: 1.0 / n for p in self._peers} if n else {}
+        return {p: 1.0 / n for p in sorted(self._peers)} if n else {}
 
     def compute(self) -> Dict[EntityId, float]:
         """Run the damped power iteration; returns global trust (sums to 1)."""
@@ -203,7 +203,7 @@ class EigenTrustModel(ReputationModel):
             prior = np.zeros(n)
             if self.pre_trusted:
                 share = 1.0 / len(self.pre_trusted)
-                for p in self.pre_trusted:
+                for p in sorted(self.pre_trusted):
                     prior[index[p]] = share
             elif n:
                 prior.fill(1.0 / n)
@@ -235,7 +235,7 @@ class EigenTrustModel(ReputationModel):
                 sat, unsat = self._counts[(i, j)]
                 self._balance[index[i], index[j]] = max(sat - unsat, 0)
                 touched.add(index[i])
-            for r in touched:
+            for r in sorted(touched):
                 row = self._balance[r]
                 total = float(row.sum())
                 if total > 0:

@@ -232,7 +232,7 @@ class PageRankModel(ReputationModel):
                 if not targets:
                     continue
                 share = self.damping * rank[i] / len(targets)
-                for tgt in targets:
+                for tgt in sorted(targets):
                     nxt[index[tgt]] += share
             delta = sum(abs(a - b) for a, b in zip(rank, nxt))
             rank = nxt

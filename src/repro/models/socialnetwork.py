@@ -97,7 +97,7 @@ class SocialNetworkModel(ReputationModel):
                 if not targets:
                     continue
                 share = self.damping * rank[index[node]] / len(targets)
-                for tgt in targets:
+                for tgt in sorted(targets):
                     nxt[index[tgt]] += share
             delta = sum(abs(a - b) for a, b in zip(rank, nxt))
             rank = nxt

@@ -90,7 +90,7 @@ class SubjectiveLogicModel(ReputationModel):
         theirs = self._latest.get(rater, {})
         agree = 0.0
         disagree = 0.0
-        for target in set(own) & set(theirs):
+        for target in sorted(set(own) & set(theirs)):
             if abs(own[target] - theirs[target]) <= self.agreement_tolerance:
                 agree += 1.0
             else:

@@ -1,0 +1,38 @@
+"""Shared fixtures for the reprolint test suite.
+
+The fixture project under ``fixtures/proj`` mimics the real package
+layout (``repro/models``, ``repro/core``, ``repro/experiments``) so
+path-scoped rules behave exactly as they do on ``src/repro``.  Fixture
+files are parsed by the linter, never imported.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+import pytest
+
+from repro.analysis.core import Finding, run_analysis
+from repro.analysis.rules import default_registry
+
+FIXTURE_ROOT = Path(__file__).parent / "fixtures" / "proj"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+@pytest.fixture(scope="session")
+def fixture_findings() -> List[Finding]:
+    """One analysis run over the whole fixture project, shared by all
+    rule tests (the driver is deterministic, so sharing is safe)."""
+    return run_analysis([FIXTURE_ROOT], default_registry().rules())
+
+
+def findings_for(
+    findings: List[Finding], rule: str, relpath: str = ""
+) -> List[Finding]:
+    return [
+        f
+        for f in findings
+        if f.rule == rule and f.path.startswith(relpath)
+    ]

@@ -1,0 +1,15 @@
+"""Fixture stand-in for repro.core.registry (never imported, only parsed)."""
+
+from repro.models.bad_batch import RegisteredKernelModel
+from repro.models.bad_record import DirectBumpModel
+
+
+def default_registry(rng_seed=None):
+    registry = {}
+    entries = [
+        (RegisteredKernelModel, "Registered kernel", True),
+        (DirectBumpModel, "Direct bump", False),
+    ]
+    for cls, label, in_fig4 in entries:
+        registry[cls.__name__] = (cls, label, in_fig4)
+    return registry

@@ -1,0 +1,35 @@
+"""R005 fixture: world-builder registrations that cannot pickle."""
+
+
+def register_world_builder(name, builder, overwrite=False):
+    """Fixture stand-in so the module parses like the real one."""
+
+
+def make_world(seed, **params):
+    return {"seed": seed, **params}
+
+
+def _module_level_builder(seed, **params):
+    return make_world(seed, **params)
+
+
+register_world_builder("ok-world", _module_level_builder)
+
+register_world_builder(
+    "lambda-world", lambda seed, **params: make_world(seed)  # R005
+)
+
+
+def _register_locally():
+    def local_builder(seed, **params):                        # closure
+        return make_world(seed, **params)
+
+    register_world_builder("local-world", local_builder)      # R005 (x2)
+
+
+def _register_suppressed():
+    def quiet_builder(seed, **params):
+        return make_world(seed, **params)
+
+    # both the closure and the in-function registration, silenced:
+    register_world_builder("quiet", quiet_builder)  # reprolint: disable=R005

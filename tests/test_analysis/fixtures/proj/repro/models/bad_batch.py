@@ -1,0 +1,46 @@
+"""R004 fixture: score_many overrides and the batch-parity registry."""
+
+from repro.models.base import ReputationModel
+
+
+class UnregisteredKernelModel(ReputationModel):   # R004 fires
+    def record(self, feedback):
+        pass
+
+    def score(self, target, perspective=None, now=None):
+        return 0.5
+
+    def score_many(self, targets, perspective=None, now=None):
+        return [0.5 for _ in targets]
+
+
+class RegisteredKernelModel(ReputationModel):
+    def record(self, feedback):
+        pass
+
+    def score(self, target, perspective=None, now=None):
+        return 0.5
+
+    def score_many(self, targets, perspective=None, now=None):
+        return [0.5 for _ in targets]
+
+
+class ScalarOnlyModel(ReputationModel):
+    """No override -> the base loop is already covered by the gate."""
+
+    def record(self, feedback):
+        pass
+
+    def score(self, target, perspective=None, now=None):
+        return 0.5
+
+
+class SuppressedKernelModel(ReputationModel):  # reprolint: disable=R004
+    def record(self, feedback):
+        pass
+
+    def score(self, target, perspective=None, now=None):
+        return 0.5
+
+    def score_many(self, targets, perspective=None, now=None):
+        return [0.5 for _ in targets]

@@ -1,0 +1,21 @@
+"""R006 fixture: bare float equality on score/trust values."""
+
+
+def classify(score, trust, rating, rating_count, label):
+    if score == 0.5:                      # R006
+        return "prior"
+    if trust != 1.0:                      # R006
+        return "imperfect"
+    if rating == score:                   # R006
+        return "agreement"
+    if rating_count == 0:                 # integer count: fine
+        return "no evidence"
+    if label == "spam":                   # string equality: fine
+        return "spam"
+    if score > 0.9:                       # ordering: fine
+        return "excellent"
+    if abs(rating - score) <= 1e-9:       # explicit tolerance: fine
+        return "close"
+    if score == 1.0:  # reprolint: disable=R006
+        return "suppressed exact check"
+    return "other"

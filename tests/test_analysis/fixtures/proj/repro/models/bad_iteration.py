@@ -1,0 +1,40 @@
+"""R002 fixture: unordered iteration on scoring paths."""
+
+from typing import Dict, Set
+
+SEED_PEERS = {"alice", "bob"}
+
+
+def seed_total(scores):
+    return sum(scores[p] for p in SEED_PEERS)  # R002: module-level set
+
+
+class TinyGraphModel:
+    def __init__(self):
+        self._peers: Set[str] = set()
+        self._out: Dict[str, Set[str]] = {}
+
+    def score_all(self):
+        total = 0.0
+        for peer in self._peers:              # R002: set iteration
+            total += 1.0
+        shares = {p: 1.0 for p in self._peers}  # R002: dict comp over set
+        return total, shares
+
+    def spread(self, rank, index):
+        for node, targets in self._out.items():
+            for tgt in targets:               # R002: Dict[_, Set] values
+                rank[index[tgt]] += 1.0
+
+    def overlap(self, own, theirs):
+        return sum(own[t] for t in set(own) & set(theirs))  # R002
+
+    def suppressed(self):
+        return [p for p in self._peers]  # reprolint: disable=R002
+
+    def sorted_is_fine(self):
+        ranked = [p for p in sorted(self._peers)]
+        count = len(self._peers)
+        present = "a" in self._peers
+        as_list = sorted(set(ranked) | {"z"})
+        return ranked, count, present, as_list

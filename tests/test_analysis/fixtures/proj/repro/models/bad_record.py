@@ -1,0 +1,75 @@
+"""R003 fixture: versioned caches and record() coherence."""
+
+from repro.models.base import ReputationModel
+
+
+class StaleCacheModel(ReputationModel):          # R003 fires on record()
+    def __init__(self):
+        self.version = 0
+        self._trust_version = -1
+        self._counts = {}
+
+    def record(self, feedback):
+        self._counts[feedback.target] = feedback.rating
+
+    def score(self, target, perspective=None, now=None):
+        return self._counts.get(target, 0.5)
+
+
+class DirectBumpModel(ReputationModel):
+    def __init__(self):
+        self.version = 0
+        self._counts = {}
+
+    def record(self, feedback):
+        self._counts[feedback.target] = feedback.rating
+        self.version += 1
+
+    def score(self, target, perspective=None, now=None):
+        return self._counts.get(target, 0.5)
+
+
+class HelperBumpModel(ReputationModel):
+    def __init__(self):
+        self.version = 0
+        self._edges = {}
+
+    def _add_edge(self, source, target):
+        self._edges.setdefault(source, []).append(target)
+        self.version += 1
+
+    def record(self, feedback):
+        self._add_edge(feedback.rater, feedback.target)
+
+    def score(self, target, perspective=None, now=None):
+        return 0.5
+
+
+class DelegatingModel(DirectBumpModel):
+    def record(self, feedback):
+        super().record(feedback)
+
+
+class SuppressedStaleModel(ReputationModel):
+    def __init__(self):
+        self.version = 0
+        self._counts = {}
+
+    def record(self, feedback):  # reprolint: disable=R003
+        self._counts[feedback.target] = feedback.rating
+
+    def score(self, target, perspective=None, now=None):
+        return 0.5
+
+
+class UnversionedModel(ReputationModel):
+    """No cache version counter -> nothing to keep coherent."""
+
+    def __init__(self):
+        self._log = []
+
+    def record(self, feedback):
+        self._log.append(feedback)
+
+    def score(self, target, perspective=None, now=None):
+        return 0.5

@@ -1,0 +1,102 @@
+"""Baseline semantics: exclusion, counting, drift tolerance, round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import Baseline, BaselineError, describe_unused
+from repro.analysis.core import Finding
+
+
+def _finding(path="models/m.py", line=3, rule="R002",
+             content="for p in peers:") -> Finding:
+    return Finding(
+        path=path, line=line, col=0, rule=rule,
+        message="msg", content=content,
+    )
+
+
+class TestBaselineMatching:
+    def test_entry_excludes_matching_finding(self, tmp_path):
+        finding = _finding()
+        path = tmp_path / "baseline.json"
+        Baseline.empty().write(path, [finding])
+        loaded = Baseline.load(path)
+        fresh, grandfathered = loaded.filter([finding])
+        assert fresh == []
+        assert grandfathered == 1
+
+    def test_line_drift_still_matches(self, tmp_path):
+        """Content-keyed matching survives unrelated edits above."""
+        path = tmp_path / "baseline.json"
+        Baseline.empty().write(path, [_finding(line=3)])
+        drifted = _finding(line=41)
+        fresh, grandfathered = Baseline.load(path).filter([drifted])
+        assert fresh == []
+        assert grandfathered == 1
+
+    def test_each_entry_absorbs_exactly_one(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.empty().write(path, [_finding(line=3)])
+        duplicate_violations = [_finding(line=3), _finding(line=9)]
+        fresh, grandfathered = Baseline.load(path).filter(
+            duplicate_violations
+        )
+        assert grandfathered == 1
+        assert [f.line for f in fresh] == [9]
+
+    def test_different_rule_not_absorbed(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.empty().write(path, [_finding(rule="R002")])
+        fresh, grandfathered = Baseline.load(path).filter(
+            [_finding(rule="R006")]
+        )
+        assert grandfathered == 0
+        assert len(fresh) == 1
+
+    def test_unused_entries_reported(self):
+        baseline = Baseline.from_findings([_finding(), _finding(line=9)])
+        unused = describe_unused(baseline, [_finding()])
+        assert len(unused) == 1
+        assert unused[0]["rule"] == "R002"
+
+
+class TestBaselineFile:
+    def test_round_trip_is_sorted_and_stable(self, tmp_path):
+        findings = [
+            _finding(path="models/z.py", line=9),
+            _finding(path="models/a.py", line=2),
+            _finding(path="models/a.py", line=1, rule="R001"),
+        ]
+        path = tmp_path / "baseline.json"
+        Baseline.empty().write(path, findings)
+        first = path.read_text()
+        Baseline.empty().write(path, list(reversed(findings)))
+        assert path.read_text() == first  # input order never leaks
+        order = [
+            (e["path"], e["line"])
+            for e in json.loads(first)["findings"]
+        ]
+        assert order == sorted(order)
+
+    def test_malformed_json_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_wrong_shape_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_missing_keys_raise(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps({"version": 1, "findings": [{"path": "x"}]})
+        )
+        with pytest.raises(BaselineError):
+            Baseline.load(path)

@@ -1,0 +1,126 @@
+"""CLI behaviour: exit codes, reporters, baseline wiring, determinism."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.cli import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    run,
+)
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import run_analysis
+from repro.analysis.rules import default_registry
+from tests.test_analysis.conftest import FIXTURE_ROOT
+
+
+def _config(**overrides) -> AnalysisConfig:
+    base = dict(paths=[FIXTURE_ROOT])
+    base.update(overrides)
+    return AnalysisConfig(**base)
+
+
+class TestExitCodes:
+    def test_findings_exit_one(self, capsys):
+        assert run(_config()) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "R001" in out and "finding(s)" in out
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        assert run(_config(paths=[tmp_path])) == EXIT_CLEAN
+        assert "clean" in capsys.readouterr().out
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert run(_config(select=["R999"])) == EXIT_USAGE
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert (
+            run(_config(paths=[Path("/nonexistent/nowhere")]))
+            == EXIT_USAGE
+        )
+
+    def test_select_narrows_rules(self, capsys):
+        assert run(_config(select=["R005"])) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "R005" in out
+        assert "R001" not in out
+
+    def test_ignore_drops_rules(self, capsys):
+        code = run(
+            _config(ignore=["R001", "R002", "R003", "R004", "R005",
+                            "R006"])
+        )
+        assert code == EXIT_CLEAN
+        capsys.readouterr()
+
+
+class TestJsonReport:
+    def test_json_payload_shape(self, tmp_path, capsys):
+        out_file = tmp_path / "report.json"
+        code = run(
+            _config(output_format="json", output_file=out_file)
+        )
+        assert code == EXIT_FINDINGS
+        payload = json.loads(out_file.read_text())
+        assert payload["total"] == len(payload["findings"])
+        assert payload["by_rule"]["R001"] == 7
+        assert set(payload["findings"][0]) == {
+            "path", "line", "col", "rule", "message", "content",
+        }
+        # stdout carries the same report
+        assert json.loads(capsys.readouterr().out) == payload
+
+    def test_report_is_deterministic_across_runs(self, capsys):
+        rules = default_registry().rules()
+        first = run_analysis([FIXTURE_ROOT], rules)
+        second = run_analysis([FIXTURE_ROOT], rules)
+        assert first == second
+        keys = [(f.path, f.line, f.col, f.rule) for f in first]
+        assert keys == sorted(keys)
+        capsys.readouterr()
+
+
+class TestBaselineWorkflow:
+    def test_write_then_lint_is_clean(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert (
+            run(_config(baseline=baseline, write_baseline=True))
+            == EXIT_CLEAN
+        )
+        code = run(_config(baseline=baseline))
+        assert code == EXIT_CLEAN
+        assert "grandfathered" in capsys.readouterr().out
+
+    def test_new_violation_beats_stale_baseline(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        run(_config(baseline=baseline, write_baseline=True))
+        extra = tmp_path / "proj" / "repro" / "models"
+        extra.mkdir(parents=True)
+        (extra / "fresh.py").write_text(
+            "import random\n\n\ndef draw():\n    return random.random()\n"
+        )
+        code = run(
+            _config(
+                paths=[FIXTURE_ROOT, tmp_path / "proj"],
+                baseline=baseline,
+            )
+        )
+        assert code == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "fresh.py" in out
+
+    def test_write_baseline_without_path_is_usage_error(self, capsys):
+        assert run(_config(write_baseline=True)) == EXIT_USAGE
+        assert "--write-baseline" in capsys.readouterr().err
+
+    def test_empty_baseline_grandfathers_nothing(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        Baseline.empty().write(baseline, [])
+        assert run(_config(baseline=baseline)) == EXIT_FINDINGS
+        capsys.readouterr()

@@ -1,0 +1,165 @@
+"""Per-rule behaviour on the fixture project: each rule fires on its
+positive cases, stays quiet on the blessed patterns, and honours
+per-line suppression comments."""
+
+from __future__ import annotations
+
+from tests.test_analysis.conftest import findings_for
+
+
+class TestR001GlobalNondeterminism:
+    def test_fires_on_every_ambient_source(self, fixture_findings):
+        hits = findings_for(
+            fixture_findings, "R001", "models/bad_determinism.py"
+        )
+        flagged = {f.content.split("#")[0].strip() for f in hits}
+        assert "a = random.random()" in flagged
+        assert "b = np.random.rand(3)" in flagged
+        assert "np.random.seed(0)" in flagged
+        assert "c = time.time()" in flagged
+        assert "d = datetime.now()" in flagged
+        assert "e = uuid.uuid4()" in flagged
+        assert "f = os.urandom(8)" in flagged
+        assert len(hits) == 7
+
+    def test_suppression_comment_silences(self, fixture_findings):
+        hits = findings_for(
+            fixture_findings, "R001", "models/bad_determinism.py"
+        )
+        assert not any("suppressed" in f.content for f in hits)
+
+    def test_seeded_constructors_allowed(self, fixture_findings):
+        hits = findings_for(
+            fixture_findings, "R001", "models/bad_determinism.py"
+        )
+        for blessed in ("default_rng", "SeedSequence", "random.Random",
+                        "perf_counter"):
+            assert not any(blessed in f.content for f in hits)
+
+
+class TestR002UnorderedIteration:
+    def test_fires_on_set_iterations(self, fixture_findings):
+        hits = findings_for(
+            fixture_findings, "R002", "models/bad_iteration.py"
+        )
+        lines = {f.content for f in hits}
+        assert "for peer in self._peers:              # R002: set iteration" in lines
+        assert any("shares = {p: 1.0 for p in self._peers}" in l
+                   for l in lines)
+        assert any("for tgt in targets:" in l for l in lines)
+        assert any("set(own) & set(theirs)" in l for l in lines)
+        assert any("for p in SEED_PEERS" in l for l in lines)
+        assert len(hits) == 5
+
+    def test_sorted_and_membership_not_flagged(self, fixture_findings):
+        hits = findings_for(
+            fixture_findings, "R002", "models/bad_iteration.py"
+        )
+        assert not any("sorted(" in f.content for f in hits)
+        assert not any("len(self._peers)" in f.content for f in hits)
+        assert not any('"a" in self._peers' in f.content for f in hits)
+
+    def test_suppression_comment_silences(self, fixture_findings):
+        hits = findings_for(
+            fixture_findings, "R002", "models/bad_iteration.py"
+        )
+        assert not any("disable=R002" in f.content for f in hits)
+
+
+class TestR003CacheVersionBump:
+    def test_fires_on_stale_record(self, fixture_findings):
+        hits = findings_for(
+            fixture_findings, "R003", "models/bad_record.py"
+        )
+        assert len(hits) == 1
+        assert "StaleCacheModel" in hits[0].message
+        assert "version, _trust_version" not in hits[0].message or True
+        assert hits[0].content.startswith("def record")
+
+    def test_bump_paths_accepted(self, fixture_findings):
+        hits = findings_for(
+            fixture_findings, "R003", "models/bad_record.py"
+        )
+        messages = " ".join(f.message for f in hits)
+        assert "DirectBumpModel" not in messages
+        assert "HelperBumpModel" not in messages
+        assert "DelegatingModel" not in messages
+        assert "UnversionedModel" not in messages
+
+    def test_suppression_comment_silences(self, fixture_findings):
+        hits = findings_for(fixture_findings, "R003")
+        assert not any(
+            "SuppressedStaleModel" in f.message for f in hits
+        )
+
+
+class TestR004BatchParityRegistry:
+    def test_fires_on_unregistered_kernel(self, fixture_findings):
+        hits = findings_for(
+            fixture_findings, "R004", "models/bad_batch.py"
+        )
+        assert len(hits) == 1
+        assert "UnregisteredKernelModel" in hits[0].message
+
+    def test_registered_and_scalar_models_pass(self, fixture_findings):
+        messages = " ".join(
+            f.message for f in findings_for(fixture_findings, "R004")
+        )
+        assert "RegisteredKernelModel" not in messages
+        assert "ScalarOnlyModel" not in messages
+        assert "ReputationModel overrides" not in messages
+
+    def test_suppression_comment_silences(self, fixture_findings):
+        messages = " ".join(
+            f.message for f in findings_for(fixture_findings, "R004")
+        )
+        assert "SuppressedKernelModel" not in messages
+
+
+class TestR005PicklableWorldBuilders:
+    def test_fires_on_lambda_and_closure(self, fixture_findings):
+        hits = findings_for(
+            fixture_findings, "R005", "experiments/bad_builders.py"
+        )
+        assert len(hits) == 2
+        messages = " ".join(f.message for f in hits)
+        assert "lambda" in messages
+        assert "local_builder" in messages
+
+    def test_module_level_builder_passes(self, fixture_findings):
+        hits = findings_for(fixture_findings, "R005")
+        assert not any(
+            "_module_level_builder" in f.message for f in hits
+        )
+
+    def test_suppression_comment_silences(self, fixture_findings):
+        hits = findings_for(fixture_findings, "R005")
+        assert not any("quiet_builder" in f.message for f in hits)
+
+
+class TestR006FloatEquality:
+    def test_fires_on_bare_equality(self, fixture_findings):
+        hits = findings_for(
+            fixture_findings, "R006", "models/bad_floatcmp.py"
+        )
+        lines = {f.content.split("#")[0].strip() for f in hits}
+        assert "if score == 0.5:" in lines
+        assert "if trust != 1.0:" in lines
+        assert "if rating == score:" in lines
+        assert len(hits) == 3
+
+    def test_counts_strings_and_tolerances_pass(self, fixture_findings):
+        hits = findings_for(
+            fixture_findings, "R006", "models/bad_floatcmp.py"
+        )
+        contents = " ".join(f.content for f in hits)
+        assert "rating_count" not in contents
+        assert "spam" not in contents
+        assert "abs(" not in contents
+        assert "score > 0.9" not in contents
+
+    def test_suppression_comment_silences(self, fixture_findings):
+        hits = findings_for(
+            fixture_findings, "R006", "models/bad_floatcmp.py"
+        )
+        assert not any("disable=R006" in f.content for f in hits)
