@@ -318,3 +318,99 @@ def test_regression_batch_vs_naive(table_printer, wide_stream):
             f"{headline}: expected >= 5x batch speedup, got "
             f"{report[headline]['speedup_vs_naive']}"
         )
+
+
+# ---------------------------------------------------------------------------
+# Observability overhead gate: a disabled recorder must be (near) free.
+# ---------------------------------------------------------------------------
+
+#: Relative budget for instrumentation with the no-op recorder installed.
+OBS_OVERHEAD_LIMIT = 0.05
+#: Absolute slack per measured burst: on a quiet machine a rank burst
+#: runs in the low-millisecond range, so jitter can exceed 5% of the
+#: signal even with min-of-7.  The relative gate carries the meaning;
+#: the slack keeps the gate from flaking on timer noise.
+OBS_SLACK_NS = 500_000
+RANK_BURST = 50
+
+
+def _rank_uninstrumented(model, candidates, perspective, now):
+    """The exact rank() body minus the recorder guard — the pre-obs
+    baseline the instrumented path is gated against."""
+    from repro.models.base import ScoredTarget
+
+    candidates = list(candidates)
+    scores = model.score_many(candidates, perspective, now)
+    scored = [
+        ScoredTarget(target=c, score=float(s))
+        for c, s in zip(candidates, scores)
+    ]
+    scored.sort(key=lambda st: (-st.score, st.target))
+    return scored
+
+
+def test_obs_disabled_recorder_overhead(table_printer, wide_stream):
+    """Instrumented rank() under the default no-op recorder vs the same
+    body with no instrumentation at all: <= 5% + noise slack, recorded
+    in BENCH_models.json under "obs"."""
+    from repro.obs.recorder import get_recorder
+
+    assert get_recorder().enabled is False, (
+        "a live recorder leaked into the benchmark process"
+    )
+    model = _warmed("beta", wide_stream)
+    batch = [f"svc-{i}" for i in range(BATCH_SIZE)]
+    now = float(WARM_RECORDS)
+    model.rank(batch, "r0", now)  # warm lazy caches on both paths
+
+    def instrumented():
+        for _ in range(RANK_BURST):
+            model.rank(batch, "r0", now)
+
+    def bare():
+        for _ in range(RANK_BURST):
+            _rank_uninstrumented(model, batch, "r0", now)
+
+    # Interleave the two measurements so slow-start noise (CPU
+    # frequency, cache warmth) cannot land on one side only.
+    instrumented_ns = None
+    bare_ns = None
+    for _ in range(REPEATS):
+        b = _best_ns(bare, repeats=1)
+        i = _best_ns(instrumented, repeats=1)
+        bare_ns = b if bare_ns is None else min(bare_ns, b)
+        instrumented_ns = (
+            i if instrumented_ns is None else min(instrumented_ns, i)
+        )
+
+    overhead = instrumented_ns / bare_ns - 1.0
+    table_printer(
+        f"Disabled-recorder overhead (rank x{RANK_BURST}, "
+        f"batch of {BATCH_SIZE})",
+        ["path", "best ns", "overhead"],
+        [
+            ["uninstrumented", bare_ns, "-"],
+            ["instrumented (no-op)", instrumented_ns, f"{overhead:+.1%}"],
+        ],
+    )
+
+    if BENCH_PATH.exists():
+        payload = json.loads(BENCH_PATH.read_text())
+    else:
+        payload = {}
+    payload["obs"] = {
+        "rank_burst": RANK_BURST,
+        "batch_size": BATCH_SIZE,
+        "uninstrumented_ns": bare_ns,
+        "instrumented_noop_ns": instrumented_ns,
+        "overhead_fraction": round(overhead, 4),
+        "limit_fraction": OBS_OVERHEAD_LIMIT,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    assert instrumented_ns <= bare_ns * (1.0 + OBS_OVERHEAD_LIMIT) + (
+        OBS_SLACK_NS
+    ), (
+        f"disabled instrumentation costs {overhead:.1%} "
+        f"(> {OBS_OVERHEAD_LIMIT:.0%} + slack) on the rank hot path"
+    )

@@ -22,6 +22,7 @@ from repro.common.ids import EntityId
 from repro.common.randomness import RngLike, make_rng
 from repro.faults.degradation import StaleRankingFallback
 from repro.models.base import ReputationModel, ScoredTarget
+from repro.obs.recorder import get_recorder
 from repro.registry.uddi import UDDIRegistry
 
 
@@ -136,12 +137,17 @@ class SelectionEngine:
         """
         version = getattr(self.registry, "version", None)
         failed = getattr(self.registry, "is_failed", False)
+        rec = get_recorder()
         if version is not None and not failed:
             # A down registry must still raise (the fallback machinery
             # depends on it), so the cache only answers healthy lookups.
             cached = self._candidate_cache.get(category)
             if cached is not None and cached[0] == version:
+                if rec.enabled:
+                    rec.count("selection.candidates.cache_hits")
                 return list(cached[1])
+        if rec.enabled:
+            rec.count("selection.candidates.cache_misses")
         ids = [d.service for d in self.registry.search(category)]
         if version is not None:
             self._candidate_cache[category] = (version, ids)
@@ -156,7 +162,25 @@ class SelectionEngine:
         """Batch-score the discovered candidates via the model's
         :meth:`~repro.models.base.ReputationModel.rank` (one
         ``score_many`` call, not one ``score`` per candidate)."""
-        return self.model.rank(self.candidates(category), perspective, now)
+        targets = self.candidates(category)
+        rec = get_recorder()
+        if rec.enabled:
+            start = rec.now if now is None else float(now)
+            ranking = self.model.rank(targets, perspective, now)
+            # Rank latency in *sim* time: how stale the scores were when
+            # the selection landed, not how long the CPU took.
+            rec.span(
+                "selection.rank",
+                time=start,
+                duration=max(rec.now - start, 0.0),
+                attrs={
+                    "model": self.model.name,
+                    "candidates": len(targets),
+                    "category": category,
+                },
+            )
+            return ranking
+        return self.model.rank(targets, perspective, now)
 
     def select(
         self,
@@ -179,10 +203,15 @@ class SelectionEngine:
             if self.fallback is None:
                 raise
             ranking = self.fallback.recall(key, now or 0.0)
+            rec = get_recorder()
             if not ranking:
                 self.failed_selections += 1
+                if rec.enabled:
+                    rec.count("selection.failed")
                 return None
             self.degraded_selections += 1
+            if rec.enabled:
+                rec.count("selection.degraded")
         else:
             if self.fallback is not None and ranking:
                 self.fallback.remember(key, ranking, now or 0.0)

@@ -19,6 +19,7 @@ quality plus the cost decomposition the paper argues about.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -28,16 +29,41 @@ from repro.core.selection import EpsilonGreedyPolicy
 from repro.experiments.workloads import World, make_world
 from repro.models.base import ScoredTarget
 from repro.models.beta import BetaReputation
+
+# The cost model lives in the obs ledger now (one source of truth for
+# ApproachReport, traces, and `python -m repro.obs summarize`); the
+# historical names stay importable from here.
+from repro.obs.ledger import (
+    MESSAGE_COST,
+    NEGOTIATION_COST,
+    PROBE_COST,
+    SENSOR_COST,
+    ActivityLedger,
+)
+from repro.obs.recorder import Recorder, get_recorder, use_recorder
+from repro.obs.trace import dump_jsonl
 from repro.services.invocation import InvocationEngine
 from repro.services.monitoring import SensorDeployment, ThirdPartyMonitor
 from repro.services.sla import SLAMonitor, negotiate_sla
 
-#: Cost model (arbitrary units, sensors deliberately expensive as the
-#: paper argues: "the cost will be huge").
-SENSOR_COST = 10.0
-PROBE_COST = 0.1
-MESSAGE_COST = 0.01
-NEGOTIATION_COST = 1.0
+__all__ = [
+    "SENSOR_COST",
+    "PROBE_COST",
+    "MESSAGE_COST",
+    "NEGOTIATION_COST",
+    "ApproachReport",
+    "APPROACHES",
+    "run_activities_comparison",
+]
+
+
+def _charge_ledger(activity: str, **drivers: int) -> None:
+    """Charge Figure-2 cost drivers to the ambient recorder, if live."""
+    rec = get_recorder()
+    if rec.enabled:
+        ledger = ActivityLedger(rec.registry)
+        ledger.touch(activity)
+        ledger.charge(activity, **drivers)
 
 
 @dataclass
@@ -121,6 +147,7 @@ def run_advertised(world: World, rounds: int) -> ApproachReport:
         lambda c, i, t: None,
         rounds,
     )
+    _charge_ledger("advertised")
     return ApproachReport(
         name="advertised",
         accuracy=stats["accuracy"],
@@ -141,6 +168,7 @@ def run_sla(world: World, rounds: int) -> ApproachReport:
             ad = provider.advertisement_for(service.service_id)
             claims[service.service_id] = dict(ad.claimed)
     # Every consumer negotiates with every service up front.
+    negotiations = 0
     for consumer in world.consumers:
         for sid, claimed in claims.items():
             monitor.register(
@@ -149,6 +177,7 @@ def run_sla(world: World, rounds: int) -> ApproachReport:
                     negotiation_cost=NEGOTIATION_COST,
                 )
             )
+            negotiations += 1
     violation_counts: Dict[EntityId, int] = {}
     check_counts: Dict[EntityId, int] = {}
 
@@ -174,6 +203,7 @@ def run_sla(world: World, rounds: int) -> ApproachReport:
             )
 
     stats = _run_loop(world, scores, observe, rounds)
+    _charge_ledger("sla", negotiations=negotiations, checks=monitor.checks)
     return ApproachReport(
         name="sla",
         accuracy=stats["accuracy"],
@@ -213,6 +243,12 @@ def run_sensors(world: World, rounds: int) -> ApproachReport:
             per_round_probe(time)
 
     stats = _run_loop(world, scores, observe, rounds)
+    _charge_ledger(
+        "sensors",
+        sensors=sensors.sensors_deployed,
+        probes=sensors.probe_count,
+        reports=sensors.report_messages,
+    )
     return ApproachReport(
         name="sensors",
         accuracy=stats["accuracy"],
@@ -249,6 +285,7 @@ def run_central_monitor(world: World, rounds: int) -> ApproachReport:
             monitor.sweep(world.services, time)
 
     stats = _run_loop(world, scores, observe, rounds)
+    _charge_ledger("central_monitor", probes=monitor.probe_count)
     return ApproachReport(
         name="central_monitor",
         accuracy=stats["accuracy"],
@@ -277,6 +314,7 @@ def run_feedback(world: World, rounds: int) -> ApproachReport:
         reports += 1
 
     stats = _run_loop(world, scores, observe, rounds)
+    _charge_ledger("feedback", feedback=reports)
     return ApproachReport(
         name="feedback",
         accuracy=stats["accuracy"],
@@ -305,13 +343,35 @@ def run_activities_comparison(
     exaggeration: float = 0.25,
     seed: int = 0,
     approaches: Optional[List[str]] = None,
+    recorder: Optional[Recorder] = None,
+    trace_dir: Optional[str] = None,
 ) -> List[ApproachReport]:
     """Run every Figure-2 approach on an identical (re-seeded) world.
 
     Honest and exaggerating providers alternate so the advertised-QoS
     path has something to be wrong about.
+
+    Telemetry: pass a live :class:`Recorder` (or set the
+    ``REPRO_TRACE_DIR`` environment variable / *trace_dir*) and every
+    approach's Figure-2 cost drivers land in the ``fig2.*`` ledger; with
+    a trace directory the snapshot is exported as a canonical JSONL file
+    named after the run parameters, ready for
+    ``python -m repro.obs summarize``.
     """
     names = approaches or list(APPROACHES)
+    trace_path: Optional[str] = None
+    if recorder is None:
+        if trace_dir is None:
+            trace_dir = os.environ.get("REPRO_TRACE_DIR") or None
+        if trace_dir:
+            recorder = Recorder()
+            os.makedirs(trace_dir, exist_ok=True)
+            trace_path = os.path.join(
+                trace_dir,
+                f"fig2_activities_s{seed}"
+                f"_p{n_providers}x{services_per_provider}"
+                f"_c{n_consumers}_r{rounds}.jsonl",
+            )
     reports = []
     for name in names:
         world = make_world(
@@ -322,5 +382,24 @@ def run_activities_comparison(
             exaggerations=[0.0, exaggeration],
             quality_spread=0.3,
         )
-        reports.append(APPROACHES[name](world, rounds))
+        if recorder is not None:
+            with use_recorder(recorder):
+                reports.append(APPROACHES[name](world, rounds))
+        else:
+            reports.append(APPROACHES[name](world, rounds))
+    if trace_path is not None and recorder is not None:
+        dump_jsonl(
+            recorder.snapshot(
+                meta={
+                    "experiment": "fig2_activities",
+                    "seed": seed,
+                    "n_providers": n_providers,
+                    "services_per_provider": services_per_provider,
+                    "n_consumers": n_consumers,
+                    "rounds": rounds,
+                    "approaches": ",".join(names),
+                }
+            ),
+            trace_path,
+        )
     return reports

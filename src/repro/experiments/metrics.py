@@ -10,14 +10,19 @@ from repro.common.ids import EntityId
 def score_mae(
     estimated: Mapping[EntityId, float],
     truth: Mapping[EntityId, float],
+    empty: float = float("nan"),
 ) -> float:
     """Mean absolute error of estimated scores vs. ground truth.
 
-    Compared over the intersection of keys; empty intersection is 0.
+    Compared over the intersection of keys.  An empty intersection
+    returns *empty* — NaN by default, so "the mechanism scored nothing
+    we have truth for" can never masquerade as a perfect 0.0 error
+    (which is what this function silently reported before).  Callers
+    that want the old behaviour pass ``empty=0.0``.
     """
     common = sorted(set(estimated) & set(truth))
     if not common:
-        return 0.0
+        return empty
     return sum(abs(estimated[k] - truth[k]) for k in common) / len(common)
 
 

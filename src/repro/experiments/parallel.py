@@ -53,6 +53,8 @@ from repro.experiments.harness import (
     run_selection_experiment,
 )
 from repro.experiments.workloads import World, make_world
+from repro.obs.recorder import Recorder, use_recorder
+from repro.obs.trace import TelemetrySnapshot
 from repro.robustness import attacks as _attacks
 from repro.robustness.attacks import AttackPlan
 
@@ -164,6 +166,10 @@ class TrialSpec:
         rate_providers: also file provider-targeted feedback.
         label: free-form tag carried through to the result (grouping key
             for sweeps).
+        telemetry: run the trial under a fresh
+            :class:`~repro.obs.recorder.Recorder` and ship the captured
+            :class:`~repro.obs.trace.TelemetrySnapshot` back on the
+            result.  Off by default (the no-op recorder costs nothing).
     """
 
     model: str
@@ -174,6 +180,7 @@ class TrialSpec:
     attack: Optional[AttackSpec] = None
     rate_providers: bool = False
     label: str = ""
+    telemetry: bool = False
 
 
 @dataclass
@@ -182,12 +189,16 @@ class TrialResult:
 
     ``elapsed_ns``/``pid`` are observability only — equality of two runs
     is judged on :attr:`outcome` (and tests do exactly that).
+    ``telemetry`` (present iff the spec asked for it) is *not* mere
+    observability: it is captured in sim time only, so it obeys the
+    same parallel == serial contract as the outcome.
     """
 
     spec: TrialSpec
     outcome: SelectionOutcome
     elapsed_ns: int
     pid: int
+    telemetry: Optional[TelemetrySnapshot] = None
 
 
 def build_trial_model(spec: TrialSpec):
@@ -211,18 +222,38 @@ def run_trial(spec: TrialSpec) -> TrialResult:
     )
     model = build_trial_model(spec)
     attack = spec.attack.build() if spec.attack is not None else None
-    outcome = run_selection_experiment(
-        model,
-        world,
-        rounds=spec.rounds,
-        attack=attack,
-        rate_providers=spec.rate_providers,
-    )
+    snapshot: Optional[TelemetrySnapshot] = None
+    if spec.telemetry:
+        recorder = Recorder()
+        with use_recorder(recorder):
+            outcome = run_selection_experiment(
+                model,
+                world,
+                rounds=spec.rounds,
+                attack=attack,
+                rate_providers=spec.rate_providers,
+            )
+        snapshot = recorder.snapshot(
+            meta={
+                "label": spec.label,
+                "model": spec.model,
+                "seed": spec.seed,
+            }
+        )
+    else:
+        outcome = run_selection_experiment(
+            model,
+            world,
+            rounds=spec.rounds,
+            attack=attack,
+            rate_providers=spec.rate_providers,
+        )
     return TrialResult(
         spec=spec,
         outcome=outcome,
         elapsed_ns=time.perf_counter_ns() - start,
         pid=os.getpid(),
+        telemetry=snapshot,
     )
 
 
@@ -313,6 +344,27 @@ class TrialRunReport:
         """Wall-clock per trial — the throughput number benchmarks track."""
         return self.wall_ns / len(self.results) if self.results else 0.0
 
+    def telemetry(self) -> TelemetrySnapshot:
+        """Per-trial snapshots merged in canonical (spec) order.
+
+        Events are re-labeled with their trial's spec label and ordered
+        by ``(trial position, seq)``, metrics merge per
+        :meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshots` —
+        worker count and completion order cannot change a byte of it.
+        Trials that did not capture telemetry are skipped.
+        """
+        captured = [
+            (r.spec.label or f"trial{i}", r.telemetry)
+            for i, r in enumerate(self.results)
+            if r.telemetry is not None
+        ]
+        # No dispatch details (mode, workers, timings) in the merge:
+        # the exported trace must be byte-identical across worker counts.
+        return TelemetrySnapshot.merge(
+            [snap for _, snap in captured],
+            labels=[label for label, _ in captured],
+        )
+
 
 def run_trials(
     specs: Sequence[TrialSpec],
@@ -360,6 +412,7 @@ def replication_specs(
     world_params: Optional[Mapping[str, Any]] = None,
     attack: Optional[AttackSpec] = None,
     rate_providers: bool = False,
+    telemetry: bool = False,
 ) -> List[TrialSpec]:
     """*replications* independent trials of one model.
 
@@ -379,6 +432,7 @@ def replication_specs(
             attack=attack,
             rate_providers=rate_providers,
             label=f"{model}/rep{i}",
+            telemetry=telemetry,
         )
         for i in range(replications)
     ]
@@ -395,6 +449,7 @@ def run_replications(
     rate_providers: bool = False,
     max_workers: int = 1,
     chunksize: Optional[int] = None,
+    telemetry: bool = False,
 ) -> TrialRunReport:
     """Fan *replications* seeded trials of *model* across the pool."""
     specs = replication_specs(
@@ -406,6 +461,7 @@ def run_replications(
         world_params=world_params,
         attack=attack,
         rate_providers=rate_providers,
+        telemetry=telemetry,
     )
     return run_trials(specs, max_workers=max_workers, chunksize=chunksize)
 
@@ -421,6 +477,7 @@ def sweep_specs(
     world_params: Optional[Mapping[str, Any]] = None,
     attack: Optional[AttackSpec] = None,
     rate_providers: bool = False,
+    telemetry: bool = False,
 ) -> List[TrialSpec]:
     """The full grid ``models × values × replications``, canonical order.
 
@@ -450,6 +507,7 @@ def sweep_specs(
                         attack=attack,
                         rate_providers=rate_providers,
                         label=f"{model}/{param}={value!r}/rep{i}",
+                        telemetry=telemetry,
                     )
                 )
     return specs
@@ -468,6 +526,7 @@ def run_sweep(
     rate_providers: bool = False,
     max_workers: int = 1,
     chunksize: Optional[int] = None,
+    telemetry: bool = False,
 ) -> TrialRunReport:
     """Sweep a world parameter across models, fanned out over the pool."""
     specs = sweep_specs(
@@ -481,6 +540,7 @@ def run_sweep(
         world_params=world_params,
         attack=attack,
         rate_providers=rate_providers,
+        telemetry=telemetry,
     )
     return run_trials(specs, max_workers=max_workers, chunksize=chunksize)
 

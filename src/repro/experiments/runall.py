@@ -17,6 +17,7 @@ in :mod:`repro.experiments.parallel`.
 from __future__ import annotations
 
 import argparse
+import os
 import subprocess
 import sys
 from concurrent.futures import ThreadPoolExecutor
@@ -24,6 +25,10 @@ from functools import lru_cache
 from pathlib import Path
 
 from repro.experiments.parallel import jobs_from_env
+
+#: Environment variable carrying the trace output directory down to the
+#: experiments (see ``run_activities_comparison``); set by ``--trace``.
+TRACE_ENV = "REPRO_TRACE_DIR"
 
 #: Experiment id -> benchmark file.
 EXPERIMENTS = {
@@ -90,6 +95,14 @@ def _parser() -> argparse.ArgumentParser:
         help="concurrent pytest invocations "
         "(default: REPRO_JOBS or 1; 1 keeps the single-invocation path)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="DIR",
+        default=None,
+        help="export deterministic JSONL traces from trace-aware "
+        "experiments into DIR (summarize them with "
+        "`python -m repro.obs summarize DIR/*.jsonl`)",
+    )
     return parser
 
 
@@ -103,16 +116,22 @@ def main(argv: "list[str]") -> int:
         return 2
     jobs = args.jobs if args.jobs is not None else jobs_from_env(1)
     bench = benchmark_dir()
+    env = None
+    if args.trace:
+        trace_dir = Path(args.trace)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        env = dict(os.environ)
+        env[TRACE_ENV] = str(trace_dir)
     if jobs <= 1 or len(requested) <= 1:
         targets = [str(bench / EXPERIMENTS[r]) for r in requested]
-        return subprocess.call(_pytest_command(targets))
+        return subprocess.call(_pytest_command(targets), env=env)
     # One pytest invocation per experiment, at most *jobs* in flight.
     # Threads only marshal subprocesses, so the GIL is irrelevant here.
     with ThreadPoolExecutor(max_workers=min(jobs, len(requested))) as pool:
         codes = list(
             pool.map(
                 lambda r: subprocess.call(
-                    _pytest_command([str(bench / EXPERIMENTS[r])])
+                    _pytest_command([str(bench / EXPERIMENTS[r])]), env=env
                 ),
                 requested,
             )

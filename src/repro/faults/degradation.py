@@ -25,6 +25,7 @@ from typing import (
 )
 
 from repro.common.errors import ConfigurationError
+from repro.obs.recorder import get_recorder
 
 if TYPE_CHECKING:  # runtime imports are lazy to avoid package cycles:
     # repro.core and repro.models both (transitively) import the modules
@@ -74,6 +75,17 @@ class StaleCache:
 
     def get(self, key: Hashable, now: float) -> Optional[StaleValue]:
         """The cached value for *key*, or None when absent/too old."""
+        stale = self._lookup(key, now)
+        rec = get_recorder()
+        if rec.enabled:
+            rec.count(
+                "degradation.stale_cache.hits"
+                if stale is not None
+                else "degradation.stale_cache.misses"
+            )
+        return stale
+
+    def _lookup(self, key: Hashable, now: float) -> Optional[StaleValue]:
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
@@ -134,6 +146,9 @@ class StaleRankingFallback(StaleCache):
         stale = self.get(key, now)
         if stale is None:
             return None
+        rec = get_recorder()
+        if rec.enabled:
+            rec.count("degradation.fallback.activations")
         return [
             ScoredTarget(
                 target=st.target,

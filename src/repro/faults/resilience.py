@@ -17,6 +17,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 from repro.common.errors import ConfigurationError, ReproError
 from repro.common.ids import EntityId
 from repro.common.randomness import RngLike, make_rng
+from repro.obs.recorder import get_recorder
 
 
 class CircuitOpenError(ReproError):
@@ -132,6 +133,9 @@ class RetryPolicy:
                 if attempt < self.max_attempts:
                     delay += self.backoff(attempt)
                     self.retries_used += 1
+                    rec = get_recorder()
+                    if rec.enabled:
+                        rec.count("resilience.retries")
                     if on_retry is not None:
                         on_retry(attempt, exc)
                 continue
@@ -204,6 +208,22 @@ class CircuitBreaker:
 
     def _transition(self, to: BreakerState, now: float) -> None:
         self.transitions.append((now, self.state, to))
+        rec = get_recorder()
+        if rec.enabled:
+            rec.count(
+                "resilience.breaker.transitions",
+                labels=(self.state.value, to.value),
+                label_names=("from", "to"),
+            )
+            rec.event(
+                "breaker.transition",
+                time=now,
+                attrs={
+                    "breaker": self.name,
+                    "from": self.state.value,
+                    "to": to.value,
+                },
+            )
         self.state = to
         if to is BreakerState.OPEN:
             self._opened_at = now

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
 
 from repro.common.ids import EntityId
 from repro.common.records import Feedback
+from repro.obs.recorder import get_recorder
 
 if TYPE_CHECKING:  # imported lazily to avoid a core <-> models cycle
     from repro.core.typology import Typology
@@ -94,6 +95,16 @@ class ReputationModel(abc.ABC):
         determinism).  Scoring goes through :meth:`score_many` so
         batched models pay their per-query overhead once per ranking."""
         candidates = list(candidates)
+        rec = get_recorder()
+        if rec.enabled:
+            if now is not None:
+                rec.advance(now)
+            rec.observe(
+                "model.rank.batch_size",
+                len(candidates),
+                labels=(self.name,),
+                label_names=("model",),
+            )
         scores = self.score_many(candidates, perspective, now)
         scored = [
             ScoredTarget(target=c, score=float(s))

@@ -32,6 +32,7 @@ from repro.common.ids import EntityId
 from repro.common.records import Feedback
 from repro.core.typology import Architecture, Scope, Subject, Typology
 from repro.models.base import ReputationModel
+from repro.obs.recorder import get_recorder
 from repro.p2p.dht import ChordDHT
 
 
@@ -297,8 +298,27 @@ class EigenTrustModel(ReputationModel):
         return dict(self._trust)
 
     def _ensure_trust(self) -> Dict[EntityId, float]:
+        rec = get_recorder()
         if self._trust is None:
             self.compute_dense()
+            if rec.enabled:
+                rec.count(
+                    "model.cache.misses",
+                    labels=(self.name,),
+                    label_names=("model",),
+                )
+                rec.count(
+                    "model.power_iterations",
+                    self.iterations_last_run,
+                    labels=(self.name,),
+                    label_names=("model",),
+                )
+        elif rec.enabled:
+            rec.count(
+                "model.cache.hits",
+                labels=(self.name,),
+                label_names=("model",),
+            )
         assert self._trust is not None
         return self._trust
 

@@ -31,6 +31,7 @@ from repro.common.ids import EntityId
 from repro.common.records import Feedback
 from repro.core.typology import Architecture, Scope, Subject, Typology
 from repro.models.base import ReputationModel
+from repro.obs.recorder import get_recorder
 
 
 class PageRankModel(ReputationModel):
@@ -244,8 +245,27 @@ class PageRankModel(ReputationModel):
         return {node: rank[index[node]] for node in nodes}
 
     def _ensure_ranks(self) -> Dict[EntityId, float]:
+        rec = get_recorder()
         if self._ranks is None:
             self.compute()
+            if rec.enabled:
+                rec.count(
+                    "model.cache.misses",
+                    labels=(self.name,),
+                    label_names=("model",),
+                )
+                rec.count(
+                    "model.power_iterations",
+                    self.iterations_last_run,
+                    labels=(self.name,),
+                    label_names=("model",),
+                )
+        elif rec.enabled:
+            rec.count(
+                "model.cache.hits",
+                labels=(self.name,),
+                label_names=("model",),
+            )
         assert self._ranks is not None
         return self._ranks
 

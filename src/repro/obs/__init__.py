@@ -1,0 +1,70 @@
+"""repro.obs — deterministic observability: metrics, traces, cost ledgers.
+
+Telemetry that obeys the repo's reproducibility contract: everything is
+stamped with *simulation* time (never wall-clock), ordered by a strict
+``(sim_time, seq)`` key, and serialized canonically, so a trace of a
+seeded experiment is byte-identical across runs and across
+process-pool worker counts.  The default ambient recorder is a no-op;
+instrumentation sites cost one attribute check unless a trial installs
+a live :class:`Recorder` (see DESIGN.md §11).
+"""
+
+from repro.obs.ledger import (
+    MESSAGE_COST,
+    NEGOTIATION_COST,
+    PROBE_COST,
+    SENSOR_COST,
+    ActivityLedger,
+    ledger_table,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.recorder import (
+    NoOpRecorder,
+    Recorder,
+    get_recorder,
+    set_recorder,
+    use_recorder,
+)
+from repro.obs.trace import (
+    TelemetrySnapshot,
+    TraceEvent,
+    Tracer,
+    canonical_json,
+    dump_jsonl,
+    load_jsonl,
+    read_jsonl,
+    write_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "TraceEvent",
+    "Tracer",
+    "TelemetrySnapshot",
+    "canonical_json",
+    "write_jsonl",
+    "dump_jsonl",
+    "read_jsonl",
+    "load_jsonl",
+    "Recorder",
+    "NoOpRecorder",
+    "get_recorder",
+    "set_recorder",
+    "use_recorder",
+    "ActivityLedger",
+    "ledger_table",
+    "SENSOR_COST",
+    "PROBE_COST",
+    "MESSAGE_COST",
+    "NEGOTIATION_COST",
+]

@@ -1,0 +1,154 @@
+"""Figure-2 activity cost accounting on top of the metrics registry.
+
+The paper's Figure 2 argues about *cost*: third-party monitoring is
+"very costly … only suitable for a small number of services" while
+consumer feedback scales.  This module turns those claims into a
+uniform ledger: each activity (``advertised``, ``sla``, ``sensors``,
+``central_monitor``, ``feedback``) charges countable cost drivers to
+``fig2.*`` counters labeled by activity, and :func:`ledger_table`
+prices them with the shared cost model so a trace, a benchmark, and an
+:class:`~repro.experiments.activities.ApproachReport` all agree on the
+same numbers.
+
+Cost model (arbitrary units, sensors deliberately expensive as the
+paper argues: "the cost will be huge"):
+
+* setup   = sensors × ``SENSOR_COST`` + negotiations × ``NEGOTIATION_COST``
+* running = probes × ``PROBE_COST``
+          + (reports + feedback + checks) × ``MESSAGE_COST``
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "SENSOR_COST",
+    "PROBE_COST",
+    "MESSAGE_COST",
+    "NEGOTIATION_COST",
+    "COST_DRIVERS",
+    "ActivityLedger",
+    "ledger_table",
+]
+
+SENSOR_COST = 10.0
+PROBE_COST = 0.1
+MESSAGE_COST = 0.01
+NEGOTIATION_COST = 1.0
+
+#: Countable drivers the ledger tracks, each a ``fig2.<driver>`` counter.
+COST_DRIVERS = (
+    "probes",
+    "reports",
+    "feedback",
+    "negotiations",
+    "checks",
+    "sensors",
+)
+
+
+class ActivityLedger:
+    """Charges Figure-2 cost drivers to per-activity counters."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            driver: self.registry.counter(
+                f"fig2.{driver}",
+                help=f"Figure-2 cost driver: {driver}",
+                labels=("activity",),
+            )
+            for driver in COST_DRIVERS
+        }
+
+    def charge(
+        self,
+        activity: str,
+        probes: int = 0,
+        reports: int = 0,
+        feedback: int = 0,
+        negotiations: int = 0,
+        checks: int = 0,
+        sensors: int = 0,
+    ) -> None:
+        amounts = {
+            "probes": probes,
+            "reports": reports,
+            "feedback": feedback,
+            "negotiations": negotiations,
+            "checks": checks,
+            "sensors": sensors,
+        }
+        for driver in COST_DRIVERS:
+            amount = amounts[driver]
+            if amount:
+                self._counters[driver].inc(amount, labels=(activity,))
+
+    def touch(self, activity: str) -> None:
+        """Register an activity with zero charges (so it shows in tables)."""
+        for driver in COST_DRIVERS:
+            self._counters[driver].inc(0, labels=(activity,))
+
+    def totals(self, activity: str) -> Dict[str, int]:
+        return {
+            driver: int(self._counters[driver].value(labels=(activity,)))
+            for driver in COST_DRIVERS
+        }
+
+    def activities(self) -> List[str]:
+        names = set()
+        for counter in self._counters.values():
+            for (activity,), _ in counter.items():
+                names.add(activity)
+        return sorted(names)
+
+    def table(self) -> List[Dict[str, Any]]:
+        return ledger_table(self.registry.snapshot())
+
+
+def _driver_totals(
+    metrics: Mapping[str, Any],
+) -> Dict[str, Dict[str, float]]:
+    """Per-activity driver counts from a metrics snapshot."""
+    per_activity: Dict[str, Dict[str, float]] = {}
+    for driver in COST_DRIVERS:
+        entry = metrics.get(f"fig2.{driver}")
+        if not entry:
+            continue
+        for key, value in entry["series"]:
+            activity = key[0] if key else ""
+            slot = per_activity.setdefault(
+                activity, {d: 0.0 for d in COST_DRIVERS}
+            )
+            slot[driver] += float(value)
+    return per_activity
+
+
+def ledger_table(metrics: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """Price the ``fig2.*`` counters in a metrics snapshot.
+
+    Returns one row per activity (sorted by name) with raw driver
+    counts plus derived ``setup_cost`` / ``running_cost`` /
+    ``total_cost`` / ``messages`` — the same decomposition
+    :class:`~repro.experiments.activities.ApproachReport` carries.
+    """
+    rows: List[Dict[str, Any]] = []
+    for activity, drivers in sorted(_driver_totals(metrics).items()):
+        setup = (
+            drivers["sensors"] * SENSOR_COST
+            + drivers["negotiations"] * NEGOTIATION_COST
+        )
+        messages = drivers["reports"] + drivers["feedback"] + drivers["checks"]
+        running = drivers["probes"] * PROBE_COST + messages * MESSAGE_COST
+        row: Dict[str, Any] = {"activity": activity}
+        for driver in COST_DRIVERS:
+            row[driver] = int(drivers[driver])
+        row["messages"] = int(messages)
+        row["setup_cost"] = round(setup, 10)
+        row["running_cost"] = round(running, 10)
+        row["total_cost"] = round(setup + running, 10)
+        rows.append(row)
+    return rows

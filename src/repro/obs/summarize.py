@@ -1,0 +1,166 @@
+"""Trace summarizer: ``python -m repro.obs summarize trace.jsonl``.
+
+Reads one or more canonical JSONL traces (see :mod:`repro.obs.trace`),
+aggregates event counts and metric totals, prices the ``fig2.*`` cost
+ledger, and renders a text or JSON report.  Like the
+:mod:`repro.analysis` reporters, output order is canonical (sorted
+names everywhere) so the same trace always renders byte-identically —
+CI diffs the uploaded summary between runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.ledger import ledger_table
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TelemetrySnapshot, load_jsonl
+
+__all__ = ["summarize", "render_text", "render_json", "main"]
+
+
+def summarize(snapshots: Sequence[TelemetrySnapshot]) -> Dict[str, Any]:
+    """Aggregate traces into one canonical summary dict."""
+    metrics = MetricsRegistry.merge_snapshots(
+        [snap.metrics for snap in snapshots]
+    )
+    event_counts: Dict[str, int] = {}
+    span_time: Dict[str, float] = {}
+    for snap in snapshots:
+        for event in snap.events:
+            event_counts[event.name] = event_counts.get(event.name, 0) + 1
+            if event.kind == "span":
+                span_time[event.name] = (
+                    span_time.get(event.name, 0.0) + event.duration
+                )
+    metric_totals: Dict[str, Any] = {}
+    for name in sorted(metrics):
+        entry = metrics[name]
+        if entry["kind"] == "counter":
+            metric_totals[name] = sum(
+                value for _, value in entry["series"]
+            )
+        elif entry["kind"] == "histogram":
+            count = sum(v["count"] for _, v in entry["series"])
+            total = sum(v["sum"] for _, v in entry["series"])
+            metric_totals[name] = {
+                "count": count,
+                "sum": total,
+                "mean": (total / count) if count else 0.0,
+            }
+    return {
+        "traces": len(snapshots),
+        "events": {
+            "total": sum(event_counts.values()),
+            "by_name": dict(sorted(event_counts.items())),
+            "span_sim_time": {
+                name: span_time[name] for name in sorted(span_time)
+            },
+        },
+        "metric_totals": metric_totals,
+        "metrics": metrics,
+        "fig2_costs": ledger_table(metrics),
+    }
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def render_text(summary: Dict[str, Any]) -> str:
+    lines: List[str] = []
+    lines.append(
+        f"traces: {summary['traces']}  "
+        f"events: {summary['events']['total']}"
+    )
+    by_name = summary["events"]["by_name"]
+    if by_name:
+        lines.append("")
+        lines.append("events by name:")
+        width = max(len(name) for name in by_name)
+        for name in sorted(by_name):
+            row = f"  {name:<{width}}  {by_name[name]}"
+            sim_time = summary["events"]["span_sim_time"].get(name)
+            if sim_time is not None:
+                row += f"  (sim time {_fmt(sim_time)})"
+            lines.append(row)
+    totals = summary["metric_totals"]
+    if totals:
+        lines.append("")
+        lines.append("metric totals:")
+        width = max(len(name) for name in totals)
+        for name in sorted(totals):
+            value = totals[name]
+            if isinstance(value, dict):
+                lines.append(
+                    f"  {name:<{width}}  count={value['count']} "
+                    f"sum={_fmt(value['sum'])} mean={_fmt(value['mean'])}"
+                )
+            else:
+                lines.append(f"  {name:<{width}}  {_fmt(value)}")
+    costs = summary["fig2_costs"]
+    if costs:
+        lines.append("")
+        lines.append("fig2 cost ledger:")
+        header = (
+            f"  {'activity':<16} {'probes':>7} {'reports':>8} "
+            f"{'feedback':>9} {'negot.':>7} {'checks':>7} {'sensors':>8} "
+            f"{'setup':>9} {'running':>9} {'total':>9}"
+        )
+        lines.append(header)
+        for row in costs:
+            lines.append(
+                f"  {row['activity']:<16} {row['probes']:>7} "
+                f"{row['reports']:>8} {row['feedback']:>9} "
+                f"{row['negotiations']:>7} {row['checks']:>7} "
+                f"{row['sensors']:>8} {_fmt(row['setup_cost']):>9} "
+                f"{_fmt(row['running_cost']):>9} "
+                f"{_fmt(row['total_cost']):>9}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(summary: Dict[str, Any]) -> str:
+    return json.dumps(summary, indent=2, sort_keys=True) + "\n"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Deterministic trace tooling for repro.obs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    cmd = sub.add_parser(
+        "summarize", help="Aggregate JSONL traces into a cost/usage report."
+    )
+    cmd.add_argument("traces", nargs="+", help="trace .jsonl file(s)")
+    cmd.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    cmd.add_argument(
+        "--output", default=None, help="write report here instead of stdout"
+    )
+    opts = parser.parse_args(argv)
+
+    snapshots: List[TelemetrySnapshot] = []
+    for path in opts.traces:
+        try:
+            snapshots.append(load_jsonl(path))
+        except (OSError, ValueError) as exc:
+            print(f"repro.obs: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+    summary = summarize(snapshots)
+    rendered = (
+        render_json(summary) if opts.format == "json" else render_text(summary)
+    )
+    if opts.output:
+        with open(opts.output, "w", encoding="utf-8", newline="\n") as handle:
+            handle.write(rendered)
+    else:
+        sys.stdout.write(rendered)
+    return 0

@@ -27,6 +27,8 @@ from repro.common.mathutils import safe_mean
 from repro.common.randomness import RngLike, make_rng
 from repro.common.records import Feedback
 from repro.faults.resilience import RetryPolicy
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import get_recorder
 from repro.services.invocation import InvocationEngine
 from repro.services.provider import Service
 from repro.services.qos import QoSTaxonomy
@@ -89,7 +91,10 @@ class SensorDeployment:
     """One sensor per monitored service, probing on a fixed cadence.
 
     Costs tracked: number of sensors deployed (hardware/installation),
-    probe invocations, and report messages to the central node.
+    probe invocations, and report messages to the central node.  The
+    counts live on a per-deployment :class:`MetricsRegistry`
+    (``monitoring.*``); the classic int attributes are read-through
+    properties over it.
     """
 
     def __init__(
@@ -100,15 +105,34 @@ class SensorDeployment:
         self.engine = engine
         self.report_sink = report_sink
         self.reports: Dict[EntityId, MonitoringReport] = {}
-        self.sensors_deployed = 0
-        self.probe_count = 0
-        self.report_messages = 0
+        self.metrics = MetricsRegistry()
+        self._sensors = self.metrics.counter(
+            "monitoring.sensors.deployed", "sensors installed"
+        )
+        self._probes = self.metrics.counter(
+            "monitoring.probes", "probe invocations"
+        )
+        self._reports = self.metrics.counter(
+            "monitoring.reports", "report messages to the central node"
+        )
+
+    @property
+    def sensors_deployed(self) -> int:
+        return int(self._sensors.total())
+
+    @property
+    def probe_count(self) -> int:
+        return int(self._probes.total())
+
+    @property
+    def report_messages(self) -> int:
+        return int(self._reports.total())
 
     def deploy(self, service: Service) -> None:
         if service.service_id in self.reports:
             return
         self.reports[service.service_id] = MonitoringReport(service.service_id)
-        self.sensors_deployed += 1
+        self._sensors.inc()
 
     def retire(self, service_id: EntityId) -> None:
         self.reports.pop(service_id, None)
@@ -124,8 +148,20 @@ class SensorDeployment:
         report = self.reports[service.service_id]
         report.record(interaction.observations, interaction.success,
                       self.engine.taxonomy)
-        self.probe_count += 1
-        self.report_messages += 1
+        self._probes.inc()
+        self._reports.inc()
+        rec = get_recorder()
+        if rec.enabled:
+            rec.count(
+                "monitoring.probes",
+                labels=("sensors",),
+                label_names=("component",),
+            )
+            rec.count(
+                "monitoring.reports",
+                labels=("sensors",),
+                label_names=("component",),
+            )
         if self.report_sink is not None:
             self.report_sink(service.service_id, report)
 
@@ -174,16 +210,39 @@ class ThirdPartyMonitor:
         self.monitor_id = monitor_id
         self.retry = retry
         self.reports: Dict[EntityId, MonitoringReport] = {}
-        self.probe_count = 0
-        self.retried_probes = 0
+        self.metrics = MetricsRegistry()
+        self._probes = self.metrics.counter(
+            "monitoring.probes", "probe invocations"
+        )
+        self._retried = self.metrics.counter(
+            "monitoring.probes.retried", "probe retries after failure"
+        )
+
+    @property
+    def probe_count(self) -> int:
+        return int(self._probes.total())
+
+    @property
+    def retried_probes(self) -> int:
+        return int(self._retried.total())
+
+    def _count_probe(self) -> None:
+        self._probes.inc()
+        rec = get_recorder()
+        if rec.enabled:
+            rec.count(
+                "monitoring.probes",
+                labels=("central_monitor",),
+                label_names=("component",),
+            )
 
     def probe(self, service: Service, time: float) -> MonitoringReport:
         interaction = self.engine.invoke_anonymous(self.monitor_id, service, time)
-        self.probe_count += 1
+        self._count_probe()
         if self.retry is not None and not interaction.success:
             for _ in range(1, self.retry.max_attempts):
-                self.retried_probes += 1
-                self.probe_count += 1
+                self._retried.inc()
+                self._count_probe()
                 interaction = self.engine.invoke_anonymous(
                     self.monitor_id, service, time
                 )
@@ -237,8 +296,22 @@ class ExplorerAgentPool:
         self.support_margin = support_margin
         self._rng = make_rng(rng)
         self._last_measured: Dict[EntityId, float] = {}
-        self.probe_count = 0
-        self.rehabilitations = 0
+        self.metrics = MetricsRegistry()
+        self._probes = self.metrics.counter(
+            "monitoring.probes", "probe invocations"
+        )
+        self._rehabilitations = self.metrics.counter(
+            "monitoring.rehabilitations",
+            "services rehabilitated by explorer feedback",
+        )
+
+    @property
+    def probe_count(self) -> int:
+        return int(self._probes.total())
+
+    @property
+    def rehabilitations(self) -> int:
+        return int(self._rehabilitations.total())
 
     def explore(
         self,
@@ -274,7 +347,14 @@ class ExplorerAgentPool:
                 interaction = self.engine.invoke_anonymous(
                     agent_id, service, time
                 )
-                self.probe_count += 1
+                self._probes.inc()
+                rec = get_recorder()
+                if rec.enabled:
+                    rec.count(
+                        "monitoring.probes",
+                        labels=("explorer",),
+                        label_names=("component",),
+                    )
                 if not interaction.success:
                     scores.append(0.0)
                     continue
@@ -301,5 +381,5 @@ class ExplorerAgentPool:
             filed.append(feedback)
             self._last_measured[service.service_id] = measured
             if negative and measured > self.reputation_threshold:
-                self.rehabilitations += 1
+                self._rehabilitations.inc()
         return filed

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
 from repro.common.errors import SimulationError
+from repro.obs.recorder import get_recorder
 from repro.sim.clock import Clock
 
 EventCallback = Callable[[], Any]
@@ -126,6 +127,15 @@ class Simulator:
             if event.cancelled:
                 continue
             self.clock.advance_to(event.time)
+            rec = get_recorder()
+            if rec.enabled:
+                rec.advance(event.time)
+                rec.count("sim.events.dispatched")
+                rec.span(
+                    "sim.dispatch",
+                    time=event.time,
+                    attrs={"priority": event.priority, "seq": event.seq},
+                )
             event.callback()
             self._executed += 1
             return True

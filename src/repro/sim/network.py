@@ -13,6 +13,12 @@ reason, and :class:`MessageStats` accounts drops per reason.  A
 :class:`~repro.faults.plan.MessageFaultInjector` can be installed on
 :attr:`Network.faults` to drop, delay, or duplicate individual messages
 between otherwise healthy nodes.
+
+Accounting lives on a per-network :class:`~repro.obs.metrics.MetricsRegistry`
+(``net.*`` counters); :attr:`Network.stats` stays the stable dataclass
+API, rebuilt from the registry on read.  When an ambient
+:class:`~repro.obs.recorder.Recorder` is live, sends and drops are also
+mirrored to it so traces carry network cost alongside everything else.
 """
 
 from __future__ import annotations
@@ -23,6 +29,8 @@ from typing import Dict, Optional, Set
 
 from repro.common.ids import EntityId
 from repro.common.randomness import RngLike, make_rng
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import get_recorder
 
 #: Drop reasons used by :meth:`Network.send`.
 SENDER_FAILED = "sender-failed"
@@ -57,7 +65,13 @@ class DeliveryOutcome:
 
 @dataclass
 class MessageStats:
-    """Aggregated traffic statistics."""
+    """Aggregated traffic statistics.
+
+    ``universe`` is the number of nodes the network knows about
+    (senders, receivers, and failed nodes) — nodes that received zero
+    messages never appear in ``received_by``, so imbalance math needs
+    the universe size to avoid averaging over active receivers only.
+    """
 
     total_messages: int = 0
     total_bytes: int = 0
@@ -67,6 +81,7 @@ class MessageStats:
     sent_by: Counter = field(default_factory=Counter)
     received_by: Counter = field(default_factory=Counter)
     drops_by_reason: Counter = field(default_factory=Counter)
+    universe: Optional[int] = None
 
     @property
     def delivered(self) -> int:
@@ -83,12 +98,18 @@ class MessageStats:
         """Max/mean ratio of per-node received messages (1.0 = balanced).
 
         A centralized registry shows imbalance ~N (everything lands on one
-        node); a well-balanced DHT stays near 1.
+        node); a well-balanced DHT stays near 1.  The mean is taken over
+        ``max(universe, len(received_by))`` nodes: silent nodes count as
+        zero receivers, otherwise a hub-and-spokes topology where the
+        spokes never receive looks perfectly balanced.
         """
         if not self.received_by:
             return 1.0
         loads = list(self.received_by.values())
-        mean = sum(loads) / len(loads)
+        nodes = len(loads)
+        if self.universe is not None and self.universe > nodes:
+            nodes = self.universe
+        mean = sum(loads) / nodes
         if mean <= 0:
             return 1.0
         return max(loads) / mean
@@ -107,6 +128,8 @@ class Network:
             ``perturb(kind) -> MessagePerturbation`` method, normally a
             :class:`~repro.faults.plan.MessageFaultInjector`) consulted
             for every message between healthy nodes.
+        metrics: per-network registry backing the ``net.*`` counters;
+            :attr:`stats` is a read-side view of it.
     """
 
     def __init__(
@@ -123,11 +146,29 @@ class Network:
         self._rng = make_rng(rng)
         self._failed: Set[EntityId] = set()
         self.faults = faults
-        self.stats = MessageStats()
+        self.metrics = MetricsRegistry()
+        self._known: Set[EntityId] = set()
+        self._sent = self.metrics.counter(
+            "net.messages.sent", "messages sent", labels=("kind",)
+        )
+        self._bytes = self.metrics.counter("net.bytes.sent", "bytes sent")
+        self._dropped = self.metrics.counter(
+            "net.messages.dropped", "messages dropped", labels=("reason",)
+        )
+        self._duplicated = self.metrics.counter(
+            "net.messages.duplicated", "fault-injected duplicate deliveries"
+        )
+        self._sent_by = self.metrics.counter(
+            "net.sent_by", "messages sent per node", labels=("node",)
+        )
+        self._received_by = self.metrics.counter(
+            "net.received_by", "messages received per node", labels=("node",)
+        )
 
     def fail_node(self, node: EntityId) -> None:
         """Mark *node* as unreachable (fault injection)."""
         self._failed.add(node)
+        self._known.add(node)
 
     def heal_node(self, node: EntityId) -> None:
         self._failed.discard(node)
@@ -139,8 +180,14 @@ class Network:
         return set(self._failed)
 
     def _drop(self, kind: str, reason: str) -> DeliveryOutcome:
-        self.stats.dropped += 1
-        self.stats.drops_by_reason[reason] += 1
+        self._dropped.inc(1, labels=(reason,))
+        rec = get_recorder()
+        if rec.enabled:
+            rec.count(
+                "net.messages.dropped",
+                labels=(reason,),
+                label_names=("reason",),
+            )
         return DeliveryOutcome(delivered=False, reason=reason)
 
     def send(
@@ -157,10 +204,16 @@ class Network:
         Fault-injected drops, delays, and duplications apply only
         between healthy nodes.
         """
-        self.stats.total_messages += 1
-        self.stats.total_bytes += size
-        self.stats.by_kind[kind] += 1
-        self.stats.sent_by[sender] += 1
+        self._sent.inc(1, labels=(kind,))
+        self._bytes.inc(size)
+        self._sent_by.inc(1, labels=(str(sender),))
+        self._known.add(sender)
+        self._known.add(receiver)
+        rec = get_recorder()
+        if rec.enabled:
+            rec.count(
+                "net.messages.sent", labels=(kind,), label_names=("kind",)
+            )
         if sender in self._failed:
             return self._drop(kind, SENDER_FAILED)
         if receiver in self._failed:
@@ -173,9 +226,9 @@ class Network:
                 return self._drop(kind, FAULT_INJECTED)
             extra_delay = perturbation.extra_delay
             duplicates = perturbation.duplicates
-        self.stats.received_by[receiver] += 1 + duplicates
+        self._received_by.inc(1 + duplicates, labels=(str(receiver),))
         if duplicates:
-            self.stats.duplicated += duplicates
+            self._duplicated.inc(duplicates)
         latency = self._base_latency + extra_delay
         if self._jitter > 0:
             latency += float(self._rng.exponential(self._jitter))
@@ -183,8 +236,40 @@ class Network:
             delivered=True, latency=latency, duplicates=duplicates
         )
 
+    @property
+    def stats(self) -> MessageStats:
+        """The classic dataclass view, rebuilt from the registry."""
+        dropped_by_reason = Counter(
+            {key[0]: int(value) for key, value in self._dropped.items()}
+        )
+        return MessageStats(
+            total_messages=int(self._sent.total()),
+            total_bytes=int(self._bytes.total()),
+            dropped=int(self._dropped.total()),
+            duplicated=int(self._duplicated.total()),
+            by_kind=Counter(
+                {key[0]: int(value) for key, value in self._sent.items()}
+            ),
+            sent_by=Counter(
+                {key[0]: int(value) for key, value in self._sent_by.items()}
+            ),
+            received_by=Counter(
+                {
+                    key[0]: int(value)
+                    for key, value in self._received_by.items()
+                }
+            ),
+            drops_by_reason=dropped_by_reason,
+            universe=len(self._known),
+        )
+
+    def known_nodes(self) -> Set[EntityId]:
+        """Every node this network has seen (incl. silent receivers-to-be)."""
+        return set(self._known)
+
     def reset_stats(self) -> None:
-        self.stats = MessageStats()
+        self.metrics.reset()
+        self._known = set(self._failed)
 
 
 def per_node_load(stats: MessageStats) -> Dict[EntityId, int]:

@@ -1,5 +1,7 @@
 """Tests for experiment metrics."""
 
+import math
+
 import pytest
 
 from repro.experiments.metrics import (
@@ -23,8 +25,15 @@ class TestScoreMae:
     def test_only_intersection_compared(self):
         assert score_mae({"a": 0.5, "x": 0.0}, {"a": 0.5, "y": 1.0}) == 0.0
 
+    def test_no_overlap_is_nan_not_perfect(self):
+        # 0.0 would read as "perfect estimates"; no overlap is "no data".
+        assert math.isnan(score_mae({"x": 0.0}, {"y": 1.0}))
+
     def test_empty(self):
-        assert score_mae({}, {"a": 1.0}) == 0.0
+        assert math.isnan(score_mae({}, {"a": 1.0}))
+
+    def test_empty_override(self):
+        assert score_mae({}, {"a": 1.0}, empty=0.0) == 0.0
 
 
 class TestSpearman:

@@ -5,6 +5,7 @@ from unittest import mock
 
 from repro.experiments.runall import (
     EXPERIMENTS,
+    TRACE_ENV,
     benchmark_dir,
     main,
 )
@@ -46,7 +47,7 @@ class TestRunall:
     def test_parallel_dispatch_returns_max_exit_code(self):
         # One child per experiment; a single failure must surface even
         # when a later child succeeds.
-        def fake_call(cmd):
+        def fake_call(cmd, env=None):
             # Only the C5 child fails — thread-safe by construction.
             return 3 if any("unfair_ratings" in part for part in cmd) else 0
 
@@ -61,3 +62,30 @@ class TestRunall:
         with mock.patch("subprocess.call", return_value=0) as call:
             assert main(["F1", "C5"]) == 0
         assert call.call_count == 2
+
+    def test_trace_flag_sets_env_and_creates_dir(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        with mock.patch("subprocess.call", return_value=0) as call:
+            assert main(["F2", "--trace", str(trace_dir)]) == 0
+        assert trace_dir.is_dir()
+        env = call.call_args.kwargs["env"]
+        assert env[TRACE_ENV] == str(trace_dir)
+
+    def test_trace_env_reaches_parallel_children(self, tmp_path):
+        seen = []
+
+        def fake_call(cmd, env=None):
+            seen.append(env)
+            return 0
+
+        with mock.patch("subprocess.call", side_effect=fake_call):
+            assert main(
+                ["F1", "C5", "--jobs", "2", "--trace", str(tmp_path / "t")]
+            ) == 0
+        assert len(seen) == 2
+        assert all(env[TRACE_ENV] == str(tmp_path / "t") for env in seen)
+
+    def test_no_trace_means_inherited_env(self):
+        with mock.patch("subprocess.call", return_value=0) as call:
+            assert main(["F1", "--jobs", "1"]) == 0
+        assert call.call_args.kwargs["env"] is None

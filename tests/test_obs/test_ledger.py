@@ -1,0 +1,107 @@
+"""Tests for the Figure-2 activity cost ledger."""
+
+import pytest
+
+from repro.obs.ledger import (
+    COST_DRIVERS,
+    MESSAGE_COST,
+    NEGOTIATION_COST,
+    PROBE_COST,
+    SENSOR_COST,
+    ActivityLedger,
+    ledger_table,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestActivityLedger:
+    def test_charge_accumulates(self):
+        ledger = ActivityLedger()
+        ledger.charge("sensors", sensors=3, probes=10)
+        ledger.charge("sensors", probes=5, reports=15)
+        assert ledger.totals("sensors") == {
+            "probes": 15,
+            "reports": 15,
+            "feedback": 0,
+            "negotiations": 0,
+            "checks": 0,
+            "sensors": 3,
+        }
+
+    def test_touch_registers_zero_cost_activity(self):
+        ledger = ActivityLedger()
+        ledger.touch("advertised")
+        assert ledger.activities() == ["advertised"]
+        assert all(v == 0 for v in ledger.totals("advertised").values())
+
+    def test_activities_sorted(self):
+        ledger = ActivityLedger()
+        ledger.charge("feedback", feedback=1)
+        ledger.charge("advertised", probes=0)
+        ledger.touch("advertised")
+        assert ledger.activities() == ["advertised", "feedback"]
+
+    def test_shared_registry(self):
+        registry = MetricsRegistry()
+        ledger = ActivityLedger(registry)
+        ledger.charge("sla", negotiations=2)
+        assert registry.counter(
+            "fig2.negotiations", labels=("activity",)
+        ).value(labels=("sla",)) == 2
+
+
+class TestLedgerTable:
+    def test_cost_decomposition(self):
+        ledger = ActivityLedger()
+        ledger.charge(
+            "sensors", sensors=2, probes=30, reports=30
+        )
+        ledger.charge("sla", negotiations=4, checks=100)
+        ledger.charge("feedback", feedback=50)
+        rows = {row["activity"]: row for row in ledger.table()}
+
+        sensors = rows["sensors"]
+        assert sensors["setup_cost"] == pytest.approx(2 * SENSOR_COST)
+        assert sensors["running_cost"] == pytest.approx(
+            30 * PROBE_COST + 30 * MESSAGE_COST
+        )
+        assert sensors["messages"] == 30
+
+        sla = rows["sla"]
+        assert sla["setup_cost"] == pytest.approx(4 * NEGOTIATION_COST)
+        assert sla["running_cost"] == pytest.approx(100 * MESSAGE_COST)
+        assert sla["messages"] == 100
+
+        feedback = rows["feedback"]
+        assert feedback["setup_cost"] == 0.0
+        assert feedback["running_cost"] == pytest.approx(50 * MESSAGE_COST)
+        assert feedback["total_cost"] == pytest.approx(50 * MESSAGE_COST)
+
+    def test_rows_sorted_by_activity(self):
+        ledger = ActivityLedger()
+        for activity in ("zeta", "alpha", "mid"):
+            ledger.charge(activity, probes=1)
+        assert [r["activity"] for r in ledger.table()] == [
+            "alpha", "mid", "zeta",
+        ]
+
+    def test_empty_snapshot_prices_to_nothing(self):
+        assert ledger_table(MetricsRegistry().snapshot()) == []
+
+    def test_every_driver_surfaces_in_rows(self):
+        ledger = ActivityLedger()
+        ledger.charge(
+            "all",
+            probes=1, reports=2, feedback=3,
+            negotiations=4, checks=5, sensors=6,
+        )
+        (row,) = ledger.table()
+        for driver in COST_DRIVERS:
+            assert isinstance(row[driver], int)
+        assert row["messages"] == 2 + 3 + 5
+        assert row["total_cost"] == pytest.approx(
+            6 * SENSOR_COST
+            + 4 * NEGOTIATION_COST
+            + 1 * PROBE_COST
+            + 10 * MESSAGE_COST
+        )

@@ -1,0 +1,176 @@
+"""Tests for the deterministic metrics registry."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labeled_series_are_independent(self):
+        c = Counter("c", labels=("kind",))
+        c.inc(1, labels=("a",))
+        c.inc(5, labels=("b",))
+        assert c.value(labels=("a",)) == 1
+        assert c.value(labels=("b",)) == 5
+        assert c.total() == 6
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Counter("c").inc(-1)
+
+    def test_label_arity_enforced(self):
+        c = Counter("c", labels=("kind",))
+        with pytest.raises(ConfigurationError):
+            c.inc(1, labels=())
+
+    def test_snapshot_integral_values_render_as_ints(self):
+        c = Counter("c")
+        c.inc(2.0)
+        assert c.snapshot()["series"] == [[[], 2]]
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("g")
+        g.set(1.0)
+        g.set(0.25)
+        assert g.value() == 0.25
+
+    def test_default_when_unset(self):
+        assert Gauge("g").value(default=7.0) == 7.0
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram("h", buckets=(1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 100.0):
+            h.observe(v)
+        snap = h.snapshot()["series"][0][1]
+        # 0.5 and 1.0 land at or below the first boundary, 5.0 in the
+        # second bucket, 100.0 in the overflow bucket.
+        assert snap["counts"] == [2, 1, 1]
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(106.5)
+
+    def test_mean(self):
+        h = Histogram("h")
+        h.observe(2)
+        h.observe(4)
+        assert h.mean() == pytest.approx(3.0)
+        assert Histogram("empty").mean() == 0.0
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", buckets=(5.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram("h", buckets=())
+
+    def test_default_buckets(self):
+        assert Histogram("h").buckets == DEFAULT_BUCKETS
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("m")
+
+    def test_label_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m", labels=("a",))
+        with pytest.raises(ConfigurationError):
+            reg.counter("m", labels=("b",))
+
+    def test_reset_clears_series_keeps_registrations(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.reset()
+        assert reg.counter("c").value() == 0
+        assert reg.names() == ["c"]
+
+    def test_snapshot_sorted_and_json_safe(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("z.last", labels=("k",)).inc(1, labels=("b",))
+        reg.counter("z.last", labels=("k",)).inc(1, labels=("a",))
+        reg.gauge("a.first").set(0.5)
+        snap = reg.snapshot()
+        assert list(snap) == ["a.first", "z.last"]
+        # series sorted by label tuple regardless of insertion order
+        assert [key for key, _ in snap["z.last"]["series"]] == [["a"], ["b"]]
+        json.dumps(snap)  # must be JSON-able as-is
+
+
+class TestMergeSnapshots:
+    def test_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c", labels=("k",)).inc(1, labels=("x",))
+        b.counter("c", labels=("k",)).inc(2, labels=("x",))
+        b.counter("c", labels=("k",)).inc(5, labels=("y",))
+        merged = MetricsRegistry.merge_snapshots(
+            [a.snapshot(), b.snapshot()]
+        )
+        assert merged["c"]["series"] == [[["x"], 3], [["y"], 5]]
+
+    def test_gauges_last_wins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(2.0)
+        merged = MetricsRegistry.merge_snapshots(
+            [a.snapshot(), b.snapshot()]
+        )
+        assert merged["g"]["series"] == [[[], 2]]
+
+    def test_histograms_sum_bucketwise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        b.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        b.histogram("h", buckets=(1.0, 2.0)).observe(9.0)
+        merged = MetricsRegistry.merge_snapshots(
+            [a.snapshot(), b.snapshot()]
+        )
+        series = merged["h"]["series"][0][1]
+        assert series["counts"] == [1, 1, 1]
+        assert series["count"] == 3
+        assert series["sum"] == pytest.approx(11.0)
+
+    def test_bucket_mismatch_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b.histogram("h", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry.merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_kind_mismatch_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("m").inc()
+        b.gauge("m").set(1.0)
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry.merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_merge_order_independent_for_counters(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(1)
+        b.counter("c").inc(2)
+        ab = MetricsRegistry.merge_snapshots([a.snapshot(), b.snapshot()])
+        ba = MetricsRegistry.merge_snapshots([b.snapshot(), a.snapshot()])
+        assert ab == ba

@@ -1,0 +1,110 @@
+"""Tests for the ambient recorder facade."""
+
+from repro.obs.recorder import (
+    NoOpRecorder,
+    Recorder,
+    get_recorder,
+    set_recorder,
+    use_recorder,
+)
+
+
+class TestDefault:
+    def test_ambient_default_is_disabled(self):
+        rec = get_recorder()
+        assert isinstance(rec, NoOpRecorder)
+        assert rec.enabled is False
+
+    def test_noop_operations_return_nothing_and_record_nothing(self):
+        rec = NoOpRecorder()
+        rec.count("c")
+        rec.gauge("g", 1.0)
+        rec.observe("h", 1.0)
+        assert rec.event("e") is None
+        assert rec.span("s", duration=1.0) is None
+        rec.advance(99.0)
+        assert rec.now == 0.0
+        snap = rec.snapshot(meta={"k": "v"})
+        assert snap.events == [] and snap.metrics == {}
+
+
+class TestAmbientSlot:
+    def test_use_recorder_installs_and_restores(self):
+        live = Recorder()
+        assert get_recorder().enabled is False
+        with use_recorder(live) as active:
+            assert active is live
+            assert get_recorder() is live
+        assert get_recorder().enabled is False
+
+    def test_use_recorder_restores_on_exception(self):
+        live = Recorder()
+        try:
+            with use_recorder(live):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert get_recorder().enabled is False
+
+    def test_set_recorder_returns_previous(self):
+        live = Recorder()
+        previous = set_recorder(live)
+        try:
+            assert get_recorder() is live
+        finally:
+            assert set_recorder(previous) is live
+        assert get_recorder() is previous
+
+    def test_nested_use_recorder(self):
+        outer, inner = Recorder(), Recorder()
+        with use_recorder(outer):
+            with use_recorder(inner):
+                assert get_recorder() is inner
+            assert get_recorder() is outer
+
+
+class TestRecorder:
+    def test_advance_is_monotone(self):
+        rec = Recorder()
+        rec.advance(5.0)
+        rec.advance(2.0)
+        assert rec.now == 5.0
+
+    def test_count_and_observe_land_in_registry(self):
+        rec = Recorder()
+        rec.count("net.sent", labels=("fb",), label_names=("kind",))
+        rec.count("net.sent", 2, labels=("fb",), label_names=("kind",))
+        rec.observe("batch", 4.0)
+        assert rec.registry.counter(
+            "net.sent", labels=("kind",)
+        ).value(labels=("fb",)) == 3
+        assert rec.registry.histogram("batch").mean() == 4.0
+
+    def test_event_defaults_to_current_sim_time(self):
+        rec = Recorder()
+        rec.advance(3.0)
+        event = rec.event("e")
+        assert event.time == 3.0
+
+    def test_event_with_explicit_time_advances_clock(self):
+        rec = Recorder()
+        rec.event("e", time=7.0)
+        assert rec.now == 7.0
+
+    def test_span_advances_clock_past_duration(self):
+        rec = Recorder()
+        span = rec.span("s", duration=2.5, time=1.0)
+        assert span.time == 1.0 and span.duration == 2.5
+        assert rec.now == 3.5
+
+    def test_snapshot_and_reset(self):
+        rec = Recorder()
+        rec.count("c")
+        rec.event("e", time=1.0)
+        snap = rec.snapshot(meta={"label": "t"})
+        assert len(snap.events) == 1
+        assert snap.metrics["c"]["series"] == [[[], 1]]
+        assert snap.meta == {"label": "t"}
+        rec.reset()
+        assert rec.now == 0.0
+        assert rec.snapshot().events == []

@@ -1,0 +1,136 @@
+"""Tests for the trace summarizer CLI and ApproachReport parity.
+
+The acceptance check for the cost ledger: a trace captured while the
+Figure-2 experiment runs, summarized with ``python -m repro.obs
+summarize``, must reproduce the setup/running/message numbers each
+:class:`ApproachReport` computed independently.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.activities import run_activities_comparison
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import Recorder
+from repro.obs.summarize import main, render_text, summarize
+from repro.obs.trace import TelemetrySnapshot, dump_jsonl
+
+
+@pytest.fixture(scope="module")
+def fig2_run(tmp_path_factory):
+    """One traced Figure-2 run plus its exported JSONL."""
+    trace_dir = tmp_path_factory.mktemp("traces")
+    recorder = Recorder()
+    reports = run_activities_comparison(
+        n_providers=3,
+        services_per_provider=1,
+        n_consumers=5,
+        rounds=5,
+        seed=0,
+        recorder=recorder,
+    )
+    path = os.path.join(str(trace_dir), "fig2.jsonl")
+    dump_jsonl(recorder.snapshot(meta={"experiment": "fig2"}), path)
+    return reports, path
+
+
+class TestApproachReportParity:
+    def test_ledger_rows_match_reports(self, fig2_run, capsys):
+        reports, path = fig2_run
+        assert main(["summarize", path, "--format", "json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        rows = {row["activity"]: row for row in summary["fig2_costs"]}
+        assert set(rows) == {r.name for r in reports}
+        for report in reports:
+            row = rows[report.name]
+            assert row["setup_cost"] == pytest.approx(report.setup_cost), (
+                report.name
+            )
+            assert row["running_cost"] == pytest.approx(
+                report.running_cost
+            ), report.name
+            assert row["total_cost"] == pytest.approx(report.total_cost), (
+                report.name
+            )
+            assert row["messages"] == report.messages, report.name
+
+    def test_trace_env_var_exports_automatically(
+        self, tmp_path, monkeypatch
+    ):
+        trace_dir = tmp_path / "auto"
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(trace_dir))
+        run_activities_comparison(
+            n_providers=2,
+            services_per_provider=1,
+            n_consumers=3,
+            rounds=2,
+            seed=1,
+            approaches=["advertised", "feedback"],
+        )
+        files = sorted(os.listdir(trace_dir))
+        assert files == ["fig2_activities_s1_p2x1_c3_r2.jsonl"]
+        assert main(["summarize", str(trace_dir / files[0])]) == 0
+
+
+class TestCli:
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["summarize", "/nonexistent/trace.jsonl"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_text_report(self, fig2_run, capsys):
+        _, path = fig2_run
+        assert main(["summarize", path]) == 0
+        out = capsys.readouterr().out
+        assert "fig2 cost ledger:" in out
+        assert "feedback" in out
+
+    def test_output_file(self, fig2_run, tmp_path):
+        _, path = fig2_run
+        report = tmp_path / "summary.json"
+        assert main(
+            ["summarize", path, "--format", "json", "--output", str(report)]
+        ) == 0
+        payload = json.loads(report.read_text())
+        assert payload["traces"] == 1
+
+    def test_multiple_traces_aggregate(self, fig2_run, capsys):
+        _, path = fig2_run
+        assert main(["summarize", path, path, "--format", "json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["traces"] == 2
+
+    def test_summary_is_deterministic(self, fig2_run, capsys):
+        _, path = fig2_run
+        main(["summarize", path, "--format", "json"])
+        first = capsys.readouterr().out
+        main(["summarize", path, "--format", "json"])
+        assert capsys.readouterr().out == first
+
+
+class TestSummarize:
+    def test_counts_events_and_span_time(self):
+        recorder = Recorder()
+        recorder.event("tick", time=1.0)
+        recorder.event("tick", time=2.0)
+        recorder.span("work", duration=3.0, time=0.0)
+        summary = summarize([recorder.snapshot()])
+        assert summary["events"]["total"] == 3
+        assert summary["events"]["by_name"] == {"tick": 2, "work": 1}
+        assert summary["events"]["span_sim_time"] == {"work": 3.0}
+
+    def test_metric_totals(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels=("k",)).inc(2, labels=("a",))
+        registry.counter("c", labels=("k",)).inc(3, labels=("b",))
+        registry.histogram("h", buckets=(10.0,)).observe(4.0)
+        summary = summarize(
+            [TelemetrySnapshot(metrics=registry.snapshot())]
+        )
+        assert summary["metric_totals"]["c"] == 5
+        assert summary["metric_totals"]["h"]["mean"] == pytest.approx(4.0)
+
+    def test_render_text_empty(self):
+        out = render_text(summarize([]))
+        assert out.startswith("traces: 0")

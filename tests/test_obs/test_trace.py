@@ -1,0 +1,152 @@
+"""Tests for the sim-time tracer and canonical JSONL codec."""
+
+import io
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    TelemetrySnapshot,
+    TraceEvent,
+    Tracer,
+    canonical_json,
+    read_jsonl,
+    write_jsonl,
+)
+
+
+def _render(snapshot):
+    buffer = io.StringIO()
+    write_jsonl(snapshot, buffer)
+    return buffer.getvalue()
+
+
+class TestTracer:
+    def test_seq_breaks_ties_at_same_instant(self):
+        tracer = Tracer()
+        a = tracer.emit("a", time=1.0)
+        b = tracer.emit("b", time=1.0)
+        assert a.sort_key() < b.sort_key()
+
+    def test_attrs_sorted_and_coerced(self):
+        import numpy as np
+
+        tracer = Tracer()
+        event = tracer.emit(
+            "e", time=0.0, attrs={"z": np.int64(3), "a": "x", "m": None}
+        )
+        assert event.attrs == (("a", "x"), ("m", None), ("z", 3))
+        assert type(event.attrs[2][1]) is int
+
+    def test_non_scalar_attr_becomes_str(self):
+        tracer = Tracer()
+        event = tracer.emit("e", time=0.0, attrs={"obj": ["not", "scalar"]})
+        assert event.attrs == (("obj", "['not', 'scalar']"),)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Tracer().emit("s", time=0.0, kind="span", duration=-1.0)
+
+    def test_reset(self):
+        tracer = Tracer()
+        tracer.emit("a", time=0.0)
+        tracer.reset()
+        assert tracer.events == []
+        assert tracer.emit("b", time=0.0).seq == 0
+
+
+class TestJsonl:
+    def _snapshot(self):
+        tracer = Tracer()
+        tracer.emit("later", time=2.0, kind="span", duration=0.5)
+        tracer.emit("earlier", time=1.0, attrs={"k": "v"})
+        registry = MetricsRegistry()
+        registry.counter("c", labels=("kind",)).inc(2, labels=("x",))
+        return TelemetrySnapshot.capture(
+            tracer, registry, meta={"seed": 7, "label": "t"}
+        )
+
+    def test_roundtrip_is_byte_identical(self):
+        snapshot = self._snapshot()
+        first = _render(snapshot)
+        second = _render(read_jsonl(first.splitlines()))
+        assert first == second
+
+    def test_events_written_in_time_seq_order(self):
+        lines = _render(self._snapshot()).splitlines()
+        assert '"record":"meta"' in lines[0]
+        assert '"name":"earlier"' in lines[1]
+        assert '"name":"later"' in lines[2]
+        assert '"record":"metrics"' in lines[3]
+
+    def test_meta_preserved(self):
+        snapshot = read_jsonl(_render(self._snapshot()).splitlines())
+        assert snapshot.meta == {"seed": 7, "label": "t"}
+
+    def test_unknown_record_rejected(self):
+        with pytest.raises(ConfigurationError):
+            read_jsonl(['{"record":"mystery"}'])
+
+    def test_canonical_json_sorted_compact(self):
+        assert canonical_json({"b": 1, "a": [1.5]}) == '{"a":[1.5],"b":1}'
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+
+class TestMerge:
+    def _trial(self, label, value):
+        tracer = Tracer()
+        tracer.emit("work", time=1.0, attrs={"who": label})
+        registry = MetricsRegistry()
+        registry.counter("c").inc(value)
+        return TelemetrySnapshot.capture(tracer, registry)
+
+    def test_events_relabeled_and_resequenced(self):
+        merged = TelemetrySnapshot.merge(
+            [self._trial("a", 1), self._trial("b", 2)], labels=["a", "b"]
+        )
+        assert [e.seq for e in merged.events] == [0, 1]
+        assert dict(merged.events[0].attrs)["trial"] == "a"
+        assert dict(merged.events[1].attrs)["trial"] == "b"
+
+    def test_metrics_summed(self):
+        merged = TelemetrySnapshot.merge(
+            [self._trial("a", 1), self._trial("b", 2)]
+        )
+        assert merged.metrics["c"]["series"] == [[[], 3]]
+
+    def test_meta_counts_trials(self):
+        merged = TelemetrySnapshot.merge(
+            [self._trial("a", 1), self._trial("b", 2)], labels=["a", "b"]
+        )
+        assert merged.meta["trials"] == 2
+        assert merged.meta["labels"] == "a,b"
+
+    def test_label_count_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TelemetrySnapshot.merge([self._trial("a", 1)], labels=["a", "b"])
+
+    def test_merged_export_independent_of_input_grouping(self):
+        # Merging [t0, t1] must equal merging them after they were
+        # produced separately — the property the parallel runtime
+        # relies on for byte-identical exports across worker counts.
+        trials = [self._trial("a", 1), self._trial("b", 2)]
+        once = _render(TelemetrySnapshot.merge(trials, labels=["a", "b"]))
+        again = _render(
+            TelemetrySnapshot.merge(
+                [self._trial("a", 1), self._trial("b", 2)],
+                labels=["a", "b"],
+            )
+        )
+        assert once == again
+
+
+class TestTraceEvent:
+    def test_from_dict_defaults(self):
+        event = TraceEvent.from_dict({"t": 1.0, "seq": 0, "name": "e"})
+        assert event.kind == "event"
+        assert event.duration == 0.0
+        assert event.attrs == ()

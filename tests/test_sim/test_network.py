@@ -191,6 +191,93 @@ class TestMessageStats:
         assert per_node_load(net.stats) == {"b": 2}
 
 
+class TestLoadImbalanceUniverse:
+    """Silent nodes must count in the imbalance denominator.
+
+    Regression: load_imbalance averaged over *active receivers* only,
+    so a hub that never sends back looked perfectly balanced — the
+    exact centralization signal the metric exists to expose.
+    """
+
+    def test_hub_and_silent_spokes_not_balanced(self):
+        net = Network(rng=0)
+        # Four spokes each message the hub; nobody messages the spokes.
+        for spoke in ("a", "b", "c", "d"):
+            net.send(spoke, "hub")
+        stats = net.stats
+        # 5 known nodes, only the hub receives: max/mean = 4/(4/5) = 5.
+        assert stats.universe == 5
+        assert stats.load_imbalance() == pytest.approx(5.0)
+
+    def test_explicit_universe_widens_the_mean(self):
+        stats = MessageStats()
+        stats.received_by.update({"hub": 100})
+        assert stats.load_imbalance() == 1.0  # no universe: degenerate
+        stats.universe = 10
+        assert stats.load_imbalance() == pytest.approx(10.0)
+
+    def test_universe_never_shrinks_the_mean(self):
+        stats = MessageStats()
+        stats.received_by.update({"a": 1, "b": 1, "c": 1})
+        stats.universe = 2  # stale/undersized universe is ignored
+        assert stats.load_imbalance() == 1.0
+
+    def test_failed_nodes_are_known(self):
+        net = Network(rng=0)
+        net.fail_node("ghost")
+        net.send("a", "b")
+        assert net.known_nodes() == {"a", "b", "ghost"}
+        assert net.stats.universe == 3
+
+    def test_reset_keeps_failed_nodes_in_universe(self):
+        net = Network(rng=0)
+        net.fail_node("ghost")
+        net.send("a", "b")
+        net.reset_stats()
+        assert net.known_nodes() == {"ghost"}
+        assert net.stats.total_messages == 0
+
+
+class TestStatsAsRegistryView:
+    def test_stats_rebuilt_from_metrics_registry(self):
+        net = Network(rng=0)
+        net.send("a", "b", kind="feedback", size=10)
+        assert net.metrics.counter(
+            "net.messages.sent", labels=("kind",)
+        ).value(labels=("feedback",)) == 1
+        assert net.metrics.counter("net.bytes.sent").total() == 10
+        # The dataclass view agrees with the registry.
+        assert net.stats.by_kind["feedback"] == 1
+        assert net.stats.total_bytes == 10
+
+    def test_successive_reads_are_consistent_snapshots(self):
+        net = Network(rng=0)
+        net.send("a", "b")
+        first = net.stats
+        net.send("a", "b")
+        second = net.stats
+        assert first.total_messages == 1
+        assert second.total_messages == 2
+
+    def test_ambient_recorder_mirrors_network_counters(self):
+        from repro.obs.recorder import Recorder, use_recorder
+
+        recorder = Recorder()
+        net = Network(rng=0)
+        with use_recorder(recorder):
+            net.send("a", "b", kind="feedback")
+            net.fail_node("b")
+            net.send("a", "b", kind="feedback")
+        sent = recorder.registry.counter(
+            "net.messages.sent", labels=("kind",)
+        )
+        dropped = recorder.registry.counter(
+            "net.messages.dropped", labels=("reason",)
+        )
+        assert sent.value(labels=("feedback",)) == 2
+        assert dropped.value(labels=(RECEIVER_FAILED,)) == 1
+
+
 class TestFaultedNetworkDeterminism:
     """Same seed + same fault plan => byte-identical delivery traces."""
 
