@@ -1,0 +1,269 @@
+"""Columnar store benchmark: vectorized kernels vs scalar replay.
+
+The cost that matters is *cold* query answering — from raw events to a
+ranked batch.  The pre-columnar reference pays a per-row Python replay
+(``score_many_reference``, or the base-class score loop); the columnar
+kernel reduces the store's column arrays with bincount/lexsort.  Both
+paths read the same shared :class:`~repro.store.EventStore`, so a
+"cold" run here is a fresh model instance attached to a warm store.
+
+Two scales, both written to the ``columnar`` section of
+``BENCH_models.json``:
+
+* 10^3 events — every ported kernel must never be slower than its
+  reference (the small-store regression guard);
+* 10^6 events (``REPRO_BENCH_COLUMNAR_EVENTS`` overrides) — the
+  headline gate: >= 5x on beta, sporas and histos.
+
+Parity is asserted before any timing: kernel == reference to 1e-9.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+import pytest
+
+from repro.common.records import Feedback
+from repro.core.registry import default_registry
+from repro.models.base import ReputationModel
+from repro.store import EventStore
+
+REGISTRY = default_registry(rng_seed=0)
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_models.json"
+
+#: models whose score_many is a columnar kernel over the shared store,
+#: with a lazy scalar-replay reference (cold-cloneable: all state
+#: derives from the store rows)
+LAZY_COLUMNAR = [
+    "beta", "ebay", "sporas", "histos", "peertrust", "wang_vassileva",
+]
+#: eager models mirroring the store (reviews/facet dicts carry extra
+#: channel state, so they are compared warm: kernel vs base score loop)
+EAGER_COLUMNAR = ["amazon", "maximilien_singh"]
+
+#: the >= 5x gate at the large scale
+HEADLINE = ("beta", "sporas", "histos")
+
+SMALL_EVENTS = 1_000
+LARGE_EVENTS = int(os.environ.get("REPRO_BENCH_COLUMNAR_EVENTS", 1_000_000))
+BATCH_SIZE = 100
+SMALL_REPEATS = 7
+LARGE_REPEATS = 3
+
+
+def _best_ns(fn: Callable[[], object], repeats: int) -> int:
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter_ns()
+        fn()
+        elapsed = time.perf_counter_ns() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    assert best is not None
+    return best
+
+
+def _build_store(n: int, n_raters: int, n_targets: int) -> EventStore:
+    """*n* deterministic overall events; rater and target pools are
+    disjoint (Sporas' rank kernel requires it, matching the paper's
+    consumer-rates-service setting)."""
+    raters = [f"r{i}" for i in range(n_raters)]
+    targets = [f"svc-{i}" for i in range(n_targets)]
+    store = EventStore()
+    store.extend(
+        [raters[(i * 13) % n_raters] for i in range(n)],
+        [targets[(i * 7) % n_targets] for i in range(n)],
+        [((i * 7919) % 1000) / 1000.0 for i in range(n)],
+        [float(i) for i in range(n)],
+    )
+    return store
+
+
+def _cold_clone(name: str, store: EventStore) -> ReputationModel:
+    """A fresh instance attached to the warm store: empty replay state,
+    empty kernel caches — the from-raw-events query cost."""
+    model = REGISTRY.create(name)
+    model._store = store
+    if hasattr(model, "_ctx"):
+        # PeerTrust keeps a row-aligned context column beside the store;
+        # overall-only feedback always has context weight 1.0.
+        model._ctx = [1.0] * len(store)
+    return model
+
+
+def _reference_scores(
+    model: ReputationModel,
+    batch: List[str],
+    persp: str,
+    now: float,
+) -> List[float]:
+    if hasattr(model, "score_many_reference"):
+        return model.score_many_reference(batch, persp, now)
+    return ReputationModel.score_many(model, batch, persp, now)
+
+
+def _time_cold_paths(
+    name: str,
+    store: EventStore,
+    batch: List[str],
+    persp: str,
+    now: float,
+    repeats: int,
+) -> Tuple[int, int]:
+    """(reference ns, kernel ns), each on a fresh clone per repeat."""
+    check_ref = _reference_scores(_cold_clone(name, store), batch, persp, now)
+    check_kernel = _cold_clone(name, store).score_many(batch, persp, now)
+    assert check_kernel == pytest.approx(check_ref, abs=1e-9), (
+        f"{name}: columnar kernel diverges from the replay reference"
+    )
+    ref_ns = _best_ns(
+        lambda: _reference_scores(
+            _cold_clone(name, store), batch, persp, now
+        ),
+        repeats,
+    )
+    kernel_ns = _best_ns(
+        lambda: _cold_clone(name, store).score_many(batch, persp, now),
+        repeats,
+    )
+    return ref_ns, kernel_ns
+
+
+def _write_section(key: str, section: Dict[str, object]) -> None:
+    payload = (
+        json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {}
+    )
+    payload.setdefault("columnar", {})[key] = section
+    BENCH_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def _report_rows(report: Dict[str, Dict[str, object]]) -> List[List[object]]:
+    return [
+        [name, row["reference_ns"], row["kernel_ns"], f"x{row['speedup']}"]
+        for name, row in sorted(report.items())
+    ]
+
+
+def test_columnar_small_never_slower(table_printer):
+    """At 10^3 events the kernels must not lose to their references —
+    vectorization overhead has to pay for itself even on small stores."""
+    store = _build_store(SMALL_EVENTS, n_raters=20, n_targets=BATCH_SIZE)
+    batch = [f"svc-{i}" for i in range(BATCH_SIZE)]
+    now = float(SMALL_EVENTS)
+
+    report: Dict[str, Dict[str, object]] = {}
+    for name in LAZY_COLUMNAR:
+        ref_ns, kernel_ns = _time_cold_paths(
+            name, store, batch, "r0", now, SMALL_REPEATS
+        )
+        report[name] = {
+            "reference_ns": ref_ns,
+            "kernel_ns": kernel_ns,
+            "speedup": round(ref_ns / kernel_ns, 2),
+            "protocol": "cold clone on shared store",
+        }
+    # Eager mirrors: warm kernel vs warm base score loop (their scalar
+    # state is not replayable from the store alone).
+    for name in EAGER_COLUMNAR:
+        model = REGISTRY.create(name)
+        model.record_many(
+            [
+                Feedback(
+                    rater=f"r{i % 20}",
+                    target=batch[i % BATCH_SIZE],
+                    time=float(i),
+                    rating=((i * 7919) % 1000) / 1000.0,
+                )
+                for i in range(SMALL_EVENTS)
+            ]
+        )
+        kernel = model.score_many(batch, "r0", now)
+        loop = ReputationModel.score_many(model, batch, "r0", now)
+        assert kernel == pytest.approx(loop, abs=1e-9), name
+        ref_ns = _best_ns(
+            lambda m=model: ReputationModel.score_many(m, batch, "r0", now),
+            SMALL_REPEATS,
+        )
+        kernel_ns = _best_ns(
+            lambda m=model: m.score_many(batch, "r0", now), SMALL_REPEATS
+        )
+        report[name] = {
+            "reference_ns": ref_ns,
+            "kernel_ns": kernel_ns,
+            "speedup": round(ref_ns / kernel_ns, 2),
+            "protocol": "warm kernel vs warm base score loop",
+        }
+
+    _write_section(
+        "small",
+        {
+            "events": SMALL_EVENTS,
+            "batch_size": BATCH_SIZE,
+            "repeats": SMALL_REPEATS,
+            "models": report,
+        },
+    )
+    table_printer(
+        f"Columnar kernels at {SMALL_EVENTS} events (batch of {BATCH_SIZE})",
+        ["mechanism", "reference ns", "kernel ns", "speedup"],
+        _report_rows(report),
+    )
+    slow = {
+        name: row["speedup"]
+        for name, row in report.items()
+        if row["kernel_ns"] > row["reference_ns"]
+    }
+    assert not slow, (
+        f"columnar kernel slower than its reference at {SMALL_EVENTS} "
+        f"events: {slow}"
+    )
+
+
+def test_columnar_large_speedup(table_printer):
+    """The headline gate: >= 5x over scalar replay at 10^6 events on
+    the beta/sporas/histos kernels."""
+    store = _build_store(LARGE_EVENTS, n_raters=4000, n_targets=1000)
+    batch = [f"svc-{i}" for i in range(BATCH_SIZE)]
+    now = float(LARGE_EVENTS)
+
+    report: Dict[str, Dict[str, object]] = {}
+    # The global reputation query (perspective None) — the path every
+    # headline kernel vectorizes end to end; Histos' personalized path
+    # is a graph walk that stays scalar by design.
+    for name in HEADLINE:
+        ref_ns, kernel_ns = _time_cold_paths(
+            name, store, batch, None, now, LARGE_REPEATS
+        )
+        report[name] = {
+            "reference_ns": ref_ns,
+            "kernel_ns": kernel_ns,
+            "speedup": round(ref_ns / kernel_ns, 2),
+            "protocol": "cold clone on shared store",
+        }
+
+    _write_section(
+        "large",
+        {
+            "events": LARGE_EVENTS,
+            "batch_size": BATCH_SIZE,
+            "repeats": LARGE_REPEATS,
+            "models": report,
+        },
+    )
+    table_printer(
+        f"Columnar kernels at {LARGE_EVENTS} events (batch of {BATCH_SIZE})",
+        ["mechanism", "reference ns", "kernel ns", "speedup"],
+        _report_rows(report),
+    )
+    for name in HEADLINE:
+        assert report[name]["speedup"] >= 5.0, (
+            f"{name}: expected >= 5x columnar speedup at {LARGE_EVENTS} "
+            f"events, got {report[name]['speedup']}"
+        )

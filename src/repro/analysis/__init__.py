@@ -10,7 +10,7 @@ equality on scores.  This package checks them statically:
 
     python -m repro.analysis src/repro
 
-Rules R001-R006 are catalogued in DESIGN.md §10, along with the
+Rules R001-R007 are catalogued in DESIGN.md §10, along with the
 ``# reprolint: disable=R00x`` suppression and baseline workflow.
 """
 

@@ -9,6 +9,7 @@ DESIGN.md §10 documents the workflow end to end.
 from __future__ import annotations
 
 from repro.analysis.core import RuleRegistry
+from repro.analysis.rules.columnar import ColumnarLoopRule
 from repro.analysis.rules.contracts import (
     BatchParityRegistryRule,
     CacheVersionBumpRule,
@@ -32,6 +33,7 @@ def default_registry() -> RuleRegistry:
     registry.register(BatchParityRegistryRule())
     registry.register(PicklableWorldBuilderRule())
     registry.register(FloatEqualityRule())
+    registry.register(ColumnarLoopRule())
     return registry
 
 

@@ -16,7 +16,7 @@ central registry, P2P overlays, and defense filters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.common.ids import EntityId
 
@@ -129,6 +129,27 @@ class Feedback:
             facet_ratings=dict(self.facet_ratings),
             interaction=self.interaction,
         )
+
+
+def feedback_columns(
+    feedbacks: Iterable[Feedback],
+) -> Tuple[List[EntityId], List[EntityId], List[float], List[float]]:
+    """Pivot feedback into ``(raters, targets, ratings, times)`` columns.
+
+    The struct-of-arrays shape :meth:`repro.store.EventStore.extend`
+    ingests in bulk; row order is preserved, facet ratings are not
+    carried (models that store facet rows append them individually).
+    """
+    raters: List[EntityId] = []
+    targets: List[EntityId] = []
+    ratings: List[float] = []
+    times: List[float] = []
+    for fb in feedbacks:
+        raters.append(fb.rater)
+        targets.append(fb.target)
+        ratings.append(fb.rating)
+        times.append(fb.time)
+    return raters, targets, ratings, times
 
 
 def positive(feedback: Feedback, threshold: float = 0.5) -> bool:

@@ -9,14 +9,14 @@ The paper names three shared characteristics of trust and reputation:
 * **dynamic** — trust grows/decays with experience and with time.
 
 :class:`FacetTrust` implements all three on a Beta-evidence substrate:
-evidence is accumulated per ``(context, target, facet)`` with a decay
-policy applied at query time, and :func:`combine_facets` folds facet
-scores under a preference profile.
+evidence lives in one columnar :class:`~repro.store.EventStore` per
+context, keyed by ``(target, facet)`` group slices, with a decay policy
+applied at query time over the sliced time column; and
+:func:`combine_facets` folds facet scores under a preference profile.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
@@ -25,6 +25,7 @@ from repro.common.errors import ConfigurationError
 from repro.common.ids import EntityId
 from repro.common.records import Feedback
 from repro.core.decay import DecayPolicy, NoDecay
+from repro.store import EventStore
 
 #: The context used when callers don't partition evidence.
 DEFAULT_CONTEXT = "default"
@@ -53,42 +54,6 @@ def combine_facets(
     return sum(facet_scores.values()) / len(facet_scores)
 
 
-@dataclass
-class _FacetEvidence:
-    """Observation history as parallel columns, numpy-ready."""
-
-    times: List[float] = field(default_factory=list)
-    values: List[float] = field(default_factory=list)
-
-    def add(self, time: float, value: float) -> None:
-        self.times.append(time)
-        self.values.append(value)
-
-    def __len__(self) -> int:
-        return len(self.values)
-
-    def expectation(
-        self, decay: DecayPolicy, now: Optional[float]
-    ) -> Tuple[float, float]:
-        """(trust expectation, evidence mass) under *decay* at *now*.
-
-        The whole window is discounted in one vectorized expression —
-        weights = decay.weights(now - times) — instead of a per-
-        observation Python loop.
-        """
-        values = np.asarray(self.values, dtype=float)
-        if now is None:
-            weights = np.ones_like(values)
-        else:
-            ages = now - np.asarray(self.times, dtype=float)
-            weights = decay.weights(np.maximum(ages, 0.0))
-        alpha = float(weights @ values)
-        mass = float(weights.sum())
-        beta = mass - alpha
-        expectation = (alpha + 1.0) / (alpha + beta + 2.0)
-        return expectation, alpha + beta
-
-
 class FacetTrust:
     """Per-context, per-facet trust with time decay.
 
@@ -98,10 +63,10 @@ class FacetTrust:
 
     def __init__(self, decay: Optional[DecayPolicy] = None) -> None:
         self.decay = decay or NoDecay()
-        #: context -> target -> facet -> evidence
-        self._evidence: Dict[
-            str, Dict[EntityId, Dict[str, _FacetEvidence]]
-        ] = {}
+        #: one columnar store per context; the rater column is unused
+        #: here (observations are the observer's own), so rows carry a
+        #: placeholder rater id.
+        self._stores: Dict[str, EventStore] = {}
 
     def observe(
         self,
@@ -114,9 +79,11 @@ class FacetTrust:
         """Record one experienced quality *value* in ``[0, 1]``."""
         if not 0.0 <= value <= 1.0:
             raise ConfigurationError("facet value must be in [0, 1]")
-        self._evidence.setdefault(context, {}).setdefault(
-            target, {}
-        ).setdefault(facet, _FacetEvidence()).add(time, value)
+        store = self._stores.get(context)
+        if store is None:
+            store = EventStore()
+            self._stores[context] = store
+        store.append("", target, value, time, facet=facet)
 
     def observe_feedback(
         self, feedback: Feedback, context: str = DEFAULT_CONTEXT
@@ -128,6 +95,39 @@ class FacetTrust:
                 feedback.target, facet, value, feedback.time, context
             )
 
+    def _expectation(
+        self,
+        values: np.ndarray,
+        times: np.ndarray,
+        now: Optional[float],
+    ) -> Tuple[float, float]:
+        """(trust expectation, evidence mass) for one group slice.
+
+        The whole window is discounted in one vectorized expression —
+        weights = decay.weights(now - times) — over the zero-copy
+        column views of the group's rows.
+        """
+        if now is None:
+            weights = np.ones_like(values)
+        else:
+            weights = self.decay.weights(np.maximum(now - times, 0.0))
+        alpha = float(weights @ values)
+        mass = float(weights.sum())
+        beta = mass - alpha
+        expectation = (alpha + 1.0) / (alpha + beta + 2.0)
+        return expectation, alpha + beta
+
+    def _group_rows(
+        self, store: EventStore, target: EntityId, facet: str
+    ) -> Optional[np.ndarray]:
+        target_code = store.entities.code(target)
+        facet_code = store.facets.code(facet)
+        if target_code < 0 or facet_code < 0:
+            return None
+        key = (np.int64(target_code) << 32) | np.int64(facet_code + 1)
+        rows = store.by_target_facet().rows(int(key))
+        return rows if len(rows) else None
+
     def facet(
         self,
         target: EntityId,
@@ -136,13 +136,34 @@ class FacetTrust:
         context: str = DEFAULT_CONTEXT,
     ) -> float:
         """Trust in one facet of *target* (0.5 without evidence)."""
-        evidence = (
-            self._evidence.get(context, {}).get(target, {}).get(facet)
-        )
-        if evidence is None:
+        store = self._stores.get(context)
+        if store is None:
             return 0.5
-        expectation, _ = evidence.expectation(self.decay, now)
+        rows = self._group_rows(store, target, facet)
+        if rows is None:
+            return 0.5
+        columns = store.snapshot()
+        expectation, _ = self._expectation(
+            columns.value[rows], columns.time[rows], now
+        )
         return expectation
+
+    def _facet_names(
+        self, store: EventStore, target: EntityId
+    ) -> List[str]:
+        """Facets observed for *target*, in facet-code (first-seen)
+        order within the sorted group keys."""
+        target_code = store.entities.code(target)
+        if target_code < 0:
+            return []
+        keys = store.by_target_facet().codes
+        lo = np.searchsorted(keys, np.int64(target_code) << 32)
+        hi = np.searchsorted(keys, np.int64(target_code + 1) << 32)
+        facet_name = store.facets.value
+        return [
+            facet_name(int(key & 0xFFFFFFFF) - 1)
+            for key in keys[lo:hi].tolist()
+        ]
 
     def facets(
         self,
@@ -151,9 +172,12 @@ class FacetTrust:
         context: str = DEFAULT_CONTEXT,
     ) -> Dict[str, float]:
         """All facet trust values known for *target* in *context*."""
+        store = self._stores.get(context)
+        if store is None:
+            return {}
         return {
             facet: self.facet(target, facet, now, context)
-            for facet in self._evidence.get(context, {}).get(target, {})
+            for facet in self._facet_names(store, target)
         }
 
     def overall(
@@ -173,12 +197,19 @@ class FacetTrust:
         context: str = DEFAULT_CONTEXT,
     ) -> float:
         """Decayed evidence mass mapped to ``[0, 1)``."""
-        facet_evidence = self._evidence.get(context, {}).get(target, {})
+        store = self._stores.get(context)
         mass = 0.0
-        for evidence in facet_evidence.values():
-            _, facet_mass = evidence.expectation(self.decay, now)
-            mass += facet_mass
+        if store is not None:
+            columns = store.snapshot()
+            for facet in self._facet_names(store, target):
+                rows = self._group_rows(store, target, facet)
+                if rows is None:
+                    continue
+                _, facet_mass = self._expectation(
+                    columns.value[rows], columns.time[rows], now
+                )
+                mass += facet_mass
         return mass / (mass + 2.0)
 
     def contexts(self) -> List[str]:
-        return sorted(self._evidence)
+        return sorted(self._stores)

@@ -4,12 +4,20 @@ A product page's standing is the mean star rating, with two published
 refinements reproduced here: reviews with more *helpful votes* count
 more, and recent reviews count more than stale ones.  Ratings on
 ``[0, 1]`` map to the 1-5 star scale for display.
+
+Reviews stay as the eager per-target lists (``vote_helpful`` mutates
+reviews in place, so the scalar state cannot be a pure replay), but
+``record`` also appends to a columnar :class:`~repro.store.EventStore`
+mirror: ``score_many`` evaluates the helpfulness × recency weighting
+as one full-column ``DecayPolicy.weights`` call plus per-target
+``np.bincount`` sums, invalidated by a vote epoch counter whenever
+helpful votes change.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,6 +27,7 @@ from repro.common.records import Feedback
 from repro.core.decay import DecayPolicy, ExponentialDecay
 from repro.core.typology import Architecture, Scope, Subject, Typology
 from repro.models.base import ReputationModel
+from repro.store import EventStore
 
 
 @dataclass
@@ -54,6 +63,18 @@ class AmazonModel(ReputationModel):
         self.decay = decay or ExponentialDecay(half_life=200.0)
         self.helpfulness_weight = helpfulness_weight
         self._reviews: Dict[EntityId, List[_Review]] = {}
+        self._store = EventStore()
+        #: bumped whenever helpful votes change (kernel invalidation)
+        self._votes_epoch = 0
+        #: row-aligned helpful-vote column: ((version, epoch), votes)
+        self._votes_cache: Optional[Tuple[Tuple[int, int], np.ndarray]] = None
+        #: per-(version, epoch, now) reduced (num, den, count) arrays
+        self._kernel: Optional[
+            Tuple[
+                Tuple[int, int, Optional[float]],
+                Tuple[np.ndarray, np.ndarray, np.ndarray],
+            ]
+        ] = None
 
     def record(self, feedback: Feedback) -> None:
         self._reviews.setdefault(feedback.target, []).append(
@@ -62,6 +83,9 @@ class AmazonModel(ReputationModel):
                 time=feedback.time,
                 rating=feedback.rating,
             )
+        )
+        self._store.append(
+            feedback.rater, feedback.target, feedback.rating, feedback.time
         )
 
     def vote_helpful(
@@ -73,6 +97,7 @@ class AmazonModel(ReputationModel):
         for review in self._reviews.get(target, ()):
             if review.rater == rater:
                 review.helpful_votes += votes
+        self._votes_epoch += 1
 
     def review_count(self, target: EntityId) -> int:
         return len(self._reviews.get(target, ()))
@@ -105,3 +130,71 @@ class AmazonModel(ReputationModel):
         if weight_sum <= 0:
             return 0.5
         return float(weights @ ratings) / weight_sum
+
+    # -- columnar kernel -----------------------------------------------
+    def _votes_column(self) -> np.ndarray:
+        """Helpful votes aligned with store rows.  A target's store rows
+        are in append order — the same order as its review list — so the
+        per-target group rows index its reviews directly."""
+        store = self._store
+        key = (store.version, self._votes_epoch)
+        cached = self._votes_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        votes = np.zeros(len(store), dtype=np.float64)
+        if self._votes_epoch:
+            by_target = store.by_target()
+            code = store.entities.code
+            for target, reviews in self._reviews.items():
+                rows = by_target.rows(code(target))
+                votes[rows] = [r.helpful_votes for r in reviews]
+        self._votes_cache = (key, votes)
+        return votes
+
+    def _kernel_arrays(
+        self, now: Optional[float]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-code (weighted sum, weight sum, review count), with the
+        decay applied to the whole time column at once."""
+        store = self._store
+        key = (store.version, self._votes_epoch, now)
+        cached = self._kernel
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        columns = store.snapshot()
+        size = max(len(store.entities), 1)
+        weights = 1.0 + self.helpfulness_weight * self._votes_column()
+        if now is not None:
+            ages = np.maximum(now - columns.time, 0.0)
+            weights = weights * self.decay.weights(ages)
+        num = np.bincount(
+            columns.target, weights=weights * columns.value, minlength=size
+        )
+        den = np.bincount(columns.target, weights=weights, minlength=size)
+        count = np.bincount(columns.target, minlength=size)
+        arrays = (num, den, count)
+        self._kernel = (key, arrays)
+        return arrays
+
+    def score_many(
+        self,
+        targets: Sequence[EntityId],
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> List[float]:
+        """Batch weighted means from one pass over the store columns."""
+        num, den, count = self._kernel_arrays(now)
+        codes = self._store.entities.codes(targets)
+        known = codes >= 0
+        safe = np.where(known, codes, 0)
+        cnt = np.where(known, count[safe], 0)
+        weight_sum = np.where(known, den[safe], 0.0)
+        usable = (cnt > 0) & (weight_sum > 0)
+        scores = np.where(
+            usable,
+            np.where(known, num[safe], 0.0)
+            / np.where(usable, weight_sum, 1.0),
+            0.5,
+        )
+        result: List[float] = scores.tolist()
+        return result

@@ -65,6 +65,13 @@ class ReputationModel(abc.ABC):
         """
 
     def record_many(self, feedbacks: Iterable[Feedback]) -> None:
+        """Bulk-ingest feedback, equivalent to a :meth:`record` loop.
+
+        Store-backed models override this with a single columnar
+        :meth:`~repro.store.EventStore.extend`, which interns ids and
+        seals chunks without a per-event Python frame; the resulting
+        store is byte-identical to what looped appends produce.
+        """
         for fb in feedbacks:
             self.record(fb)
 
@@ -76,12 +83,20 @@ class ReputationModel(abc.ABC):
     ) -> List[float]:
         """Scores for *targets*, in order.
 
-        The default loops over :meth:`score`; hot models override this
-        with a batched kernel that shares per-query work (similarity
-        caches, stationary vectors, decay weights) across the whole
-        candidate set.  Overrides must return exactly what the
-        per-target loop would (to float tolerance) — the property suite
-        enforces it.
+        Three paths coexist, fastest first, and the property suites pin
+        them together to 1e-9 under any record/query interleaving:
+
+        1. **columnar kernel** — store-backed models override this with
+           numpy reductions (bincount/lexsort) over the shared
+           :class:`~repro.store.EventStore` snapshot, cached per store
+           version;
+        2. **scalar reference** — ported models keep their pre-columnar
+           python batch path as ``score_many_reference`` (and some
+           kernels fall back to it when their vectorization
+           preconditions fail, e.g. Sporas with coupled rater/target
+           sets);
+        3. **base loop** — this default, one :meth:`score` call per
+           target, the semantic ground truth.
         """
         return [self.score(t, perspective, now) for t in targets]
 

@@ -12,17 +12,26 @@ the asking user.  The personalized reputation of ``x`` for root ``u``:
 
 Only the *latest* rating per (rater, target) edge counts, matching the
 "most recent experience dominates" reading in the original paper.
+
+Events live in the columnar :class:`~repro.store.EventStore`; the
+latest-edge graph the walks consume is replayed lazily (codes, not
+strings).  The *global* fallback — the hot batch path when no
+perspective is given — is a columnar kernel: latest-per-pair rows via
+one lexsort, then a per-target ``np.bincount`` mean.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.common.errors import ConfigurationError
 from repro.common.ids import EntityId
-from repro.common.records import Feedback
+from repro.common.records import Feedback, feedback_columns
 from repro.core.typology import Architecture, Scope, Subject, Typology
 from repro.models.base import ReputationModel
+from repro.store import EventStore, group_sums, latest_rows
 
 
 class HistosModel(ReputationModel):
@@ -46,29 +55,65 @@ class HistosModel(ReputationModel):
             raise ConfigurationError("prior must be in [0, 1]")
         self.max_depth = max_depth
         self.prior = prior
-        #: rater -> target -> (time, rating); latest rating wins
-        self._edges: Dict[EntityId, Dict[EntityId, tuple]] = {}
+        self._store = EventStore()
+        #: rater code -> target code -> (time, rating); latest wins;
+        #: replayed lazily off the store rows
+        self._edges: Dict[int, Dict[int, Tuple[float, float]]] = {}
+        self._replay_pos = 0
+        #: global-mean kernel cache: (version, sums, counts) per code
+        self._kernel: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
 
+    # -- evidence ------------------------------------------------------
     def record(self, feedback: Feedback) -> None:
-        outgoing = self._edges.setdefault(feedback.rater, {})
-        existing = outgoing.get(feedback.target)
-        if existing is None or feedback.time >= existing[0]:
-            outgoing[feedback.target] = (feedback.time, feedback.rating)
+        self._store.append(
+            feedback.rater, feedback.target, feedback.rating, feedback.time
+        )
+
+    def record_many(self, feedbacks: Iterable[Feedback]) -> None:
+        self._store.extend(*feedback_columns(feedbacks))
+
+    def _advance(self) -> None:
+        """Replay latest-edge extraction over unconsumed store rows —
+        the exact scalar reference for the graph walks."""
+        store = self._store
+        n = len(store)
+        if self._replay_pos == n:
+            return
+        edges = self._edges
+        # reprolint: disable=R007 — scalar reference is the per-row replay
+        for rater, target, _facet, value, time in store.iter_rows(
+            self._replay_pos
+        ):
+            outgoing = edges.get(rater)
+            if outgoing is None:
+                outgoing = {}
+                edges[rater] = outgoing
+            existing = outgoing.get(target)
+            if existing is None or time >= existing[0]:
+                outgoing[target] = (time, value)
+        self._replay_pos = n
 
     def direct_rating(
         self, rater: EntityId, target: EntityId
     ) -> Optional[float]:
-        entry = self._edges.get(rater, {}).get(target)
+        self._advance()
+        code = self._store.entities.code
+        entry = self._edges.get(code(rater), {}).get(code(target))
+        return entry[1] if entry else None
+
+    # -- personalized walks (scalar reference, code-keyed) -------------
+    def _direct(self, root: int, target: int) -> Optional[float]:
+        entry = self._edges.get(root, {}).get(target)
         return entry[1] if entry else None
 
     def _trust(
         self,
-        root: EntityId,
-        target: EntityId,
+        root: int,
+        target: int,
         depth: int,
-        visited: Set[EntityId],
+        visited: Set[int],
     ) -> Optional[float]:
-        direct = self.direct_rating(root, target)
+        direct = self._direct(root, target)
         if direct is not None:
             return direct
         if depth <= 0:
@@ -97,6 +142,9 @@ class HistosModel(ReputationModel):
         perspective: Optional[EntityId] = None,
         now: Optional[float] = None,
     ) -> float:
+        self._advance()
+        code = self._store.entities.code
+        target_code = code(target)
         if perspective is None:
             # No root given: fall back to the global mean of incoming
             # latest ratings (what a new, unconnected user would see).
@@ -104,23 +152,23 @@ class HistosModel(ReputationModel):
                 entry[1]
                 for edges in self._edges.values()
                 for tgt, entry in edges.items()
-                if tgt == target
+                if tgt == target_code
             ]
-            if not incoming:
+            if not incoming or target_code < 0:
                 return self.prior
             return sum(incoming) / len(incoming)
         value = self._trust(
-            perspective, target, self.max_depth, {perspective}
+            code(perspective), target_code, self.max_depth, {code(perspective)}
         )
         return self.prior if value is None else value
 
     def _trust_many(
         self,
-        root: EntityId,
-        targets: Sequence[EntityId],
+        root: int,
+        targets: Sequence[int],
         depth: int,
-        visited: Set[EntityId],
-    ) -> Dict[EntityId, Optional[float]]:
+        visited: Set[int],
+    ) -> Dict[int, Optional[float]]:
         """One graph walk evaluating every target simultaneously.
 
         The per-target recursion's control flow (visited set, depth
@@ -131,10 +179,10 @@ class HistosModel(ReputationModel):
         per candidate.  Produces exactly what per-target :meth:`_trust`
         calls would.
         """
-        results: Dict[EntityId, Optional[float]] = {}
-        remaining: List[EntityId] = []
+        results: Dict[int, Optional[float]] = {}
+        remaining: List[int] = []
         for target in targets:
-            direct = self.direct_rating(root, target)
+            direct = self._direct(root, target)
             if direct is not None:
                 results[target] = direct
             else:
@@ -172,33 +220,54 @@ class HistosModel(ReputationModel):
                 results[target] = totals[target] / total_weights[target]
         return results
 
+    # -- columnar kernel (global fallback) -----------------------------
+    def _global_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-code (sum, count) of incoming latest ratings, reduced
+        from the store columns and cached per version."""
+        store = self._store
+        version = store.version
+        cached = self._kernel
+        if cached is not None and cached[0] == version:
+            return cached[1], cached[2]
+        columns = store.snapshot()
+        size = max(len(store.entities), 1)
+        _keys, rows = latest_rows(columns.pair_keys(), columns.time)
+        targets = columns.target[rows]
+        sums = group_sums(targets, size, columns.value[rows])
+        counts = np.bincount(targets, minlength=size)
+        self._kernel = (version, sums, counts)
+        return sums, counts
+
     def score_many(
         self,
         targets: Sequence[EntityId],
         perspective: Optional[EntityId] = None,
         now: Optional[float] = None,
     ) -> List[float]:
-        """Batch personalized scores via one shared graph traversal."""
+        """Batch scores: columnar latest-edge means for the global view,
+        one shared graph traversal for personalized queries."""
         if not targets:
             return []
         if perspective is None:
-            # Global fallback: one pass over the edge set serves every
-            # candidate instead of a full scan per candidate.
-            wanted = set(targets)
-            sums: Dict[EntityId, float] = {}
-            counts: Dict[EntityId, int] = {}
-            for edges in self._edges.values():
-                for tgt, entry in edges.items():
-                    if tgt in wanted:
-                        sums[tgt] = sums.get(tgt, 0.0) + entry[1]
-                        counts[tgt] = counts.get(tgt, 0) + 1
-            return [
-                sums[t] / counts[t] if counts.get(t) else self.prior
-                for t in targets
-            ]
+            sums, counts = self._global_arrays()
+            codes = self._store.entities.codes(targets)
+            known = codes >= 0
+            safe = np.where(known, codes, 0)
+            cnt = np.where(known, counts[safe], 0)
+            total = np.where(known, sums[safe], 0.0)
+            scores = np.where(
+                cnt > 0, total / np.maximum(cnt, 1), self.prior
+            )
+            result: List[float] = scores.tolist()
+            return result
+        self._advance()
+        code = self._store.entities.code
+        root = code(perspective)
+        target_codes = [code(t) for t in targets]
         values = self._trust_many(
-            perspective, list(targets), self.max_depth, {perspective}
+            root, target_codes, self.max_depth, {root}
         )
         return [
-            self.prior if values[t] is None else values[t] for t in targets
+            self.prior if values[t] is None else values[t]
+            for t in target_codes
         ]

@@ -13,12 +13,21 @@ between claims and reputation damping the provider's say further).
 Explorer agents (their multiagent paper) integrate via
 :class:`~repro.services.monitoring.ExplorerAgentPool`, which files
 feedback straight into this model's :meth:`record`.
+
+The per-facet histories stay eager (claims and preferences arrive out
+of band), but ``record`` mirrors every report into a columnar
+:class:`~repro.store.EventStore` — one overall row plus one row per
+facet rating — and ``score_many`` replaces the per-history scans with
+one ``DecayPolicy.weights`` call over the whole time column and
+``np.bincount`` reductions per (service, facet) group; the claim /
+preference blending stays per-candidate Python over those precomputed
+means.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,6 +38,7 @@ from repro.common.records import Feedback
 from repro.core.decay import DecayPolicy, ExponentialDecay
 from repro.core.typology import Architecture, Scope, Subject, Typology
 from repro.models.base import ReputationModel
+from repro.store import EventStore, OVERALL_FACET
 
 
 @dataclass
@@ -89,6 +99,11 @@ class MaximilienSinghModel(ReputationModel):
         self._claims: Dict[EntityId, Dict[str, float]] = {}
         #: consumer -> facet preference weights
         self._preferences: Dict[EntityId, Dict[str, float]] = {}
+        #: columnar mirror of the histories (kernel substrate)
+        self._store = EventStore()
+        self._kernel: Optional[
+            Tuple[Tuple[int, Optional[float]], "_KernelArrays"]
+        ] = None
 
     # -- ontology inputs ------------------------------------------------
     def register_advertisement(
@@ -117,6 +132,15 @@ class MaximilienSinghModel(ReputationModel):
         for facet, rating in feedback.facet_ratings.items():
             facets.setdefault(facet, _FacetHistory()).add(
                 feedback.time, rating
+            )
+        store = self._store
+        store.append(
+            feedback.rater, feedback.target, feedback.rating, feedback.time
+        )
+        for facet, rating in feedback.facet_ratings.items():
+            store.append(
+                feedback.rater, feedback.target, rating, feedback.time,
+                facet=facet,
             )
 
     # -- queries --------------------------------------------------------------
@@ -178,3 +202,166 @@ class MaximilienSinghModel(ReputationModel):
             (self.facet_reputation(target, f, now) for f in sorted(facets)),
             default=0.5,
         )
+
+    # -- columnar kernel -----------------------------------------------
+    def _kernel_arrays(self, now: Optional[float]) -> "_KernelArrays":
+        """Decay-weighted means for every (service, facet) group in one
+        column pass, cached per (store version, now)."""
+        store = self._store
+        key = (store.version, now)
+        cached = self._kernel
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        columns = store.snapshot()
+        size = max(len(store.entities), 1)
+        if now is not None:
+            weights = self.decay.weights(
+                np.maximum(now - columns.time, 0.0)
+            )
+        else:
+            weights = np.ones(columns.n)
+        overall = columns.facet == OVERALL_FACET
+        o_target = columns.target[overall]
+        o_value = columns.value[overall]
+        o_weight = weights[overall]
+        facet_rows = ~overall
+        f_keys = columns.target_facet_keys()[facet_rows]
+        f_value = columns.value[facet_rows]
+        f_weight = weights[facet_rows]
+        groups, inverse = np.unique(f_keys, return_inverse=True)
+        slots = len(groups)
+        facet_groups: Dict[int, List[Tuple[str, int]]] = {}
+        facet_name = store.facets.value
+        for slot, group in enumerate(groups.tolist()):
+            facet_groups.setdefault(group >> 32, []).append(
+                (facet_name((group & 0xFFFFFFFF) - 1), slot)
+            )
+        arrays = _KernelArrays(
+            o_num=np.bincount(
+                o_target, weights=o_weight * o_value, minlength=size
+            ),
+            o_den=np.bincount(o_target, weights=o_weight, minlength=size),
+            o_plain=np.bincount(o_target, weights=o_value, minlength=size),
+            o_cnt=np.bincount(o_target, minlength=size),
+            f_num=np.bincount(
+                inverse, weights=f_weight * f_value, minlength=slots
+            ),
+            f_den=np.bincount(inverse, weights=f_weight, minlength=slots),
+            f_plain=np.bincount(inverse, weights=f_value, minlength=slots),
+            f_cnt=np.bincount(inverse, minlength=slots),
+            facet_groups=facet_groups,
+        )
+        self._kernel = (key, arrays)
+        return arrays
+
+    def _facet_blend(
+        self,
+        arrays: "_KernelArrays",
+        slot: Optional[int],
+        claim: Optional[float],
+    ) -> float:
+        """:meth:`facet_reputation` over the precomputed group means."""
+        if slot is None:
+            community = None
+            evidence = 0
+        else:
+            evidence = int(arrays.f_cnt[slot])
+            if arrays.f_den[slot] > 0:
+                community = arrays.f_num[slot] / arrays.f_den[slot]
+            else:
+                community = arrays.f_plain[slot] / evidence
+        if community is None and claim is None:
+            return 0.5
+        if community is None:
+            assert claim is not None
+            return claim
+        if claim is None:
+            return community
+        claim_weight = self.claim_evidence_scale / (
+            self.claim_evidence_scale + evidence
+        )
+        claim_weight *= max(0.0, 1.0 - abs(claim - community))
+        return claim_weight * claim + (1.0 - claim_weight) * community
+
+    def score_many(
+        self,
+        targets: Sequence[EntityId],
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> List[float]:
+        """Batch scores over precomputed per-(service, facet) means.
+
+        The column pass replaces the per-history array building of
+        :meth:`score`; the claim/preference blending mirrors the scalar
+        control flow exactly (same facet iteration order).
+        """
+        arrays = self._kernel_arrays(now)
+        weights = (
+            self._preferences.get(perspective) if perspective else None
+        )
+        codes = self._store.entities.codes(targets)
+        results: List[float] = []
+        for target, code in zip(targets, codes.tolist()):
+            slots = dict(arrays.facet_groups.get(code, ()))
+            claims = self._claims.get(target, {})
+            facets = set(slots) | set(claims)
+            if not facets:
+                if code < 0 or arrays.o_cnt[code] == 0:
+                    results.append(0.5)
+                elif arrays.o_den[code] > 0:
+                    results.append(
+                        float(arrays.o_num[code] / arrays.o_den[code])
+                    )
+                else:
+                    results.append(
+                        float(arrays.o_plain[code] / arrays.o_cnt[code])
+                    )
+                continue
+            if weights:
+                total = 0.0
+                weight_sum = 0.0
+                for facet in sorted(facets):
+                    w = weights.get(facet, 0.0)
+                    if w <= 0:
+                        continue
+                    total += w * self._facet_blend(
+                        arrays, slots.get(facet), claims.get(facet)
+                    )
+                    weight_sum += w
+                if weight_sum > 0:
+                    results.append(float(total / weight_sum))
+                    continue
+            results.append(
+                float(
+                    safe_mean(
+                        (
+                            self._facet_blend(
+                                arrays, slots.get(f), claims.get(f)
+                            )
+                            for f in sorted(facets)
+                        ),
+                        default=0.5,
+                    )
+                )
+            )
+        return results
+
+
+@dataclass
+class _KernelArrays:
+    """Per-group reductions backing :meth:`MaximilienSinghModel.score_many`.
+
+    ``o_*`` arrays are indexed by service entity code; ``f_*`` arrays by
+    the slot of each (service, facet) group, with ``facet_groups``
+    mapping a service code to its ``(facet name, slot)`` pairs.
+    """
+
+    o_num: np.ndarray
+    o_den: np.ndarray
+    o_plain: np.ndarray
+    o_cnt: np.ndarray
+    f_num: np.ndarray
+    f_den: np.ndarray
+    f_plain: np.ndarray
+    f_cnt: np.ndarray
+    facet_groups: Dict[int, List[Tuple[str, int]]]

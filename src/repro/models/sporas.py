@@ -16,18 +16,30 @@ the design goal Zacharia emphasizes).
 
 A *reliability deviation* (RD) tracks rating volatility via an
 exponentially-weighted squared prediction error.
+
+Events live in the columnar :class:`~repro.store.EventStore`; the
+scalar path replays the recursion lazily.  The columnar kernel exploits
+that the recursion couples targets only *through raters*: when no
+entity is both a rater and a target (the common web-service shape —
+consumers rate services), every rater weight is the newcomer floor and
+the per-target recursions are independent, so the kernel runs them as
+vectorized *rounds* — round k applies every target's k-th rating at
+once.  Coupled streams fall back to the exact scalar replay.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.common.errors import ConfigurationError
 from repro.common.ids import EntityId
-from repro.common.records import Feedback
+from repro.common.records import Feedback, feedback_columns
 from repro.core.typology import Architecture, Scope, Subject, Typology
 from repro.models.base import ReputationModel
+from repro.store import EventStore
 
 
 class SporasModel(ReputationModel):
@@ -45,6 +57,9 @@ class SporasModel(ReputationModel):
         Architecture.CENTRALIZED, Subject.PERSON_AGENT, Scope.GLOBAL
     )
     paper_ref = "[37]"
+
+    #: rater-weight floor for newcomers (see :meth:`record`)
+    NEWCOMER_FLOOR = 0.1
 
     def __init__(
         self,
@@ -65,45 +80,81 @@ class SporasModel(ReputationModel):
         if self.sigma <= 0:
             raise ConfigurationError("sigma must be positive")
         self.rd_memory = rd_memory
-        self._reputation: Dict[EntityId, float] = {}
-        self._rd: Dict[EntityId, float] = {}
-        self._count: Dict[EntityId, int] = {}
+        self._store = EventStore()
+        #: scalar reference state keyed by entity code, replayed lazily
+        self._reputation: Dict[int, float] = {}
+        self._rd: Dict[int, float] = {}
+        self._count: Dict[int, int] = {}
+        self._replay_pos = 0
+        #: columnar kernel cache: (version, reputations | None)
+        self._kernel: Optional[Tuple[int, Optional[np.ndarray]]] = None
 
     def _phi(self, reputation: float) -> float:
         return 1.0 - 1.0 / (1.0 + math.exp(-(reputation - self.d) / self.sigma))
 
+    # -- evidence ------------------------------------------------------
     def record(self, feedback: Feedback) -> None:
-        target = feedback.target
-        current = self._reputation.get(target, 0.0)
-        rater_rep = self._reputation.get(feedback.rater, 0.0)
-        # Rater weight: at least a newcomer's influence, normalized to
-        # [newcomer_floor, 1].  Zacharia multiplies by R_other/D; a pure
-        # zero would let fresh raters have no effect at bootstrap, so a
-        # small floor keeps the system live.
-        rater_weight = max(rater_rep / self.d, 0.1)
-        expected = current / self.d
-        w = feedback.rating  # already on [0, 1]
-        updated = current + (1.0 / self.theta) * self._phi(current) * (
-            rater_weight * self.d
-        ) * (w - expected)
-        updated = max(0.0, min(self.d, updated))
-        self._reputation[target] = updated
-        # Reliability deviation: EWMA of squared prediction error.
-        error = (w - expected) ** 2
-        prev_rd = self._rd.get(target, 0.25)
-        self._rd[target] = self.rd_memory * prev_rd + (1 - self.rd_memory) * error
-        self._count[target] = self._count.get(target, 0) + 1
+        self._store.append(
+            feedback.rater, feedback.target, feedback.rating, feedback.time
+        )
+
+    def record_many(self, feedbacks: Iterable[Feedback]) -> None:
+        self._store.extend(*feedback_columns(feedbacks))
+
+    def _advance(self) -> None:
+        """Replay the Zacharia recursion over unconsumed store rows —
+        the exact scalar reference.
+
+        Rater weight: at least a newcomer's influence, normalized to
+        [newcomer_floor, 1].  Zacharia multiplies by R_other/D; a pure
+        zero would let fresh raters have no effect at bootstrap, so a
+        small floor keeps the system live.
+        """
+        store = self._store
+        n = len(store)
+        if self._replay_pos == n:
+            return
+        reputation = self._reputation
+        rd = self._rd
+        count = self._count
+        d = self.d
+        inv_theta = 1.0 / self.theta
+        rd_memory = self.rd_memory
+        floor = self.NEWCOMER_FLOOR
+        # reprolint: disable=R007 — scalar reference is the per-row replay
+        for rater, target, _facet, value, _time in store.iter_rows(
+            self._replay_pos
+        ):
+            current = reputation.get(target, 0.0)
+            rater_weight = max(reputation.get(rater, 0.0) / d, floor)
+            expected = current / d
+            updated = current + inv_theta * self._phi(current) * (
+                rater_weight * d
+            ) * (value - expected)
+            reputation[target] = max(0.0, min(d, updated))
+            error = (value - expected) ** 2
+            prev_rd = rd.get(target, 0.25)
+            rd[target] = rd_memory * prev_rd + (1 - rd_memory) * error
+            count[target] = count.get(target, 0) + 1
+        self._replay_pos = n
+
+    # -- accessors (scalar reference) ----------------------------------
+    def _code(self, target: EntityId) -> int:
+        return self._store.entities.code(target)
 
     def reputation(self, target: EntityId) -> float:
         """Raw Sporas reputation on ``[0, D]``."""
-        return self._reputation.get(target, 0.0)
+        self._advance()
+        return self._reputation.get(self._code(target), 0.0)
 
     def reliability_deviation(self, target: EntityId) -> float:
         """Volatility of *target*'s ratings (lower = more reliable)."""
-        return math.sqrt(self._rd.get(target, 0.25))
+        self._advance()
+        return math.sqrt(self._rd.get(self._code(target), 0.25))
 
     def ratings_seen(self, target: EntityId) -> int:
-        return self._count.get(target, 0)
+        self._advance()
+        return self._count.get(self._code(target), 0)
 
     def score(
         self,
@@ -111,7 +162,80 @@ class SporasModel(ReputationModel):
         perspective: Optional[EntityId] = None,
         now: Optional[float] = None,
     ) -> float:
-        return self._reputation.get(target, 0.0) / self.d
+        return self.reputation(target) / self.d
+
+    def score_many_reference(
+        self,
+        targets: Sequence[EntityId],
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> List[float]:
+        """The pre-columnar batched path (hoisted gathers over the
+        replayed recursion state) — kept as the parity/bench reference."""
+        self._advance()
+        reputation = self._reputation
+        code = self._store.entities.code
+        d = self.d
+        return [
+            reputation.get(code(target), 0.0) / d for target in targets
+        ]
+
+    # -- columnar kernel -----------------------------------------------
+    def _kernel_array(self) -> Optional[np.ndarray]:
+        """Dense per-code reputations from the vectorized-rounds kernel,
+        or ``None`` when the stream couples raters and targets (then the
+        exact scalar replay is the only correct evaluation order)."""
+        store = self._store
+        version = store.version
+        cached = self._kernel
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        columns = store.snapshot()
+        result: Optional[np.ndarray]
+        if not columns.n:
+            result = np.zeros(max(len(store.entities), 1))
+        elif np.intersect1d(
+            np.unique(columns.rater), np.unique(columns.target)
+        ).size:
+            result = None  # coupled stream: rater weights depend on order
+        else:
+            # Disjoint raters/targets: every rater keeps reputation 0, so
+            # rater_weight is the constant newcomer floor and targets
+            # evolve independently.  Group rows by target (stable, so
+            # within-group order = event order), then sweep rank rounds:
+            # round k fancy-gathers the state of every target receiving
+            # its k-th rating, applies the update, and scatters back.
+            index = store.by_target()
+            ranks = index.ranks()
+            sorted_targets = columns.target[index.order]
+            round_order = np.lexsort((sorted_targets, ranks))
+            rows = index.order[round_order]
+            round_ranks = ranks[round_order]
+            targets_by_round = columns.target[rows]
+            values_by_round = columns.value[rows]
+            max_rank = int(round_ranks[-1])
+            bounds = np.searchsorted(
+                round_ranks, np.arange(max_rank + 2)
+            )
+            d = self.d
+            gain = (1.0 / self.theta) * (self.NEWCOMER_FLOOR * d)
+            inv_sigma = 1.0 / self.sigma
+            state = np.zeros(max(len(store.entities), 1))
+            for k in range(max_rank + 1):
+                lo, hi = int(bounds[k]), int(bounds[k + 1])
+                tc = targets_by_round[lo:hi]
+                current = state[tc]
+                phi = 1.0 - 1.0 / (
+                    1.0 + np.exp(-(current - d) * inv_sigma)
+                )
+                updated = current + gain * phi * (
+                    values_by_round[lo:hi] - current / d
+                )
+                np.clip(updated, 0.0, d, out=updated)
+                state[tc] = updated
+            result = state
+        self._kernel = (version, result)
+        return result
 
     def score_many(
         self,
@@ -119,12 +243,14 @@ class SporasModel(ReputationModel):
         perspective: Optional[EntityId] = None,
         now: Optional[float] = None,
     ) -> List[float]:
-        """Batch gather of the recursive reputations, scaled by D.
-
-        One dict probe and one divide per candidate with hoisted
-        lookups — the numpy round-trip costs more than it saves at
-        ranking-sized batches.
-        """
-        reputation = self._reputation
-        d = self.d
-        return [reputation.get(target, 0.0) / d for target in targets]
+        """Batch reputations from the rounds kernel (gather + divide);
+        coupled streams use the scalar-replay reference instead."""
+        state = self._kernel_array()
+        if state is None:
+            return self.score_many_reference(targets, perspective, now)
+        codes = self._store.entities.codes(targets)
+        known = codes >= 0
+        safe = np.where(known, codes, 0)
+        scaled = np.where(known, state[safe], 0.0) / self.d
+        result: List[float] = scaled.tolist()
+        return result

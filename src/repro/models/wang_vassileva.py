@@ -13,18 +13,30 @@ Two trust kinds, as in the original: trust in a partner as a *provider*
 of service (competence) and trust as a *rater* (credibility of its
 recommendations), the latter learned from how its recommendations
 matched subsequent experience.
+
+Feedback lives in the columnar :class:`~repro.store.EventStore` (one
+overall row plus one row per facet rating); the per-agent partner
+models are replayed lazily — the exact scalar reference.  The
+recommendation channel has no feedback event behind it, so rater
+evidence stays eager (pairs tracked in insertion order, with an epoch
+counter invalidating kernels).  ``score_many`` reduces the (rater,
+target) pair universe with ``np.unique`` + ``np.bincount``: per-pair
+Laplace posteriors, then one pooling pass per perspective.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.common.errors import ConfigurationError
 from repro.common.ids import EntityId
 from repro.common.records import Feedback
 from repro.core.typology import Architecture, Scope, Subject, Typology
 from repro.models.base import ReputationModel
+from repro.store import EventStore, OVERALL_FACET
 
 
 @dataclass
@@ -48,12 +60,16 @@ class _FacetCounts:
 
 @dataclass
 class _PartnerModel:
-    """One agent's learned model of one partner."""
+    """One agent's learned model of one partner as a *provider*.
+
+    Rater credibility lives in ``WangVassilevaModel._rater_cred``, not
+    here: the recommendation channel is eager while provider evidence
+    is replayed lazily, and keeping them separate lets the columnar
+    kernel read credibility without forcing a replay.
+    """
 
     overall: _FacetCounts = field(default_factory=_FacetCounts)
-    facets: Dict[str, _FacetCounts] = field(default_factory=dict)
-    #: credibility evidence: recommendations vs. later experience
-    rater: _FacetCounts = field(default_factory=_FacetCounts)
+    facets: Dict[int, _FacetCounts] = field(default_factory=dict)
 
 
 class WangVassilevaModel(ReputationModel):
@@ -91,22 +107,66 @@ class WangVassilevaModel(ReputationModel):
         self.satisfaction_threshold = satisfaction_threshold
         self.facet_weights = dict(facet_weights) if facet_weights else None
         self.recommendation_tolerance = recommendation_tolerance
-        #: perspective agent -> partner -> learned model
-        self._models: Dict[EntityId, Dict[EntityId, _PartnerModel]] = {}
+        self._store = EventStore()
+        #: perspective agent code -> partner code -> learned model;
+        #: replayed lazily from feedback rows, mutated eagerly by the
+        #: recommendation channel
+        self._models: Dict[int, Dict[int, _PartnerModel]] = {}
+        self._replay_pos = 0
+        #: recommendation-created (agent, recommender) code pairs in
+        #: insertion order (a dict, not a set: iteration must be
+        #: deterministic) + an epoch counter for kernel invalidation
+        self._rec_pairs: Dict[Tuple[int, int], None] = {}
+        self._rec_epoch = 0
+        #: eager credibility evidence per (agent, recommender) pair —
+        #: the recommendation channel has no store rows behind it
+        self._rater_cred: Dict[Tuple[int, int], _FacetCounts] = {}
+        #: columnar kernel caches: pair reductions per (version, epoch),
+        #: pooled score arrays per perspective code
+        self._kernel_base: Optional[
+            Tuple[Tuple[int, int], Dict[str, np.ndarray]]
+        ] = None
+        self._kernel_scores: Dict[Optional[int], np.ndarray] = {}
 
-    def _model(self, agent: EntityId, partner: EntityId) -> _PartnerModel:
+    def _model(self, agent: int, partner: int) -> _PartnerModel:
         return self._models.setdefault(agent, {}).setdefault(
             partner, _PartnerModel()
         )
 
     # -- learning ------------------------------------------------------------
     def record(self, feedback: Feedback) -> None:
-        """The rater's own experience updates its model of the target."""
-        model = self._model(feedback.rater, feedback.target)
-        model.overall.update(feedback.rating > self.satisfaction_threshold)
+        """The rater's own experience updates its model of the target:
+        one overall store row plus one row per facet rating."""
+        store = self._store
+        store.append(
+            feedback.rater, feedback.target, feedback.rating, feedback.time
+        )
         for facet, rating in feedback.facet_ratings.items():
-            counts = model.facets.setdefault(facet, _FacetCounts())
-            counts.update(rating > self.satisfaction_threshold)
+            store.append(
+                feedback.rater, feedback.target, rating, feedback.time,
+                facet=facet,
+            )
+
+    def _advance(self) -> None:
+        """Replay naive-Bayes count accumulation over unconsumed store
+        rows — the exact scalar reference."""
+        store = self._store
+        n = len(store)
+        if self._replay_pos == n:
+            return
+        threshold = self.satisfaction_threshold
+        # reprolint: disable=R007 — scalar reference is the per-row replay
+        for rater, target, facet, value, _time in store.iter_rows(
+            self._replay_pos
+        ):
+            model = self._model(rater, target)
+            if facet == OVERALL_FACET:
+                model.overall.update(value > threshold)
+            else:
+                model.facets.setdefault(
+                    facet, _FacetCounts()
+                ).update(value > threshold)
+        self._replay_pos = n
 
     def record_recommendation(
         self,
@@ -120,31 +180,43 @@ class WangVassilevaModel(ReputationModel):
         Credible when the recommendation landed within tolerance of what
         *agent* then experienced.
         """
-        model = self._model(agent, recommender)
+        intern = self._store.entities.intern
+        pair = (intern(agent), intern(recommender))
         credible = (
             abs(recommended_rating - experienced_rating)
             <= self.recommendation_tolerance
         )
-        model.rater.update(credible)
+        self._rater_cred.setdefault(pair, _FacetCounts()).update(credible)
+        self._rec_pairs[pair] = None
+        self._rec_epoch += 1
 
-    # -- queries ----------------------------------------------------------------
-    def provider_trust(
+    def _rater_weight(self, agent: int, other: int) -> float:
+        """How much *agent* trusts *other* as a rater (0.5 with no
+        recommendation history)."""
+        cred = self._rater_cred.get((agent, other))
+        return cred.probability() if cred is not None else 0.5
+
+    # -- queries (scalar reference) -------------------------------------------
+    def _lookup(self, agent: EntityId, partner: EntityId) -> Optional[_PartnerModel]:
+        self._advance()
+        code = self._store.entities.code
+        return self._models.get(code(agent), {}).get(code(partner))
+
+    def _provider_trust(
         self,
-        agent: EntityId,
-        partner: EntityId,
+        model: Optional[_PartnerModel],
         facet_weights: Optional[Mapping[str, float]] = None,
     ) -> float:
-        """P(next interaction satisfying), facet-weighted."""
-        model = self._models.get(agent, {}).get(partner)
         if model is None:
             return 0.5
         weights = facet_weights or self.facet_weights
         if not model.facets or not weights:
             return model.overall.probability()
+        facet_name = self._store.facets.value
         total = 0.0
         weight_sum = 0.0
         for facet, counts in model.facets.items():
-            w = weights.get(facet, 0.0)
+            w = weights.get(facet_name(facet), 0.0)
             if w <= 0:
                 continue
             total += w * counts.probability()
@@ -153,25 +225,38 @@ class WangVassilevaModel(ReputationModel):
             return model.overall.probability()
         return total / weight_sum
 
+    def provider_trust(
+        self,
+        agent: EntityId,
+        partner: EntityId,
+        facet_weights: Optional[Mapping[str, float]] = None,
+    ) -> float:
+        """P(next interaction satisfying), facet-weighted."""
+        return self._provider_trust(
+            self._lookup(agent, partner), facet_weights
+        )
+
     def rater_trust(self, agent: EntityId, partner: EntityId) -> float:
         """Trust in *partner*'s recommendations (credibility)."""
-        model = self._models.get(agent, {}).get(partner)
-        if model is None:
-            return 0.5
-        return model.rater.probability()
+        code = self._store.entities.code
+        return self._rater_weight(code(agent), code(partner))
 
     def recommendation_weighted_reputation(
         self, agent: EntityId, target: EntityId
     ) -> Optional[float]:
         """Pool other agents' trust in *target*, weighted by how much
         *agent* trusts each of them as a rater."""
+        self._advance()
+        code = self._store.entities.code
+        agent_code = code(agent)
+        target_code = code(target)
         total = 0.0
         weight_sum = 0.0
         for other, partners in self._models.items():
-            if other == agent or target not in partners:
+            if other == agent_code or target_code not in partners:
                 continue
-            opinion = self.provider_trust(other, target)
-            weight = self.rater_trust(agent, other)
+            opinion = self._provider_trust(partners[target_code])
+            weight = self._rater_weight(agent_code, other)
             total += weight * opinion
             weight_sum += weight
         if weight_sum <= 0:
@@ -184,18 +269,21 @@ class WangVassilevaModel(ReputationModel):
         perspective: Optional[EntityId] = None,
         now: Optional[float] = None,
     ) -> float:
+        self._advance()
+        code = self._store.entities.code
+        target_code = code(target)
         if perspective is None:
             # Global fallback: mean of all agents' provider trust.
             opinions = [
-                self.provider_trust(agent, target)
-                for agent, partners in self._models.items()
-                if target in partners
+                self._provider_trust(partners[target_code])
+                for partners in self._models.values()
+                if target_code in partners
             ]
             if not opinions:
                 return 0.5
             return sum(opinions) / len(opinions)
-        model = self._models.get(perspective, {}).get(target)
-        own = self.provider_trust(perspective, target)
+        model = self._models.get(code(perspective), {}).get(target_code)
+        own = self._provider_trust(model)
         own_evidence = (
             model.overall.satisfied + model.overall.unsatisfied
             if model
@@ -208,69 +296,64 @@ class WangVassilevaModel(ReputationModel):
         own_weight = own_evidence / (own_evidence + 2.0)
         return own_weight * own + (1.0 - own_weight) * pooled
 
-    def score_many(
+    def score_many_reference(
         self,
         targets: Sequence[EntityId],
         perspective: Optional[EntityId] = None,
         now: Optional[float] = None,
     ) -> List[float]:
-        """Batch scores sharing the rater-credibility weights.
-
-        ``rater_trust(agent, other)`` does not depend on the candidate
-        being scored, so the pooling pass reuses one credibility value
-        per recommender instead of recomputing it for every candidate.
-        """
+        """The pre-columnar batched path: one sweep over the (agent,
+        partner) models sharing the rater-credibility weights — kept as
+        the parity/bench reference."""
         if not targets:
             return []
+        self._advance()
+        code = self._store.entities.code
+        target_codes = [code(t) for t in targets]
         if perspective is None:
-            # Global fallback: one pass over the agents' models serves
-            # every candidate.
-            wanted = set(targets)
-            sums: Dict[EntityId, float] = {}
-            counts: Dict[EntityId, int] = {}
-            for agent, partners in self._models.items():
-                for target in partners:
+            wanted = set(target_codes)
+            sums: Dict[int, float] = {}
+            counts: Dict[int, int] = {}
+            for partners in self._models.values():
+                for target, model in partners.items():
                     if target in wanted:
                         sums[target] = sums.get(target, 0.0) + (
-                            self.provider_trust(agent, target)
+                            self._provider_trust(model)
                         )
                         counts[target] = counts.get(target, 0) + 1
             return [
                 sums[t] / counts[t] if counts.get(t) else 0.5
-                for t in targets
+                for t in target_codes
             ]
-        # One sweep over the (agent, partner) pairs gathers each
-        # candidate's recommenders (in agent order, matching the
-        # per-candidate loop), with one rater-trust value per
-        # recommender — instead of len(targets) scans of every agent.
-        rater_memo: Dict[EntityId, float] = {}
-        wanted = set(targets)
-        pooled_total: Dict[EntityId, float] = {}
-        pooled_weight: Dict[EntityId, float] = {}
+        persp = code(perspective)
+        persp_models = self._models.get(persp, {})
+        rater_memo: Dict[int, float] = {}
+        wanted = set(target_codes)
+        pooled_total: Dict[int, float] = {}
+        pooled_weight: Dict[int, float] = {}
         for other, partners in self._models.items():
-            if other == perspective:
+            if other == persp:
                 continue
             weight: Optional[float] = None
-            for target in partners:
+            for target, model in partners.items():
                 if target not in wanted:
                     continue
                 if weight is None:
                     weight = rater_memo.get(other)
                     if weight is None:
-                        weight = self.rater_trust(perspective, other)
+                        weight = self._rater_weight(persp, other)
                         rater_memo[other] = weight
-                opinion = self.provider_trust(other, target)
+                opinion = self._provider_trust(model)
                 pooled_total[target] = (
                     pooled_total.get(target, 0.0) + weight * opinion
                 )
                 pooled_weight[target] = (
                     pooled_weight.get(target, 0.0) + weight
                 )
-        own_models = self._models.get(perspective, {})
         results: List[float] = []
-        for target in targets:
-            model = own_models.get(target)
-            own = self.provider_trust(perspective, target)
+        for target in target_codes:
+            model = persp_models.get(target)
+            own = self._provider_trust(model)
             weight_sum = pooled_weight.get(target, 0.0)
             if weight_sum <= 0:
                 results.append(own)
@@ -284,3 +367,179 @@ class WangVassilevaModel(ReputationModel):
             own_weight = own_evidence / (own_evidence + 2.0)
             results.append(own_weight * own + (1.0 - own_weight) * pooled)
         return results
+
+    # -- columnar kernel -------------------------------------------------------
+    def _pair_arrays(self) -> Dict[str, np.ndarray]:
+        """Per-(rater, target) posteriors over the pair universe (store
+        pairs plus recommendation-created pairs), cached per
+        (version, recommendation epoch)."""
+        store = self._store
+        key = (store.version, self._rec_epoch)
+        cached = self._kernel_base
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        columns = store.snapshot()
+        overall = columns.facet == OVERALL_FACET
+        pair_keys = columns.pair_keys()[overall]
+        values = columns.value[overall]
+        upairs, inverse = np.unique(pair_keys, return_inverse=True)
+        npairs = len(upairs)
+        satisfying = (values > self.satisfaction_threshold).astype(
+            np.float64
+        )
+        sat = np.bincount(inverse, weights=satisfying, minlength=npairs)
+        tot = np.bincount(inverse, minlength=npairs).astype(np.float64)
+        trust = (sat + 1.0) / (tot + 2.0)
+        weights = self.facet_weights
+        if weights:
+            trust = self._facet_weighted(
+                columns, upairs, trust, weights
+            )
+        # Recommendation-only pairs: a partner model with empty overall
+        # counts — provider trust 0.5, zero own evidence.
+        if self._rec_pairs:
+            rec = np.fromiter(
+                (
+                    (np.int64(a) << 32) | np.int64(r)
+                    for a, r in self._rec_pairs
+                ),
+                dtype=np.int64,
+                count=len(self._rec_pairs),
+            )
+            fresh = rec[~np.isin(rec, upairs)]
+            if len(fresh):
+                upairs = np.concatenate([upairs, fresh])
+                trust = np.concatenate(
+                    [trust, np.full(len(fresh), 0.5)]
+                )
+                tot = np.concatenate(
+                    [tot, np.zeros(len(fresh))]
+                )
+        base = {
+            "pair_rater": (upairs >> 32).astype(np.int64),
+            "pair_target": (upairs & 0xFFFFFFFF).astype(np.int64),
+            "trust": trust,
+            "tot": tot,
+        }
+        self._kernel_base = (key, base)
+        self._kernel_scores = {}
+        return base
+
+    def _facet_weighted(
+        self,
+        columns: "np.ndarray",
+        upairs: np.ndarray,
+        overall_trust: np.ndarray,
+        weights: Mapping[str, float],
+    ) -> np.ndarray:
+        """Facet-weighted provider trust per pair, falling back to the
+        overall posterior for pairs without (weighted) facet evidence."""
+        facet_rows = columns.facet != OVERALL_FACET
+        if not np.any(facet_rows):
+            return overall_trust
+        pair_of_facet_rows = columns.pair_keys()[facet_rows]
+        # record() writes an overall row with every report, so every
+        # facet-row pair is present in upairs.
+        pos_all = np.searchsorted(upairs, pair_of_facet_rows)
+        has_facet = np.bincount(pos_all, minlength=len(upairs)) > 0
+        wsum = np.zeros(len(upairs))
+        wtot = np.zeros(len(upairs))
+        facet_codes = columns.facet[facet_rows]
+        facet_values = columns.value[facet_rows]
+        threshold = self.satisfaction_threshold
+        code_of = self._store.facets.code
+        for name, w in weights.items():
+            facet = code_of(name)
+            if w <= 0 or facet < 0:
+                continue
+            mask = facet_codes == facet
+            if not np.any(mask):
+                continue
+            up_f, inv_f = np.unique(
+                pair_of_facet_rows[mask], return_inverse=True
+            )
+            sat_f = np.bincount(
+                inv_f,
+                weights=(facet_values[mask] > threshold).astype(
+                    np.float64
+                ),
+            )
+            tot_f = np.bincount(inv_f).astype(np.float64)
+            prob_f = (sat_f + 1.0) / (tot_f + 2.0)
+            pos = np.searchsorted(upairs, up_f)
+            wsum[pos] += w
+            wtot[pos] += w * prob_f
+        return np.where(
+            has_facet & (wsum > 0), wtot / np.maximum(wsum, 1e-300),
+            overall_trust,
+        )
+
+    def score_many(
+        self,
+        targets: Sequence[EntityId],
+        perspective: Optional[EntityId] = None,
+        now: Optional[float] = None,
+    ) -> List[float]:
+        """Batch scores: pair-posterior reductions plus one pooling
+        bincount per perspective, then a gather per candidate."""
+        if not targets:
+            return []
+        store = self._store
+        base = self._pair_arrays()
+        persp = (
+            None
+            if perspective is None
+            else store.entities.code(perspective)
+        )
+        scores = self._kernel_scores.get(persp)
+        if scores is None:
+            scores = self._pooled_scores(base, persp)
+            self._kernel_scores[persp] = scores
+        codes = store.entities.codes(targets)
+        known = codes >= 0
+        safe = np.where(known, codes, 0)
+        gathered = np.where(known, scores[safe], 0.5)
+        result: List[float] = gathered.tolist()
+        return result
+
+    def _pooled_scores(
+        self, base: Dict[str, np.ndarray], persp: Optional[int]
+    ) -> np.ndarray:
+        size = max(len(self._store.entities), 1)
+        pair_rater = base["pair_rater"]
+        pair_target = base["pair_target"]
+        trust = base["trust"]
+        if persp is None:
+            # Global fallback: mean provider trust over rating agents.
+            sums = np.bincount(
+                pair_target, weights=trust, minlength=size
+            )
+            counts = np.bincount(pair_target, minlength=size)
+            return np.where(
+                counts > 0, sums / np.maximum(counts, 1), 0.5
+            )
+        others = np.unique(pair_rater)
+        rater_weight = np.empty(len(others))
+        for i, other in enumerate(others.tolist()):
+            rater_weight[i] = self._rater_weight(persp, other)
+        row_weight = rater_weight[np.searchsorted(others, pair_rater)]
+        pooled_rows = pair_rater != persp
+        pool_num = np.bincount(
+            pair_target[pooled_rows],
+            weights=(row_weight * trust)[pooled_rows],
+            minlength=size,
+        )
+        pool_den = np.bincount(
+            pair_target[pooled_rows],
+            weights=row_weight[pooled_rows],
+            minlength=size,
+        )
+        own_rows = ~pooled_rows
+        own_trust = np.full(size, 0.5)
+        own_trust[pair_target[own_rows]] = trust[own_rows]
+        own_tot = np.zeros(size)
+        own_tot[pair_target[own_rows]] = base["tot"][own_rows]
+        own_weight = own_tot / (own_tot + 2.0)
+        pooled = pool_num / np.maximum(pool_den, 1e-300)
+        blended = own_weight * own_trust + (1.0 - own_weight) * pooled
+        return np.where(pool_den > 0, blended, own_trust)

@@ -35,10 +35,13 @@ def majority_correct_probability(
     if not 0.0 <= liar_fraction <= 1.0:
         raise ConfigurationError("liar_fraction must be in [0, 1]")
     needed = witnesses // 2 + 1
-    return sum(
+    tail = sum(
         _binomial_pmf(witnesses, k, 1.0 - liar_fraction)
         for k in range(needed, witnesses + 1)
     )
+    # The pmf terms are each correctly rounded but their sum can land a
+    # few ulps above 1; clamp so the result is a probability.
+    return min(1.0, tail)
 
 
 def required_witnesses(

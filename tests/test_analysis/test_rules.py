@@ -163,3 +163,41 @@ class TestR006FloatEquality:
             fixture_findings, "R006", "models/bad_floatcmp.py"
         )
         assert not any("disable=R006" in f.content for f in hits)
+
+
+class TestR007ColumnarLoops:
+    def test_fires_on_per_row_loops(self, fixture_findings):
+        hits = findings_for(
+            fixture_findings, "R007", "models/bad_columnar.py"
+        )
+        lines = {f.content.split("#")[0].strip() for f in hits}
+        assert "for v in columns.value:" in lines
+        assert "for row in store.iter_rows(0):" in lines
+        assert any("zip(columns.value, columns.time)" in l for l in lines)
+        assert "return [v * 2 for v in values]" in lines
+        assert "for v in columns.value.tolist():" in lines
+        assert len(hits) == 5
+
+    def test_vectorized_and_plain_loops_pass(self, fixture_findings):
+        hits = findings_for(
+            fixture_findings, "R007", "models/bad_columnar.py"
+        )
+        contents = " ".join(f.content for f in hits)
+        assert "bincount" not in contents
+        assert "for item in items" not in contents
+
+    def test_reference_replay_suppression_silences(self, fixture_findings):
+        hits = findings_for(
+            fixture_findings, "R007", "models/bad_columnar.py"
+        )
+        # blessed_reference's loop is identical to looped_rows' — only
+        # the disable comment separates them, so exactly one survives.
+        assert (
+            sum("store.iter_rows(0)" in f.content for f in hits) == 1
+        )
+
+    def test_scoped_to_models(self, fixture_findings):
+        assert all(
+            f.path.startswith("models/")
+            for f in findings_for(fixture_findings, "R007")
+        )

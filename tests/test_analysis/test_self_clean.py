@@ -67,5 +67,6 @@ def test_list_rules_names_the_catalogue():
         timeout=60,
     )
     assert result.returncode == 0
-    for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006"):
+    for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006",
+                    "R007"):
         assert rule_id in result.stdout

@@ -11,6 +11,7 @@ up exactly as one of these three paths diverging.
 
 from __future__ import annotations
 
+import random
 from typing import List
 
 import pytest
@@ -106,6 +107,193 @@ def test_property_batch_matches_base_fallback(name, chunks):
     batch = model.score_many(QUERIED, "r0", now)
     fallback = ReputationModel.score_many(model, QUERIED, "r0", now)
     assert batch == pytest.approx(fallback, abs=1e-9)
+
+
+#: Models whose score_many runs a columnar numpy kernel over the shared
+#: EventStore; each also keeps a scalar replay path as the reference.
+COLUMNAR = [
+    "amazon", "beta", "ebay", "histos", "maximilien_singh", "peertrust",
+    "sporas", "wang_vassileva",
+]
+#: Subset exposing the pre-columnar python batch path for three-way checks.
+WITH_REFERENCE = ["beta", "ebay", "sporas", "peertrust", "wang_vassileva"]
+FACET_NAMES = ["latency", "accuracy", "cost"]
+
+
+def _random_stream(
+    rng, n: int, raters: List[str], targets: List[str], facets: bool = False
+) -> List[Feedback]:
+    stream = []
+    for t in range(n):
+        facet_ratings = {}
+        if facets and rng.random() < 0.5:
+            for facet in rng.sample(FACET_NAMES, rng.randint(1, 3)):
+                facet_ratings[facet] = rng.random()
+        stream.append(
+            Feedback(
+                rater=rng.choice(raters),
+                target=rng.choice(targets),
+                time=float(t) if rng.random() < 0.8 else float(rng.randint(0, n)),
+                rating=rng.random(),
+                facet_ratings=facet_ratings,
+            )
+        )
+    return stream
+
+
+def _assert_three_way_parity(name, model, seen, perspectives, now):
+    """Columnar kernel == base score() loop == cold replay, to 1e-9."""
+    for persp in perspectives:
+        batch = model.score_many(QUERIED, persp, now)
+        fallback = ReputationModel.score_many(model, QUERIED, persp, now)
+        assert batch == pytest.approx(fallback, abs=1e-9), (
+            f"{name}: columnar kernel diverges from scalar loop ({persp=})"
+        )
+        fresh = REGISTRY.create(name)
+        fresh.record_many(seen)
+        assert fresh.score_many(QUERIED, persp, now) == pytest.approx(
+            batch, abs=1e-9
+        ), f"{name}: warm kernel diverges from cold replay ({persp=})"
+        if hasattr(model, "score_many_reference"):
+            reference = model.score_many_reference(QUERIED, persp, now)
+            assert batch == pytest.approx(reference, abs=1e-9), (
+                f"{name}: kernel diverges from reference batch path ({persp=})"
+            )
+
+
+class TestSeededColumnarParity:
+    """Rotating-seed randomized parity sweeps (sklearn's
+    global_random_seed idiom: must hold for every seed in [0, 99])."""
+
+    @pytest.mark.parametrize("name", COLUMNAR)
+    def test_disjoint_stream_parity(self, name, global_random_seed):
+        rng = random.Random(global_random_seed)
+        model = REGISTRY.create(name)
+        seen: List[Feedback] = []
+        for _ in range(3):
+            chunk = _random_stream(
+                rng, rng.randint(0, 40), RATERS, RATED, facets=True
+            )
+            model.record_many(chunk)
+            seen.extend(chunk)
+            now = (max((f.time for f in seen), default=0.0)) + 1.0
+            _assert_three_way_parity(
+                name, model, seen, [None, "r0", "never-seen"], now
+            )
+
+    @pytest.mark.parametrize("name", COLUMNAR)
+    def test_coupled_stream_parity(self, name, global_random_seed):
+        """Raters that are also rated couple the entity graph (Sporas'
+        rank kernel must detect this and fall back to scalar replay)."""
+        rng = random.Random(global_random_seed)
+        everyone = RATERS + RATED
+        model = REGISTRY.create(name)
+        seen = _random_stream(rng, rng.randint(10, 50), everyone, everyone)
+        model.record_many(seen)
+        now = max(f.time for f in seen) + 1.0
+        _assert_three_way_parity(name, model, seen, [None, "r0"], now)
+
+    @pytest.mark.parametrize("name", COLUMNAR)
+    def test_chunk_size_invariance(self, name, global_random_seed):
+        """Scores are bitwise independent of the store's chunking."""
+        from repro.store import EventStore
+
+        rng = random.Random(global_random_seed)
+        seen = _random_stream(rng, 60, RATERS, RATED, facets=True)
+        scores = []
+        for chunk_size in (1, 7, 64, 4096):
+            model = REGISTRY.create(name)
+            model._store = EventStore(chunk_size=chunk_size)
+            model.record_many(seen)
+            scores.append(model.score_many(QUERIED, "r0", 61.0))
+        assert all(s == scores[0] for s in scores[1:]), name
+
+    def test_wang_recommendations_and_facet_weights(self, global_random_seed):
+        from repro.models.wang_vassileva import WangVassilevaModel
+
+        rng = random.Random(global_random_seed)
+        model = WangVassilevaModel(
+            facet_weights={"latency": 2.0, "accuracy": 1.0}
+        )
+        mirror = WangVassilevaModel(
+            facet_weights={"latency": 2.0, "accuracy": 1.0}
+        )
+        seen = _random_stream(rng, 40, RATERS, RATED, facets=True)
+        for i, fb in enumerate(seen):
+            model.record(fb)
+            if i % 5 == 0:
+                args = (
+                    rng.choice(RATERS),
+                    rng.choice(RATERS),
+                    rng.random(),
+                    rng.random(),
+                )
+                model.record_recommendation(*args)
+                mirror.record_recommendation(*args)
+        mirror.record_many(seen)
+        for persp in (None, "r0", "r5", "never-seen"):
+            batch = model.score_many(QUERIED, persp, 41.0)
+            assert batch == pytest.approx(
+                ReputationModel.score_many(model, QUERIED, persp, 41.0),
+                abs=1e-9,
+            )
+            assert batch == pytest.approx(
+                model.score_many_reference(QUERIED, persp, 41.0), abs=1e-9
+            )
+            # Recommendation ordering relative to ratings doesn't matter.
+            assert mirror.score_many(QUERIED, persp, 41.0) == pytest.approx(
+                batch, abs=1e-9
+            )
+
+    def test_peertrust_tvm_parity(self, global_random_seed):
+        from repro.models.peertrust import CredibilityMeasure, PeerTrustModel
+
+        rng = random.Random(global_random_seed)
+        model = PeerTrustModel(
+            credibility=CredibilityMeasure.TVM, window=8, tvm_depth=3
+        )
+        seen = _random_stream(rng, rng.randint(20, 60), RATERS, RATED)
+        model.record_many(seen)
+        now = max(f.time for f in seen) + 1.0
+        for persp in (None, "r0", "never-seen"):
+            batch = model.score_many(QUERIED, persp, now)
+            assert batch == pytest.approx(
+                ReputationModel.score_many(model, QUERIED, persp, now),
+                abs=1e-9,
+            )
+            assert batch == pytest.approx(
+                model.score_many_reference(QUERIED, persp, now), abs=1e-9
+            )
+
+    def test_amazon_votes_parity(self, global_random_seed):
+        from repro.models.amazon import AmazonModel
+
+        rng = random.Random(global_random_seed)
+        model = AmazonModel()
+        seen = _random_stream(rng, 40, RATERS, RATED)
+        # votes[i] applies right after seen[i] is recorded — a vote only
+        # reaches the reviews existing at vote time, so the cold replay
+        # must interleave identically.
+        votes = {}
+        for i, fb in enumerate(seen):
+            model.record(fb)
+            if i % 4 == 0:
+                vote = (rng.choice(RATED), fb.rater, rng.randint(1, 3))
+                model.vote_helpful(*vote)
+                votes[i] = vote
+        now = max(f.time for f in seen) + 1.0
+        batch = model.score_many(QUERIED, None, now)
+        assert batch == pytest.approx(
+            ReputationModel.score_many(model, QUERIED, None, now), abs=1e-9
+        )
+        fresh = AmazonModel()
+        for i, fb in enumerate(seen):
+            fresh.record(fb)
+            if i in votes:
+                fresh.vote_helpful(*votes[i])
+        assert fresh.score_many(QUERIED, None, now) == pytest.approx(
+            batch, abs=1e-9
+        )
 
 
 @pytest.mark.parametrize("name", MODEL_NAMES)
