@@ -187,6 +187,11 @@ class WangVassilevaModel(ReputationModel):
             <= self.recommendation_tolerance
         )
         self._rater_cred.setdefault(pair, _FacetCounts()).update(credible)
+        # Register the pair as an (empty) partner model so the scalar
+        # paths pool over the same pair universe as the columnar kernel:
+        # a recommendation-only pair contributes provider trust 0.5 with
+        # zero own evidence.
+        self._model(*pair)
         self._rec_pairs[pair] = None
         self._rec_epoch += 1
 

@@ -222,28 +222,54 @@ class TestSeededColumnarParity:
         for i, fb in enumerate(seen):
             model.record(fb)
             if i % 5 == 0:
+                # Recommenders drawn from the rated pool too: a pair
+                # whose target also receives feedback from other raters
+                # exercises the recommendation-only-pair pooling path.
                 args = (
                     rng.choice(RATERS),
-                    rng.choice(RATERS),
+                    rng.choice(RATERS + RATED),
                     rng.random(),
                     rng.random(),
                 )
                 model.record_recommendation(*args)
                 mirror.record_recommendation(*args)
         mirror.record_many(seen)
+        # Query everyone — recommenders included — so pair-universe
+        # mismatches between kernel and scalar paths can't hide.
+        queried = QUERIED + RATERS
         for persp in (None, "r0", "r5", "never-seen"):
-            batch = model.score_many(QUERIED, persp, 41.0)
+            batch = model.score_many(queried, persp, 41.0)
             assert batch == pytest.approx(
-                ReputationModel.score_many(model, QUERIED, persp, 41.0),
+                ReputationModel.score_many(model, queried, persp, 41.0),
                 abs=1e-9,
             )
             assert batch == pytest.approx(
-                model.score_many_reference(QUERIED, persp, 41.0), abs=1e-9
+                model.score_many_reference(queried, persp, 41.0), abs=1e-9
             )
             # Recommendation ordering relative to ratings doesn't matter.
-            assert mirror.score_many(QUERIED, persp, 41.0) == pytest.approx(
+            assert mirror.score_many(queried, persp, 41.0) == pytest.approx(
                 batch, abs=1e-9
             )
+
+    def test_wang_recommendation_only_pair_parity(self):
+        """Regression: an entity named only as a *recommender* joins the
+        pooled reputation as an empty partner model (trust 0.5) on every
+        path — kernel, scalar score(), and the batch reference alike."""
+        from repro.models.wang_vassileva import WangVassilevaModel
+
+        model = WangVassilevaModel()
+        model.record(Feedback(rater="c", target="x", time=0.0, rating=1.0))
+        model.record(Feedback(rater="c", target="x", time=1.0, rating=1.0))
+        model.record_recommendation("a", "x", 0.8, 0.8)
+        batch = model.score_many(["x"], "b", 2.0)
+        # Pooled over b's view: c's 0.75 and a's empty 0.5, equal weight.
+        assert batch == pytest.approx([0.625], abs=1e-9)
+        assert batch == pytest.approx(
+            [model.score("x", "b", 2.0)], abs=1e-9
+        )
+        assert batch == pytest.approx(
+            model.score_many_reference(["x"], "b", 2.0), abs=1e-9
+        )
 
     def test_peertrust_tvm_parity(self, global_random_seed):
         from repro.models.peertrust import CredibilityMeasure, PeerTrustModel
