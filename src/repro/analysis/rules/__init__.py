@@ -20,6 +20,7 @@ from repro.analysis.rules.determinism import (
     UnorderedIterationRule,
 )
 from repro.analysis.rules.floatcmp import FloatEqualityRule
+from repro.analysis.rules.sharding import ShardDeltaOrderRule
 
 __all__ = ["DEFAULT_REGISTRY", "default_registry"]
 
@@ -34,6 +35,7 @@ def default_registry() -> RuleRegistry:
     registry.register(PicklableWorldBuilderRule())
     registry.register(FloatEqualityRule())
     registry.register(ColumnarLoopRule())
+    registry.register(ShardDeltaOrderRule())
     return registry
 
 

@@ -268,7 +268,9 @@ class PicklableWorldBuilderRule(Rule):
     rule_id = "R005"
     title = "registered world builders must be module-level functions"
 
-    _TARGET = "register_world_builder"
+    #: registration entry points sharing the pickling contract: the
+    #: per-trial table (parallel) and the per-shard table (sharded).
+    _TARGETS = ("register_world_builder", "register_shard_world_builder")
 
     def check(
         self, module: ModuleInfo, project: Project
@@ -284,7 +286,7 @@ class PicklableWorldBuilderRule(Rule):
                     builder,
                     self.rule_id,
                     "world builders must be module-level functions; a "
-                    "lambda does not pickle, so TrialSpecs naming it "
+                    "lambda does not pickle, so specs naming it "
                     "cannot cross the process boundary",
                 )
                 continue
@@ -304,7 +306,7 @@ class PicklableWorldBuilderRule(Rule):
                 yield module.finding(
                     call,
                     self.rule_id,
-                    "register_world_builder() called inside a function; "
+                    f"{self._call_name(call)}() called inside a function; "
                     "register at module import time so every pool worker "
                     "sees the same builder table",
                 )
@@ -320,21 +322,22 @@ class PicklableWorldBuilderRule(Rule):
             ):
                 inside_fn = True
             if isinstance(node, ast.Call):
-                func = node.func
-                name = (
-                    func.id
-                    if isinstance(func, ast.Name)
-                    else func.attr
-                    if isinstance(func, ast.Attribute)
-                    else ""
-                )
-                if name == self._TARGET:
+                if self._call_name(node) in self._TARGETS:
                     calls.append((node, inside_fn))
             for child in ast.iter_child_nodes(node):
                 visit(child, inside_fn)
 
         visit(tree, False)
         return calls
+
+    @staticmethod
+    def _call_name(call: ast.Call) -> str:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return ""
 
     @staticmethod
     def _builder_arg(call: ast.Call) -> Optional[ast.AST]:

@@ -377,6 +377,7 @@ class UnorderedIterationRule(Rule):
         "models/",
         "core/selection.py",
         "experiments/parallel.py",
+        "experiments/sharded.py",
         "obs/",
     )
 

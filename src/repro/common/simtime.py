@@ -1,0 +1,56 @@
+"""Integer sim-time: fixed-point ticks for event-time columns.
+
+Float timestamps are fine inside one process, but they are a poor
+exchange format: a shard that re-derives ``epoch * rounds * dt`` in a
+different association order can disagree with the coordinator in the
+last ulp, and a single off-by-one-ulp breaks byte-identical merges.
+Columns that cross a process boundary therefore carry **ticks** — an
+``int64`` count of ``1 / TICKS_PER_UNIT`` sim-time units.
+
+``TICKS_PER_UNIT`` is a power of two, so every whole-number time and
+every dyadic fraction (0.5, 0.25, 1.75, ...) converts exactly and
+round-trips bit-for-bit through :func:`to_ticks` / :func:`from_ticks`.
+Arbitrary floats are rounded to the nearest tick (~1 microsecond of
+sim time at the default resolution); the rounding is monotone, so tick
+order never contradicts float order.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "TICKS_PER_UNIT",
+    "to_ticks",
+    "from_ticks",
+    "ticks_array",
+    "times_array",
+]
+
+#: ticks per 1.0 of sim time; a power of two so dyadic floats are exact.
+TICKS_PER_UNIT = 1 << 20
+
+_Scalar = Union[int, float]
+
+
+def to_ticks(time: _Scalar) -> int:
+    """Nearest ``int64`` tick for a float sim-time (exact for dyadics)."""
+    return int(round(float(time) * TICKS_PER_UNIT))
+
+
+def from_ticks(ticks: _Scalar) -> float:
+    """The float sim-time a tick count denotes (exact: dyadic divisor)."""
+    return float(ticks) / TICKS_PER_UNIT
+
+
+def ticks_array(times: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`to_ticks`: float array -> int64 tick array."""
+    scaled = np.asarray(times, dtype=np.float64) * TICKS_PER_UNIT
+    return np.rint(scaled).astype(np.int64)
+
+
+def times_array(ticks: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`from_ticks`: int64 tick array -> float64 array."""
+    return np.asarray(ticks, dtype=np.float64) / TICKS_PER_UNIT

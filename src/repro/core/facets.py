@@ -13,6 +13,11 @@ evidence lives in one columnar :class:`~repro.store.EventStore` per
 context, keyed by ``(target, facet)`` group slices, with a decay policy
 applied at query time over the sliced time column; and
 :func:`combine_facets` folds facet scores under a preference profile.
+
+Observation times are stored as int64 ticks (``repro.common.simtime``)
+so facet evidence merges across shard boundaries without float
+round-tripping; the float API is unchanged — conversion happens at the
+append/query edges and is exact for dyadic times.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ import numpy as np
 from repro.common.errors import ConfigurationError
 from repro.common.ids import EntityId
 from repro.common.records import Feedback
+from repro.common.simtime import times_array, to_ticks
 from repro.core.decay import DecayPolicy, NoDecay
 from repro.store import EventStore
 
@@ -81,9 +87,9 @@ class FacetTrust:
             raise ConfigurationError("facet value must be in [0, 1]")
         store = self._stores.get(context)
         if store is None:
-            store = EventStore()
+            store = EventStore(time_dtype="int64")
             self._stores[context] = store
-        store.append("", target, value, time, facet=facet)
+        store.append("", target, value, to_ticks(time), facet=facet)
 
     def observe_feedback(
         self, feedback: Feedback, context: str = DEFAULT_CONTEXT
@@ -105,12 +111,14 @@ class FacetTrust:
 
         The whole window is discounted in one vectorized expression —
         weights = decay.weights(now - times) — over the zero-copy
-        column views of the group's rows.
+        column views of the group's rows.  *times* arrives as the int64
+        tick column and is mapped back to float units for the ages.
         """
         if now is None:
             weights = np.ones_like(values)
         else:
-            weights = self.decay.weights(np.maximum(now - times, 0.0))
+            ages = np.maximum(now - times_array(times), 0.0)
+            weights = self.decay.weights(ages)
         alpha = float(weights @ values)
         mass = float(weights.sum())
         beta = mass - alpha

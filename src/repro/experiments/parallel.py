@@ -281,13 +281,23 @@ def jobs_from_env(default: int = 1) -> int:
     return max(1, value)
 
 
-def _picklable(*objects: Any) -> bool:
+def picklable(*objects: Any) -> bool:
+    """Whether every argument survives ``pickle.dumps``.
+
+    The pre-check both this runtime and the sharded runner apply before
+    choosing process dispatch, so shard-incompatible worlds degrade to
+    the serial path instead of dying inside a worker.
+    """
     try:
         for obj in objects:
             pickle.dumps(obj)
     except Exception:
         return False
     return True
+
+
+#: Backwards-compatible private alias (pre-sharding name).
+_picklable = picklable
 
 
 def default_chunksize(n_items: int, workers: int) -> int:

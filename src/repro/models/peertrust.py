@@ -43,6 +43,7 @@ import numpy as np
 from repro.common.errors import ConfigurationError
 from repro.common.ids import EntityId
 from repro.common.records import Feedback, feedback_columns
+from repro.common.simtime import from_ticks, ticks_array, to_ticks
 from repro.core.typology import Architecture, Scope, Subject, Typology
 from repro.models.base import ReputationModel
 from repro.store import EventStore
@@ -107,7 +108,9 @@ class PeerTrustModel(ReputationModel):
         self.beta = beta
         self.window = window
         self.tvm_depth = tvm_depth
-        self._store = EventStore()
+        #: int64 tick times end to end — the shard exchange format —
+        #: so replayed windows never round-trip through float.
+        self._store = EventStore(time_dtype="int64")
         #: row-aligned transaction-context column (TF needs the
         #: interaction object, so it is captured at record time)
         self._ctx: List[float] = []
@@ -128,13 +131,17 @@ class PeerTrustModel(ReputationModel):
     def record(self, feedback: Feedback) -> None:
         self._ctx.append(_transaction_context(feedback))
         self._store.append(
-            feedback.rater, feedback.target, feedback.rating, feedback.time
+            feedback.rater,
+            feedback.target,
+            feedback.rating,
+            to_ticks(feedback.time),
         )
 
     def record_many(self, feedbacks: Iterable[Feedback]) -> None:
         batch = list(feedbacks)
         self._ctx.extend(_transaction_context(fb) for fb in batch)
-        self._store.extend(*feedback_columns(batch))
+        raters, targets, values, times = feedback_columns(batch)
+        self._store.extend(raters, targets, values, ticks_array(times))
 
     def _advance(self) -> None:
         """Replay transaction/filed accumulation over unconsumed store
@@ -166,7 +173,7 @@ class PeerTrustModel(ReputationModel):
         value_of = self._store.entities.value
         return {
             value_of(target): [
-                _Transaction(value_of(r), sat, context, time)
+                _Transaction(value_of(r), sat, context, from_ticks(time))
                 for r, sat, context, time in rows
             ]
             for target, rows in self._tx.items()

@@ -32,6 +32,7 @@ __all__ = [
     "COST_DRIVERS",
     "ActivityLedger",
     "ledger_table",
+    "merged_ledger_table",
 ]
 
 SENSOR_COST = 10.0
@@ -152,3 +153,20 @@ def ledger_table(metrics: Mapping[str, Any]) -> List[Dict[str, Any]]:
         row["total_cost"] = round(setup + running, 10)
         rows.append(row)
     return rows
+
+
+def merged_ledger_table(
+    snapshots: "List[Mapping[str, Any]]",
+) -> List[Dict[str, Any]]:
+    """One priced Figure-2 table across several registry snapshots.
+
+    The per-shard case: each shard charges its own ledger, the
+    coordinator merges the snapshots (counter sums) and prices the
+    result once.  A shard that only :meth:`ActivityLedger.touch`-ed an
+    activity — it ran but nothing was charged — still contributes its
+    zero-valued series, so the merged table lists the activity instead
+    of silently dropping the quiet shard's row.
+    """
+    if not snapshots:
+        return []
+    return ledger_table(MetricsRegistry.merge_snapshots(list(snapshots)))

@@ -42,6 +42,23 @@ from repro.p2p.node import Peer
 from repro.sim.network import Network
 
 
+def shard_path(entity_id: EntityId, depth: int) -> str:
+    """The binary P-Grid path prefix owning *entity_id* at *depth*.
+
+    The sharded runner (``repro.experiments.sharded``) range-partitions
+    the same SHA-256 key space by its top bits, so for a power-of-two
+    shard count the two assignments coincide subtree-for-subtree:
+    ``int(shard_path(e, d), 2) == shard_of(e, 2 ** d)``.  Shard ``k``
+    of ``2**d`` holds exactly the keys of the trie subtree at path
+    ``format(k, f"0{d}b")`` — a shard *is* a P-Grid subtree, which is
+    what makes the shard load/message numbers read as decentralized-
+    registry numbers.
+    """
+    if depth <= 0:
+        return ""
+    return to_bits(str(entity_id), depth)
+
+
 class PGridPeer(Peer):
     """A peer owning one trie path plus per-level references."""
 
@@ -496,3 +513,20 @@ class PGrid:
     def storage_load(self) -> Dict[EntityId, int]:
         """Stored records per peer (for the load-balance experiment)."""
         return {pid: len(p.store) for pid, p in self._peers.items()}
+
+    def storage_imbalance(self) -> float:
+        """Max/mean stored records per peer (1.0 = perfectly balanced).
+
+        The mean runs over *every* peer, not just peers holding data —
+        a replica that stores nothing still dilutes the balance, the
+        same silent-node discipline
+        :meth:`repro.sim.network.MessageStats.load_imbalance` applies
+        to message counts.
+        """
+        loads = self.storage_load()
+        if not loads:
+            return 1.0
+        mean = sum(loads.values()) / len(loads)
+        if mean <= 0:
+            return 1.0
+        return max(loads.values()) / mean

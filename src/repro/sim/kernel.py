@@ -95,12 +95,15 @@ class Simulator:
         callback: EventCallback,
         start: Optional[float] = None,
         count: Optional[int] = None,
+        priority: int = 0,
     ) -> None:
         """Schedule *callback* periodically.
 
         Fires first at *start* (default: now + interval), then every
         *interval*, for *count* occurrences (default: until the run's
-        ``until`` horizon drains the queue).
+        ``until`` horizon drains the queue).  *priority* orders the
+        periodic fires against same-time one-shot events — shard round
+        drivers use it to run behind any same-tick maintenance work.
         """
         if interval <= 0:
             raise SimulationError(f"interval must be positive: {interval}")
@@ -114,11 +117,11 @@ class Simulator:
                 remaining -= 1
                 if remaining <= 0:
                     return
-            self.schedule_in(interval, fire)
+            self.schedule_in(interval, fire, priority)
 
         if remaining is not None and remaining <= 0:
             return
-        self.schedule(first, fire)
+        self.schedule(first, fire, priority)
 
     def step(self) -> bool:
         """Execute the next event.  Returns False when the queue is empty."""

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set
+from typing import Dict, Mapping, Optional, Set
 
 from repro.common.ids import EntityId
 from repro.common.randomness import RngLike, make_rng
@@ -164,11 +164,36 @@ class Network:
         self._received_by = self.metrics.counter(
             "net.received_by", "messages received per node", labels=("node",)
         )
+        self._known_by = self.metrics.counter(
+            "net.known_by", "node-universe marker series", labels=("node",)
+        )
+
+    def _note(self, node: EntityId) -> None:
+        """First sight of *node*: a zero-valued ``net.known_by`` series.
+
+        The zero series survives :meth:`MetricsRegistry.snapshot` and
+        counter-sum merges, so the node universe — and with it
+        :meth:`MessageStats.load_imbalance` — reconstructs correctly
+        from merged per-shard registries: a shard whose nodes never
+        received anything still widens the mean's denominator.
+        """
+        if node not in self._known:
+            self._known.add(node)
+            self._known_by.inc(0, labels=(str(node),))
+
+    def register_node(self, node: EntityId) -> None:
+        """Declare *node* part of the topology before any traffic.
+
+        Imbalance math averages over the known-node universe; silent
+        nodes that are never an endpoint must be registered explicitly
+        or they would not count.
+        """
+        self._note(node)
 
     def fail_node(self, node: EntityId) -> None:
         """Mark *node* as unreachable (fault injection)."""
         self._failed.add(node)
-        self._known.add(node)
+        self._note(node)
 
     def heal_node(self, node: EntityId) -> None:
         self._failed.discard(node)
@@ -207,8 +232,8 @@ class Network:
         self._sent.inc(1, labels=(kind,))
         self._bytes.inc(size)
         self._sent_by.inc(1, labels=(str(sender),))
-        self._known.add(sender)
-        self._known.add(receiver)
+        self._note(sender)
+        self._note(receiver)
         rec = get_recorder()
         if rec.enabled:
             rec.count(
@@ -235,6 +260,41 @@ class Network:
         return DeliveryOutcome(
             delivered=True, latency=latency, duplicates=duplicates
         )
+
+    def record_traffic(
+        self,
+        sender: EntityId,
+        receiver: EntityId,
+        kind: str = "message",
+        messages: int = 1,
+        size: int = 0,
+    ) -> None:
+        """Account *messages* delivered messages in one call.
+
+        Pure bulk accounting — no latency draw, no failure check, no
+        fault injection — for exchanges that move many logical messages
+        at once (shard epoch barriers), where a per-message
+        :meth:`send` loop would dominate the work being measured.
+        """
+        if messages < 0:
+            raise ValueError("messages must be non-negative")
+        self._note(sender)
+        self._note(receiver)
+        if not messages:
+            return
+        self._sent.inc(messages, labels=(kind,))
+        if size:
+            self._bytes.inc(size)
+        self._sent_by.inc(messages, labels=(str(sender),))
+        self._received_by.inc(messages, labels=(str(receiver),))
+        rec = get_recorder()
+        if rec.enabled:
+            rec.count(
+                "net.messages.sent",
+                amount=messages,
+                labels=(kind,),
+                label_names=("kind",),
+            )
 
     @property
     def stats(self) -> MessageStats:
@@ -269,7 +329,9 @@ class Network:
 
     def reset_stats(self) -> None:
         self.metrics.reset()
-        self._known = set(self._failed)
+        self._known = set()
+        for node in sorted(self._failed, key=str):
+            self._note(node)
 
 
 def per_node_load(stats: MessageStats) -> Dict[EntityId, int]:
@@ -278,3 +340,45 @@ def per_node_load(stats: MessageStats) -> Dict[EntityId, int]:
     for node, count in stats.received_by.items():
         loads[node] = count
     return dict(loads)
+
+
+def stats_from_snapshot(snapshot: Mapping) -> MessageStats:
+    """Rebuild :class:`MessageStats` from a ``net.*`` registry snapshot.
+
+    Accepts one network's :meth:`MetricsRegistry.snapshot` or the
+    :meth:`MetricsRegistry.merge_snapshots` of several (the per-shard
+    case).  Counters sum across registries by construction; the node
+    universe is recovered from the ``net.known_by`` marker series, so a
+    shard whose nodes were registered but never received a message
+    still counts in :meth:`MessageStats.load_imbalance` — merging used
+    to lose each network's in-memory known set, which made a merged
+    hub-and-spokes topology look perfectly balanced.
+    """
+
+    def series(name: str):
+        entry = snapshot.get(name)
+        return entry["series"] if entry else []
+
+    def label_counter(name: str) -> Counter:
+        return Counter(
+            {key[0]: int(value) for key, value in series(name)}
+        )
+
+    def total(name: str) -> int:
+        return int(sum(value for _key, value in series(name)))
+
+    sent_by = label_counter("net.sent_by")
+    received_by = label_counter("net.received_by")
+    known = {key[0] for key, _value in series("net.known_by")}
+    known |= set(sent_by) | set(received_by)
+    return MessageStats(
+        total_messages=total("net.messages.sent"),
+        total_bytes=total("net.bytes.sent"),
+        dropped=total("net.messages.dropped"),
+        duplicated=total("net.messages.duplicated"),
+        by_kind=label_counter("net.messages.sent"),
+        sent_by=sent_by,
+        received_by=received_by,
+        drops_by_reason=label_counter("net.messages.dropped"),
+        universe=len(known) if known else None,
+    )

@@ -10,6 +10,7 @@ column                dtype    meaning
 ``facet``             int32    interned facet name; ``-1`` = overall
 ``value``             float64  the rating on ``[0, 1]``
 ``time``              float64  simulation time the report was filed
+                      /int64   (int64 tick stores: ``repro.common.simtime``)
 ====================  =======  ==========================================
 
 Rows live in sealed fixed-size numpy chunks plus a mutable Python-list
@@ -36,8 +37,9 @@ Invariants the property suite pins:
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -171,12 +173,33 @@ class EventStore:
         chunk_size: rows per sealed chunk; purely a performance knob —
             the canonical encoding (and every query result) is
             independent of it.
+        time_dtype: ``"float64"`` (default) or ``"int64"``.  An int64
+            store keeps the time column as exact integer ticks
+            (``repro.common.simtime``), the exchange format shard
+            deltas use; its canonical encoding carries a distinct
+            header tag, and :meth:`merge_from` refuses to mix the two.
     """
 
-    def __init__(self, chunk_size: int = 4096) -> None:
+    _HEADERS = {
+        np.dtype(np.float64): b"repro.store.v1\x00",
+        np.dtype(np.int64): b"repro.store.v1:i64\x00",
+    }
+
+    def __init__(
+        self,
+        chunk_size: int = 4096,
+        time_dtype: Union[str, np.dtype] = "float64",
+    ) -> None:
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         self.chunk_size = chunk_size
+        self.time_dtype = np.dtype(time_dtype)
+        if self.time_dtype not in self._HEADERS:
+            raise ValueError(
+                "time_dtype must be 'float64' or 'int64', "
+                f"got {time_dtype!r}"
+            )
+        self._time_is_int = self.time_dtype == np.dtype(np.int64)
         #: one shared table for raters *and* targets — several surveyed
         #: mechanisms (Sporas, Histos, PeerTrust) relate an entity's
         #: behaviour as rater to its standing as target, which needs a
@@ -223,6 +246,10 @@ class EventStore:
         facet: Optional[str] = None,
     ) -> None:
         """Append one row (the ``record`` hot path)."""
+        if self._time_is_int:
+            # Rejects floats outright: silent truncation of a float
+            # timestamp is exactly the bug tick stores exist to prevent.
+            time = operator.index(time)
         self._tail_rater.append(self.entities.intern(rater))
         self._tail_target.append(self.entities.intern(target))
         self._tail_facet.append(
@@ -267,17 +294,32 @@ class EventStore:
         self._tail_target.extend(target_codes)
         self._tail_facet.extend([OVERALL_FACET] * n)
         self._tail_value.extend(values)
-        self._tail_time.extend(times)
+        arr = self._as_time_array(times)
+        self._tail_time.extend(arr.tolist())
         if self._times_sorted:
-            arr = np.asarray(times, dtype=np.float64)
             last = self._last_time
             if (last is not None and len(arr) and arr[0] < last) or (
                 len(arr) > 1 and bool(np.any(np.diff(arr) < 0))
             ):
                 self._times_sorted = False
-        self._last_time = float(times[n - 1])
+        self._last_time = self._py_time(arr[n - 1])
         while len(self._tail_value) >= self.chunk_size:
             self._seal_tail(self.chunk_size)
+
+    def _as_time_array(self, times: Sequence[float]) -> np.ndarray:
+        arr = np.asarray(times)
+        if not self._time_is_int:
+            return arr.astype(np.float64, copy=False)
+        if arr.dtype.kind not in "iu":
+            raise TypeError(
+                "int64-time store requires integer tick times "
+                f"(got dtype {arr.dtype}); convert with "
+                "repro.common.simtime.to_ticks"
+            )
+        return arr.astype(np.int64, copy=False)
+
+    def _py_time(self, value) -> Union[int, float]:
+        return int(value) if self._time_is_int else float(value)
 
     def _seal_tail(self, limit: Optional[int] = None) -> None:
         take = len(self._tail_value) if limit is None else limit
@@ -288,7 +330,7 @@ class EventStore:
             np.asarray(self._tail_target[:take], dtype=np.int32),
             np.asarray(self._tail_facet[:take], dtype=np.int32),
             np.asarray(self._tail_value[:take], dtype=np.float64),
-            np.asarray(self._tail_time[:take], dtype=np.float64),
+            np.asarray(self._tail_time[:take], dtype=self.time_dtype),
         )
         self._chunks.append(chunk)
         self._sealed_rows += take
@@ -310,7 +352,11 @@ class EventStore:
         tail_n = len(self._tail_value)
         if not chunks and not tail_n:
             columns = ColumnSet(
-                _EMPTY_I4, _EMPTY_I4, _EMPTY_I4, _EMPTY_F8, _EMPTY_F8
+                _EMPTY_I4,
+                _EMPTY_I4,
+                _EMPTY_I4,
+                _EMPTY_F8,
+                _EMPTY_I8 if self._time_is_int else _EMPTY_F8,
             )
         else:
             parts: List[Tuple[np.ndarray, ...]] = [
@@ -324,7 +370,7 @@ class EventStore:
                         np.asarray(self._tail_target, dtype=np.int32),
                         np.asarray(self._tail_facet, dtype=np.int32),
                         np.asarray(self._tail_value, dtype=np.float64),
-                        np.asarray(self._tail_time, dtype=np.float64),
+                        np.asarray(self._tail_time, dtype=self.time_dtype),
                     )
                 )
             if len(parts) == 1:
@@ -416,11 +462,15 @@ class EventStore:
         are invisible, so equal event streams encode equal regardless
         of ``chunk_size`` — the merge/snapshot discipline the obs
         registry established, applied to event data.
+
+        The header tags the time dtype, so a float64 store and an
+        int64 tick store can never encode equal (and existing float64
+        encodings are byte-unchanged).
         """
         columns = self.snapshot()
         return b"".join(
             (
-                b"repro.store.v1\x00",
+                self._HEADERS[self.time_dtype],
                 self.entities.canonical_bytes(),
                 self.facets.canonical_bytes(),
                 len(columns.value).to_bytes(8, "little"),
@@ -434,7 +484,18 @@ class EventStore:
 
     def merge_from(self, other: "EventStore") -> None:
         """Append *other*'s rows (in their logical order), translating
-        its codes through this store's interners."""
+        its codes through this store's interners.
+
+        Both stores must share a time dtype — merging float64 times
+        into an int64 tick column (or vice versa) would silently
+        reintroduce the rounding drift tick stores exist to rule out.
+        """
+        if other.time_dtype != self.time_dtype:
+            raise ValueError(
+                f"cannot merge a {other.time_dtype} time column into a "
+                f"{self.time_dtype} store; convert with "
+                "repro.common.simtime first"
+            )
         columns = other.snapshot()
         if not columns.n:
             return
@@ -467,6 +528,6 @@ class EventStore:
                 len(times) > 1 and bool(np.any(np.diff(times) < 0))
             ):
                 self._times_sorted = False
-        self._last_time = float(times[-1])
+        self._last_time = self._py_time(times[-1])
         while len(self._tail_value) >= self.chunk_size:
             self._seal_tail(self.chunk_size)

@@ -33,3 +33,18 @@ def _register_suppressed():
 
     # both the closure and the in-function registration, silenced:
     register_world_builder("quiet", quiet_builder)  # reprolint: disable=R005
+
+
+def register_shard_world_builder(name, builder, overwrite=False):
+    """Fixture stand-in for the sharded runner's registry."""
+
+
+def _module_level_shard_builder(seed, consumer_indices=None, **params):
+    return make_world(seed, **params)
+
+
+register_shard_world_builder("ok-shard", _module_level_shard_builder)
+
+register_shard_world_builder(
+    "lambda-shard", lambda seed, **params: make_world(seed)  # R005
+)

@@ -54,7 +54,7 @@ class TestExitCodes:
     def test_ignore_drops_rules(self, capsys):
         code = run(
             _config(ignore=["R001", "R002", "R003", "R004", "R005",
-                            "R006", "R007"])
+                            "R006", "R007", "R008"])
         )
         assert code == EXIT_CLEAN
         capsys.readouterr()

@@ -106,10 +106,11 @@ class TestPathScoping:
 
 
 class TestRegistry:
-    def test_seven_rules_shipped(self):
+    def test_eight_rules_shipped(self):
         registry = default_registry()
         assert registry.ids() == [
             "R001", "R002", "R003", "R004", "R005", "R006", "R007",
+            "R008",
         ]
 
     def test_duplicate_id_rejected(self):

@@ -121,15 +121,26 @@ class TestR005PicklableWorldBuilders:
         hits = findings_for(
             fixture_findings, "R005", "experiments/bad_builders.py"
         )
-        assert len(hits) == 2
+        assert len(hits) == 3
         messages = " ".join(f.message for f in hits)
         assert "lambda" in messages
         assert "local_builder" in messages
+
+    def test_fires_on_shard_builder_lambda(self, fixture_findings):
+        hits = findings_for(
+            fixture_findings, "R005", "experiments/bad_builders.py"
+        )
+        assert any(
+            "lambda-shard" in f.content for f in hits
+        )
 
     def test_module_level_builder_passes(self, fixture_findings):
         hits = findings_for(fixture_findings, "R005")
         assert not any(
             "_module_level_builder" in f.message for f in hits
+        )
+        assert not any(
+            "_module_level_shard_builder" in f.message for f in hits
         )
 
     def test_suppression_comment_silences(self, fixture_findings):
@@ -200,4 +211,40 @@ class TestR007ColumnarLoops:
         assert all(
             f.path.startswith("models/")
             for f in findings_for(fixture_findings, "R007")
+        )
+
+
+class TestR008ShardDeltaOrder:
+    def test_fires_on_set_ordered_merges(self, fixture_findings):
+        hits = findings_for(
+            fixture_findings, "R008", "experiments/sharded.py"
+        )
+        lines = {f.content for f in hits}
+        assert any("for delta in pending" in l for l in lines)
+        assert any(
+            "store.merge_from(d) for d in dropped" in l for l in lines
+        )
+        assert any("merge_snapshots(set(snapshots))" in l for l in lines)
+        assert len(hits) == 3
+
+    def test_list_and_sorted_merges_pass(self, fixture_findings):
+        hits = findings_for(
+            fixture_findings, "R008", "experiments/sharded.py"
+        )
+        contents = " ".join(f.content for f in hits)
+        assert "sorted(" not in contents
+        assert "for delta in deltas:" not in contents
+
+    def test_loop_without_merge_not_flagged(self, fixture_findings):
+        hits = findings_for(fixture_findings, "R008")
+        assert not any("total += delta" in f.content for f in hits)
+
+    def test_suppression_comment_silences(self, fixture_findings):
+        hits = findings_for(fixture_findings, "R008")
+        assert not any("disable=R008" in f.content for f in hits)
+
+    def test_scoped_to_merge_paths(self, fixture_findings):
+        assert all(
+            f.path.startswith("experiments/sharded.py")
+            for f in findings_for(fixture_findings, "R008")
         )

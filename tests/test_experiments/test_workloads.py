@@ -80,3 +80,50 @@ class TestMakeConsumers:
         weights = [tuple(sorted(c.preferences.weights.items()))
                    for c in consumers]
         assert len(set(weights)) == 4
+
+
+class TestShardWorlds:
+    def test_subset_build_is_partition_invariant(self):
+        from repro.experiments.workloads import (
+            make_shard_world,
+            shard_consumer_id,
+        )
+
+        full = make_shard_world(
+            n_consumers=10, seed=3, preference_heterogeneity=0.5,
+            n_segments=2,
+        )
+        subset = make_shard_world(
+            n_consumers=10, seed=3, preference_heterogeneity=0.5,
+            n_segments=2, consumer_indices=[2, 5, 9],
+        )
+        by_id = {c.consumer_id: c for c in full.consumers}
+        assert [c.consumer_id for c in subset.consumers] == [
+            shard_consumer_id(i) for i in (2, 5, 9)
+        ]
+        for consumer in subset.consumers:
+            twin = by_id[consumer.consumer_id]
+            assert consumer.preferences.weights == twin.preferences.weights
+            assert consumer.segment == twin.segment
+            # private rating streams too: identical draw sequences
+            assert consumer._rng.random() == twin._rng.random()
+
+    def test_catalog_identical_across_subsets(self):
+        from repro.experiments.workloads import make_shard_world
+
+        a = make_shard_world(n_consumers=6, seed=11, consumer_indices=[0])
+        b = make_shard_world(n_consumers=6, seed=11, consumer_indices=[3, 4])
+        assert [s.service_id for s in a.services] == [
+            s.service_id for s in b.services
+        ]
+        assert a.true_quality == b.true_quality
+
+    def test_out_of_range_indices_rejected(self):
+        from repro.experiments.workloads import make_shard_consumers
+        from repro.services.qos import DEFAULT_METRICS
+        from repro.common.randomness import SeedSequenceFactory
+
+        with pytest.raises(ValueError):
+            make_shard_consumers(
+                3, DEFAULT_METRICS, SeedSequenceFactory(0), indices=[3]
+            )

@@ -10,6 +10,7 @@ from repro.obs.ledger import (
     SENSOR_COST,
     ActivityLedger,
     ledger_table,
+    merged_ledger_table,
 )
 from repro.obs.metrics import MetricsRegistry
 
@@ -105,3 +106,33 @@ class TestLedgerTable:
             + 1 * PROBE_COST
             + 10 * MESSAGE_COST
         )
+
+
+class TestMergedLedgerTable:
+    def test_sums_across_shard_registries(self):
+        shard_a = ActivityLedger()
+        shard_b = ActivityLedger()
+        shard_a.charge("feedback", feedback=3)
+        shard_b.charge("feedback", feedback=5)
+        merged = merged_ledger_table(
+            [shard_a.registry.snapshot(), shard_b.registry.snapshot()]
+        )
+        row = {r["activity"]: r for r in merged}["feedback"]
+        assert row["feedback"] == 8
+        assert row["running_cost"] == pytest.approx(8 * MESSAGE_COST)
+
+    def test_touch_only_shard_still_listed(self):
+        # A shard that ran but charged nothing must not vanish from the
+        # merged table — its zero series are the proof it participated.
+        busy = ActivityLedger()
+        quiet = ActivityLedger()
+        busy.charge("feedback", feedback=2)
+        quiet.touch("sensors")
+        merged = merged_ledger_table(
+            [busy.registry.snapshot(), quiet.registry.snapshot()]
+        )
+        activities = [r["activity"] for r in merged]
+        assert activities == ["feedback", "sensors"]
+
+    def test_empty_input_gives_empty_table(self):
+        assert merged_ledger_table([]) == []

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.common.errors import ConfigurationError, RoutingError
 from repro.common.records import Feedback
-from repro.p2p.pgrid import PGrid
+from repro.p2p.pgrid import PGrid, shard_path
 from repro.sim.network import Network
 
 
@@ -280,3 +280,44 @@ class TestStorage:
         grid = PGrid(peer_ids(32), replication=2, network=net, rng=0)
         grid.insert("peer-000", "svc", fb())
         assert net.stats.total_messages > 0
+
+
+class TestShardAlignment:
+    def test_shard_path_is_key_hash_prefix(self):
+        from repro.p2p.hashing import to_bits
+
+        for entity in ("svc-0001", "consumer-0000042"):
+            for depth in (1, 3, 6):
+                assert shard_path(entity, depth) == to_bits(
+                    str(entity), depth
+                )
+        assert shard_path("svc-0001", 0) == ""
+
+    def test_shard_path_matches_range_partition(self):
+        from repro.experiments.sharded import shard_of
+
+        for i in range(32):
+            entity = f"consumer-{i:07d}"
+            for depth in (1, 2, 4):
+                assert shard_of(entity, 2 ** depth) == int(
+                    shard_path(entity, depth), 2
+                )
+
+
+class TestStorageImbalance:
+    def test_empty_grid_is_balanced(self):
+        grid = PGrid(peer_ids(8), replication=1, rng=0)
+        assert grid.storage_imbalance() == pytest.approx(1.0)
+
+    def test_hot_key_skews_the_ratio(self):
+        grid = PGrid(peer_ids(8), replication=1, rng=0)
+        key = "svc-hot"
+        for _ in range(6):
+            grid.insert("peer-000", key, fb(target=key))
+        imbalance = grid.storage_imbalance()
+        # all records land in one subtree; mean includes empty peers
+        assert imbalance > 1.0
+        loads = grid.storage_load()
+        assert imbalance == pytest.approx(
+            max(loads.values()) / (sum(loads.values()) / len(loads))
+        )

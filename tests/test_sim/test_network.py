@@ -3,6 +3,7 @@
 import pytest
 
 from repro.faults.plan import MessageFaultInjector
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.network import (
     FAULT_INJECTED,
     RECEIVER_FAILED,
@@ -11,6 +12,7 @@ from repro.sim.network import (
     MessageStats,
     Network,
     per_node_load,
+    stats_from_snapshot,
 )
 
 
@@ -327,3 +329,59 @@ class TestFaultedNetworkDeterminism:
         trace_a, _ = self.run_trace(seed=11)
         trace_b, _ = self.run_trace(seed=12)
         assert trace_a != trace_b
+
+
+class TestMergedSnapshotStats:
+    def test_round_trips_one_network(self):
+        net = Network(base_latency=0.0, jitter=0.0, rng=0)
+        net.send("a", "b", kind="feedback", size=10)
+        net.send("b", "a", kind="query")
+        rebuilt = stats_from_snapshot(net.metrics.snapshot())
+        live = net.stats
+        assert rebuilt.total_messages == live.total_messages
+        assert rebuilt.sent_by == live.sent_by
+        assert rebuilt.received_by == live.received_by
+        assert rebuilt.by_kind == live.by_kind
+        assert rebuilt.universe == live.universe
+        assert rebuilt.load_imbalance() == live.load_imbalance()
+
+    def test_silent_registered_nodes_survive_the_merge(self):
+        # Shard 0 carries all the traffic; shards 1-3 are silent but
+        # registered.  The merged universe must still count them, so
+        # imbalance reflects the hot spot instead of looking balanced.
+        nets = [Network(base_latency=0.0, jitter=0.0, rng=0)
+                for _ in range(4)]
+        for net in nets:
+            for s in range(4):
+                net.register_node(f"shard-{s}")
+        nets[0].record_traffic(
+            "shard-0", "shard-0", kind="feedback", messages=8
+        )
+        merged = MetricsRegistry.merge_snapshots(
+            [net.metrics.snapshot() for net in nets]
+        )
+        stats = stats_from_snapshot(merged)
+        assert stats.universe == 4
+        assert stats.load_imbalance() == pytest.approx(4.0)
+
+    def test_record_traffic_counts_bulk_messages(self):
+        net = Network(base_latency=0.0, jitter=0.0, rng=0)
+        net.record_traffic("a", "b", kind="feedback", messages=5, size=50)
+        stats = net.stats
+        assert stats.total_messages == 5
+        assert stats.total_bytes == 50
+        assert stats.by_kind["feedback"] == 5
+        assert stats.sent_by["a"] == 5
+        assert stats.received_by["b"] == 5
+
+    def test_record_traffic_zero_messages_registers_endpoints(self):
+        net = Network(base_latency=0.0, jitter=0.0, rng=0)
+        net.record_traffic("a", "b", kind="feedback", messages=0)
+        stats = net.stats
+        assert stats.total_messages == 0
+        assert stats.universe == 2
+
+    def test_record_traffic_rejects_negative(self):
+        net = Network(base_latency=0.0, jitter=0.0, rng=0)
+        with pytest.raises(ValueError):
+            net.record_traffic("a", "b", messages=-1)

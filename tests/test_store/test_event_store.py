@@ -204,3 +204,57 @@ class TestValidation:
         assert store.version == 0
         assert store.snapshot().n == 0
         assert store.canonical_bytes() == EventStore().canonical_bytes()
+
+
+class TestIntegerTimeColumns:
+    def test_int64_round_trip_and_dtype(self):
+        store = EventStore(time_dtype="int64")
+        store.append("c0", "svc-0", 0.5, 1 << 20)
+        store.extend(["c1"], ["svc-1"], [0.75], np.array([2 << 20], dtype=np.int64))
+        cols = store.snapshot()
+        assert cols.time.dtype == np.int64
+        assert cols.time.tolist() == [1 << 20, 2 << 20]
+
+    def test_int64_append_rejects_floats(self):
+        store = EventStore(time_dtype="int64")
+        with pytest.raises(TypeError):
+            store.append("c0", "svc-0", 0.5, 1.5)
+
+    def test_int64_extend_rejects_float_arrays(self):
+        store = EventStore(time_dtype="int64")
+        with pytest.raises(TypeError):
+            store.extend(["c0"], ["svc-0"], [0.5], [1.5])
+
+    def test_headers_distinguish_time_dtypes(self):
+        float_store = EventStore()
+        tick_store = EventStore(time_dtype="int64")
+        float_store.append("c0", "svc-0", 0.5, 1.0)
+        tick_store.append("c0", "svc-0", 0.5, 1)
+        assert float_store.canonical_bytes() != tick_store.canonical_bytes()
+
+    def test_merge_rejects_time_dtype_mismatch(self):
+        tick_store = EventStore(time_dtype="int64")
+        float_store = EventStore()
+        float_store.append("c0", "svc-0", 0.5, 1.0)
+        with pytest.raises(ValueError):
+            tick_store.merge_from(float_store)
+
+    def test_unknown_time_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            EventStore(time_dtype="float32")
+
+    def test_int64_merge_matches_direct_appends(self):
+        direct = EventStore(time_dtype="int64")
+        split_a = EventStore(time_dtype="int64")
+        split_b = EventStore(time_dtype="int64")
+        rows = [("c0", "svc-0", 0.5, 10), ("c1", "svc-1", 0.25, 20),
+                ("c0", "svc-1", 0.75, 30)]
+        for rater, target, value, tick in rows:
+            direct.append(rater, target, value, tick)
+        for rater, target, value, tick in rows[:2]:
+            split_a.append(rater, target, value, tick)
+        split_b.append(*rows[2])
+        merged = EventStore(time_dtype="int64")
+        merged.merge_from(split_a)
+        merged.merge_from(split_b)
+        assert merged.canonical_bytes() == direct.canonical_bytes()
