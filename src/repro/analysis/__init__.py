@@ -10,8 +10,11 @@ equality on scores.  This package checks them statically:
 
     python -m repro.analysis src/repro
 
-Rules R001-R007 are catalogued in DESIGN.md §10, along with the
+Rules R001-R011 are catalogued in DESIGN.md §10, along with the
 ``# reprolint: disable=R00x`` suppression and baseline workflow.
+R009-R011 run on the interprocedural dataflow engine in
+:mod:`repro.analysis.flow` (per-function summaries composed over the
+project call graph to a fixpoint).
 """
 
 from repro.analysis.baseline import Baseline, BaselineError
@@ -25,7 +28,8 @@ from repro.analysis.core import (
     RuleRegistry,
     run_analysis,
 )
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.flow import FlowAnalysis, FlowPolicy, SymbolTable
+from repro.analysis.reporters import render_json, render_sarif, render_text
 from repro.analysis.rules import DEFAULT_REGISTRY, default_registry
 
 __all__ = [
@@ -34,13 +38,17 @@ __all__ = [
     "BaselineError",
     "DEFAULT_REGISTRY",
     "Finding",
+    "FlowAnalysis",
+    "FlowPolicy",
     "ModuleInfo",
     "Project",
     "Rule",
     "RuleRegistry",
+    "SymbolTable",
     "default_registry",
     "main",
     "render_json",
+    "render_sarif",
     "render_text",
     "run_analysis",
 ]

@@ -14,12 +14,13 @@ from typing import List, Optional, Sequence
 
 from repro.analysis.baseline import Baseline, BaselineError
 from repro.analysis.config import (
+    DEFAULT_BASELINE_NAME,
     AnalysisConfig,
     load_pyproject_config,
     resolve_baseline_path,
 )
 from repro.analysis.core import Finding, iter_python_files, run_analysis
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import render_json, render_sarif, render_text
 from repro.analysis.rules import DEFAULT_REGISTRY
 
 __all__ = ["main", "build_parser", "run"]
@@ -46,9 +47,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text); sarif targets GitHub "
+        "code scanning",
     )
     parser.add_argument(
         "--output",
@@ -86,6 +88,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         action="store_true",
         help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the resolved baseline (default: "
+        f"./{DEFAULT_BASELINE_NAME}) from current findings and exit 0",
     )
     parser.add_argument(
         "--list-rules",
@@ -128,6 +136,15 @@ def run(config: AnalysisConfig) -> int:
     findings: List[Finding] = run_analysis(config.paths, rules)
     files_scanned = len(iter_python_files(config.paths))
 
+    if config.update_baseline:
+        target = config.baseline or Path.cwd() / DEFAULT_BASELINE_NAME
+        Baseline.empty().write(target, findings)
+        print(
+            f"reprolint: baseline updated with {len(findings)} "
+            f"finding(s) at {target}"
+        )
+        return EXIT_CLEAN
+
     if config.write_baseline:
         if config.baseline is None:
             print(
@@ -152,8 +169,14 @@ def run(config: AnalysisConfig) -> int:
             return EXIT_USAGE
         findings, grandfathered = baseline.filter(findings)
 
-    renderer = render_json if config.output_format == "json" else render_text
-    report = renderer(findings, files_scanned, grandfathered)
+    if config.output_format == "sarif":
+        report = render_sarif(
+            findings, files_scanned, grandfathered, rules=rules
+        )
+    elif config.output_format == "json":
+        report = render_json(findings, files_scanned, grandfathered)
+    else:
+        report = render_text(findings, files_scanned, grandfathered)
     if config.output_file is not None:
         config.output_file.write_text(report, encoding="utf-8")
     print(report, end="")
@@ -202,5 +225,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         output_format=args.format,
         output_file=args.output,
         write_baseline=args.write_baseline,
+        update_baseline=args.update_baseline,
     )
     return run(config)

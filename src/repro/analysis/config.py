@@ -34,6 +34,10 @@ class AnalysisConfig:
     output_format: str = "text"
     output_file: Optional[Path] = None
     write_baseline: bool = False
+    #: rewrite the resolved baseline from current findings and exit 0
+    #: (unlike write_baseline, falls back to ./reprolint-baseline.json
+    #: when no baseline is configured anywhere)
+    update_baseline: bool = False
 
 
 def load_pyproject_config(start: Path) -> dict:

@@ -108,6 +108,10 @@ class Project:
     """Every scanned module, parsed once and shared by all rules."""
 
     modules: List[ModuleInfo]
+    #: scratch space for cross-rule memoisation (e.g. the flow engine
+    #: builds one symbol table + summary fixpoint per project, shared
+    #: by R009/R010/R011); keyed by a caller-chosen string
+    caches: Dict[str, object] = field(default_factory=dict)
     _by_relpath: Dict[str, ModuleInfo] = field(default_factory=dict)
 
     def __post_init__(self) -> None:

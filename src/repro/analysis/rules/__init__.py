@@ -21,6 +21,11 @@ from repro.analysis.rules.determinism import (
 )
 from repro.analysis.rules.floatcmp import FloatEqualityRule
 from repro.analysis.rules.sharding import ShardDeltaOrderRule
+from repro.analysis.rules.taint import (
+    AmbientTaintRule,
+    FrozenViewMutationRule,
+    SwallowedExceptionRule,
+)
 
 __all__ = ["DEFAULT_REGISTRY", "default_registry"]
 
@@ -36,6 +41,9 @@ def default_registry() -> RuleRegistry:
     registry.register(FloatEqualityRule())
     registry.register(ColumnarLoopRule())
     registry.register(ShardDeltaOrderRule())
+    registry.register(AmbientTaintRule())
+    registry.register(FrozenViewMutationRule())
+    registry.register(SwallowedExceptionRule())
     return registry
 
 

@@ -1,0 +1,496 @@
+"""Interprocedural taint rules, built on :mod:`repro.analysis.flow`.
+
+R009 — ambient nondeterminism must not reach canonical state.  A value
+derived from the global RNGs, a wall-clock read, ``os.urandom``, uuid,
+or the iteration order of a ``set`` may not flow into an
+``EventStore.append/extend``, a tracer record, a telemetry snapshot,
+or a ``ScenarioResult`` field — through any number of calls.  R001
+catches the *syntactically visible* uses of banned names in one file;
+R009 catches the laundered ones: a helper two calls away that returns
+``time.time()`` into something a canonical-bytes path will hash.
+
+R010 — epoch-frozen views are immutable.  ``EventStore.snapshot()``
+columns, ``GroupIndex`` slices, and the epoch-start broadcast score
+tables are shared, cached, zero-copy state: mutating one corrupts
+every other reader *and* the canonical-bytes cache keyed on the store
+version.  The rule flags attribute stores, subscript assignment,
+augmented assignment, and mutating method calls on frozen values —
+including inside helpers that receive a frozen view as a parameter.
+
+R011 — no exception swallowing on resilience and merge paths.  A
+``except: pass`` (or a broad handler whose body is inert) in shard
+merge, the process-pool fan-out, the store, or the observability layer
+turns a crash into silent shard divergence — the one failure mode the
+1 == 2 == 8 equality gate cannot localise.  Handlers that re-raise,
+return a sentinel, assign state, or call a recorder are fine; handlers
+that do nothing (even via an inert helper function) are not.
+
+Grandfathering policy: anything intentionally nondeterministic
+(wall-time benchmarking that never feeds canonical bytes) or
+intentionally silent (best-effort error forwarding on an already-dying
+worker) carries an inline ``# reprolint: disable=...`` with a
+justification comment, not a baseline entry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import (
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    dotted_name,
+)
+from repro.analysis.flow import (
+    ORDER,
+    RNG,
+    CallView,
+    FlowAnalysis,
+    FlowPolicy,
+    FunctionInfo,
+    SymbolTable,
+)
+from repro.analysis.rules.determinism import (
+    _NUMPY_RANDOM_ALLOWED,
+    _RANDOM_ALLOWED,
+)
+
+__all__ = [
+    "AmbientTaintRule",
+    "FrozenViewMutationRule",
+    "ReproFlowPolicy",
+    "SwallowedExceptionRule",
+    "shared_flow",
+]
+
+
+# ---------------------------------------------------------------------------
+# The repro-specific policy
+# ---------------------------------------------------------------------------
+
+#: exact dotted calls whose result carries RNG taint (ambient state:
+#: wall clock, OS entropy, nondeterministic ids).  Includes the perf
+#: counters, which R001 deliberately tolerates for benchmarking — here
+#: the ban is narrower: their *values* must not reach canonical sinks.
+_RNG_EXACT = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "os.urandom",
+        "os.getpid",
+    }
+)
+
+#: EventStore methods that ingest feedback into canonical state
+_STORE_SINKS = frozenset({"append", "extend"})
+
+#: recorder facade methods — everything they take lands in a metrics
+#: snapshot or the sim-time trace, both canonical-bytes surfaces
+_RECORDER_SINKS = frozenset({"count", "gauge", "observe", "event", "span"})
+
+#: classes whose constructed fields are canonical result/telemetry state
+_RESULT_CLASSES = frozenset(
+    {"ScenarioResult", "TelemetrySnapshot", "TraceEvent"}
+)
+
+#: EventStore accessors returning cached, shared, zero-copy views
+_FROZEN_PRODUCERS = frozenset(
+    {
+        "snapshot",
+        "by_target",
+        "by_rater",
+        "by_pair",
+        "by_target_time",
+        "by_target_facet",
+    }
+)
+
+#: receiver types owning the frozen producers / canonical sinks
+_STORE_TYPES = frozenset({"EventStore"})
+_RECORDER_TYPES = frozenset({"Recorder", "NoOpRecorder"})
+_TRACER_TYPES = frozenset({"Tracer"})
+
+
+class ReproFlowPolicy(FlowPolicy):
+    """Sources, sinks, and frozen state of the repro codebase."""
+
+    mutator_methods = frozenset(
+        {
+            "append",
+            "extend",
+            "add",
+            "insert",
+            "remove",
+            "pop",
+            "clear",
+            "sort",
+            "reverse",
+            "update",
+            "setdefault",
+            "discard",
+            "fill",
+            "resize",
+            "setflags",
+            "itemset",
+        }
+    )
+    frozen_annotations = frozenset({"ColumnSet", "GroupIndex"})
+    #: GroupIndex.rows() returns a zero-copy slice of the index arrays
+    frozen_view_methods = frozenset({"rows"})
+
+    def source_kinds(self, cv: CallView) -> FrozenSet[str]:
+        dotted = cv.dotted
+        if dotted is None:
+            return frozenset()
+        if dotted in _RNG_EXACT:
+            return frozenset({RNG})
+        parts = dotted.split(".")
+        if parts[0] == "secrets" and len(parts) > 1:
+            return frozenset({RNG})
+        if (
+            parts[0] == "random"
+            and len(parts) > 1
+            and parts[1] not in _RANDOM_ALLOWED
+        ):
+            return frozenset({RNG})
+        if (
+            len(parts) > 2
+            and parts[0] == "numpy"
+            and parts[1] == "random"
+            and parts[2] not in _NUMPY_RANDOM_ALLOWED
+        ):
+            return frozenset({RNG})
+        return frozenset()
+
+    def sink_label(self, cv: CallView) -> Optional[str]:
+        rtype = cv.receiver_type
+        if rtype in _STORE_TYPES and cv.name in _STORE_SINKS:
+            return f"EventStore.{cv.name}"
+        if rtype in _TRACER_TYPES and cv.name == "emit":
+            return "a tracer record"
+        if rtype in _RECORDER_TYPES and cv.name in _RECORDER_SINKS:
+            return f"a telemetry record (recorder.{cv.name})"
+        if cv.receiver is None and cv.name in _RESULT_CLASSES:
+            return f"{cv.name} fields"
+        return None
+
+    def attr_store_sink(
+        self, base_type: Optional[str], attr: str
+    ) -> Optional[str]:
+        if base_type in _RESULT_CLASSES:
+            return f"{base_type}.{attr}"
+        return None
+
+    def is_frozen_producer(self, cv: CallView) -> bool:
+        if cv.receiver_type in _STORE_TYPES and cv.name in _FROZEN_PRODUCERS:
+            return True
+        # Epoch-start broadcast score tables: one list, shared by every
+        # shard for the whole epoch (experiments/sharded.py).
+        if cv.receiver is not None and cv.name == "epoch_scores":
+            return True
+        return False
+
+    def call_result_type(self, cv: CallView) -> Optional[str]:
+        if cv.receiver is None and cv.name == "get_recorder":
+            return "Recorder"
+        return None
+
+
+def shared_flow(project: Project) -> FlowAnalysis:
+    """One :class:`FlowAnalysis` per project, shared by R009/R010."""
+    cached = project.caches.get("taint.flow")
+    if isinstance(cached, FlowAnalysis):
+        return cached
+    flow = FlowAnalysis(project, ReproFlowPolicy())
+    project.caches["taint.flow"] = flow
+    return flow
+
+
+# ---------------------------------------------------------------------------
+# R009
+# ---------------------------------------------------------------------------
+
+_KIND_LABEL = {
+    RNG: "ambient nondeterminism (RNG/wall-clock/entropy)",
+    ORDER: "hash-salted set iteration order",
+}
+
+
+class AmbientTaintRule(Rule):
+    rule_id = "R009"
+    title = "no nondeterministic taint into canonical sinks"
+    exempt = ("common/randomness.py",)
+
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        flow = shared_flow(project)
+        for event in flow.taint_events(module):
+            kinds = " + ".join(
+                _KIND_LABEL[k] for k in sorted(event.kinds)
+            )
+            where = f" (inside {event.via})" if event.via else ""
+            message = (
+                f"value tainted by {kinds} reaches {event.sink}{where}; "
+                "canonical state must be a pure function of seeds and "
+                "sim time — inject a seeded Generator / pass sim time "
+                "explicitly, or sort before iterating"
+            )
+            yield Finding(
+                path=module.relpath,
+                line=event.lineno,
+                col=event.col,
+                rule=self.rule_id,
+                message=message,
+                content=module.line_at(event.lineno).strip(),
+            )
+
+
+# ---------------------------------------------------------------------------
+# R010
+# ---------------------------------------------------------------------------
+
+
+class FrozenViewMutationRule(Rule):
+    rule_id = "R010"
+    title = "no mutation of frozen snapshot/index views"
+
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        flow = shared_flow(project)
+        for event in flow.mutation_events(module):
+            message = (
+                f"mutation of an epoch-frozen view: {event.what}; "
+                "snapshot()/GroupIndex/broadcast-score state is shared "
+                "zero-copy across readers and cached by store version — "
+                "copy first (np.array(view) / list(view))"
+            )
+            yield Finding(
+                path=module.relpath,
+                line=event.lineno,
+                col=event.col,
+                rule=self.rule_id,
+                message=message,
+                content=module.line_at(event.lineno).strip(),
+            )
+
+
+# ---------------------------------------------------------------------------
+# R011
+# ---------------------------------------------------------------------------
+
+#: method names that count as "the handler recorded the failure" even
+#: when the callee cannot be resolved (recorder facade, stdlib logging)
+_RECORDING_NAMES = frozenset(
+    {
+        "count",
+        "gauge",
+        "observe",
+        "event",
+        "span",
+        "record",
+        "log",
+        "debug",
+        "info",
+        "warning",
+        "error",
+        "exception",
+        "critical",
+    }
+)
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _inert_functions(table: SymbolTable) -> Set[str]:
+    """Qnames of functions that observably do nothing.
+
+    Greatest fixpoint: start from "every project function is inert",
+    then repeatedly demote any function whose body contains a
+    non-inert statement (assignment, raise, non-constant return,
+    call to a demoted or unresolvable function, any compound
+    statement).  Unresolvable calls are conservatively non-inert, so
+    the surviving set is sound: calling one of these from an exception
+    handler is indistinguishable from ``pass``.
+    """
+    inert: Set[str] = set(table.functions)
+    changed = True
+    while changed:
+        changed = False
+        for qname in list(inert):
+            info = table.functions[qname]
+            if not all(
+                _inert_stmt(s, info, table, inert)
+                for s in info.node.body
+            ):
+                inert.discard(qname)
+                changed = True
+    return inert
+
+
+def _inert_stmt(
+    stmt: ast.stmt,
+    info: FunctionInfo,
+    table: SymbolTable,
+    inert: Set[str],
+) -> bool:
+    if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+        return True
+    if isinstance(stmt, ast.Return):
+        return stmt.value is None or isinstance(stmt.value, ast.Constant)
+    if isinstance(stmt, ast.Expr):
+        if isinstance(stmt.value, ast.Constant):
+            return True
+        if isinstance(stmt.value, ast.Call):
+            callee = _resolve_simple_call(
+                stmt.value, info.module, info.class_name, table
+            )
+            return callee is not None and callee.qname in inert
+    return False
+
+
+def _resolve_simple_call(
+    call: ast.Call,
+    module: ModuleInfo,
+    class_name: Optional[str],
+    table: SymbolTable,
+) -> Optional[FunctionInfo]:
+    """Resolve ``f(...)`` / ``self.m(...)`` / ``mod.f(...)`` calls."""
+    func = call.func
+    relpath = module.relpath
+    if isinstance(func, ast.Name):
+        local = table.function_in_module(relpath, func.id)
+        if local is not None:
+            return local
+        member = table.imported_member(relpath, func.id)
+        if member is not None:
+            module_path, _, name = member.rpartition(".")
+            target = table.module_relpath_for(module_path)
+            if target is not None:
+                return table.function_in_module(target, name)
+        return None
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        if func.value.id == "self" and class_name is not None:
+            return table.resolve_method(class_name, func.attr)
+        dotted = table.imports.get(relpath, ({}, {}))[0].get(func.value.id)
+        if dotted is not None:
+            target = table.module_relpath_for(dotted)
+            if target is not None:
+                return table.function_in_module(target, func.attr)
+    return None
+
+
+class SwallowedExceptionRule(Rule):
+    rule_id = "R011"
+    title = "no exception swallowing on resilience/merge paths"
+    scopes = (
+        "faults/",
+        "experiments/parallel.py",
+        "experiments/sharded.py",
+        "store/",
+        "obs/",
+        "core/selection.py",
+    )
+
+    _MESSAGE = (
+        "broad exception handler swallows the error on a "
+        "resilience/merge path — a silent failure here diverges shards "
+        "without tripping the equality gates; re-raise, return a "
+        "sentinel, or record the failure through the recorder"
+    )
+
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        flow = shared_flow(project)
+        table = flow.table
+        inert = project.caches.get("taint.inert")
+        if not isinstance(inert, set):
+            inert = _inert_functions(table)
+            project.caches["taint.inert"] = inert
+        for handler, class_name in _handlers(module):
+            if not self._is_broad(handler):
+                continue
+            if self._swallows(handler, module, class_name, table, inert):
+                yield module.finding(handler, self.rule_id, self._MESSAGE)
+
+    @staticmethod
+    def _is_broad(handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True
+        types = (
+            handler.type.elts
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        for node in types:
+            dotted = dotted_name(node)
+            if dotted is not None and dotted.split(".")[-1] in _BROAD:
+                return True
+        return False
+
+    @staticmethod
+    def _swallows(
+        handler: ast.ExceptHandler,
+        module: ModuleInfo,
+        class_name: Optional[str],
+        table: SymbolTable,
+        inert: Set[str],
+    ) -> bool:
+        for stmt in handler.body:
+            if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+                continue
+            if isinstance(stmt, ast.Expr):
+                value = stmt.value
+                if isinstance(value, ast.Constant):
+                    continue
+                if isinstance(value, ast.Call):
+                    name = ""
+                    if isinstance(value.func, ast.Attribute):
+                        name = value.func.attr
+                    elif isinstance(value.func, ast.Name):
+                        name = value.func.id
+                    if name in _RECORDING_NAMES:
+                        return False  # failure recorded
+                    callee = _resolve_simple_call(
+                        value, module, class_name, table
+                    )
+                    if callee is not None and callee.qname in inert:
+                        continue  # a do-nothing helper: still swallowed
+                    return False  # real work happened
+            # raise / return / assignment / compound statement: handled
+            return False
+        return True
+
+
+def _handlers(
+    module: ModuleInfo,
+) -> List[Tuple[ast.ExceptHandler, Optional[str]]]:
+    """(handler, enclosing class name) pairs for one module."""
+    class_of: Dict[ast.ExceptHandler, str] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef):
+            for child in ast.walk(node):
+                if isinstance(child, ast.ExceptHandler):
+                    class_of.setdefault(child, node.name)
+    return [
+        (node, class_of.get(node))
+        for node in ast.walk(module.tree)
+        if isinstance(node, ast.ExceptHandler)
+    ]

@@ -703,7 +703,10 @@ def _worker_main(
     except BaseException:
         try:
             conn.send(("error", traceback.format_exc()))
-        except Exception:
+        # Grandfathered: best-effort error forwarding on an already-dying
+        # worker.  If the pipe itself is gone there is nobody left to
+        # tell; the coordinator sees the broken pipe and raises anyway.
+        except Exception:  # reprolint: disable=R011
             pass
     finally:
         conn.close()

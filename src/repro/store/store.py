@@ -39,7 +39,16 @@ from __future__ import annotations
 
 import operator
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -216,7 +225,7 @@ class EventStore:
         #: cached (version, ColumnSet) snapshot
         self._snapshot: Optional[Tuple[int, ColumnSet]] = None
         #: cached group indexes: name -> (version, GroupIndex)
-        self._indexes: dict = {}
+        self._indexes: Dict[str, Tuple[int, GroupIndex]] = {}
         #: True while the time column is non-decreasing in append
         #: order — lets time-ordered kernels skip their lexsort.
         self._times_sorted = True
@@ -318,7 +327,7 @@ class EventStore:
             )
         return arr.astype(np.int64, copy=False)
 
-    def _py_time(self, value) -> Union[int, float]:
+    def _py_time(self, value: Union[int, float, np.number]) -> Union[int, float]:
         return int(value) if self._time_is_int else float(value)
 
     def _seal_tail(self, limit: Optional[int] = None) -> None:
@@ -414,7 +423,9 @@ class EventStore:
                 self._tail_time[lo:],
             )
 
-    def _index(self, name: str, build) -> GroupIndex:
+    def _index(
+        self, name: str, build: Callable[[ColumnSet], GroupIndex]
+    ) -> GroupIndex:
         version = self.version
         cached = self._indexes.get(name)
         if cached is not None and cached[0] == version:

@@ -1,0 +1,12 @@
+"""Fixture stand-in for repro.models.base (never imported, only parsed)."""
+
+
+class ReputationModel:
+    def record(self, feedback):
+        raise NotImplementedError
+
+    def score(self, target, perspective=None, now=None):
+        raise NotImplementedError
+
+    def score_many(self, targets, perspective=None, now=None):
+        return [self.score(t, perspective, now) for t in targets]

@@ -1,0 +1,22 @@
+"""R009 fixture: tainted values reaching telemetry records.
+
+Parsed, never imported.
+"""
+
+import time
+
+from repro.obs.recorder import get_recorder
+
+
+def _stamp() -> float:
+    return time.monotonic()
+
+
+def gauge_hit() -> None:
+    rec = get_recorder()
+    rec.gauge("rank_latency", _stamp())
+
+
+def gauge_ok(now: float) -> None:
+    rec = get_recorder()
+    rec.gauge("rank_latency", now)

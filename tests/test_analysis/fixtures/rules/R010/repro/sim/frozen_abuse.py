@@ -1,0 +1,56 @@
+"""R010 fixture: mutation of epoch-frozen snapshot/index views.
+
+Parsed, never imported.
+"""
+
+from repro.store import ColumnSet, EventStore
+
+
+def _clobber(rows) -> None:
+    rows.sort()
+
+
+def _relay(rows) -> None:
+    _clobber(rows)
+
+
+def annotated_hit(view: ColumnSet) -> None:
+    view.value.fill(0.0)
+
+
+class SnapshotUser:
+    def __init__(self) -> None:
+        self._store = EventStore()
+
+    def assign_hit(self) -> None:
+        snap = self._store.snapshot()
+        snap.value[0] = 1.0
+
+    def method_hit(self) -> None:
+        index = self._store.by_target()
+        index.starts.fill(0)
+
+    def helper_hit(self) -> None:
+        # snapshot -> _relay -> _clobber: the mutation is two calls
+        # away, visible only through composed summaries.
+        snap = self._store.snapshot()
+        _relay(snap.value)
+
+    def aug_hit(self) -> None:
+        snap = self._store.snapshot()
+        snap.value += 1.0
+
+    def suppressed_hit(self) -> None:
+        snap = self._store.snapshot()
+        snap.value[0] = 2.0  # reprolint: disable=R010
+
+    def copy_ok(self) -> None:
+        snap = self._store.snapshot()
+        mine = list(snap.value)
+        mine.sort()
+
+    def mask_ok(self) -> None:
+        # Boolean-mask indexing copies; mutating the copy is fine.
+        snap = self._store.snapshot()
+        positive = snap.value[snap.value > 0]
+        positive.sort()

@@ -1,0 +1,70 @@
+"""R011 fixture: exception swallowing on a resilience path.
+
+Parsed, never imported.
+"""
+
+
+def _black_hole(exc) -> None:
+    pass
+
+
+def _indirect(exc) -> None:
+    _black_hole(exc)
+
+
+def bare_hit(fn):
+    try:
+        return fn()
+    except:  # noqa: E722
+        pass
+
+
+def broad_hit(fn):
+    try:
+        return fn()
+    except Exception:
+        pass
+
+
+def laundered_hit(fn):
+    # The handler "does something", but the helper chain is inert —
+    # only the interprocedural inert-function fixpoint catches this.
+    try:
+        return fn()
+    except Exception as exc:
+        _indirect(exc)
+
+
+def suppressed_hit(fn):
+    try:
+        return fn()
+    except Exception:  # reprolint: disable=R011
+        pass
+
+
+def sentinel_ok(fn):
+    try:
+        return fn()
+    except Exception:
+        return None
+
+
+def reraise_ok(fn):
+    try:
+        return fn()
+    except Exception:
+        raise
+
+
+def recorded_ok(fn, recorder):
+    try:
+        return fn()
+    except Exception:
+        recorder.event("call-failed")
+
+
+def narrow_ok(fn):
+    try:
+        return fn()
+    except KeyError:
+        pass

@@ -54,7 +54,8 @@ class TestExitCodes:
     def test_ignore_drops_rules(self, capsys):
         code = run(
             _config(ignore=["R001", "R002", "R003", "R004", "R005",
-                            "R006", "R007", "R008"])
+                            "R006", "R007", "R008", "R009", "R010",
+                            "R011"])
         )
         assert code == EXIT_CLEAN
         capsys.readouterr()
@@ -84,6 +85,122 @@ class TestJsonReport:
         keys = [(f.path, f.line, f.col, f.rule) for f in first]
         assert keys == sorted(keys)
         capsys.readouterr()
+
+
+class TestSarifReport:
+    def test_sarif_payload_shape(self, tmp_path, capsys):
+        out_file = tmp_path / "report.sarif"
+        code = run(
+            _config(output_format="sarif", output_file=out_file)
+        )
+        assert code == EXIT_FINDINGS
+        payload = json.loads(out_file.read_text())
+        assert payload["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in payload["$schema"]
+        (sarif_run,) = payload["runs"]
+        driver = sarif_run["tool"]["driver"]
+        assert driver["name"] == "reprolint"
+        rule_ids = [r["id"] for r in driver["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        assert {"R001", "R009", "R010", "R011"} <= set(rule_ids)
+        assert sarif_run["originalUriBaseIds"]["PACKAGEROOT"] == {
+            "uri": "src/repro/"
+        }
+        capsys.readouterr()
+
+    def test_sarif_results_match_findings(self, tmp_path, capsys):
+        out_file = tmp_path / "report.sarif"
+        run(_config(output_format="sarif", output_file=out_file))
+        capsys.readouterr()
+        payload = json.loads(out_file.read_text())
+        sarif_run = payload["runs"][0]
+        findings = run_analysis(
+            [FIXTURE_ROOT], default_registry().rules()
+        )
+        results = sarif_run["results"]
+        assert len(results) == len(findings)
+        for result, finding in zip(results, findings):
+            assert result["ruleId"] == finding.rule
+            assert result["level"] == "error"
+            assert result["message"]["text"] == finding.message
+            (loc,) = result["locations"]
+            phys = loc["physicalLocation"]
+            assert phys["artifactLocation"] == {
+                "uri": finding.path,
+                "uriBaseId": "PACKAGEROOT",
+            }
+            assert phys["region"]["startLine"] == finding.line
+            assert phys["region"]["startColumn"] == finding.col + 1
+        props = sarif_run["properties"]
+        assert props["filesScanned"] > 0
+        assert props["grandfathered"] == 0
+
+    def test_clean_tree_emits_empty_results(self, tmp_path, capsys):
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        out_file = tmp_path / "report.sarif"
+        code = run(
+            _config(
+                paths=[tmp_path],
+                output_format="sarif",
+                output_file=out_file,
+            )
+        )
+        assert code == EXIT_CLEAN
+        payload = json.loads(out_file.read_text())
+        assert payload["runs"][0]["results"] == []
+        capsys.readouterr()
+
+
+class TestUpdateBaseline:
+    def test_update_rewrites_baseline_and_exits_clean(
+        self, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        code = run(_config(baseline=baseline, update_baseline=True))
+        assert code == EXIT_CLEAN
+        assert "baseline updated" in capsys.readouterr().out
+        # the refreshed baseline grandfathers the whole tree
+        assert run(_config(baseline=baseline)) == EXIT_CLEAN
+        capsys.readouterr()
+
+    def test_update_defaults_to_cwd(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert run(_config(update_baseline=True)) == EXIT_CLEAN
+        capsys.readouterr()
+        written = tmp_path / "reprolint-baseline.json"
+        assert written.exists()
+        payload = json.loads(written.read_text())
+        assert payload["version"] == 1
+        assert len(payload["findings"]) > 0
+
+    def test_update_prunes_stale_entries(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        proj = tmp_path / "proj" / "repro" / "models"
+        proj.mkdir(parents=True)
+        bad = proj / "fresh.py"
+        bad.write_text(
+            "import random\n\n\ndef draw():\n    return random.random()\n"
+        )
+        run(
+            _config(
+                paths=[tmp_path / "proj"],
+                baseline=baseline,
+                update_baseline=True,
+            )
+        )
+        bad.write_text("x = 1\n")
+        run(
+            _config(
+                paths=[tmp_path / "proj"],
+                baseline=baseline,
+                update_baseline=True,
+            )
+        )
+        capsys.readouterr()
+        payload = json.loads(baseline.read_text())
+        assert payload["findings"] == []
 
 
 class TestBaselineWorkflow:

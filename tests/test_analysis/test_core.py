@@ -53,6 +53,40 @@ class TestSuppressions:
         )
         assert suppressed_rules(module, 1) == {"all"}
 
+    def test_disable_all_on_comment_line_above(self, tmp_path):
+        module = _module(
+            tmp_path,
+            "import random\n# reprolint: disable=all\n"
+            "x = random.random()\n",
+        )
+        assert suppressed_rules(module, 3) == {"all"}
+        assert run_analysis(
+            [module.path], [GlobalNondeterminismRule()]
+        ) == []
+
+    def test_multiple_ids_with_ragged_whitespace(self, tmp_path):
+        module = _module(
+            tmp_path,
+            "x = 1  #  reprolint:  disable=R001 ,R006,  R009\n",
+        )
+        assert suppressed_rules(module, 1) == {
+            "R001", "R006", "R009",
+        }
+
+    def test_suppression_matching_no_finding_is_inert(self, tmp_path):
+        """A disable comment for a rule that never fires neither
+        errors nor hides other rules' findings."""
+        module = _module(
+            tmp_path,
+            "import random\n"
+            "x = random.random()  # reprolint: disable=R008\n",
+        )
+        assert suppressed_rules(module, 2) == {"R008"}
+        findings = run_analysis(
+            [module.path], [GlobalNondeterminismRule()]
+        )
+        assert [f.rule for f in findings] == ["R001"]
+
     def test_code_line_above_does_not_leak(self, tmp_path):
         """A suppression on a *code* line only covers that line."""
         module = _module(
@@ -76,7 +110,7 @@ class TestPathScoping:
         )
         assert (
             package_relpath(
-                Path("tests/fixtures/proj/repro/core/selection.py")
+                Path("tests/fixtures/rules/R004/repro/core/selection.py")
             )
             == "core/selection.py"
         )
@@ -106,11 +140,11 @@ class TestPathScoping:
 
 
 class TestRegistry:
-    def test_eight_rules_shipped(self):
+    def test_eleven_rules_shipped(self):
         registry = default_registry()
         assert registry.ids() == [
             "R001", "R002", "R003", "R004", "R005", "R006", "R007",
-            "R008",
+            "R008", "R009", "R010", "R011",
         ]
 
     def test_duplicate_id_rejected(self):

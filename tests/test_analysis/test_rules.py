@@ -1,6 +1,11 @@
-"""Per-rule behaviour on the fixture project: each rule fires on its
-positive cases, stays quiet on the blessed patterns, and honours
-per-line suppression comments."""
+"""Per-rule behaviour on the per-rule fixture projects: each rule
+fires on its positive cases, stays quiet on the blessed patterns, and
+honours per-line suppression comments.
+
+Every class scans only its own ``fixtures/rules/R0xx`` mini-project
+(via the ``rule_findings`` factory), so fixtures added for one rule
+can never shift another rule's expected counts.
+"""
 
 from __future__ import annotations
 
@@ -8,9 +13,9 @@ from tests.test_analysis.conftest import findings_for
 
 
 class TestR001GlobalNondeterminism:
-    def test_fires_on_every_ambient_source(self, fixture_findings):
+    def test_fires_on_every_ambient_source(self, rule_findings):
         hits = findings_for(
-            fixture_findings, "R001", "models/bad_determinism.py"
+            rule_findings("R001"), "R001", "models/bad_determinism.py"
         )
         flagged = {f.content.split("#")[0].strip() for f in hits}
         assert "a = random.random()" in flagged
@@ -22,15 +27,15 @@ class TestR001GlobalNondeterminism:
         assert "f = os.urandom(8)" in flagged
         assert len(hits) == 7
 
-    def test_suppression_comment_silences(self, fixture_findings):
+    def test_suppression_comment_silences(self, rule_findings):
         hits = findings_for(
-            fixture_findings, "R001", "models/bad_determinism.py"
+            rule_findings("R001"), "R001", "models/bad_determinism.py"
         )
         assert not any("suppressed" in f.content for f in hits)
 
-    def test_seeded_constructors_allowed(self, fixture_findings):
+    def test_seeded_constructors_allowed(self, rule_findings):
         hits = findings_for(
-            fixture_findings, "R001", "models/bad_determinism.py"
+            rule_findings("R001"), "R001", "models/bad_determinism.py"
         )
         for blessed in ("default_rng", "SeedSequence", "random.Random",
                         "perf_counter"):
@@ -38,9 +43,9 @@ class TestR001GlobalNondeterminism:
 
 
 class TestR002UnorderedIteration:
-    def test_fires_on_set_iterations(self, fixture_findings):
+    def test_fires_on_set_iterations(self, rule_findings):
         hits = findings_for(
-            fixture_findings, "R002", "models/bad_iteration.py"
+            rule_findings("R002"), "R002", "models/bad_iteration.py"
         )
         lines = {f.content for f in hits}
         assert "for peer in self._peers:              # R002: set iteration" in lines
@@ -51,34 +56,33 @@ class TestR002UnorderedIteration:
         assert any("for p in SEED_PEERS" in l for l in lines)
         assert len(hits) == 5
 
-    def test_sorted_and_membership_not_flagged(self, fixture_findings):
+    def test_sorted_and_membership_not_flagged(self, rule_findings):
         hits = findings_for(
-            fixture_findings, "R002", "models/bad_iteration.py"
+            rule_findings("R002"), "R002", "models/bad_iteration.py"
         )
         assert not any("sorted(" in f.content for f in hits)
         assert not any("len(self._peers)" in f.content for f in hits)
         assert not any('"a" in self._peers' in f.content for f in hits)
 
-    def test_suppression_comment_silences(self, fixture_findings):
+    def test_suppression_comment_silences(self, rule_findings):
         hits = findings_for(
-            fixture_findings, "R002", "models/bad_iteration.py"
+            rule_findings("R002"), "R002", "models/bad_iteration.py"
         )
         assert not any("disable=R002" in f.content for f in hits)
 
 
 class TestR003CacheVersionBump:
-    def test_fires_on_stale_record(self, fixture_findings):
+    def test_fires_on_stale_record(self, rule_findings):
         hits = findings_for(
-            fixture_findings, "R003", "models/bad_record.py"
+            rule_findings("R003"), "R003", "models/bad_record.py"
         )
         assert len(hits) == 1
         assert "StaleCacheModel" in hits[0].message
-        assert "version, _trust_version" not in hits[0].message or True
         assert hits[0].content.startswith("def record")
 
-    def test_bump_paths_accepted(self, fixture_findings):
+    def test_bump_paths_accepted(self, rule_findings):
         hits = findings_for(
-            fixture_findings, "R003", "models/bad_record.py"
+            rule_findings("R003"), "R003", "models/bad_record.py"
         )
         messages = " ".join(f.message for f in hits)
         assert "DirectBumpModel" not in messages
@@ -86,56 +90,63 @@ class TestR003CacheVersionBump:
         assert "DelegatingModel" not in messages
         assert "UnversionedModel" not in messages
 
-    def test_suppression_comment_silences(self, fixture_findings):
-        hits = findings_for(fixture_findings, "R003")
+    def test_suppression_comment_silences(self, rule_findings):
+        hits = findings_for(rule_findings("R003"), "R003")
         assert not any(
             "SuppressedStaleModel" in f.message for f in hits
         )
 
 
 class TestR004BatchParityRegistry:
-    def test_fires_on_unregistered_kernel(self, fixture_findings):
+    def test_fires_on_unregistered_kernel(self, rule_findings):
         hits = findings_for(
-            fixture_findings, "R004", "models/bad_batch.py"
+            rule_findings("R004"), "R004", "models/bad_batch.py"
         )
         assert len(hits) == 1
         assert "UnregisteredKernelModel" in hits[0].message
 
-    def test_registered_and_scalar_models_pass(self, fixture_findings):
+    def test_registered_and_scalar_models_pass(self, rule_findings):
         messages = " ".join(
-            f.message for f in findings_for(fixture_findings, "R004")
+            f.message
+            for f in findings_for(rule_findings("R004"), "R004")
         )
         assert "RegisteredKernelModel" not in messages
         assert "ScalarOnlyModel" not in messages
         assert "ReputationModel overrides" not in messages
 
-    def test_suppression_comment_silences(self, fixture_findings):
+    def test_suppression_comment_silences(self, rule_findings):
         messages = " ".join(
-            f.message for f in findings_for(fixture_findings, "R004")
+            f.message
+            for f in findings_for(rule_findings("R004"), "R004")
         )
         assert "SuppressedKernelModel" not in messages
 
+    def test_registry_absent_stays_quiet(self, rule_findings):
+        # R003's mini-project has model classes but no core/registry.py;
+        # R004 must treat "no registry in tree" as nothing-to-check.
+        assert findings_for(rule_findings("R003"), "R004") == []
+
 
 class TestR005PicklableWorldBuilders:
-    def test_fires_on_lambda_and_closure(self, fixture_findings):
+    def test_fires_on_lambda_and_closure(self, rule_findings):
         hits = findings_for(
-            fixture_findings, "R005", "experiments/bad_builders.py"
+            rule_findings("R005"), "R005", "experiments/bad_builders.py"
         )
         assert len(hits) == 3
         messages = " ".join(f.message for f in hits)
         assert "lambda" in messages
         assert "local_builder" in messages
 
-    def test_fires_on_shard_builder_lambda(self, fixture_findings):
+    def test_fires_on_shard_builder_lambda(self, rule_findings):
         hits = findings_for(
-            fixture_findings, "R005", "experiments/bad_builders.py"
+            rule_findings("R005"), "R005", "experiments/bad_builders.py"
         )
         assert any(
             "lambda-shard" in f.content for f in hits
         )
 
-    def test_module_level_builder_passes(self, fixture_findings):
-        hits = findings_for(fixture_findings, "R005")
+    def test_module_level_builder_passes(self, rule_findings):
+        hits = findings_for(rule_findings("R005"), "R005")
         assert not any(
             "_module_level_builder" in f.message for f in hits
         )
@@ -143,15 +154,15 @@ class TestR005PicklableWorldBuilders:
             "_module_level_shard_builder" in f.message for f in hits
         )
 
-    def test_suppression_comment_silences(self, fixture_findings):
-        hits = findings_for(fixture_findings, "R005")
+    def test_suppression_comment_silences(self, rule_findings):
+        hits = findings_for(rule_findings("R005"), "R005")
         assert not any("quiet_builder" in f.message for f in hits)
 
 
 class TestR006FloatEquality:
-    def test_fires_on_bare_equality(self, fixture_findings):
+    def test_fires_on_bare_equality(self, rule_findings):
         hits = findings_for(
-            fixture_findings, "R006", "models/bad_floatcmp.py"
+            rule_findings("R006"), "R006", "models/bad_floatcmp.py"
         )
         lines = {f.content.split("#")[0].strip() for f in hits}
         assert "if score == 0.5:" in lines
@@ -159,9 +170,9 @@ class TestR006FloatEquality:
         assert "if rating == score:" in lines
         assert len(hits) == 3
 
-    def test_counts_strings_and_tolerances_pass(self, fixture_findings):
+    def test_counts_strings_and_tolerances_pass(self, rule_findings):
         hits = findings_for(
-            fixture_findings, "R006", "models/bad_floatcmp.py"
+            rule_findings("R006"), "R006", "models/bad_floatcmp.py"
         )
         contents = " ".join(f.content for f in hits)
         assert "rating_count" not in contents
@@ -169,17 +180,17 @@ class TestR006FloatEquality:
         assert "abs(" not in contents
         assert "score > 0.9" not in contents
 
-    def test_suppression_comment_silences(self, fixture_findings):
+    def test_suppression_comment_silences(self, rule_findings):
         hits = findings_for(
-            fixture_findings, "R006", "models/bad_floatcmp.py"
+            rule_findings("R006"), "R006", "models/bad_floatcmp.py"
         )
         assert not any("disable=R006" in f.content for f in hits)
 
 
 class TestR007ColumnarLoops:
-    def test_fires_on_per_row_loops(self, fixture_findings):
+    def test_fires_on_per_row_loops(self, rule_findings):
         hits = findings_for(
-            fixture_findings, "R007", "models/bad_columnar.py"
+            rule_findings("R007"), "R007", "models/bad_columnar.py"
         )
         lines = {f.content.split("#")[0].strip() for f in hits}
         assert "for v in columns.value:" in lines
@@ -189,17 +200,17 @@ class TestR007ColumnarLoops:
         assert "for v in columns.value.tolist():" in lines
         assert len(hits) == 5
 
-    def test_vectorized_and_plain_loops_pass(self, fixture_findings):
+    def test_vectorized_and_plain_loops_pass(self, rule_findings):
         hits = findings_for(
-            fixture_findings, "R007", "models/bad_columnar.py"
+            rule_findings("R007"), "R007", "models/bad_columnar.py"
         )
         contents = " ".join(f.content for f in hits)
         assert "bincount" not in contents
         assert "for item in items" not in contents
 
-    def test_reference_replay_suppression_silences(self, fixture_findings):
+    def test_reference_replay_suppression_silences(self, rule_findings):
         hits = findings_for(
-            fixture_findings, "R007", "models/bad_columnar.py"
+            rule_findings("R007"), "R007", "models/bad_columnar.py"
         )
         # blessed_reference's loop is identical to looped_rows' — only
         # the disable comment separates them, so exactly one survives.
@@ -207,17 +218,17 @@ class TestR007ColumnarLoops:
             sum("store.iter_rows(0)" in f.content for f in hits) == 1
         )
 
-    def test_scoped_to_models(self, fixture_findings):
+    def test_scoped_to_models(self, rule_findings):
         assert all(
             f.path.startswith("models/")
-            for f in findings_for(fixture_findings, "R007")
+            for f in findings_for(rule_findings("R007"), "R007")
         )
 
 
 class TestR008ShardDeltaOrder:
-    def test_fires_on_set_ordered_merges(self, fixture_findings):
+    def test_fires_on_set_ordered_merges(self, rule_findings):
         hits = findings_for(
-            fixture_findings, "R008", "experiments/sharded.py"
+            rule_findings("R008"), "R008", "experiments/sharded.py"
         )
         lines = {f.content for f in hits}
         assert any("for delta in pending" in l for l in lines)
@@ -227,24 +238,173 @@ class TestR008ShardDeltaOrder:
         assert any("merge_snapshots(set(snapshots))" in l for l in lines)
         assert len(hits) == 3
 
-    def test_list_and_sorted_merges_pass(self, fixture_findings):
+    def test_list_and_sorted_merges_pass(self, rule_findings):
         hits = findings_for(
-            fixture_findings, "R008", "experiments/sharded.py"
+            rule_findings("R008"), "R008", "experiments/sharded.py"
         )
         contents = " ".join(f.content for f in hits)
         assert "sorted(" not in contents
         assert "for delta in deltas:" not in contents
 
-    def test_loop_without_merge_not_flagged(self, fixture_findings):
-        hits = findings_for(fixture_findings, "R008")
+    def test_loop_without_merge_not_flagged(self, rule_findings):
+        hits = findings_for(rule_findings("R008"), "R008")
         assert not any("total += delta" in f.content for f in hits)
 
-    def test_suppression_comment_silences(self, fixture_findings):
-        hits = findings_for(fixture_findings, "R008")
+    def test_suppression_comment_silences(self, rule_findings):
+        hits = findings_for(rule_findings("R008"), "R008")
         assert not any("disable=R008" in f.content for f in hits)
 
-    def test_scoped_to_merge_paths(self, fixture_findings):
+    def test_scoped_to_merge_paths(self, rule_findings):
         assert all(
             f.path.startswith("experiments/sharded.py")
-            for f in findings_for(fixture_findings, "R008")
+            for f in findings_for(rule_findings("R008"), "R008")
         )
+
+
+class TestR009AmbientTaint:
+    def test_direct_hit(self, rule_findings):
+        hits = findings_for(
+            rule_findings("R009"), "R009", "services/taint_feed.py"
+        )
+        assert any("time.monotonic()" in f.content for f in hits)
+
+    def test_multi_hop_chain_hit(self, rule_findings):
+        """source -> _jitter -> _laundered -> _relay -> sink: only the
+        summary fixpoint sees it; no banned name is on the sink line."""
+        hits = findings_for(
+            rule_findings("R009"), "R009", "services/taint_feed.py"
+        )
+        assert any(
+            "_relay(_laundered())" in f.content for f in hits
+        )
+
+    def test_set_order_taint_hits_sink(self, rule_findings):
+        hits = findings_for(
+            rule_findings("R009"), "R009", "services/taint_feed.py"
+        )
+        order = [
+            f for f in hits if "set iteration order" in f.message
+        ]
+        assert len(order) == 1
+        assert "peer" in order[0].content
+
+    def test_telemetry_sink_hit(self, rule_findings):
+        hits = findings_for(
+            rule_findings("R009"), "R009", "services/taint_telemetry.py"
+        )
+        assert len(hits) == 1
+        assert "recorder.gauge" in hits[0].message
+
+    def test_exact_counts_and_clean_paths(self, rule_findings):
+        hits = findings_for(rule_findings("R009"), "R009")
+        assert len(hits) == 4
+        contents = " ".join(f.content for f in hits)
+        assert "clean_path" not in contents
+        assert "sorted(peers)" not in contents
+        assert "bench_ok" not in contents
+        assert "started" not in contents
+
+    def test_suppression_comment_silences(self, rule_findings):
+        hits = findings_for(rule_findings("R009"), "R009")
+        assert not any("disable=R009" in f.content for f in hits)
+
+    def test_no_r001_noise_in_fixture(self, rule_findings):
+        # perf counters are R001-tolerated; every finding in the R009
+        # project must belong to R009 alone.
+        assert {f.rule for f in rule_findings("R009")} == {"R009"}
+
+
+class TestR010FrozenViewMutation:
+    def test_subscript_store_hit(self, rule_findings):
+        hits = findings_for(
+            rule_findings("R010"), "R010", "sim/frozen_abuse.py"
+        )
+        assert any("snap.value[0] = 1.0" in f.content for f in hits)
+
+    def test_mutating_method_hit(self, rule_findings):
+        hits = findings_for(
+            rule_findings("R010"), "R010", "sim/frozen_abuse.py"
+        )
+        assert any("index.starts.fill(0)" in f.content for f in hits)
+
+    def test_augmented_assignment_hit(self, rule_findings):
+        hits = findings_for(
+            rule_findings("R010"), "R010", "sim/frozen_abuse.py"
+        )
+        assert any("snap.value += 1.0" in f.content for f in hits)
+
+    def test_annotated_parameter_hit(self, rule_findings):
+        hits = findings_for(
+            rule_findings("R010"), "R010", "sim/frozen_abuse.py"
+        )
+        assert any("view.value.fill(0.0)" in f.content for f in hits)
+
+    def test_multi_hop_helper_hit(self, rule_findings):
+        """snapshot -> _relay -> _clobber: the mutation is two calls
+        away and the finding names the helper that does it."""
+        hits = findings_for(
+            rule_findings("R010"), "R010", "sim/frozen_abuse.py"
+        )
+        via = [f for f in hits if "_relay" in f.message]
+        assert len(via) == 1
+        assert "_relay(snap.value)" in via[0].content
+
+    def test_copies_and_masks_pass(self, rule_findings):
+        hits = findings_for(rule_findings("R010"), "R010")
+        assert len(hits) == 5
+        contents = " ".join(f.content for f in hits)
+        assert "mine.sort()" not in contents
+        assert "positive.sort()" not in contents
+
+    def test_suppression_comment_silences(self, rule_findings):
+        hits = findings_for(rule_findings("R010"), "R010")
+        assert not any("disable=R010" in f.content for f in hits)
+
+
+class TestR011SwallowedExceptions:
+    def test_bare_and_broad_handlers_hit(self, rule_findings):
+        hits = findings_for(
+            rule_findings("R011"), "R011", "faults/swallow.py"
+        )
+        contents = [f.content for f in hits]
+        assert any(c.startswith("except:") for c in contents)
+        assert "except Exception:" in contents
+
+    def test_inert_helper_chain_hit(self, rule_findings):
+        """handler -> _indirect -> _black_hole is observably a no-op;
+        the inert-function fixpoint must see through both calls."""
+        hits = findings_for(
+            rule_findings("R011"), "R011", "faults/swallow.py"
+        )
+        assert any(
+            "except Exception as exc:" in f.content for f in hits
+        )
+
+    def test_exact_count_and_handled_paths_pass(self, rule_findings):
+        hits = findings_for(rule_findings("R011"), "R011")
+        assert len(hits) == 3
+        lines = {f.line for f in hits}
+        # sentinel return, re-raise, recorder call, narrow handler:
+        # all handled, none flagged.
+        assert all(f.path == "faults/swallow.py" for f in hits)
+        assert len(lines) == 3
+
+    def test_suppression_comment_silences(self, rule_findings):
+        hits = findings_for(rule_findings("R011"), "R011")
+        assert not any("disable=R011" in f.content for f in hits)
+
+    def test_scoped_to_resilience_paths(self, tmp_path):
+        from repro.analysis.core import run_analysis
+        from repro.analysis.rules.taint import SwallowedExceptionRule
+
+        source = (
+            "def f(fn):\n"
+            "    try:\n"
+            "        return fn()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        path = tmp_path / "repro" / "models" / "quiet.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(source)
+        assert run_analysis([path], [SwallowedExceptionRule()]) == []
