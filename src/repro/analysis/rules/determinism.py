@@ -379,6 +379,7 @@ class UnorderedIterationRule(Rule):
         "experiments/parallel.py",
         "experiments/sharded.py",
         "obs/",
+        "serve/",
     )
 
     _MESSAGE = (

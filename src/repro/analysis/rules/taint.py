@@ -108,6 +108,11 @@ _RESULT_CLASSES = frozenset(
     {"ScenarioResult", "TelemetrySnapshot", "TraceEvent"}
 )
 
+#: serve-layer classes whose constructed fields enter the ingest log —
+#: an Arrival's client tick seeds ingest tick assignment, and an
+#: IngestRecord IS a log line; wall-clock must never reach either
+_INGEST_CLASSES = frozenset({"Arrival", "IngestRecord"})
+
 #: EventStore accessors returning cached, shared, zero-copy views
 _FROZEN_PRODUCERS = frozenset(
     {
@@ -124,6 +129,7 @@ _FROZEN_PRODUCERS = frozenset(
 _STORE_TYPES = frozenset({"EventStore"})
 _RECORDER_TYPES = frozenset({"Recorder", "NoOpRecorder"})
 _TRACER_TYPES = frozenset({"Tracer"})
+_ADMISSION_TYPES = frozenset({"AdmissionController"})
 
 
 class ReproFlowPolicy(FlowPolicy):
@@ -185,8 +191,12 @@ class ReproFlowPolicy(FlowPolicy):
             return "a tracer record"
         if rtype in _RECORDER_TYPES and cv.name in _RECORDER_SINKS:
             return f"a telemetry record (recorder.{cv.name})"
+        if rtype in _ADMISSION_TYPES and cv.name == "admit":
+            return "ingest tick assignment (AdmissionController.admit)"
         if cv.receiver is None and cv.name in _RESULT_CLASSES:
             return f"{cv.name} fields"
+        if cv.receiver is None and cv.name in _INGEST_CLASSES:
+            return f"the ingest log ({cv.name} fields)"
         return None
 
     def attr_store_sink(
@@ -406,6 +416,7 @@ class SwallowedExceptionRule(Rule):
         "store/",
         "obs/",
         "core/selection.py",
+        "serve/",
     )
 
     _MESSAGE = (

@@ -34,6 +34,7 @@ from typing import (
     TYPE_CHECKING,
     Dict,
     Iterable,
+    List,
     Mapping,
     Optional,
     Sequence,
@@ -112,7 +113,7 @@ class ChurnSchedule:
         windows: Dict[EntityId, Tuple[OutageWindow, ...]] = {}
         for node in sorted(nodes):
             t = float(gen.exponential(mean_uptime))
-            wins = []
+            wins: List[OutageWindow] = []
             while t < horizon:
                 down = float(gen.exponential(mean_downtime))
                 wins.append(OutageWindow(t, t + down))

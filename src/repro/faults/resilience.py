@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple, Type
 
 from repro.common.errors import ConfigurationError, ReproError
 from repro.common.ids import EntityId
@@ -200,7 +200,7 @@ class CircuitBreaker:
         self.name = name
         self.state = BreakerState.CLOSED
         self.transitions: List[Tuple[float, BreakerState, BreakerState]] = []
-        self._outcomes: deque = deque(maxlen=window)
+        self._outcomes: Deque[bool] = deque(maxlen=window)
         self._opened_at = 0.0
         self._trials_started = 0
         self._trial_successes = 0

@@ -63,7 +63,22 @@ def summarize(snapshots: Sequence[TelemetrySnapshot]) -> Dict[str, Any]:
         "metric_totals": metric_totals,
         "metrics": metrics,
         "fig2_costs": ledger_table(metrics),
+        "serve": _serve_table(metrics),
     }
+
+
+def _serve_table(metrics: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Per-tenant serve SLA rows (empty for traces without ``serve.*``).
+
+    The import is deferred: :mod:`repro.serve` sits above the obs
+    layer in the dependency order, and traces from non-serving runs
+    should not pay for it.
+    """
+    if "serve.admission" not in metrics and "serve.requests" not in metrics:
+        return []
+    from repro.serve.sla import serve_sla_table
+
+    return serve_sla_table(metrics)
 
 
 def _fmt(value: Any) -> str:
@@ -121,6 +136,31 @@ def render_text(summary: Dict[str, Any]) -> str:
                 f"{row['sensors']:>8} {_fmt(row['setup_cost']):>9} "
                 f"{_fmt(row['running_cost']):>9} "
                 f"{_fmt(row['total_cost']):>9}"
+            )
+    serve = summary.get("serve") or []
+    if serve:
+        lines.append("")
+        lines.append("serve SLA (per tenant):")
+        header = (
+            f"  {'tenant':<10} {'subm':>6} {'admit':>6} {'shed':>5} "
+            f"{'thr':>5} {'ok':>6} {'degr':>5} {'fail':>5} {'exp':>5} "
+            f"{'shed%':>7} {'waitp50':>8} {'waitp99':>8} "
+            f"{'rankp50':>8} {'rankp99':>8} {'burn':>6}"
+        )
+        lines.append(header)
+        for row in serve:
+            lines.append(
+                f"  {row['tenant']:<10} {row['submitted']:>6} "
+                f"{row['admitted']:>6} {row['shed']:>5} "
+                f"{row['throttled']:>5} {row['ok']:>6} "
+                f"{row['degraded']:>5} {row['failed']:>5} "
+                f"{row['expired']:>5} "
+                f"{row['shed_rate'] * 100.0:>6.2f}% "
+                f"{_fmt(row['queue_wait_p50']):>8} "
+                f"{_fmt(row['queue_wait_p99']):>8} "
+                f"{_fmt(row['rank_latency_p50']):>8} "
+                f"{_fmt(row['rank_latency_p99']):>8} "
+                f"{row['error_budget_burn']:>6.2f}"
             )
     return "\n".join(lines) + "\n"
 

@@ -1,0 +1,105 @@
+"""Always-on async selection service with deterministic ingest.
+
+Layers, bottom up:
+
+* :mod:`repro.serve.protocol` — typed arrivals, ingest records, the
+  append-only :class:`IngestLog`, and :class:`ServeResponse`;
+* :mod:`repro.serve.ingest` — integer-tick admission control: a
+  per-tenant :class:`TokenBucket` (throttle) feeding a virtual
+  :class:`FluidQueue` (shed + deterministic queue wait);
+* :mod:`repro.serve.core` — :class:`ServiceCore`, the synchronous
+  deterministic heart: admission, execution, degradation ladder
+  (retry → breaker → stale-ranking fallback), and ``serve.*``
+  telemetry;
+* :mod:`repro.serve.service` — :class:`SelectionService`, the asyncio
+  shell (quiescence-flush sequencer + FIFO workers) that adds no
+  canonical state;
+* :mod:`repro.serve.replay` — byte-identical re-execution of an
+  ingest log on a fresh core;
+* :mod:`repro.serve.sla` — per-tenant SLA table (quantiles, shed
+  rate, error budget burn) derived from the metrics snapshot;
+* :mod:`repro.serve.loadgen` — closed-loop load generator with an
+  independent client-side tally and wall-clock measurement.
+"""
+
+from repro.serve.core import (
+    BACKEND_REGISTRY,
+    BACKEND_SCORING,
+    RebuildInProgressError,
+    ServeConfig,
+    ServiceCore,
+)
+from repro.serve.ingest import (
+    AdmissionConfig,
+    AdmissionController,
+    FluidQueue,
+    TokenBucket,
+    ticks_per_event,
+)
+from repro.serve.loadgen import (
+    LoadReport,
+    LoadSpec,
+    replay_report,
+    run_loadgen,
+)
+from repro.serve.protocol import (
+    Arrival,
+    IngestLog,
+    IngestRecord,
+    ServeResponse,
+    feedback_arrival,
+    rank_arrival,
+    responses_sha256,
+)
+from repro.serve.replay import (
+    ReplayDivergenceError,
+    ReplayResult,
+    replay_log,
+    scores_sha256,
+    snapshot_sha256,
+)
+from repro.serve.service import SelectionService
+from repro.serve.sla import (
+    SERVE_LATENCY_BUCKETS,
+    SERVE_WAIT_BUCKETS,
+    histogram_quantile,
+    serve_sla_table,
+    serve_tenants,
+    sla_counts,
+)
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "Arrival",
+    "BACKEND_REGISTRY",
+    "BACKEND_SCORING",
+    "FluidQueue",
+    "IngestLog",
+    "IngestRecord",
+    "LoadReport",
+    "LoadSpec",
+    "RebuildInProgressError",
+    "ReplayDivergenceError",
+    "ReplayResult",
+    "SERVE_LATENCY_BUCKETS",
+    "SERVE_WAIT_BUCKETS",
+    "SelectionService",
+    "ServeConfig",
+    "ServeResponse",
+    "ServiceCore",
+    "TokenBucket",
+    "feedback_arrival",
+    "histogram_quantile",
+    "rank_arrival",
+    "replay_log",
+    "replay_report",
+    "responses_sha256",
+    "run_loadgen",
+    "scores_sha256",
+    "serve_sla_table",
+    "serve_tenants",
+    "sla_counts",
+    "snapshot_sha256",
+    "ticks_per_event",
+]

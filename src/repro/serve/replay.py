@@ -1,0 +1,133 @@
+"""Deterministic replay: the ingest log is the whole truth.
+
+``replay_log(core_factory, log)`` feeds a recorded
+:class:`~repro.serve.protocol.IngestLog` through a *fresh* core,
+batch by batch exactly as the live sequencer did — admissions first
+(rejects settling inline), then executions in log order — under its
+own live :class:`~repro.obs.recorder.Recorder`.  It asserts that the
+fresh core re-derives every admission decision, assigned tick, and
+virtual wait byte-for-byte (:class:`ReplayDivergenceError` otherwise),
+and returns the canonical identity of the run: responses, final
+scores, and the telemetry trace, each with a sha256.
+
+This is the serve analogue of the shard byte-identity gate: the CI
+determinism gate replays the same log across worker counts, arrival
+interleavings, and pytest processes and requires identical hashes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import ReproError
+from repro.obs.recorder import Recorder, use_recorder
+from repro.obs.trace import TelemetrySnapshot, canonical_json, write_jsonl
+from repro.serve.core import ServiceCore
+from repro.serve.protocol import (
+    IngestLog,
+    IngestRecord,
+    ServeResponse,
+    responses_sha256,
+)
+
+__all__ = [
+    "ReplayDivergenceError",
+    "ReplayResult",
+    "replay_log",
+    "scores_sha256",
+    "snapshot_sha256",
+]
+
+
+class ReplayDivergenceError(ReproError):
+    """A replayed admission decision differed from the recorded one."""
+
+
+def scores_sha256(scores: Dict[str, float]) -> str:
+    """Canonical identity of a ``{service: score}`` mapping."""
+    return hashlib.sha256(
+        canonical_json(scores).encode("utf-8")
+    ).hexdigest()
+
+
+def snapshot_sha256(snapshot: TelemetrySnapshot) -> str:
+    """Canonical identity of a telemetry snapshot (JSONL bytes)."""
+
+    class _Sink:
+        def __init__(self) -> None:
+            self.digest = hashlib.sha256()
+
+        def write(self, text: str) -> None:
+            self.digest.update(text.encode("utf-8"))
+
+    sink = _Sink()
+    write_jsonl(snapshot, sink)
+    return sink.digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Everything a determinism gate needs to compare two runs."""
+
+    responses: Tuple[ServeResponse, ...]
+    final_scores: Dict[str, float]
+    snapshot: TelemetrySnapshot
+    log_sha256: str
+    responses_sha256: str
+    scores_sha256: str
+    trace_sha256: str
+
+
+def _check(record: IngestRecord, derived: IngestRecord) -> None:
+    if derived != record:
+        raise ReplayDivergenceError(
+            "replay diverged at tick "
+            f"{record.tick}: recorded {record.to_dict()} vs "
+            f"derived {derived.to_dict()}"
+        )
+
+
+def replay_log(
+    core_factory: Callable[[], ServiceCore],
+    log: IngestLog,
+    meta: Optional[Dict[str, object]] = None,
+) -> ReplayResult:
+    """Re-execute *log* on a fresh core and return its canonical identity.
+
+    *core_factory* must build a core in the same initial state the live
+    service started from (same config/seed, same bootstrap catalogue);
+    everything after that point is derived from the log alone.
+    """
+    core = core_factory()
+    with use_recorder(Recorder()) as rec:
+        batches: List[List[IngestRecord]] = []
+        for record in log:
+            if not batches or batches[-1][0].batch != record.batch:
+                batches.append([record])
+            else:
+                batches[-1].append(record)
+        for batch in batches:
+            derived = core.admit_batch(
+                [record.arrival for record in batch]
+            )
+            for recorded, fresh in zip(batch, derived):
+                _check(recorded, fresh)
+            for record in derived:
+                if not record.admitted:
+                    core.execute(record)
+            for record in derived:
+                if record.admitted:
+                    core.execute(record)
+        scores = core.final_scores()
+        snapshot = rec.snapshot(meta=dict(meta or {}))
+    return ReplayResult(
+        responses=tuple(core.responses),
+        final_scores=scores,
+        snapshot=snapshot,
+        log_sha256=log.sha256(),
+        responses_sha256=responses_sha256(core.responses),
+        scores_sha256=scores_sha256(scores),
+        trace_sha256=snapshot_sha256(snapshot),
+    )

@@ -1,0 +1,182 @@
+"""Per-tenant SLA accounting derived from the ``serve.*`` metrics.
+
+Everything here is computed from a :class:`~repro.obs.metrics.MetricsRegistry`
+snapshot — the same canonical structure :mod:`repro.obs.summarize`
+renders and :meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshots`
+merges — so the SLA table is byte-identical wherever it is computed:
+inside the load generator, from a replayed log, or offline from a
+telemetry JSONL file.
+
+Quantiles are *upper-bound estimates from histogram buckets*: the
+smallest bucket boundary whose cumulative count reaches the requested
+rank, clamped to the top boundary for overflow observations.  That
+makes them deterministic integers-over-fixed-boundaries rather than
+interpolated floats — coarser, but canonical.
+
+Error budget burn follows the SRE convention: with an availability
+objective ``slo`` (fraction of submitted requests that must be served,
+degraded service counting as served), a burn rate of 1.0 means the
+observed failure fraction exactly consumes the budget ``1 - slo``;
+values above 1.0 mean the tenant is burning budget faster than the
+objective allows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+__all__ = [
+    "SERVE_LATENCY_BUCKETS",
+    "SERVE_WAIT_BUCKETS",
+    "histogram_quantile",
+    "serve_sla_table",
+    "serve_tenants",
+    "sla_counts",
+]
+
+#: sub-sim-unit histogram boundaries for queue wait and rank latency.
+#: The default obs buckets start at 1 sim unit — far too coarse for a
+#: virtual queue that drains hundreds of requests per unit.
+SERVE_WAIT_BUCKETS: Tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+SERVE_LATENCY_BUCKETS: Tuple[float, ...] = SERVE_WAIT_BUCKETS
+
+
+def histogram_quantile(entry: Mapping[str, Any], q: float) -> float:
+    """Upper-bound *q*-quantile of one histogram series entry.
+
+    *entry* is the snapshot form ``{"buckets", "counts", "count",
+    "sum"}``.  Returns 0.0 for an empty series; overflow observations
+    clamp to the top boundary.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    total = int(entry["count"])
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0
+    buckets = entry["buckets"]
+    for bound, count in zip(buckets, entry["counts"]):
+        cumulative += int(count)
+        if cumulative >= rank:
+            return float(bound)
+    return float(buckets[-1])
+
+
+def _series_map(
+    metrics: Mapping[str, Any], name: str
+) -> Dict[Tuple[str, ...], Any]:
+    metric = metrics.get(name)
+    if not metric:
+        return {}
+    return {tuple(key): value for key, value in metric["series"]}
+
+
+def serve_tenants(metrics: Mapping[str, Any]) -> List[str]:
+    """Sorted tenants that appear in any ``serve.*`` series."""
+    tenants: Dict[str, None] = {}
+    for name in ("serve.admission", "serve.requests"):
+        for key in _series_map(metrics, name):
+            tenants[key[0]] = None
+    return sorted(tenants)
+
+
+def _tenant_histogram(
+    metrics: Mapping[str, Any], name: str, tenant: str
+) -> Mapping[str, Any]:
+    entry = _series_map(metrics, name).get((tenant,))
+    if entry is None:
+        return {"buckets": list(SERVE_WAIT_BUCKETS), "counts": [], "count": 0, "sum": 0.0}
+    return entry
+
+
+def serve_sla_table(
+    metrics: Mapping[str, Any], slo: float = 0.99
+) -> List[Dict[str, Any]]:
+    """One sorted row of SLA numbers per tenant.
+
+    Row fields: submitted/admitted/shed/throttled admission counts;
+    ok/degraded/failed/expired execution counts; ``shed_rate`` (shed +
+    throttled over submitted); p50/p99 queue wait and rank latency in
+    sim units; ``error_budget_burn`` against *slo*.
+    """
+    if not 0.0 < slo < 1.0:
+        raise ValueError("slo must be in (0, 1)")
+    admission = _series_map(metrics, "serve.admission")
+    requests = _series_map(metrics, "serve.requests")
+    rows: List[Dict[str, Any]] = []
+    for tenant in serve_tenants(metrics):
+        decisions = {
+            key[1]: int(value)
+            for key, value in sorted(admission.items())
+            if key[0] == tenant
+        }
+        statuses: Dict[str, int] = {}
+        for key, value in sorted(requests.items()):
+            if key[0] == tenant:
+                statuses[key[2]] = statuses.get(key[2], 0) + int(value)
+        admitted = decisions.get("admitted", 0)
+        shed = decisions.get("shed", 0)
+        throttled = decisions.get("throttled", 0)
+        submitted = admitted + shed + throttled
+        served = statuses.get("ok", 0) + statuses.get("degraded", 0)
+        unserved = submitted - served
+        shed_rate = (shed + throttled) / submitted if submitted else 0.0
+        burn = (
+            (unserved / submitted) / (1.0 - slo) if submitted else 0.0
+        )
+        wait = _tenant_histogram(metrics, "serve.queue_wait", tenant)
+        latency = _tenant_histogram(metrics, "serve.rank.latency", tenant)
+        rows.append(
+            {
+                "tenant": tenant,
+                "submitted": submitted,
+                "admitted": admitted,
+                "shed": shed,
+                "throttled": throttled,
+                "ok": statuses.get("ok", 0),
+                "degraded": statuses.get("degraded", 0),
+                "failed": statuses.get("failed", 0),
+                "expired": statuses.get("expired", 0),
+                "shed_rate": shed_rate,
+                "queue_wait_p50": histogram_quantile(wait, 0.50),
+                "queue_wait_p99": histogram_quantile(wait, 0.99),
+                "rank_latency_p50": histogram_quantile(latency, 0.50),
+                "rank_latency_p99": histogram_quantile(latency, 0.99),
+                "error_budget_burn": burn,
+                "slo": slo,
+            }
+        )
+    return rows
+
+
+def sla_counts(rows: Sequence[Mapping[str, Any]]) -> Dict[str, Dict[str, int]]:
+    """``{tenant: {status/decision: count}}`` view of an SLA table,
+    the shape the load generator's independent client-side tally uses."""
+    out: Dict[str, Dict[str, int]] = {}
+    for row in rows:
+        out[str(row["tenant"])] = {
+            "ok": int(row["ok"]),
+            "degraded": int(row["degraded"]),
+            "failed": int(row["failed"]),
+            "expired": int(row["expired"]),
+            "shed": int(row["shed"]),
+            "throttled": int(row["throttled"]),
+        }
+    return out

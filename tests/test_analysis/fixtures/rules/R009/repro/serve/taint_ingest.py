@@ -1,0 +1,66 @@
+"""R009 fixture: wall-clock laundering into serve ingest sinks.
+
+The serve determinism contract says ingest tick assignment and the
+ingest log are pure functions of caller-supplied sim time.  This
+mini-project launders ``time.perf_counter``/``time.monotonic``
+(tolerated by R001 for benchmarking, so every finding here belongs to
+R009 alone) through helpers into the three serve sinks: an ``Arrival``
+constructor, an ``IngestRecord`` constructor, and
+``AdmissionController.admit``.  Parsed, never imported.
+"""
+
+import time
+
+from repro.serve.ingest import AdmissionController
+from repro.serve.protocol import Arrival, IngestRecord
+
+
+def _wall_ticks() -> int:
+    return int(time.perf_counter() * 1024)
+
+
+def _laundered_now() -> int:
+    return _wall_ticks() + 1
+
+
+class BadIngest:
+    def __init__(self) -> None:
+        self._admission = AdmissionController()
+
+    def direct_arrival_hit(self) -> Arrival:
+        return Arrival(
+            client_tick=int(time.monotonic()),  # -> ingest log
+            client_id="c0",
+            client_seq=0,
+            tenant="t0",
+            kind="rank",
+            ttl_ticks=1,
+            payload=(),
+        )
+
+    def laundered_admit_hit(self, arrival: Arrival) -> None:
+        # source -> _wall_ticks -> _laundered_now -> admit: only the
+        # interprocedural fixpoint sees this one.
+        self._admission.admit(arrival, _laundered_now())
+
+    def record_hit(self, arrival: Arrival) -> IngestRecord:
+        return IngestRecord(
+            tick=_wall_ticks(),
+            batch=0,
+            decision="admitted",
+            wait_ticks=0,
+            exec_tick=1,
+            arrival=arrival,
+        )
+
+    def suppressed_hit(self, arrival: Arrival) -> None:
+        self._admission.admit(arrival, _wall_ticks())  # reprolint: disable=R009
+
+    def clean_path(self, arrival: Arrival, batch: int) -> None:
+        # Caller-supplied sim time: exactly what the contract wants.
+        self._admission.admit(arrival, batch)
+
+    def bench_ok(self) -> float:
+        # Wall time for reporting only — never reaches a sink.
+        started = time.perf_counter_ns()
+        return (time.perf_counter_ns() - started) / 1e9

@@ -70,7 +70,7 @@ class TestJsonReport:
         assert code == EXIT_FINDINGS
         payload = json.loads(out_file.read_text())
         assert payload["total"] == len(payload["findings"])
-        assert payload["by_rule"]["R001"] == 7
+        assert payload["by_rule"]["R001"] == 10
         assert set(payload["findings"][0]) == {
             "path", "line", "col", "rule", "message", "content",
         }

@@ -41,6 +41,20 @@ class TestR001GlobalNondeterminism:
                         "perf_counter"):
             assert not any(blessed in f.content for f in hits)
 
+    def test_fires_in_serve_scope(self, rule_findings):
+        """Wall-clock reads in the serve ingest path are flagged; the
+        perf counters stay tolerated for client-side benchmarking."""
+        hits = findings_for(
+            rule_findings("R001"), "R001", "serve/bad_serve_clock.py"
+        )
+        flagged = {f.content.split("#")[0].strip() for f in hits}
+        assert "now = time.time()" in flagged
+        assert "return str(uuid.uuid4())" in flagged
+        assert "return datetime.now().isoformat()" in flagged
+        assert len(hits) == 3
+        assert not any("perf_counter" in f.content for f in hits)
+        assert not any("suppressed" in f.content for f in hits)
+
 
 class TestR002UnorderedIteration:
     def test_fires_on_set_iterations(self, rule_findings):
@@ -69,6 +83,20 @@ class TestR002UnorderedIteration:
             rule_findings("R002"), "R002", "models/bad_iteration.py"
         )
         assert not any("disable=R002" in f.content for f in hits)
+
+    def test_fires_in_serve_scope(self, rule_findings):
+        """serve/ is a scoring/ranking path: batch and per-tenant
+        tables built off set iteration would put hash-salted order
+        into the ingest log."""
+        hits = findings_for(
+            rule_findings("R002"), "R002", "serve/bad_serve_iteration.py"
+        )
+        lines = {f.content for f in hits}
+        assert any("for tenant in self._tenants:" in l for l in lines)
+        assert any("PENDING_TENANTS" in l for l in lines)
+        assert len(hits) == 2
+        assert not any("sorted(" in f.content for f in hits)
+        assert not any("len(self._tenants)" in f.content for f in hits)
 
 
 class TestR003CacheVersionBump:
@@ -295,13 +323,42 @@ class TestR009AmbientTaint:
         assert len(hits) == 1
         assert "recorder.gauge" in hits[0].message
 
+    def test_serve_arrival_constructor_is_a_sink(self, rule_findings):
+        """Wall clock directly into an Arrival's client tick."""
+        hits = findings_for(
+            rule_findings("R009"), "R009", "serve/taint_ingest.py"
+        )
+        arrivals = [f for f in hits if "Arrival fields" in f.message]
+        assert len(arrivals) == 1
+        assert "ingest log" in arrivals[0].message
+
+    def test_serve_admit_laundered_hit(self, rule_findings):
+        """source -> _wall_ticks -> _laundered_now -> admit: ingest
+        tick assignment reached through two helper calls."""
+        hits = findings_for(
+            rule_findings("R009"), "R009", "serve/taint_ingest.py"
+        )
+        admits = [
+            f for f in hits if "AdmissionController.admit" in f.message
+        ]
+        assert len(admits) == 1
+        assert "_laundered_now()" in admits[0].content
+
+    def test_serve_ingest_record_is_a_sink(self, rule_findings):
+        hits = findings_for(
+            rule_findings("R009"), "R009", "serve/taint_ingest.py"
+        )
+        assert any("IngestRecord fields" in f.message for f in hits)
+
     def test_exact_counts_and_clean_paths(self, rule_findings):
         hits = findings_for(rule_findings("R009"), "R009")
-        assert len(hits) == 4
+        assert len(hits) == 7
+        assert len(findings_for(hits, "R009", "serve/")) == 3
         contents = " ".join(f.content for f in hits)
         assert "clean_path" not in contents
         assert "sorted(peers)" not in contents
         assert "bench_ok" not in contents
+        assert "suppressed" not in contents
         assert "started" not in contents
 
     def test_suppression_comment_silences(self, rule_findings):

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.p2p",
     "repro.registry",
     "repro.robustness",
+    "repro.serve",
     "repro.services",
     "repro.sim",
     "repro.trustnet",

@@ -1,0 +1,131 @@
+"""SLA table arithmetic: histogram quantiles, burn rate, canonical rows."""
+
+import pytest
+
+from repro.serve.sla import (
+    SERVE_WAIT_BUCKETS,
+    histogram_quantile,
+    serve_sla_table,
+    serve_tenants,
+    sla_counts,
+)
+
+
+def _histogram(counts, buckets=(0.1, 1.0, 10.0)):
+    return {
+        "buckets": list(buckets),
+        "counts": list(counts),
+        "count": sum(counts),
+        "sum": 0.0,
+    }
+
+
+class TestHistogramQuantile:
+    def test_empty_series_is_zero(self):
+        assert histogram_quantile(_histogram([0, 0, 0]), 0.99) == 0.0
+
+    def test_upper_bound_estimate(self):
+        entry = _histogram([5, 4, 1])
+        assert histogram_quantile(entry, 0.5) == 0.1
+        assert histogram_quantile(entry, 0.9) == 1.0
+        assert histogram_quantile(entry, 1.0) == 10.0
+
+    def test_overflow_clamps_to_top_bound(self):
+        # Ten observations past the last boundary still land somewhere:
+        # the top bound, by construction.
+        entry = {
+            "buckets": [0.1, 1.0],
+            "counts": [0, 0],
+            "count": 10,
+            "sum": 100.0,
+        }
+        assert histogram_quantile(entry, 0.99) == 1.0
+
+    def test_quantile_domain_checked(self):
+        with pytest.raises(ValueError):
+            histogram_quantile(_histogram([1, 0, 0]), 1.5)
+
+
+def _metrics(
+    admission=((("t0", "admitted"), 8), (("t0", "shed"), 2)),
+    requests=((("t0", "rank", "ok"), 6), (("t0", "rank", "failed"), 2)),
+):
+    return {
+        "serve.admission": {
+            "kind": "counter",
+            "labels": ["tenant", "decision"],
+            "series": [[list(k), v] for k, v in admission],
+        },
+        "serve.requests": {
+            "kind": "counter",
+            "labels": ["tenant", "kind", "status"],
+            "series": [[list(k), v] for k, v in requests],
+        },
+    }
+
+
+class TestServeSlaTable:
+    def test_tenants_discovered_sorted(self):
+        metrics = _metrics(
+            admission=(
+                (("zeta", "admitted"), 1),
+                (("alpha", "admitted"), 1),
+            ),
+            requests=(),
+        )
+        assert serve_tenants(metrics) == ["alpha", "zeta"]
+
+    def test_counts_and_shed_rate(self):
+        (row,) = serve_sla_table(_metrics())
+        assert row["tenant"] == "t0"
+        assert row["submitted"] == 10
+        assert row["admitted"] == 8
+        assert row["shed"] == 2
+        assert row["ok"] == 6
+        assert row["failed"] == 2
+        assert row["shed_rate"] == pytest.approx(0.2)
+
+    def test_error_budget_burn(self):
+        # 4 unserved of 10 submitted against a 99% objective: the
+        # failure fraction is 40x the 1% budget.
+        (row,) = serve_sla_table(_metrics(), slo=0.99)
+        assert row["error_budget_burn"] == pytest.approx(
+            (4 / 10) / 0.01
+        )
+
+    def test_degraded_counts_as_served(self):
+        metrics = _metrics(
+            admission=((("t0", "admitted"), 4),),
+            requests=(
+                (("t0", "rank", "ok"), 2),
+                (("t0", "rank", "degraded"), 2),
+            ),
+        )
+        (row,) = serve_sla_table(metrics)
+        assert row["error_budget_burn"] == 0.0
+
+    def test_missing_histograms_quantile_zero(self):
+        (row,) = serve_sla_table(_metrics())
+        assert row["queue_wait_p99"] == 0.0
+        assert row["rank_latency_p99"] == 0.0
+
+    def test_slo_domain_checked(self):
+        with pytest.raises(ValueError):
+            serve_sla_table(_metrics(), slo=1.0)
+
+    def test_sla_counts_shape(self):
+        counts = sla_counts(serve_sla_table(_metrics()))
+        assert counts == {
+            "t0": {
+                "ok": 6,
+                "degraded": 0,
+                "failed": 2,
+                "expired": 0,
+                "shed": 2,
+                "throttled": 0,
+            }
+        }
+
+    def test_buckets_are_sub_unit(self):
+        assert SERVE_WAIT_BUCKETS[0] < 0.001
+        assert list(SERVE_WAIT_BUCKETS) == sorted(SERVE_WAIT_BUCKETS)
